@@ -1,0 +1,57 @@
+// Ablation: communication buffer aggregation (paper Sec. IV-B: "To
+// minimize the number of handshakes, small communication buffers are
+// aggregated into larger ones before communication takes place").
+//
+// The partitioned engine sends one buffer per (peer, level); the naive
+// alternative sends one message per ghost cluster. Volume is identical —
+// the win is handshakes, i.e. latency. This bench counts both from the
+// real interaction lists and prices them with the network model, per
+// MLFMA application and per full reconstruction.
+#include "bench_scaling_common.hpp"
+
+using namespace ffw;
+
+int main() {
+  bench::banner("Ablation — halo buffer aggregation",
+                "paper Sec. IV-B communication optimisation");
+
+  Table t({"unknowns", "ranks", "aggregated msgs", "per-cluster msgs",
+           "reduction", "latency/apply (agg)", "latency/apply (naive)"});
+  const MachineParams machine;
+  for (int nx : {128, 512, 1024}) {
+    Grid grid(nx);
+    QuadTree tree(grid);
+    MlfmaPlan plan(tree, {});
+    for (int p : {4, 16}) {
+      const CommCensus c = census_halo(tree, plan, p);
+      const double lat_agg = static_cast<double>(c.messages) *
+                             machine.net_latency_s * 1e6;
+      const double lat_naive = static_cast<double>(c.unbuffered_messages) *
+                               machine.net_latency_s * 1e6;
+      t.add_row({std::to_string(grid.num_pixels()), std::to_string(p),
+                 std::to_string(c.messages),
+                 std::to_string(c.unbuffered_messages),
+                 fmt_speedup(static_cast<double>(c.unbuffered_messages) /
+                             static_cast<double>(c.messages)),
+                 fmt_fixed(lat_agg, 1) + " us",
+                 fmt_fixed(lat_naive, 1) + " us"});
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Price it over a full paper-scale reconstruction (2M+ MLFMA products).
+  Grid grid(1024);
+  QuadTree tree(grid);
+  MlfmaPlan plan(tree, {});
+  const CommCensus c = census_halo(tree, plan, 16);
+  const double applies = 2.0e6 / 64.0;  // per solver group (64 groups)
+  const double saved = applies *
+                       static_cast<double>(c.unbuffered_messages -
+                                           c.messages) *
+                       machine.net_latency_s;
+  std::printf("at paper scale (1M unknowns, 16-way trees, ~2M MLFMA "
+              "products across 64 solver groups), aggregation saves "
+              "~%.0f s of pure handshake latency per group — without it "
+              "the Fig. 10 curve would flatten far earlier.\n", saved);
+  return 0;
+}

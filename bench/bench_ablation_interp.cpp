@@ -1,0 +1,92 @@
+// Ablation: the band-diagonal interpolation design (paper Sec. IV-D,
+// "more accuracy yields a thicker band").
+//
+// The local Lagrange interpolation between level sample grids only
+// reaches the target accuracy if the angular grids are oversampled;
+// exact (FFT) resampling would allow critical sampling but destroy the
+// band-diagonal structure the paper's GPU kernels rely on. This bench
+// sweeps (oversampling factor, stencil width) and reports the measured
+// full-matvec error against the direct product plus the matvec time —
+// the accuracy/cost trade-off behind the design choice.
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "greens/greens.hpp"
+#include "linalg/kernels.hpp"
+#include "mlfma/engine.hpp"
+
+using namespace ffw;
+
+namespace {
+
+struct Point {
+  double oversample;
+  int width;
+  double error;
+  double millis;
+};
+
+Point measure(double oversample, int width) {
+  Grid grid(128);
+  QuadTree tree(grid);
+  MlfmaParams params;
+  params.digits = 5.0;
+  params.oversample = oversample;
+  params.interp_width = width;
+  MlfmaEngine engine(tree, params);
+  const std::size_t n = grid.num_pixels();
+  Rng rng(7777);
+  cvec x_nat(n), x(n), y(n), y_nat(n);
+  rng.fill_cnormal(x_nat);
+  tree.to_cluster_order(x_nat, x);
+
+  engine.apply(x, y);  // warm-up
+  Timer t;
+  engine.apply(x, y);
+  const double ms = 1e3 * t.seconds();
+  tree.to_natural_order(y, y_nat);
+
+  std::vector<std::uint32_t> rows(1024);
+  for (auto& r : rows) r = static_cast<std::uint32_t>(rng.next_u64() % n);
+  const cvec ref = dense_g0_apply_rows(grid, x_nat, rows);
+  cvec sub(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) sub[i] = y_nat[rows[i]];
+  return {oversample, width, rel_l2_diff(sub, ref), ms};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — interpolation oversampling and band width",
+                "paper Sec. IV-D design choice (band-diagonal "
+                "interpolation/anterpolation operators)");
+  Timer total;
+
+  Table t({"oversample", "stencil width", "matvec rel. error",
+           "matvec time", "meets 1e-5"});
+  std::vector<double> os_col, w_col, e_col, t_col;
+  for (double os : {1.2, 1.5, 2.0, 2.5}) {
+    for (int w : {4, 6, 10, 14}) {
+      const Point p = measure(os, w);
+      t.add_row({fmt_fixed(p.oversample, 1), std::to_string(p.width),
+                 fmt_sci(p.error, 2), fmt_fixed(p.millis, 1) + " ms",
+                 p.error < 1e-5 ? "yes" : "no"});
+      os_col.push_back(p.oversample);
+      w_col.push_back(p.width);
+      e_col.push_back(p.error);
+      t_col.push_back(p.millis);
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "reading: at critical-ish sampling (1.2x) no affordable stencil\n"
+      "reaches 1e-5; at 2x the default width-10 stencil does, which is\n"
+      "why the library defaults to (2.0, width from digits). Wider bands\n"
+      "buy accuracy at linear cost in interpolation time — the paper's\n"
+      "\"more accuracy yields a thicker band\".\n");
+  write_csv("ablation_interp.csv", {{"oversample", os_col},
+                                    {"width", w_col},
+                                    {"error", e_col},
+                                    {"millis", t_col}});
+  std::printf("elapsed: %.1f s\n", total.seconds());
+  return 0;
+}

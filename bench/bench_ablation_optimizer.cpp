@@ -1,0 +1,106 @@
+// Ablation: optimiser and warm-start choices in the DBIM outer loop.
+//
+//  (a) nonlinear conjugate-gradient vs steepest-descent directions —
+//      the paper (Sec. VI-B): "We prefer nonlinear conjugate-gradient
+//      iterations because they take fewer total matrix-vector
+//      multiplications".
+//  (b) warm-starting each residual-pass forward solve from the previous
+//      iteration's background field vs restarting from the incident
+//      field — an implementation choice behind the paper's low
+//      MLFMA-per-solve count.
+#include "bench_common.hpp"
+#include "dbim/dbim.hpp"
+#include "dbim/gauss_newton.hpp"
+#include "phantom/setup.hpp"
+
+using namespace ffw;
+
+namespace {
+
+struct RunStats {
+  double final_residual;
+  std::uint64_t mlfma;
+};
+
+RunStats run(Scenario& scene, bool cg, bool warm, int iterations) {
+  DbimOptions opts;
+  opts.max_iterations = iterations;
+  opts.conjugate_gradient = cg;
+  opts.warm_start_fields = warm;
+  const DbimResult res = dbim_reconstruct(
+      scene.engine(), scene.transceivers(), scene.measurements(), opts);
+  return {res.history.relative_residual.back(),
+          res.history.mlfma_applications};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — DBIM optimiser and warm starts",
+                "paper Sec. VI-B (CG vs steepest descent) and the "
+                "forward-solve warm-start strategy");
+  Timer total;
+
+  ScenarioConfig cfg;
+  cfg.nx = 64;  // nx/8 must be a power of two
+  cfg.num_transmitters = 6;
+  cfg.num_receivers = 24;
+  Grid grid(cfg.nx);
+  Scenario scene(cfg, annulus(grid, 0.8, 1.6, cplx{0.03, 0.0}));
+
+  const int iterations = 12;
+  const RunStats cg_warm = run(scene, true, true, iterations);
+  const RunStats sd_warm = run(scene, false, true, iterations);
+  const RunStats cg_cold = run(scene, true, false, iterations);
+  // Newton-type comparator (Sec. VI-B): 3 Gauss-Newton linearisations
+  // with 4 CGNR steps each — about the same wall budget.
+  GaussNewtonOptions gn_opts;
+  gn_opts.max_iterations = 3;
+  gn_opts.cg_iterations = 4;
+  const DbimResult gn_res = gauss_newton_reconstruct(
+      scene.engine(), scene.transceivers(), scene.measurements(), gn_opts);
+  const RunStats gauss_newton{gn_res.history.relative_residual.back(),
+                              gn_res.history.mlfma_applications};
+
+  Table t({"configuration", "final rel. residual", "MLFMA products",
+           "products / residual decade"});
+  auto decades = [](const RunStats& s) {
+    const double d = -std::log10(s.final_residual);
+    return d > 0 ? static_cast<double>(s.mlfma) / d : 1e99;
+  };
+  t.add_row({"nonlinear CG + warm start", fmt_sci(cg_warm.final_residual, 2),
+             std::to_string(cg_warm.mlfma), fmt_fixed(decades(cg_warm), 0)});
+  t.add_row({"steepest descent + warm start",
+             fmt_sci(sd_warm.final_residual, 2), std::to_string(sd_warm.mlfma),
+             fmt_fixed(decades(sd_warm), 0)});
+  t.add_row({"nonlinear CG + cold start", fmt_sci(cg_cold.final_residual, 2),
+             std::to_string(cg_cold.mlfma), fmt_fixed(decades(cg_cold), 0)});
+  t.add_row({"Gauss-Newton (3 outer x 4 CGNR)",
+             fmt_sci(gauss_newton.final_residual, 2),
+             std::to_string(gauss_newton.mlfma),
+             fmt_fixed(decades(gauss_newton), 0)});
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("paper claims reproduced:\n");
+  std::printf("  CG reaches a lower residual than steepest descent for the "
+              "same iteration budget: %s (%.2e vs %.2e)\n",
+              cg_warm.final_residual < sd_warm.final_residual ? "YES" : "NO",
+              cg_warm.final_residual, sd_warm.final_residual);
+  std::printf("  warm starts cut MLFMA products at equal accuracy: %s "
+              "(%llu vs %llu products)\n",
+              cg_warm.mlfma < cg_cold.mlfma ? "YES" : "NO",
+              static_cast<unsigned long long>(cg_warm.mlfma),
+              static_cast<unsigned long long>(cg_cold.mlfma));
+  const double ratio = decades(cg_warm) / decades(gauss_newton);
+  std::printf("  NLCG vs Newton-type products per residual decade: "
+              "%.0f vs %.0f (%s)\n", decades(cg_warm),
+              decades(gauss_newton),
+              ratio < 0.9 ? "NLCG clearly cheaper, as the paper reports"
+              : ratio < 1.15
+                  ? "comparable at this small warm-started scale; the "
+                    "paper reports a clear NLCG win at 1M unknowns, where "
+                    "each extra inner solve is far more expensive"
+                  : "Newton-type cheaper here");
+  std::printf("elapsed: %.1f s\n", total.seconds());
+  return 0;
+}

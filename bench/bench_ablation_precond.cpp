@@ -1,0 +1,81 @@
+// Ablation / future-work extension: Jacobi preconditioning of the
+// forward system (paper Sec. VIII: "We also plan to apply resonance-free
+// integral formulations and preconditioning of the system").
+//
+// Sweeps the object contrast and reports BiCGStab iteration counts with
+// and without the diagonal right preconditioner, on real solves.
+#include "bench_common.hpp"
+#include "forward/forward.hpp"
+#include "greens/transceivers.hpp"
+#include "phantom/phantom.hpp"
+
+using namespace ffw;
+
+namespace {
+
+int iterations_for(MlfmaEngine& engine, ccspan contrast, bool precond) {
+  BicgstabOptions opts;
+  opts.tol = 1e-6;
+  opts.max_iterations = 400;
+  ForwardSolver fs(engine, opts);
+  fs.set_jacobi_preconditioner(precond);
+  fs.set_contrast(contrast);
+  const Grid& grid = engine.tree().grid();
+  Transceivers trx(grid, ring_positions(1, grid.domain()),
+                   ring_positions(4, grid.domain()));
+  const cvec inc = trx.incident_field(0);
+  cvec phi(grid.num_pixels(), cplx{});
+  const BicgstabResult r = fs.solve(inc, phi);
+  return r.converged ? r.iterations : -1;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — Jacobi preconditioning vs contrast",
+                "paper Sec. VIII future work (preconditioning near "
+                "resonances)");
+  Timer total;
+
+  Grid grid(64);
+  QuadTree tree(grid);
+  MlfmaEngine engine(tree);
+
+  Table t({"permittivity contrast", "plain BiCGS iters", "Jacobi iters",
+           "lossy (eps'' = 0.3 eps')", "Jacobi (lossy)"});
+  std::vector<double> c_col, plain_col, prec_col;
+  for (double eps : {0.05, 0.15, 0.3, 0.5}) {
+    const cvec lossless = contrast_from_permittivity(
+        grid, disks(grid, {{Vec2{0, 0}, 2.0, cplx{eps, 0.0}}}));
+    const cvec lossy = contrast_from_permittivity(
+        grid, disks(grid, {{Vec2{0, 0}, 2.0, cplx{eps, -0.3 * eps}}}));
+    const int p0 = iterations_for(engine, lossless, false);
+    const int p1 = iterations_for(engine, lossless, true);
+    const int l0 = iterations_for(engine, lossy, false);
+    const int l1 = iterations_for(engine, lossy, true);
+    auto show = [](int v) {
+      return v < 0 ? std::string("diverged") : std::to_string(v);
+    };
+    t.add_row({fmt_fixed(eps, 2), show(p0), show(p1), show(l0), show(l1)});
+    c_col.push_back(eps);
+    plain_col.push_back(p0);
+    prec_col.push_back(p1);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "reading (an honest null result): for this volume formulation the\n"
+      "system diagonal 1 - G0_nn O_n is nearly *constant* over the\n"
+      "object, so Jacobi scaling barely changes the spectrum and the\n"
+      "iteration counts are identical. The paper's future-work item\n"
+      "really needs the resonance-free *formulations* it mentions\n"
+      "alongside preconditioning (a different integral operator, out of\n"
+      "scope here); a useful preconditioner for this operator must be\n"
+      "non-diagonal. The feature stays in the library because it is the\n"
+      "plumbing any such preconditioner would use, and it is tested to\n"
+      "leave solutions unchanged.\n");
+  write_csv("ablation_precond.csv", {{"contrast", c_col},
+                                     {"plain_iters", plain_col},
+                                     {"jacobi_iters", prec_col}});
+  std::printf("elapsed: %.1f s\n", total.seconds());
+  return 0;
+}

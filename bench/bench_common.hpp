@@ -1,0 +1,28 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each binary regenerates one table or figure of the paper: it runs the
+// real solver (and, where the paper's scale exceeds this machine, the
+// calibrated performance model — see DESIGN.md Sec. 2), prints the same
+// rows/series the paper reports side by side with the paper's values,
+// and writes a CSV next to the binary for external plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "io/csv.hpp"
+
+namespace ffw::bench {
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==== %s ====\n", title.c_str());
+  std::printf("Reproduces: %s\n\n", paper_ref.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+}  // namespace ffw::bench

@@ -1,0 +1,86 @@
+// Sec. III-C: O(N) computational and storage complexity. Measures the
+// wall time of a full MLFMA application over a sweep of domain sizes
+// (so the number of unknowns N grows 4x per step), fits the scaling
+// exponent, and contrasts MLFMA storage with the dense interaction
+// matrix the paper says would need 16 TB at 1M unknowns.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "mlfma/engine.hpp"
+#include "perfmodel/census.hpp"
+
+using namespace ffw;
+
+int main() {
+  bench::banner("MLFMA O(N) complexity sweep",
+                "paper Sec. III-C (computational and storage complexity)");
+  Timer total;
+
+  Table t({"domain", "N (pixels)", "levels", "matvec time",
+           "time / N (ns)", "MLFMA memory", "dense G0 memory"});
+  std::vector<double> ns, times;
+  for (int nx : {64, 128, 256, 512}) {
+    Grid grid(nx);
+    QuadTree tree(grid);
+    MlfmaEngine engine(tree);
+    const std::size_t n = grid.num_pixels();
+    Rng rng(nx);
+    cvec x(n), y(n);
+    rng.fill_cnormal(x);
+    engine.apply(x, y);  // warm up
+    Timer timer;
+    const int reps = nx <= 128 ? 5 : 2;
+    for (int r = 0; r < reps; ++r) engine.apply(x, y);
+    const double secs = timer.seconds() / reps;
+
+    MlfmaPlan plan(tree, {});
+    const MemoryCensus mem = census_memory(tree, plan);
+    t.add_row({fmt_fixed(nx / 10.0, 1) + " lambda", std::to_string(n),
+               std::to_string(tree.num_levels()),
+               fmt_fixed(secs * 1e3, 1) + " ms",
+               fmt_fixed(secs / n * 1e9, 1),
+               fmt_fixed((mem.operator_bytes + mem.panel_bytes) / 1048576.0,
+                         1) + " MB",
+               fmt_fixed(mem.dense_equivalent_bytes / 1073741824.0, 2) +
+                   " GB"});
+    ns.push_back(static_cast<double>(n));
+    times.push_back(secs);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Least-squares slope of log(time) vs log(N).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const double lx = std::log(ns[i]), ly = std::log(times[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double m = static_cast<double>(ns.size());
+  const double slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+  std::printf("fitted scaling exponent: time ~ N^%.2f  (paper: O(N), "
+              "i.e. exponent ~1; direct product would be 2)\n", slope);
+
+  // Paper's storage headline: 1M unknowns -> 16 TB dense; 16M -> 4 PB.
+  for (int nx : {1024, 4096}) {
+    Grid grid(nx);
+    QuadTree tree(grid);
+    MlfmaPlan plan(tree, {});
+    const MemoryCensus mem = census_memory(tree, plan);
+    std::printf("at %5.1f lambda (%3.0fM unknowns): dense G0 = %.1f TB, "
+                "MLFMA tables+panels = %.1f GB\n", nx / 10.0,
+                grid.num_pixels() / 1048576.0,
+                mem.dense_equivalent_bytes / 1.0995116e12,
+                (mem.operator_bytes + mem.panel_bytes) / 1.0737418e9);
+  }
+  std::printf("(paper quotes 16 TB at 1M and 4 PB at 16M with "
+              "double-precision complex)\n");
+
+  write_csv("complexity_sweep.csv", {{"N", ns}, {"seconds", times}});
+  std::printf("elapsed: %.1f s\n", total.seconds());
+  const bool ok = slope < 1.35;
+  std::printf("O(N)-like scaling confirmed: %s\n", ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Figure 1: reconstruction of a high-contrast homogeneous annular object
+// with the single-scattering (linear Born) and multiple-scattering
+// (nonlinear DBIM) approaches.
+//
+// The paper shows images; the quantitative content is that the linear
+// image of a high-contrast annulus is badly distorted while the DBIM
+// image is faithful. We run both solvers on the same synthetic data at
+// laptop scale (the mechanism is contrast-driven, not size-driven),
+// report image RMSE for a low- and a high-contrast annulus, and write
+// the four PGM images.
+#include "bench_common.hpp"
+#include "dbim/born.hpp"
+#include "dbim/dbim.hpp"
+#include "io/image.hpp"
+#include "phantom/setup.hpp"
+
+using namespace ffw;
+
+namespace {
+
+struct Row {
+  double contrast;
+  double born_rmse;
+  double dbim_rmse;
+};
+
+Row run_case(double contrast, const char* label) {
+  ScenarioConfig cfg;
+  cfg.nx = 64;  // 6.4 lambda
+  cfg.num_transmitters = 16;
+  cfg.num_receivers = 48;
+  Grid grid(cfg.nx);
+  Scenario scene(cfg, annulus(grid, 1.2, 2.0, cplx{contrast, 0.0}));
+
+  BornOptions bopts;
+  bopts.max_iterations = 30;
+  const BornResult born =
+      born_reconstruct(scene.grid(), scene.transceivers(),
+                       scene.measurements(), bopts);
+
+  DbimOptions dopts;
+  dopts.max_iterations = 20;
+  const DbimResult dbim = dbim_reconstruct(
+      scene.engine(), scene.transceivers(), scene.measurements(), dopts);
+
+  write_pgm(std::string("fig01_true_") + label + ".pgm", scene.grid(),
+            scene.true_contrast());
+  write_pgm(std::string("fig01_linear_") + label + ".pgm", scene.grid(),
+            born.contrast);
+  write_pgm(std::string("fig01_nonlinear_") + label + ".pgm", scene.grid(),
+            dbim.contrast);
+
+  return Row{contrast, image_rmse(born.contrast, scene.true_contrast()),
+             image_rmse(dbim.contrast, scene.true_contrast())};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 1 — high-contrast annulus, linear vs nonlinear",
+                "paper Fig. 1 (Sec. II): single-scattering reconstruction "
+                "fails at high contrast, DBIM does not");
+  Timer timer;
+
+  const Row low = run_case(0.005, "low");
+  const Row high = run_case(0.08, "high");
+
+  Table t({"annulus contrast", "linear (Born) RMSE", "nonlinear (DBIM) RMSE",
+           "nonlinear wins"});
+  for (const Row& r : {low, high}) {
+    t.add_row({fmt_fixed(r.contrast, 3), fmt_fixed(r.born_rmse, 3),
+               fmt_fixed(r.dbim_rmse, 3),
+               r.dbim_rmse < r.born_rmse ? "yes" : "NO"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  const double degradation_linear = high.born_rmse / low.born_rmse;
+  const double degradation_dbim = high.dbim_rmse / low.dbim_rmse;
+  std::printf("Born RMSE degradation (low -> high contrast): %.2fx\n",
+              degradation_linear);
+  std::printf("DBIM RMSE degradation (low -> high contrast): %.2fx\n",
+              degradation_dbim);
+  std::printf("Paper's qualitative claim holds: %s\n",
+              (high.dbim_rmse < high.born_rmse &&
+               degradation_linear > degradation_dbim)
+                  ? "YES (linear image collapses at high contrast, "
+                    "nonlinear stays faithful)"
+                  : "NO");
+
+  write_csv("fig01_annulus.csv",
+            {{"contrast", {low.contrast, high.contrast}},
+             {"born_rmse", {low.born_rmse, high.born_rmse}},
+             {"dbim_rmse", {low.dbim_rmse, high.dbim_rmse}}});
+  bench::note("images written to fig01_*.pgm, series to fig01_annulus.csv");
+  std::printf("elapsed: %.1f s\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Figure 2: transmitters and receivers on a limited arc. Waves that
+// single-scatter off the far side of the object miss the receivers, so
+// the linear image loses those parts; multiple scattering redirects
+// energy into the detectors and DBIM recovers them (paper Sec. II and
+// ref. [12]).
+//
+// We place both arrays on a 90-degree arc on the +x side and image two
+// scatterers: one facing the arrays, one in their shadow. The paper's
+// claim is reproduced if the shadow-side object is recovered by DBIM
+// markedly better than by the linear method.
+#include "bench_common.hpp"
+#include "dbim/born.hpp"
+#include "dbim/dbim.hpp"
+#include "io/image.hpp"
+#include "phantom/setup.hpp"
+
+using namespace ffw;
+
+namespace {
+
+/// Mean recovered (real) contrast over one half of the object disk,
+/// as a fraction of the true level — "how much of this part of the
+/// object does the image actually show?".
+double half_recovery(const Grid& grid, ccspan rec, double radius,
+                     bool shadow_side, double true_level) {
+  cplx s{};
+  int n = 0;
+  for (int iy = 0; iy < grid.nx(); ++iy) {
+    for (int ix = 0; ix < grid.nx(); ++ix) {
+      const Vec2 p = grid.pixel_center(ix, iy);
+      if (norm(p) > radius) continue;
+      // Skip a band around the diameter so the halves are cleanly split.
+      if (shadow_side ? p.x > -0.3 : p.x < 0.3) continue;
+      s += rec[grid.pixel_index(ix, iy)];
+      ++n;
+    }
+  }
+  return (s.real() / n) / true_level;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 2 — limited-angle arrays, linear vs nonlinear",
+                "paper Fig. 2 (Sec. II): multiple scattering is critical "
+                "for parts of the object whose single-scattered waves miss "
+                "the detectors");
+  Timer timer;
+
+  ScenarioConfig cfg;
+  cfg.nx = 64;
+  cfg.num_transmitters = 16;
+  cfg.num_receivers = 48;
+  // Both arrays on the +x half circle (paper Fig. 2 geometry: detectors
+  // exposed to the object at a limited angle).
+  cfg.tx_angle_begin = -pi / 2;
+  cfg.tx_angle_end = pi / 2;
+  cfg.rx_angle_begin = -pi / 2;
+  cfg.rx_angle_end = pi / 2;
+
+  Grid grid(cfg.nx);
+  // One extended, strongly scattering object: its +x half faces the
+  // arrays; single-scattered waves from the -x half propagate away from
+  // every detector, so only multiple scattering can reveal it.
+  const double r_obj = 2.0;
+  const double eps = 0.12;
+  const cvec truth = disks(grid, {{Vec2{0, 0}, r_obj, cplx{eps, 0.0}}});
+  Scenario scene(cfg, truth);
+  const double true_level = eps * grid.k0() * grid.k0();
+
+  BornOptions bopts;
+  bopts.max_iterations = 40;
+  const BornResult born = born_reconstruct(
+      scene.grid(), scene.transceivers(), scene.measurements(), bopts);
+
+  DbimOptions dopts;
+  dopts.max_iterations = 35;
+  const DbimResult dbim = dbim_reconstruct(
+      scene.engine(), scene.transceivers(), scene.measurements(), dopts);
+
+  const double born_front =
+      half_recovery(grid, born.contrast, r_obj, false, true_level);
+  const double born_shadow =
+      half_recovery(grid, born.contrast, r_obj, true, true_level);
+  const double dbim_front =
+      half_recovery(grid, dbim.contrast, r_obj, false, true_level);
+  const double dbim_shadow =
+      half_recovery(grid, dbim.contrast, r_obj, true, true_level);
+
+  Table t({"object half", "linear (Born) recovery", "nonlinear (DBIM) recovery"});
+  t.add_row({"front half (faces arrays)",
+             fmt_fixed(100.0 * born_front, 1) + "%",
+             fmt_fixed(100.0 * dbim_front, 1) + "%"});
+  t.add_row({"shadow half (hidden side)",
+             fmt_fixed(100.0 * born_shadow, 1) + "%",
+             fmt_fixed(100.0 * dbim_shadow, 1) + "%"});
+  t.add_row({"whole-image RMSE",
+             fmt_fixed(image_rmse(born.contrast, scene.true_contrast()), 3),
+             fmt_fixed(image_rmse(dbim.contrast, scene.true_contrast()), 3)});
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("Shadow-side recovery advantage (DBIM / Born): %.2fx\n",
+              dbim_shadow / born_shadow);
+  std::printf("Paper's qualitative claim holds: %s\n",
+              (dbim_shadow > born_shadow && dbim_front > born_front)
+                  ? "YES (DBIM recovers more of the object everywhere, "
+                    "including the hidden side)"
+                  : "NO");
+
+  write_pgm("fig02_true.pgm", grid, scene.true_contrast());
+  write_pgm("fig02_linear.pgm", grid, born.contrast);
+  write_pgm("fig02_nonlinear.pgm", grid, dbim.contrast);
+  write_csv("fig02_limited_angle.csv",
+            {{"born_front", {born_front}},
+             {"born_shadow", {born_shadow}},
+             {"dbim_front", {dbim_front}},
+             {"dbim_shadow", {dbim_shadow}}});
+  bench::note("images written to fig02_*.pgm");
+  std::printf("elapsed: %.1f s\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,118 @@
+// google-benchmark microbenchmarks of the kernels behind Table I: the
+// batched dense expansions, the band-diagonal interpolation, the
+// diagonal translations, and the 9-type near-field pass — plus the full
+// MLFMA apply and one forward solve.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "forward/forward.hpp"
+#include "greens/nearfield.hpp"
+#include "linalg/gemm.hpp"
+#include "mlfma/engine.hpp"
+#include "phantom/phantom.hpp"
+
+using namespace ffw;
+
+namespace {
+
+struct Fixture {
+  Grid grid;
+  QuadTree tree;
+  MlfmaEngine engine;
+  explicit Fixture(int nx) : grid(nx), tree(grid), engine(tree) {}
+};
+
+Fixture& fixture128() {
+  static Fixture f(128);
+  return f;
+}
+
+}  // namespace
+
+static void BM_MlfmaApply(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)));
+  const std::size_t n = f.grid.num_pixels();
+  Rng rng(1);
+  cvec x(n), y(n);
+  rng.fill_cnormal(x);
+  for (auto _ : state) {
+    f.engine.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MlfmaApply)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+
+static void BM_ExpansionGemm(benchmark::State& state) {
+  Fixture& f = fixture128();
+  const auto& e = f.engine.operators().expansion();
+  const std::size_t nleaf = f.tree.num_leaves();
+  CMatrix x(static_cast<std::size_t>(f.tree.pixels_per_leaf()), nleaf),
+      s(e.rows(), nleaf);
+  Rng rng(2);
+  rng.fill_cnormal(cspan{x.data(), x.size()});
+  for (auto _ : state) {
+    gemm(cplx{1.0}, e, x, cplx{0.0}, s);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_ExpansionGemm);
+
+static void BM_Interpolation(benchmark::State& state) {
+  Fixture& f = fixture128();
+  const auto& w = f.engine.operators().level(0).interp;
+  cvec x(w.cols()), y(w.rows());
+  Rng rng(3);
+  rng.fill_cnormal(x);
+  for (auto _ : state) {
+    w.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Interpolation);
+
+static void BM_TranslationDiag(benchmark::State& state) {
+  Fixture& f = fixture128();
+  const auto& trans = f.engine.operators().level(0).translations[0];
+  cvec s(trans.size()), g(trans.size(), cplx{});
+  Rng rng(4);
+  rng.fill_cnormal(s);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < trans.size(); ++i) g[i] += trans[i] * s[i];
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_TranslationDiag);
+
+static void BM_NearFieldPass(benchmark::State& state) {
+  Fixture& f = fixture128();
+  NearFieldOperators near(f.tree);
+  const std::size_t n = f.grid.num_pixels();
+  Rng rng(5);
+  cvec x(n), y(n, cplx{});
+  rng.fill_cnormal(x);
+  for (auto _ : state) {
+    std::fill(y.begin(), y.end(), cplx{});
+    near.apply(f.tree, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_NearFieldPass);
+
+static void BM_ForwardSolve(benchmark::State& state) {
+  Fixture& f = fixture128();
+  ForwardSolver fs(f.engine);
+  const cvec deps =
+      gaussian_blob(f.grid, Vec2{0.0, 0.0}, 2.0, cplx{0.01, 0.0});
+  fs.set_contrast(contrast_from_permittivity(f.grid, deps));
+  const std::size_t n = f.grid.num_pixels();
+  Rng rng(6);
+  cvec rhs(n), phi(n);
+  rng.fill_cnormal(rhs);
+  for (auto _ : state) {
+    std::fill(phi.begin(), phi.end(), cplx{});
+    const auto res = fs.solve(rhs, phi);
+    benchmark::DoNotOptimize(res.iterations);
+  }
+}
+BENCHMARK(BM_ForwardSolve)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,105 @@
+// Shared machinery for the scaling benches (Figs. 9-12, Tables III-IV):
+// one calibration of the performance model per binary, and a printer
+// that places the model's series next to the paper's reported numbers.
+//
+// Provenance reminder (DESIGN.md Sec. 2): kernel rates and solver shape
+// are measured on this host with the real engine/solver; work and
+// communication volumes are analytic censuses of the real interaction
+// lists at paper scale (byte-identical to the virtual cluster's measured
+// traffic); node/GPU/network constants are the documented MachineParams.
+#pragma once
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "perfmodel/predictor.hpp"
+
+namespace ffw::bench {
+
+inline const ScalingModel& calibrated_model() {
+  static const ScalingModel model = [] {
+    std::printf("calibrating on this host (real MLFMA + real small DBIM "
+                "runs)...\n");
+    Timer t;
+    CalibratedRates rates = calibrate();
+    std::printf("  per-phase rates (Mcmac/s):");
+    for (double r : rates.cmacs_per_s) std::printf(" %.0f", r / 1e6);
+    std::printf("\n  host-measured solver shape (6.4-lambda scene): "
+                "%.1f MLFMA/solve, BiCGS iters %.1f +- %.1f\n",
+                rates.mlfma_per_solve, rates.bicgs_mean, rates.bicgs_std);
+    // Solver-shape statistics do NOT transfer from a 6.4-lambda host
+    // problem to the paper's 102.4-lambda one: iteration counts grow
+    // with the optical depth of the scatterer (that is the whole
+    // multiple-scattering point). At paper scale we therefore use the
+    // paper's own reported average (13.4 MLFMA products per solve ~ 6.5
+    // BiCGS iterations) and a 5% relative spread consistent with its
+    // Fig. 9; the kernel *rates* stay host-measured. Documented in
+    // DESIGN.md Sec. 2 and EXPERIMENTS.md.
+    rates.mlfma_per_solve = 13.4;
+    rates.bicgs_mean = 6.5;
+    rates.bicgs_std = 0.33;        // per-solve fluctuation (5%)
+    rates.bicgs_illum_std = 0.45;  // persistent per-illumination spread (7%)
+    std::printf("  paper-scale solver shape (from paper Sec. V-F): "
+                "13.4 MLFMA/solve, iters %.1f +- %.2f\n"
+                "  calibration took %.1f s\n\n",
+                rates.bicgs_mean, rates.bicgs_std, t.seconds());
+    return ScalingModel{MachineParams{}, rates};
+  }();
+  return model;
+}
+
+/// Tree/plan cache for paper-scale domains (1M/4M/16M unknowns).
+struct PaperTree {
+  Grid grid;
+  QuadTree tree;
+  MlfmaPlan plan;
+  explicit PaperTree(int nx) : grid(nx), tree(grid), plan(tree, {}) {}
+};
+
+inline std::unique_ptr<PaperTree> make_paper_tree(int nx) {
+  Timer t;
+  auto out = std::make_unique<PaperTree>(nx);
+  std::printf("built paper-scale tree: %.1f lambda, %.1fM unknowns, %d "
+              "levels (%.1f s)\n", nx / 10.0,
+              out->grid.num_pixels() / 1048576.0, out->tree.num_levels(),
+              t.seconds());
+  return out;
+}
+
+inline void print_scaling(const char* csv_name,
+                          const std::vector<ScalingPoint>& pts,
+                          const std::vector<double>& paper_times,
+                          bool weak) {
+  Table t({"nodes", "model time", "model eff.", "model adj. eff.",
+           "paper time", "paper eff."});
+  std::vector<double> nodes_col, time_col, eff_col, adj_col;
+  const double paper_base =
+      paper_times.empty() ? 0.0 : paper_times.front();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::string paper_t = "-", paper_e = "-";
+    if (i < paper_times.size() && paper_times[i] > 0.0) {
+      paper_t = fmt_fixed(paper_times[i], 0) + " s";
+      const double eff =
+          weak ? paper_base / paper_times[i]
+               : paper_base * pts.front().nodes /
+                     (paper_times[i] * pts[i].nodes);
+      paper_e = fmt_fixed(100.0 * eff, 1) + "%";
+    }
+    t.add_row({std::to_string(pts[i].nodes),
+               fmt_fixed(pts[i].time_s, 1) + " s",
+               fmt_fixed(100.0 * pts[i].efficiency, 1) + "%",
+               fmt_fixed(100.0 * pts[i].adjusted_efficiency, 1) + "%",
+               paper_t, paper_e});
+    nodes_col.push_back(pts[i].nodes);
+    time_col.push_back(pts[i].time_s);
+    eff_col.push_back(pts[i].efficiency);
+    adj_col.push_back(pts[i].adjusted_efficiency);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  write_csv(csv_name, {{"nodes", nodes_col},
+                       {"model_time_s", time_col},
+                       {"model_efficiency", eff_col},
+                       {"model_adjusted_efficiency", adj_col}});
+}
+
+}  // namespace ffw::bench

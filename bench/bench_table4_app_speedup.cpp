@@ -1,0 +1,68 @@
+// Table IV: whole-application GPU speedup at 64 / 256 / 1,024 / 4,096
+// nodes. Scaling to 1,024 nodes distributes illuminations; 1,024 ->
+// 4,096 splits each solver's tree over 4 nodes (paper Sec. V-E2).
+//
+// Paper values: CPU 8,216 / 2,107 / 558 / 151 s; GPU 1,960 / 516 / 142 /
+// 40.2 s; speedups 4.19x / 4.08x / 3.92x / 3.77x (mildly declining with
+// scale as per-node GPU work shrinks).
+#include "bench_scaling_common.hpp"
+
+using namespace ffw;
+
+int main() {
+  bench::banner("Table IV — whole-application GPU speedup",
+                "paper Table IV / Sec. V-E2 (1M unknowns, 1,024 "
+                "illuminations)");
+
+  const ScalingModel& model = bench::calibrated_model();
+  const auto paper = bench::make_paper_tree(1024);
+
+  ProblemSpec spec;
+  spec.nx = 1024;
+  spec.transmitters = 1024;
+  spec.dbim_iterations = 50;
+
+  struct Point {
+    int nodes, p_illum, p_tree;
+    double paper_cpu, paper_gpu;
+  };
+  const std::vector<Point> points = {{64, 64, 1, 8216.0, 1960.0},
+                                     {256, 256, 1, 2107.0, 516.0},
+                                     {1024, 1024, 1, 558.0, 142.0},
+                                     {4096, 1024, 4, 151.0, 40.2}};
+
+  Table t({"Nodes", "CPU time", "(paper)", "GPU time", "(paper)",
+           "GPU speedup", "(paper)"});
+  std::vector<double> nodes_col, cpu_col, gpu_col;
+  double first_speedup = 0, last_speedup = 0;
+  for (const Point& p : points) {
+    const double cpu = model.reconstruction_time(
+        spec, paper->tree, paper->plan, p.p_illum, p.p_tree, false, false);
+    const double gpu = model.reconstruction_time(
+        spec, paper->tree, paper->plan, p.p_illum, p.p_tree, true, false);
+    t.add_row({std::to_string(p.nodes), fmt_fixed(cpu, 0) + " s",
+               fmt_fixed(p.paper_cpu, 0) + " s", fmt_fixed(gpu, 1) + " s",
+               fmt_fixed(p.paper_gpu, 1) + " s", fmt_speedup(cpu / gpu),
+               fmt_speedup(p.paper_cpu / p.paper_gpu)});
+    nodes_col.push_back(p.nodes);
+    cpu_col.push_back(cpu);
+    gpu_col.push_back(gpu);
+    if (first_speedup == 0) first_speedup = cpu / gpu;
+    last_speedup = cpu / gpu;
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  write_csv("table4_app_speedup.csv", {{"nodes", nodes_col},
+                                       {"cpu_s", cpu_col},
+                                       {"gpu_s", gpu_col}});
+
+  std::printf("shape checks:\n");
+  std::printf("  GPU speedup ~4x and mildly declining with node count: "
+              "%s (%.2fx -> %.2fx; paper 4.19x -> 3.77x)\n",
+              (first_speedup > 2.5 && last_speedup <= first_speedup)
+                  ? "YES" : "NO",
+              first_speedup, last_speedup);
+  std::printf("  4,096-node GPU run under a minute: %s (%.1f s; paper "
+              "40.2 s)\n", gpu_col.back() < 60.0 ? "YES" : "NO",
+              gpu_col.back());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Limited-view imaging (the paper's Fig. 2 scenario, also ref. [12]
+// "Seeing the invisible"): transmitters and receivers cover a limited
+// arc on one side, so single-scattered waves from the object's far side
+// never reach the detectors. With a strongly scattering extended object,
+// multiple scattering redirects energy from the hidden side into the
+// arrays — the nonlinear (DBIM) image recovers what the linear (Born)
+// image cannot.
+//
+// Run: ./build/examples/limited_view [arc_degrees]   (default 180)
+#include <cstdio>
+#include <cstdlib>
+
+#include "dbim/born.hpp"
+#include "dbim/dbim.hpp"
+#include "io/image.hpp"
+#include "phantom/setup.hpp"
+
+using namespace ffw;
+
+int main(int argc, char** argv) {
+  const double arc_deg = argc > 1 ? std::atof(argv[1]) : 180.0;
+  const double half = 0.5 * arc_deg * pi / 180.0;
+
+  ScenarioConfig config;
+  config.nx = 64;
+  config.num_transmitters = 16;
+  config.num_receivers = 40;
+  config.tx_angle_begin = -half;
+  config.tx_angle_end = half;
+  config.rx_angle_begin = -half;
+  config.rx_angle_end = half;
+
+  Grid grid(config.nx);
+  // One extended, strongly scattering object; its -x half is hidden from
+  // the arrays. (Backscatter-only geometries — arcs well below 180
+  // degrees — are nearly information-free for *both* methods: a tiny
+  // contrast map fits the data. Try arc 90 to see that, too.)
+  const cvec phantom = disks(grid, {{Vec2{0.0, 0.0}, 2.0, cplx{0.12, 0.0}}});
+
+  std::printf("arrays cover a %.0f-degree arc on the +x side\n", arc_deg);
+  Scenario scene(config, phantom);
+
+  BornOptions born_options;
+  born_options.max_iterations = 40;
+  const BornResult linear = born_reconstruct(
+      scene.grid(), scene.transceivers(), scene.measurements(), born_options);
+
+  DbimOptions dbim_options;
+  dbim_options.max_iterations = 30;
+  const DbimResult nonlinear = dbim_reconstruct(
+      scene.engine(), scene.transceivers(), scene.measurements(),
+      dbim_options);
+
+  std::printf("linear (single-scattering) RMSE:    %.3f\n",
+              image_rmse(linear.contrast, scene.true_contrast()));
+  std::printf("nonlinear (multiple-scattering) RMSE: %.3f\n",
+              image_rmse(nonlinear.contrast, scene.true_contrast()));
+  write_pgm("limited_view_truth.pgm", grid, scene.true_contrast());
+  write_pgm("limited_view_linear.pgm", grid, linear.contrast);
+  write_pgm("limited_view_nonlinear.pgm", grid, nonlinear.contrast);
+  std::printf("wrote limited_view_{truth,linear,nonlinear}.pgm\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Multi-frequency (frequency-hopping) DBIM: reconstruct a
+// strongly-scattering object by climbing through operating frequencies
+// — the coarse (low-frequency) stage is nearly linear and lands close
+// to the truth, then seeds the fine stage for resolution. Compare with
+// a single-frequency reconstruction of the same fine-grid effort.
+//
+// Run: ./build/examples/multifrequency [contrast]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dbim/multifrequency.hpp"
+#include "io/image.hpp"
+
+using namespace ffw;
+
+int main(int argc, char** argv) {
+  const double eps = argc > 1 ? std::atof(argv[1]) : 0.08;
+
+  ScenarioConfig config;
+  config.nx = 64;
+  config.num_transmitters = 8;
+  config.num_receivers = 24;
+  Grid grid(config.nx);
+  const cvec truth = disks(grid, {{Vec2{0.0, 0.0}, 1.4, cplx{eps, 0.0}}});
+
+  std::printf("object: 2.8-lambda disk, permittivity contrast %.3f\n", eps);
+
+  std::printf("\nfrequency hopping (half frequency first, then full):\n");
+  const MultiFrequencyResult mf =
+      multifrequency_reconstruct(config, truth, {{1, 10}, {0, 8}});
+  for (std::size_t s = 0; s < mf.stage_residuals.size(); ++s) {
+    std::printf("  stage %zu: residual %.4f -> %.4f over %zu iterations, "
+                "image RMSE %.3f\n", s, mf.stage_residuals[s].front(),
+                mf.stage_residuals[s].back(), mf.stage_residuals[s].size(),
+                mf.stage_rmse[s]);
+  }
+
+  std::printf("\nsingle-frequency baseline (same fine-grid iterations):\n");
+  Scenario scene(config, truth);
+  DbimOptions opts;
+  opts.max_iterations = 8;
+  const DbimResult single = dbim_reconstruct(
+      scene.engine(), scene.transceivers(), scene.measurements(), opts);
+  std::printf("  residual %.4f -> %.4f, image RMSE %.3f\n",
+              single.history.relative_residual.front(),
+              single.history.relative_residual.back(),
+              image_rmse(single.contrast, scene.true_contrast()));
+
+  const cvec mf_contrast = contrast_from_permittivity(grid, mf.permittivity);
+  std::printf("\nmulti-frequency RMSE %.3f vs single-frequency %.3f\n",
+              image_rmse(mf_contrast, scene.true_contrast()),
+              image_rmse(single.contrast, scene.true_contrast()));
+  write_pgm("multifrequency_truth.pgm", grid, scene.true_contrast());
+  write_pgm("multifrequency_image.pgm", grid, mf_contrast);
+  write_pgm("multifrequency_single.pgm", grid, single.contrast);
+  std::printf("wrote multifrequency_{truth,image,single}.pgm\n");
+  return 0;
+}

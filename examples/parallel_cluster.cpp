@@ -1,0 +1,73 @@
+// The paper's two-dimensional parallelisation (Fig. 6) on the virtual
+// cluster: distribute illuminations across groups and the MLFMA tree
+// across ranks within each group, then reconstruct and report the
+// communication profile (who talked to whom, and how much).
+//
+// Run: ./build/examples/parallel_cluster [illum_groups] [tree_ranks]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dbim/parallel_driver.hpp"
+#include "io/image.hpp"
+#include "phantom/setup.hpp"
+
+using namespace ffw;
+
+int main(int argc, char** argv) {
+  const int illum_groups = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int tree_ranks = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  ScenarioConfig config;
+  config.nx = 64;
+  config.num_transmitters = 16;
+  config.num_receivers = 32;
+  Grid grid(config.nx);
+  Scenario scene(config, shepp_logan(grid, 0.02));
+
+  std::printf("virtual cluster: %d ranks = %d illumination groups x %d "
+              "MLFMA sub-tree ranks\n", illum_groups * tree_ranks,
+              illum_groups, tree_ranks);
+
+  ParallelDbimConfig pconfig;
+  pconfig.illum_groups = illum_groups;
+  pconfig.tree_ranks = tree_ranks;
+  pconfig.dbim.max_iterations = 10;
+  pconfig.dbim.progress = [](int iteration, double residual) {
+    std::printf("  iteration %2d: relative residual %.4f\n", iteration,
+                residual);
+  };
+
+  VCluster cluster(illum_groups * tree_ranks);
+  const DbimResult result = dbim_reconstruct_parallel(
+      cluster, scene.tree(), scene.transceivers(), scene.measurements(),
+      pconfig);
+
+  std::printf("\nimage RMSE vs truth: %.3f\n",
+              image_rmse(result.contrast, scene.true_contrast()));
+  write_pgm("parallel_cluster_image.pgm", grid, result.contrast);
+
+  // Communication profile (what an MPI run would put on the wire).
+  const TrafficStats traffic = cluster.traffic();
+  std::printf("\ncommunication totals: %.2f MB in %llu messages\n",
+              static_cast<double>(traffic.total_bytes()) / 1048576.0,
+              static_cast<unsigned long long>(traffic.total_messages()));
+  std::printf("busiest rank moved %.2f MB\n",
+              static_cast<double>(traffic.max_rank_bytes()) / 1048576.0);
+  std::printf("per-edge matrix (MB):\n        ");
+  for (int d = 0; d < cluster.size(); ++d) std::printf(" to %-3d", d);
+  std::printf("\n");
+  for (int s = 0; s < cluster.size(); ++s) {
+    std::printf("from %-3d", s);
+    for (int d = 0; d < cluster.size(); ++d) {
+      std::printf(" %6.2f",
+                  static_cast<double>(
+                      traffic.bytes[static_cast<std::size_t>(s) *
+                                        cluster.size() + d]) / 1048576.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nnote: tree-halo traffic stays inside each illumination "
+              "group; gradient combines cross groups twice per iteration "
+              "(paper Fig. 4).\n");
+  return 0;
+}

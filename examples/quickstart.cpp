@@ -1,0 +1,63 @@
+// Quickstart: reconstruct a small synthetic object end to end.
+//
+//   1. define the imaging domain (a 6.4-lambda square, lambda/10 pixels)
+//   2. place transmitter/receiver rings around it (paper Fig. 3)
+//   3. make a phantom and synthesise the measured scattered field
+//   4. run the DBIM inverse solver (MLFMA-accelerated forward solves)
+//   5. inspect the residual history and save the image
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "dbim/dbim.hpp"
+#include "io/image.hpp"
+#include "phantom/setup.hpp"
+
+using namespace ffw;
+
+int main() {
+  // --- 1. Scene: domain, arrays, phantom, synthetic measurements.
+  ScenarioConfig config;
+  config.nx = 64;               // 64x64 pixels = 6.4 x 6.4 wavelengths
+  config.num_transmitters = 16; // T illuminations (paper: up to 1,024)
+  config.num_receivers = 32;    // R receivers    (paper: up to 2,048)
+
+  Grid grid(config.nx);
+  const cvec phantom =
+      disks(grid, {{Vec2{1.0, 0.8}, 0.7, cplx{0.02, 0.0}},
+                   {Vec2{-1.0, -0.5}, 0.9, cplx{0.015, 0.0}}});
+
+  std::printf("synthesising measurements (%d illuminations)...\n",
+              config.num_transmitters);
+  Scenario scene(config, phantom);
+
+  // --- 2. Reconstruct with DBIM (3 forward solves per transmitter per
+  // iteration; each solve is BiCGStab with O(N) MLFMA products).
+  DbimOptions options;
+  options.max_iterations = 15;
+  options.progress = [](int iteration, double residual) {
+    std::printf("  DBIM iteration %2d: relative residual %.4f\n", iteration,
+                residual);
+  };
+
+  std::printf("reconstructing...\n");
+  const DbimResult result = dbim_reconstruct(
+      scene.engine(), scene.transceivers(), scene.measurements(), options);
+
+  // --- 3. Report.
+  std::printf("\nimage RMSE vs ground truth: %.3f\n",
+              image_rmse(result.contrast, scene.true_contrast()));
+  std::printf("forward solves: %llu (3 per transmitter per iteration)\n",
+              static_cast<unsigned long long>(result.history.forward_solves));
+  std::printf("MLFMA products: %llu (%.1f per solve; paper reports 13.4)\n",
+              static_cast<unsigned long long>(
+                  result.history.mlfma_applications),
+              static_cast<double>(result.history.mlfma_applications) /
+                  static_cast<double>(result.history.forward_solves));
+  write_pgm("quickstart_truth.pgm", grid, scene.true_contrast());
+  write_pgm("quickstart_image.pgm", grid, result.contrast);
+  std::printf("wrote quickstart_truth.pgm / quickstart_image.pgm\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Lightweight runtime checks. FFW_CHECK is always on (cheap, guards
+// API misuse with a clear message); FFW_DCHECK compiles out in release
+// builds and is used inside hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ffw::detail {
+[[noreturn]] inline void check_fail(const char* cond, const char* file,
+                                    int line, const char* msg) {
+  std::fprintf(stderr, "FFW_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace ffw::detail
+
+#define FFW_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::ffw::detail::check_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FFW_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) ::ffw::detail::check_fail(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define FFW_DCHECK(cond) ((void)0)
+#else
+#define FFW_DCHECK(cond) FFW_CHECK(cond)
+#endif

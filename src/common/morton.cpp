@@ -1,0 +1,32 @@
+#include "common/morton.hpp"
+
+namespace ffw {
+
+std::uint32_t morton_spread(std::uint32_t x) {
+  x &= 0x0000FFFFu;
+  x = (x | (x << 8)) & 0x00FF00FFu;
+  x = (x | (x << 4)) & 0x0F0F0F0Fu;
+  x = (x | (x << 2)) & 0x33333333u;
+  x = (x | (x << 1)) & 0x55555555u;
+  return x;
+}
+
+std::uint32_t morton_compact(std::uint32_t v) {
+  v &= 0x55555555u;
+  v = (v | (v >> 1)) & 0x33333333u;
+  v = (v | (v >> 2)) & 0x0F0F0F0Fu;
+  v = (v | (v >> 4)) & 0x00FF00FFu;
+  v = (v | (v >> 8)) & 0x0000FFFFu;
+  return v;
+}
+
+std::uint32_t morton_encode(std::uint32_t ix, std::uint32_t iy) {
+  return morton_spread(ix) | (morton_spread(iy) << 1);
+}
+
+void morton_decode(std::uint32_t code, std::uint32_t& ix, std::uint32_t& iy) {
+  ix = morton_compact(code);
+  iy = morton_compact(code >> 1);
+}
+
+}  // namespace ffw

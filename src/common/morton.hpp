@@ -1,0 +1,28 @@
+// Morton (Z-order) index helpers for the MLFMA quad-tree.
+//
+// The paper (Sec. IV-A) uses Morton indexing so that spatially close
+// clusters are close in memory and so that the 16 sub-trees used for the
+// second parallelisation dimension are contiguous index ranges: a cluster
+// and all of its descendants share a Morton-prefix, so partitioning the
+// leaf Morton range into 16 equal chunks puts every parent/child pair on
+// the same node.
+#pragma once
+
+#include <cstdint>
+
+namespace ffw {
+
+/// Interleave the low 16 bits of `x` into even bit positions.
+std::uint32_t morton_spread(std::uint32_t x);
+
+/// Compact even bit positions of `v` into the low 16 bits.
+std::uint32_t morton_compact(std::uint32_t v);
+
+/// Morton-encode a 2-D cluster coordinate (ix column, iy row), each < 2^16.
+/// Bit layout: x occupies even bits, y odd bits.
+std::uint32_t morton_encode(std::uint32_t ix, std::uint32_t iy);
+
+/// Inverse of morton_encode.
+void morton_decode(std::uint32_t code, std::uint32_t& ix, std::uint32_t& iy);
+
+}  // namespace ffw

@@ -1,0 +1,39 @@
+// Deterministic, seedable PRNG used for reproducible test vectors,
+// phantom noise, and randomised property tests. splitmix64 seeding into
+// xoshiro256**, both public-domain algorithms re-implemented here.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ffw {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Complex with independent standard-normal real/imag parts.
+  cplx cnormal();
+
+  /// Fill a vector with cnormal() samples.
+  void fill_cnormal(cspan out);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace ffw

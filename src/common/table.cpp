@@ -1,0 +1,61 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ffw {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::size_t ncol = header_.size();
+  for (const auto& r : rows_) ncol = std::max(ncol, r.size());
+
+  std::vector<std::size_t> width(ncol, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < ncol; ++c) {
+      const std::string cell = c < r.size() ? r[c] : std::string{};
+      out << cell << std::string(width[c] - cell.size(), ' ');
+      out << (c + 1 < ncol ? " | " : "\n");
+    }
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < ncol; ++c) {
+    out << std::string(width[c], '-') << (c + 1 < ncol ? "-+-" : "\n");
+  }
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_sci(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", digits, v);
+  return buf;
+}
+
+std::string fmt_speedup(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2fx", v);
+  return buf;
+}
+
+}  // namespace ffw

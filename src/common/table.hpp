@@ -1,0 +1,34 @@
+// Console table formatting for the benchmark binaries, which print the
+// same rows/columns as the paper's tables and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ffw {
+
+/// Column-aligned ASCII table. Rows may have differing cell counts; the
+/// table pads with empty cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule, e.g.
+  ///   Name      | CPU    | GPU
+  ///   ----------+--------+------
+  ///   Aggregate | 1.00x  | 5.92x
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers used by bench tables.
+std::string fmt_fixed(double v, int digits);
+std::string fmt_sci(double v, int digits);
+std::string fmt_speedup(double v);
+
+}  // namespace ffw

@@ -1,0 +1,45 @@
+// Core scalar and container typedefs shared across the library.
+//
+// The whole solver works in double-precision complex arithmetic, matching
+// the paper's setup (Sec. V-B: "All computations use double-precision").
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <numbers>
+#include <span>
+#include <vector>
+
+namespace ffw {
+
+using cplx = std::complex<double>;
+using cvec = std::vector<cplx>;
+using rvec = std::vector<double>;
+
+using cspan = std::span<cplx>;
+using ccspan = std::span<const cplx>;
+using rspan = std::span<double>;
+using crspan = std::span<const double>;
+
+inline constexpr double pi = std::numbers::pi;
+inline constexpr cplx iu{0.0, 1.0};  // imaginary unit
+
+/// 2-D point / vector in physical coordinates (metres, or wavelengths
+/// when the caller normalises; the library is unit-agnostic and only the
+/// product k*r matters).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator*(double s, Vec2 a) { return {s * a.x, s * a.y}; }
+  friend bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+};
+
+inline double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+inline double norm(Vec2 a) { return std::sqrt(dot(a, a)); }
+inline double angle_of(Vec2 a) { return std::atan2(a.y, a.x); }
+
+}  // namespace ffw

@@ -1,0 +1,90 @@
+#include "dbim/born.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/kernels.hpp"
+
+namespace ffw {
+
+BornResult born_reconstruct(const Grid& grid, const Transceivers& trx,
+                            const CMatrix& measured, const BornOptions& opts) {
+  const std::size_t n = grid.num_pixels();
+  const int t_count = trx.num_transmitters();
+  const std::size_t r_count = measured.rows();
+  FFW_CHECK(measured.cols() == static_cast<std::size_t>(t_count));
+
+  // Precompute incident fields (columns).
+  CMatrix inc(n, static_cast<std::size_t>(t_count));
+  for (int t = 0; t < t_count; ++t) {
+    const cvec f = trx.incident_field(t);
+    copy(f, inc.col(static_cast<std::size_t>(t)));
+  }
+
+  // A o: stacked over t; A^H A o computed illumination by illumination.
+  auto apply_normal = [&](ccspan o, cspan out) {
+    std::fill(out.begin(), out.end(), cplx{});
+    cvec v(n), r(r_count), g(n);
+    for (int t = 0; t < t_count; ++t) {
+      const auto it = inc.col(static_cast<std::size_t>(t));
+      diag_mul(ccspan{it.data(), n}, o, v);
+      trx.apply_gr(v, r);
+      trx.apply_gr_herm(r, g);
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] += std::conj(it[i]) * g[i];
+    }
+  };
+
+  // b = A^H phi_mea.
+  cvec b(n, cplx{});
+  {
+    cvec g(n);
+    for (int t = 0; t < t_count; ++t) {
+      trx.apply_gr_herm(measured.col(static_cast<std::size_t>(t)), g);
+      const auto it = inc.col(static_cast<std::size_t>(t));
+      for (std::size_t i = 0; i < n; ++i) b[i] += std::conj(it[i]) * g[i];
+    }
+  }
+
+  double meas_norm2 = 0.0;
+  for (std::size_t t = 0; t < measured.cols(); ++t) {
+    const double nn = nrm2(measured.col(t));
+    meas_norm2 += nn * nn;
+  }
+
+  // CG on A^H A o = b (Hermitian positive semidefinite).
+  BornResult out;
+  out.contrast.assign(n, cplx{});
+  cvec r(b.begin(), b.end()), p(b.begin(), b.end()), ap(n);
+  double rr = std::pow(nrm2(r), 2);
+  const double b0 = std::sqrt(rr);
+  auto data_residual = [&](ccspan o) {
+    double c = 0.0;
+    cvec v(n), s(r_count);
+    for (int t = 0; t < t_count; ++t) {
+      const auto it = inc.col(static_cast<std::size_t>(t));
+      diag_mul(ccspan{it.data(), n}, o, v);
+      trx.apply_gr(v, s);
+      sub(s, measured.col(static_cast<std::size_t>(t)), s);
+      c += std::pow(nrm2(s), 2);
+    }
+    return std::sqrt(c / meas_norm2);
+  };
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    apply_normal(p, ap);
+    const cplx pap = cdot(p, ap);
+    if (std::abs(pap) == 0.0) break;
+    const cplx alpha = rr / pap;
+    axpy(alpha, p, out.contrast);
+    axpy(-alpha, ap, r);
+    const double rr_new = std::pow(nrm2(r), 2);
+    out.relative_residual.push_back(data_residual(out.contrast));
+    if (std::sqrt(rr_new) / b0 < opts.tol) break;
+    xpay(r, cplx{rr_new / rr}, p);
+    rr = rr_new;
+  }
+  return out;
+}
+
+}  // namespace ffw

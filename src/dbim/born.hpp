@@ -1,0 +1,32 @@
+// Single-scattering (Born approximation) linear baseline, paper Sec. II.
+//
+// Under the Born approximation the total field inside the object is
+// replaced by the incident field, so the data model becomes linear:
+//   phi_t^sca ~= G_R diag(phi_t^inc) O   =: A_t O.
+// Conventional diffraction tomography solves the least-squares problem
+//   min_O sum_t || A_t O - phi_t^mea ||^2
+// which we do with conjugate gradients on the normal equations (CGNR),
+// early-terminated — iteration count is the regulariser, as in the
+// paper's reconstructions. This is the "linear" image of Figs. 1 and 2.
+#pragma once
+
+#include "greens/transceivers.hpp"
+#include "linalg/cmatrix.hpp"
+
+namespace ffw {
+
+struct BornOptions {
+  int max_iterations = 30;
+  double tol = 1e-6;  // relative normal-equation residual
+};
+
+struct BornResult {
+  cvec contrast;
+  std::vector<double> relative_residual;  // data-space, per iteration
+};
+
+BornResult born_reconstruct(const Grid& grid, const Transceivers& trx,
+                            const CMatrix& measured,
+                            const BornOptions& opts = {});
+
+}  // namespace ffw

@@ -1,0 +1,186 @@
+#include "dbim/dbim.hpp"
+
+#include <cmath>
+
+#include "linalg/kernels.hpp"
+
+namespace ffw {
+
+DbimWorkspace::DbimWorkspace(MlfmaEngine& engine, const Transceivers& trx,
+                             const CMatrix& measured,
+                             const BicgstabOptions& fw_opts)
+    : trx_(&trx), measured_(&measured), solver_(engine, fw_opts),
+      npix_(engine.tree().grid().num_pixels()) {
+  FFW_CHECK(measured.rows() == static_cast<std::size_t>(trx.num_receivers()));
+  FFW_CHECK(measured.cols() == static_cast<std::size_t>(trx.num_transmitters()));
+  meas_norm2_ = 0.0;
+  for (std::size_t t = 0; t < measured.cols(); ++t) {
+    const double nn = nrm2(measured.col(t));
+    meas_norm2_ += nn * nn;
+  }
+  phi_b_ = CMatrix(npix_, measured.cols());
+  phi_b_valid_.assign(measured.cols(), false);
+  scratch_r_.assign(measured.rows(), cplx{});
+}
+
+int DbimWorkspace::num_illuminations() const {
+  return trx_->num_transmitters();
+}
+
+void DbimWorkspace::set_background(ccspan contrast, bool keep_fields) {
+  solver_.set_contrast(contrast);
+  if (!keep_fields) {
+    std::fill(phi_b_valid_.begin(), phi_b_valid_.end(), false);
+  }
+  // Otherwise background fields stay as warm starts for the next
+  // residual pass.
+}
+
+double DbimWorkspace::residual_pass(int t, cspan residual) {
+  FFW_CHECK(residual.size() == measured_->rows());
+  const std::size_t tc = static_cast<std::size_t>(t);
+  const cvec inc = trx_->incident_field(t);
+  cspan phi = phi_b_.col(tc);
+  if (!phi_b_valid_[tc]) {
+    copy(inc, phi);  // first iteration: incident field as initial guess
+    phi_b_valid_[tc] = true;
+  }
+  const BicgstabResult res = solver_.solve(inc, phi);
+  FFW_CHECK_MSG(res.converged, "DBIM residual-pass forward solve diverged");
+  // phi_sca = G_R (O_b .* phi); residual = phi_sca - phi_mea.
+  cvec ophi(npix_);
+  diag_mul(solver_.contrast_natural(), ccspan{phi.data(), npix_}, ophi);
+  trx_->apply_gr(ophi, residual);
+  sub(residual, measured_->col(tc), residual);
+  const double rn = nrm2(ccspan{residual.data(), residual.size()});
+  return rn * rn;
+}
+
+void DbimWorkspace::gradient_pass(int t, ccspan residual, cspan grad_accum) {
+  FFW_CHECK(grad_accum.size() == npix_);
+  FrechetOperator f(solver_, *trx_,
+                    ccspan{phi_b_.col(static_cast<std::size_t>(t)).data(),
+                           npix_});
+  cvec g(npix_);
+  f.apply_adjoint(residual, g);
+  axpy(cplx{1.0}, g, grad_accum);
+}
+
+double DbimWorkspace::step_pass(int t, ccspan direction) {
+  FFW_CHECK(direction.size() == npix_);
+  FrechetOperator f(solver_, *trx_,
+                    ccspan{phi_b_.col(static_cast<std::size_t>(t)).data(),
+                           npix_});
+  f.apply(direction, scratch_r_);
+  const double fn = nrm2(scratch_r_);
+  return fn * fn;
+}
+
+DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
+                            const CMatrix& measured, const DbimOptions& opts,
+                            const BicgstabOptions& fw_opts,
+                            ccspan initial_contrast) {
+  DbimWorkspace ws(engine, trx, measured, fw_opts);
+  const std::size_t n = ws.num_pixels();
+  const int t_count = ws.num_illuminations();
+
+  DbimResult out;
+  out.contrast.assign(n, cplx{});
+  if (!initial_contrast.empty()) {
+    FFW_CHECK(initial_contrast.size() == n);
+    copy(initial_contrast, out.contrast);
+  }
+
+  cvec grad(n), grad_prev(n), direction(n), residual(measured.rows());
+  double grad_prev_norm2 = 0.0;
+  int start_iter = 0;
+  if (opts.resume) {
+    FFW_CHECK(opts.resume->contrast.size() == n);
+    out.contrast = opts.resume->contrast;
+    grad_prev = opts.resume->gradient_prev;
+    direction = opts.resume->direction;
+    if (grad_prev.size() == n) {
+      grad_prev_norm2 = std::pow(nrm2(grad_prev), 2);
+    } else {
+      grad_prev.assign(n, cplx{});
+    }
+    if (direction.size() != n) direction.assign(n, cplx{});
+    start_iter = opts.resume->iteration;
+    out.history.relative_residual.assign(
+        opts.resume->residual_history.begin(),
+        opts.resume->residual_history.end());
+  }
+
+  for (int iter = start_iter; iter < opts.max_iterations; ++iter) {
+    ws.set_background(out.contrast, opts.warm_start_fields);
+
+    // Pass 1+2: residuals and gradient accumulation over illuminations.
+    std::fill(grad.begin(), grad.end(), cplx{});
+    double cost = 0.0;
+    for (int t = 0; t < t_count; ++t) {
+      cost += ws.residual_pass(t, residual);
+      ws.gradient_pass(t, residual, grad);
+    }
+    const double relres = std::sqrt(cost / ws.measurement_norm2());
+    out.history.relative_residual.push_back(relres);
+    if (opts.progress) opts.progress(iter, relres);
+    if (opts.residual_tol > 0.0 && relres < opts.residual_tol) break;
+
+    // Tikhonov term: grad(lambda ||O||^2) = lambda * O (Wirtinger
+    // convention, matching the data-term gradient F^H b).
+    if (opts.tikhonov > 0.0) {
+      axpy(cplx{opts.tikhonov}, ccspan{out.contrast}, grad);
+    }
+
+    // Conjugate direction (Polak-Ribiere+ with automatic restart).
+    const double gnorm2 = std::pow(nrm2(grad), 2);
+    if (gnorm2 == 0.0) break;
+    double beta = 0.0;
+    if (opts.conjugate_gradient && iter > 0 && grad_prev_norm2 > 0.0) {
+      cplx num{};
+      for (std::size_t i = 0; i < n; ++i)
+        num += std::conj(grad[i]) * (grad[i] - grad_prev[i]);
+      beta = std::max(0.0, num.real() / grad_prev_norm2);
+    }
+    if (beta == 0.0) {
+      for (std::size_t i = 0; i < n; ++i) direction[i] = -grad[i];
+    } else {
+      for (std::size_t i = 0; i < n; ++i)
+        direction[i] = -grad[i] + beta * direction[i];
+    }
+
+    // Pass 3: quadratic-fit step length (paper eq. 5 generalised to CG
+    // directions).
+    double denom = 0.0;
+    for (int t = 0; t < t_count; ++t) denom += ws.step_pass(t, direction);
+    if (opts.tikhonov > 0.0) {
+      denom += opts.tikhonov * std::pow(nrm2(direction), 2);
+    }
+    if (denom == 0.0) break;
+    double num = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      num -= (std::conj(grad[i]) * direction[i]).real();
+    const double alpha = num / denom;
+    axpy(cplx{alpha}, direction, out.contrast);
+
+    copy(grad, grad_prev);
+    grad_prev_norm2 = gnorm2;
+
+    if (opts.checkpoint) {
+      DbimCheckpoint state;
+      state.iteration = iter + 1;
+      state.contrast = out.contrast;
+      state.gradient_prev = grad_prev;
+      state.direction = direction;
+      state.residual_history.assign(out.history.relative_residual.begin(),
+                                    out.history.relative_residual.end());
+      opts.checkpoint(state);
+    }
+  }
+
+  out.history.forward_solves = ws.solver().stats().solves;
+  out.history.mlfma_applications = ws.solver().stats().mlfma_applications;
+  return out;
+}
+
+}  // namespace ffw

@@ -1,0 +1,128 @@
+// Distorted Born iterative method: the paper's core inverse solver
+// (Fig. 4, Sec. VI-B).
+//
+// Minimises Phi(O) = sum_t || phi_t^sca(O) - phi_t^mea ||^2 with
+// nonlinear conjugate-gradient steps. Each iteration costs three forward
+// solutions per transmitter:
+//   1. residual pass     — solve (E1) for phi_b,t, evaluate (E2);
+//   2. gradient pass     — adjoint Frechet solve (E3/E4), summed over t;
+//   3. step-length pass  — F_t d solves (E3/E5) for the quadratic fit
+//      alpha* = -Re<grad, d> / sum_t ||F_t d||^2  (paper eq. 5 when
+//      d = -grad).
+//
+// The per-pass, per-illumination members of DbimWorkspace are shared by
+// the serial driver below and the vcluster 2-D-parallel driver
+// (dbim/parallel_driver.hpp), which distributes illuminations across
+// ranks and allreduces (cost, gradient, step denominator) exactly where
+// the paper synchronises (Fig. 4, "twice per iteration").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dbim/frechet.hpp"
+#include "io/checkpoint.hpp"
+#include "linalg/cmatrix.hpp"
+
+namespace ffw {
+
+struct DbimOptions {
+  int max_iterations = 50;  // paper Sec. V-B: 50 nonlinear CG steps
+  /// Stop early when the relative residual drops below this (0 = never;
+  /// the paper regularises by early termination only).
+  double residual_tol = 0.0;
+  /// Polak-Ribiere conjugate directions (true) or steepest descent.
+  bool conjugate_gradient = true;
+  /// Warm-start each residual-pass forward solve from the previous DBIM
+  /// iteration's background field (true) or from the incident field
+  /// every time (false). On by default; the ablation bench quantifies
+  /// the saved MLFMA products.
+  bool warm_start_fields = true;
+  /// Tikhonov regularisation weight: minimises
+  /// Phi(O) + tikhonov * ||O||^2. Zero (the paper's setting — it
+  /// regularises by early termination only) disables it; positive values
+  /// damp noise amplification (cf. the sparsity-regularised DBIM line of
+  /// work the paper cites as ref. [22]).
+  double tikhonov = 0.0;
+  /// Optional per-iteration observer (iteration, relative residual).
+  std::function<void(int, double)> progress;
+  /// Called after every completed iteration with resumable outer-loop
+  /// state (contrast, CG memory, residual history). Wire this to
+  /// DbimCheckpoint::save for fault tolerance on long runs.
+  std::function<void(const DbimCheckpoint&)> checkpoint;
+  /// Resume from a previously saved outer-loop state (overrides any
+  /// initial-contrast argument). Borrowed pointer; caller keeps it
+  /// alive for the duration of the call.
+  const DbimCheckpoint* resume = nullptr;
+};
+
+struct DbimHistory {
+  /// sqrt(Phi)/||phi_mea|| after each iteration (the quantity behind the
+  /// paper's "59.3% -> 0.03%" in Fig. 13).
+  std::vector<double> relative_residual;
+  std::uint64_t forward_solves = 0;
+  std::uint64_t mlfma_applications = 0;
+};
+
+struct DbimResult {
+  cvec contrast;       // reconstructed O (natural order)
+  DbimHistory history;
+};
+
+/// Per-illumination work shared by serial and distributed drivers.
+class DbimWorkspace {
+ public:
+  DbimWorkspace(MlfmaEngine& engine, const Transceivers& trx,
+                const CMatrix& measured, const BicgstabOptions& fw_opts);
+
+  /// Install the current background contrast (natural order).
+  /// `keep_fields` retains the previous background fields as warm
+  /// starts for the next residual pass.
+  void set_background(ccspan contrast, bool keep_fields = true);
+
+  /// Residual pass for illumination t: solves for the background field
+  /// (kept for later passes), returns the residual b_t = phi_sca - phi_mea
+  /// in `residual` and the squared cost contribution.
+  double residual_pass(int t, cspan residual);
+
+  /// Gradient pass: grad += F_t^H b_t.
+  void gradient_pass(int t, ccspan residual, cspan grad_accum);
+
+  /// Step pass: returns ||F_t d||^2.
+  double step_pass(int t, ccspan direction);
+
+  /// Norm^2 of all measurements (for relative residual).
+  double measurement_norm2() const { return meas_norm2_; }
+
+  /// Background total field of illumination t from the latest residual
+  /// pass (natural order; valid until the next set_background).
+  ccspan background_field(int t) const {
+    return ccspan{phi_b_.col(static_cast<std::size_t>(t)).data(), npix_};
+  }
+
+  ForwardSolver& solver() { return solver_; }
+  const Transceivers& transceivers() const { return *trx_; }
+  int num_illuminations() const;
+  std::size_t num_pixels() const { return npix_; }
+
+ private:
+  const Transceivers* trx_;
+  const CMatrix* measured_;
+  ForwardSolver solver_;
+  std::size_t npix_;
+  double meas_norm2_;
+  // Background total fields per illumination (column t), warm-started
+  // across DBIM iterations.
+  CMatrix phi_b_;
+  std::vector<bool> phi_b_valid_;
+  cvec scratch_r_;
+};
+
+/// Serial DBIM driver (all illuminations on this process).
+DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
+                            const CMatrix& measured,
+                            const DbimOptions& opts = {},
+                            const BicgstabOptions& fw_opts = {},
+                            ccspan initial_contrast = {});
+
+}  // namespace ffw

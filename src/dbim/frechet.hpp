@@ -1,0 +1,47 @@
+// The Frechet (functional-derivative) operator F of paper Sec. VI-C.
+//
+// At background contrast O_b with per-illumination background field
+// phi_b = [I - G0 O_b]^{-1} phi_inc, the derivative of the scattered
+// field at the receivers w.r.t. the contrast is
+//
+//   F v  = G_R ( v .* phi_b  +  O_b .* w ),
+//   w    = [I - G0 O_b]^{-1} G0 (v .* phi_b),
+//
+// i.e. one *forward* solve per application; the Hermitian transpose is
+//
+//   F^H u = conj(phi_b) .* ( g + G0^H [I - G0 O_b]^{-H} (conj(O_b) .* g) ),
+//   g     = G_R^H u,
+//
+// one *adjoint* forward solve per application. (Note: eq. (6) in the
+// paper drops the G0 factor inside the braces — a typo; the form above
+// follows from the variational derivation and is validated against
+// finite differences in tests/dbim_frechet_test.cpp.)
+#pragma once
+
+#include "forward/forward.hpp"
+#include "greens/transceivers.hpp"
+
+namespace ffw {
+
+class FrechetOperator {
+ public:
+  /// `solver` must already hold the background contrast O_b;
+  /// `background_field` is phi_b for one illumination (natural order).
+  /// Both are borrowed; the caller keeps them alive.
+  FrechetOperator(ForwardSolver& solver, const Transceivers& trx,
+                  ccspan background_field);
+
+  /// y (length R) = F v (v: pixel vector).
+  void apply(ccspan v, cspan y);
+
+  /// y (pixel vector) = F^H u (u: length R).
+  void apply_adjoint(ccspan u, cspan y);
+
+ private:
+  ForwardSolver* solver_;
+  const Transceivers* trx_;
+  ccspan phi_b_;
+  cvec work1_, work2_, work3_;
+};
+
+}  // namespace ffw

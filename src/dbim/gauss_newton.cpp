@@ -1,0 +1,84 @@
+#include "dbim/gauss_newton.hpp"
+
+#include <cmath>
+
+#include "linalg/kernels.hpp"
+
+namespace ffw {
+
+DbimResult gauss_newton_reconstruct(MlfmaEngine& engine,
+                                    const Transceivers& trx,
+                                    const CMatrix& measured,
+                                    const GaussNewtonOptions& opts,
+                                    const BicgstabOptions& fw_opts) {
+  DbimWorkspace ws(engine, trx, measured, fw_opts);
+  const std::size_t n = ws.num_pixels();
+  const int t_count = ws.num_illuminations();
+
+  DbimResult out;
+  out.contrast.assign(n, cplx{});
+
+  // Residuals per illumination (kept for the whole outer iteration).
+  std::vector<cvec> b(static_cast<std::size_t>(t_count),
+                      cvec(measured.rows()));
+
+  // J^H J d as a matrix-free operator over the current linearisation
+  // point (the workspace holds phi_b per illumination after the
+  // residual pass).
+  auto apply_normal = [&](ccspan d, cspan outv) {
+    std::fill(outv.begin(), outv.end(), cplx{});
+    cvec fd(measured.rows()), g(n);
+    for (int t = 0; t < t_count; ++t) {
+      FrechetOperator f(ws.solver(), trx, ws.background_field(t));
+      f.apply(d, fd);
+      f.apply_adjoint(fd, g);
+      axpy(cplx{1.0}, g, outv);
+    }
+    if (opts.tikhonov > 0.0) axpy(cplx{opts.tikhonov}, d, outv);
+  };
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    ws.set_background(out.contrast);
+    double cost = 0.0;
+    for (int t = 0; t < t_count; ++t) {
+      cost += ws.residual_pass(t, b[static_cast<std::size_t>(t)]);
+    }
+    const double relres = std::sqrt(cost / ws.measurement_norm2());
+    out.history.relative_residual.push_back(relres);
+    if (opts.progress) opts.progress(iter, relres);
+    if (opts.residual_tol > 0.0 && relres < opts.residual_tol) break;
+
+    // rhs = -J^H b (the Gauss-Newton gradient direction).
+    cvec rhs(n, cplx{}), g(n);
+    for (int t = 0; t < t_count; ++t) {
+      FrechetOperator f(ws.solver(), trx, ws.background_field(t));
+      f.apply_adjoint(b[static_cast<std::size_t>(t)], g);
+      axpy(cplx{-1.0}, g, rhs);
+    }
+
+    // CGNR on (J^H J + lambda I) d = rhs.
+    cvec d(n, cplx{}), r(rhs.begin(), rhs.end()), p(rhs.begin(), rhs.end()),
+        ap(n);
+    double rr = std::pow(nrm2(r), 2);
+    if (rr == 0.0) break;
+    for (int it = 0; it < opts.cg_iterations; ++it) {
+      apply_normal(p, ap);
+      const cplx pap = cdot(p, ap);
+      if (std::abs(pap) == 0.0) break;
+      const cplx alpha = rr / pap;
+      axpy(alpha, p, d);
+      axpy(-alpha, ap, r);
+      const double rr_new = std::pow(nrm2(r), 2);
+      if (rr_new < 1e-24) break;
+      xpay(r, cplx{rr_new / rr}, p);
+      rr = rr_new;
+    }
+    axpy(cplx{1.0}, d, out.contrast);
+  }
+
+  out.history.forward_solves = ws.solver().stats().solves;
+  out.history.mlfma_applications = ws.solver().stats().mlfma_applications;
+  return out;
+}
+
+}  // namespace ffw

@@ -1,0 +1,71 @@
+#include "dbim/multifrequency.hpp"
+
+#include "phantom/resample.hpp"
+
+namespace ffw {
+
+MultiFrequencyResult multifrequency_reconstruct(
+    const ScenarioConfig& config, ccspan true_permittivity,
+    const std::vector<FrequencyStage>& stages) {
+  FFW_CHECK(!stages.empty());
+  Grid final_grid(config.nx);
+  FFW_CHECK(true_permittivity.size() == final_grid.num_pixels());
+
+  MultiFrequencyResult out;
+  cvec eps_guess;  // reconstructed delta_eps on the previous stage's grid
+  int prev_nx = 0;
+
+  for (const FrequencyStage& stage : stages) {
+    const int nx = config.nx >> stage.halvings;
+    FFW_CHECK_MSG(nx >= 16 && nx % 8 == 0,
+                  "stage grid too coarse for the MLFMA tree");
+
+    // Object at this stage's frequency: box-filtered truth.
+    cvec eps_stage(true_permittivity.begin(), true_permittivity.end());
+    for (int h = 0, cur = config.nx; h < stage.halvings; ++h, cur /= 2) {
+      eps_stage = downsample2(eps_stage, cur);
+    }
+
+    ScenarioConfig stage_config = config;
+    stage_config.nx = nx;
+    Scenario scene(stage_config, eps_stage);
+    const Grid& grid = scene.grid();
+    const double k2 = grid.k0() * grid.k0();
+
+    // Initial guess: previous stage's permittivity, resampled.
+    cvec contrast_guess;
+    if (!eps_guess.empty()) {
+      FFW_CHECK_MSG(prev_nx <= nx, "stages must run coarse to fine");
+      cvec eps_up = eps_guess;
+      for (int cur = prev_nx; cur < nx; cur *= 2) {
+        eps_up = upsample2(eps_up, cur);
+      }
+      contrast_guess.resize(eps_up.size());
+      for (std::size_t i = 0; i < eps_up.size(); ++i)
+        contrast_guess[i] = k2 * eps_up[i];
+    }
+
+    DbimOptions opts;
+    opts.max_iterations = stage.dbim_iterations;
+    const DbimResult res = dbim_reconstruct(
+        scene.engine(), scene.transceivers(), scene.measurements(), opts,
+        config.forward, contrast_guess);
+
+    out.stage_residuals.push_back(res.history.relative_residual);
+    out.stage_rmse.push_back(image_rmse(res.contrast, scene.true_contrast()));
+
+    eps_guess.resize(res.contrast.size());
+    for (std::size_t i = 0; i < res.contrast.size(); ++i)
+      eps_guess[i] = res.contrast[i] / k2;
+    prev_nx = nx;
+  }
+
+  // Bring the last stage's permittivity to the final grid if needed.
+  for (int cur = prev_nx; cur < config.nx; cur *= 2) {
+    eps_guess = upsample2(eps_guess, cur);
+  }
+  out.permittivity = std::move(eps_guess);
+  return out;
+}
+
+}  // namespace ffw

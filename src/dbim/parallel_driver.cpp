@@ -1,0 +1,271 @@
+#include "dbim/parallel_driver.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "linalg/kernels.hpp"
+
+namespace ffw {
+
+namespace {
+
+/// Rank-local state and sub-operations for one rank of the 2-D grid.
+struct RankCtx {
+  Comm* comm;
+  const PartitionedMlfma* pm;
+  const Transceivers* trx;
+  const CMatrix* measured;
+  const ParallelDbimConfig* cfg;
+
+  int group = 0;       // illumination group index
+  int tree_rank = 0;   // rank within the tree group
+  int rank_base = 0;   // first global rank of this tree group
+  std::vector<int> tree_group;    // global ranks sharing this MLFMA
+  std::vector<int> column_group;  // same tree_rank across illum groups
+  std::vector<int> all_ranks;
+
+  std::size_t nloc = 0;                  // local pixel count
+  std::vector<std::uint32_t> nat_idx;    // natural pixel index per local q
+  cvec o_loc;                            // background contrast slice
+  std::vector<cvec> phi_b;               // background fields, local t order
+  std::vector<int> local_t;              // transmitters of this group
+
+  DotReducer tree_reduce() {
+    return DotReducer{
+        [this](cplx v) {
+          double buf[2] = {v.real(), v.imag()};
+          comm->group_allreduce_sum(rspan{buf, 2}, tree_group);
+          return cplx{buf[0], buf[1]};
+        },
+        [this](double v) {
+          return comm->group_allreduce_sum(v, tree_group);
+        }};
+  }
+
+  /// y = [I - G0 O] x on local slices (collective over the tree group).
+  void forward_op(ccspan x, cspan y) {
+    cvec ox(nloc);
+    diag_mul(o_loc, x, ox);
+    pm->apply(*comm, ox, y, rank_base);
+    for (std::size_t i = 0; i < nloc; ++i) y[i] = x[i] - y[i];
+  }
+
+  /// y = [I - G0 O]^H x.
+  void adjoint_op(ccspan x, cspan y) {
+    pm->apply_herm(*comm, x, y, rank_base);
+    for (std::size_t i = 0; i < nloc; ++i)
+      y[i] = x[i] - std::conj(o_loc[i]) * y[i];
+  }
+
+  BicgstabResult solve_forward(ccspan rhs, cspan x) {
+    return bicgstab([this](ccspan in, cspan out) { forward_op(in, out); },
+                    rhs, x, cfg->forward, tree_reduce());
+  }
+
+  BicgstabResult solve_adjoint(ccspan rhs, cspan x) {
+    return bicgstab([this](ccspan in, cspan out) { adjoint_op(in, out); },
+                    rhs, x, cfg->forward, tree_reduce());
+  }
+
+  /// Full receiver vector G_R v from a local slice (replicated within
+  /// the tree group after the allreduce).
+  void gr_full(ccspan v_loc, cspan y) {
+    std::fill(y.begin(), y.end(), cplx{});
+    trx->apply_gr_subset(v_loc, nat_idx, y);
+    comm->group_allreduce_sum(y, tree_group);
+  }
+
+  /// Residual pass for local illumination index i: returns ||b||^2 and
+  /// fills `residual` (length R).
+  double residual_pass(std::size_t i, cspan residual) {
+    const int t = local_t[i];
+    cvec inc(nloc);
+    trx->incident_field_subset(t, nat_idx, inc);
+    cspan phi{phi_b[i]};
+    const BicgstabResult res = solve_forward(inc, phi);
+    FFW_CHECK_MSG(res.converged, "parallel DBIM forward solve diverged");
+    cvec v(nloc);
+    diag_mul(o_loc, ccspan{phi.data(), nloc}, v);
+    gr_full(v, residual);
+    sub(residual, measured->col(static_cast<std::size_t>(t)), residual);
+    const double rn = nrm2(ccspan{residual.data(), residual.size()});
+    return rn * rn;
+  }
+
+  /// grad_loc += F_t^H b for local illumination i.
+  void gradient_pass(std::size_t i, ccspan residual, cspan grad_loc) {
+    cvec g1(nloc), w2(nloc), w3(nloc, cplx{}), w4(nloc);
+    trx->apply_gr_herm_subset(residual, nat_idx, g1);
+    diag_mul_conj(o_loc, g1, w2);
+    FFW_CHECK(solve_adjoint(w2, w3).converged);
+    pm->apply_herm(*comm, w3, w4, rank_base);
+    const cvec& phi = phi_b[i];
+    for (std::size_t q = 0; q < nloc; ++q)
+      grad_loc[q] += std::conj(phi[q]) * (g1[q] + w4[q]);
+  }
+
+  /// ||F_t d||^2 for local illumination i.
+  double step_pass(std::size_t i, ccspan d_loc) {
+    cvec u1(nloc), u2(nloc), w(nloc, cplx{});
+    const cvec& phi = phi_b[i];
+    diag_mul(d_loc, ccspan{phi.data(), nloc}, u1);
+    pm->apply(*comm, u1, u2, rank_base);
+    FFW_CHECK(solve_forward(u2, w).converged);
+    for (std::size_t q = 0; q < nloc; ++q) u1[q] += o_loc[q] * w[q];
+    cvec sc(static_cast<std::size_t>(trx->num_receivers()));
+    gr_full(u1, sc);
+    const double fn = nrm2(sc);
+    return fn * fn;
+  }
+};
+
+}  // namespace
+
+DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
+                                     const Transceivers& trx,
+                                     const CMatrix& measured,
+                                     const ParallelDbimConfig& config) {
+  const int ig = config.illum_groups, tr = config.tree_ranks;
+  FFW_CHECK(vc.size() == ig * tr);
+  const PartitionedMlfma pm(tree, config.mlfma, tr);
+  const std::size_t npix = tree.grid().num_pixels();
+  const int t_count = trx.num_transmitters();
+
+  double meas_norm2 = 0.0;
+  for (std::size_t t = 0; t < measured.cols(); ++t) {
+    const double nn = nrm2(measured.col(t));
+    meas_norm2 += nn * nn;
+  }
+
+  // Shared result buffers (group 0 / rank 0 write disjoint parts).
+  cvec out_cluster(npix, cplx{});
+  std::vector<double> history;
+  std::atomic<std::uint64_t> total_matvecs{0};
+
+  vc.run([&](Comm& comm) {
+    RankCtx ctx;
+    ctx.comm = &comm;
+    ctx.pm = &pm;
+    ctx.trx = &trx;
+    ctx.measured = &measured;
+    ctx.cfg = &config;
+    ctx.group = comm.rank() / tr;
+    ctx.tree_rank = comm.rank() % tr;
+    ctx.rank_base = ctx.group * tr;
+    for (int r = 0; r < tr; ++r) ctx.tree_group.push_back(ctx.rank_base + r);
+    for (int g = 0; g < ig; ++g)
+      ctx.column_group.push_back(g * tr + ctx.tree_rank);
+    for (int r = 0; r < vc.size(); ++r) ctx.all_ranks.push_back(r);
+
+    ctx.nloc = pm.local_pixels(ctx.tree_rank);
+    const std::size_t q0 =
+        pm.leaf_begin(ctx.tree_rank) *
+        static_cast<std::size_t>(tree.pixels_per_leaf());
+    ctx.nat_idx.resize(ctx.nloc);
+    for (std::size_t q = 0; q < ctx.nloc; ++q)
+      ctx.nat_idx[q] = tree.perm()[q0 + q];
+
+    for (int t = ctx.group; t < t_count; t += ig) ctx.local_t.push_back(t);
+    ctx.o_loc.assign(ctx.nloc, cplx{});
+    ctx.phi_b.resize(ctx.local_t.size());
+    for (std::size_t i = 0; i < ctx.local_t.size(); ++i) {
+      ctx.phi_b[i].assign(ctx.nloc, cplx{});
+      trx.incident_field_subset(ctx.local_t[i], ctx.nat_idx, ctx.phi_b[i]);
+    }
+
+    cvec grad(ctx.nloc), grad_prev(ctx.nloc), direction(ctx.nloc),
+        residual(measured.rows());
+    double grad_prev_norm2 = 0.0;
+    DotReducer red = ctx.tree_reduce();
+
+    for (int iter = 0; iter < config.dbim.max_iterations; ++iter) {
+      // Pass 1 + 2: residual and gradient over local illuminations.
+      std::fill(grad.begin(), grad.end(), cplx{});
+      double cost_loc = 0.0;
+      for (std::size_t i = 0; i < ctx.local_t.size(); ++i) {
+        cost_loc += ctx.residual_pass(i, residual);
+        ctx.gradient_pass(i, residual, grad);
+      }
+      // Cost: each illumination's cost is replicated tr times.
+      double buf[1] = {cost_loc};
+      comm.allreduce_sum(rspan{buf, 1});
+      const double cost = buf[0] / tr;
+      // Gradient combine across illumination groups (paper Fig. 4 sync 1).
+      comm.group_allreduce_sum(cspan{grad}, ctx.column_group);
+      if (config.dbim.tikhonov > 0.0) {
+        for (std::size_t q = 0; q < ctx.nloc; ++q)
+          grad[q] += config.dbim.tikhonov * ctx.o_loc[q];
+      }
+
+      const double relres = std::sqrt(cost / meas_norm2);
+      if (comm.rank() == 0) history.push_back(relres);
+      if (config.dbim.progress && comm.rank() == 0)
+        config.dbim.progress(iter, relres);
+      if (config.dbim.residual_tol > 0.0 && relres < config.dbim.residual_tol)
+        break;
+
+      // Conjugate direction (identical scalars on every rank).
+      double gn_loc = 0.0;
+      for (const auto& v : grad) gn_loc += std::norm(v);
+      const double gnorm2 = red.sum_double(gn_loc);
+      if (gnorm2 == 0.0) break;
+      double beta = 0.0;
+      if (config.dbim.conjugate_gradient && iter > 0 &&
+          grad_prev_norm2 > 0.0) {
+        cplx num_loc{};
+        for (std::size_t q = 0; q < ctx.nloc; ++q)
+          num_loc += std::conj(grad[q]) * (grad[q] - grad_prev[q]);
+        beta = std::max(0.0, red.sum_cplx(num_loc).real() / grad_prev_norm2);
+      }
+      if (beta == 0.0) {
+        for (std::size_t q = 0; q < ctx.nloc; ++q) direction[q] = -grad[q];
+      } else {
+        for (std::size_t q = 0; q < ctx.nloc; ++q)
+          direction[q] = -grad[q] + beta * direction[q];
+      }
+
+      // Pass 3: step length (paper Fig. 4 sync 2).
+      double denom_loc = 0.0;
+      for (std::size_t i = 0; i < ctx.local_t.size(); ++i)
+        denom_loc += ctx.step_pass(i, direction);
+      double dbuf[1] = {denom_loc};
+      comm.allreduce_sum(rspan{dbuf, 1});
+      double denom = dbuf[0] / tr;
+      if (config.dbim.tikhonov > 0.0) {
+        double dn_loc = 0.0;
+        for (std::size_t q = 0; q < ctx.nloc; ++q)
+          dn_loc += std::norm(direction[q]);
+        denom += config.dbim.tikhonov * red.sum_double(dn_loc);
+      }
+      if (denom == 0.0) break;
+      cplx num_loc{};
+      for (std::size_t q = 0; q < ctx.nloc; ++q)
+        num_loc += std::conj(grad[q]) * direction[q];
+      const double alpha = -red.sum_cplx(num_loc).real() / denom;
+      for (std::size_t q = 0; q < ctx.nloc; ++q)
+        ctx.o_loc[q] += alpha * direction[q];
+
+      copy(grad, grad_prev);
+      grad_prev_norm2 = gnorm2;
+    }
+
+    if (ctx.group == 0) {
+      std::copy(ctx.o_loc.begin(), ctx.o_loc.end(),
+                out_cluster.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        pm.leaf_begin(ctx.tree_rank) *
+                        static_cast<std::size_t>(tree.pixels_per_leaf())));
+    }
+  });
+
+  DbimResult out;
+  out.contrast.assign(npix, cplx{});
+  tree.to_natural_order(out_cluster, out.contrast);
+  out.history.relative_residual = std::move(history);
+  out.history.forward_solves = static_cast<std::uint64_t>(
+      3 * t_count * config.dbim.max_iterations);
+  out.history.mlfma_applications = total_matvecs.load();
+  return out;
+}
+
+}  // namespace ffw

@@ -1,0 +1,36 @@
+// Two-dimensional distributed DBIM driver — the paper's headline
+// parallelisation (Fig. 6): ranks form an illum_groups x tree_ranks
+// grid. Each *illumination group* owns a subset of transmitters (round
+// robin); within a group the image and MLFMA tree are partitioned over
+// `tree_ranks` ranks (PartitionedMlfma). Synchronisation across
+// illumination groups happens exactly twice per DBIM iteration — the
+// gradient combine and the step-length combine — matching Fig. 4.
+//
+// This runs on the virtual cluster (threads as ranks, see DESIGN.md
+// Sec. 2): the algorithm, message pattern and traffic volumes are those
+// of the MPI implementation; only wall-clock speedup cannot manifest on
+// a single machine (the performance model covers that).
+#pragma once
+
+#include "dbim/dbim.hpp"
+#include "mlfma/partitioned.hpp"
+
+namespace ffw {
+
+struct ParallelDbimConfig {
+  int illum_groups = 1;  // parallelisation dimension 1 (illuminations)
+  int tree_ranks = 1;    // parallelisation dimension 2 (MLFMA sub-trees)
+  DbimOptions dbim;
+  BicgstabOptions forward;
+  MlfmaParams mlfma;
+};
+
+/// Collective reconstruction over `vc` (vc.size() must equal
+/// illum_groups * tree_ranks). Returns the same result as the serial
+/// dbim_reconstruct (validated in tests/parallel_dbim_test.cpp).
+DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
+                                     const Transceivers& trx,
+                                     const CMatrix& measured,
+                                     const ParallelDbimConfig& config);
+
+}  // namespace ffw

@@ -1,0 +1,96 @@
+#include "forward/bicgstab.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/kernels.hpp"
+
+namespace ffw {
+
+namespace {
+double nrm2_sq(ccspan x) {
+  double s = 0.0;
+  for (const cplx& v : x) s += std::norm(v);
+  return s;
+}
+}  // namespace
+
+BicgstabResult bicgstab(const LinearOp& a, ccspan b, cspan x,
+                        const BicgstabOptions& opts,
+                        const DotReducer& reduce) {
+  const std::size_t n = b.size();
+  FFW_CHECK(x.size() == n);
+  BicgstabResult res;
+
+  auto dot = [&](ccspan u, ccspan v) { return reduce.sum_cplx(cdot(u, v)); };
+  auto norm = [&](ccspan u) {
+    return std::sqrt(reduce.sum_double(nrm2_sq(u)));
+  };
+
+  const double bnorm = norm(b);
+  if (bnorm == 0.0) {
+    std::fill(x.begin(), x.end(), cplx{});
+    res.converged = true;
+    return res;
+  }
+
+  cvec r(n), rhat(n), p(n), v(n, cplx{}), s(n), t(n), tmp(n);
+  a(x, tmp);
+  ++res.matvecs;
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - tmp[i];
+  copy(r, rhat);
+  copy(r, p);
+
+  cplx rho = dot(rhat, r);
+  double rnorm = norm(r);
+  if (rnorm / bnorm < opts.tol) {
+    res.converged = true;
+    res.relres = rnorm / bnorm;
+    return res;
+  }
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    a(p, v);
+    ++res.matvecs;
+    const cplx rhat_v = dot(rhat, v);
+    FFW_CHECK_MSG(std::abs(rhat_v) > 0.0, "BiCGStab breakdown: <rhat, v> = 0");
+    const cplx alpha = rho / rhat_v;
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+
+    ++res.iterations;
+    const double snorm = norm(s);
+    if (snorm / bnorm < opts.tol) {
+      axpy(alpha, p, x);
+      res.relres = snorm / bnorm;
+      res.converged = true;
+      return res;
+    }
+
+    a(s, t);
+    ++res.matvecs;
+    const cplx tt = dot(t, t);
+    FFW_CHECK_MSG(std::abs(tt) > 0.0, "BiCGStab breakdown: ||t|| = 0");
+    const cplx omega = dot(t, s) / tt;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i] + omega * s[i];
+      r[i] = s[i] - omega * t[i];
+    }
+
+    rnorm = norm(r);
+    res.relres = rnorm / bnorm;
+    if (res.relres < opts.tol) {
+      res.converged = true;
+      return res;
+    }
+
+    const cplx rho_next = dot(rhat, r);
+    FFW_CHECK_MSG(std::abs(rho_next) > 0.0, "BiCGStab breakdown: rho = 0");
+    const cplx beta = (rho_next / rho) * (alpha / omega);
+    rho = rho_next;
+    for (std::size_t i = 0; i < n; ++i)
+      p[i] = r[i] + beta * (p[i] - omega * v[i]);
+  }
+  return res;  // not converged
+}
+
+}  // namespace ffw

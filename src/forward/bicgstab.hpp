@@ -1,0 +1,45 @@
+// Matrix-free biconjugate gradient stabilised solver (paper Sec. III-A:
+// "We use the biconjugate gradient stabilized method (BiCGS) for the
+// forward solver ... The dominant operation in BiCGS is a matrix-vector
+// multiplication that occurs twice per iteration").
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace ffw {
+
+/// y = A x; y is pre-zeroed by the caller contract? No: the callback must
+/// fully overwrite y.
+using LinearOp = std::function<void(ccspan x, cspan y)>;
+
+struct BicgstabOptions {
+  /// Relative residual tolerance (paper Sec. V-B: 1e-4).
+  double tol = 1e-4;
+  int max_iterations = 1000;
+};
+
+struct BicgstabResult {
+  int iterations = 0;   // BiCGS iterations
+  int matvecs = 0;      // operator applications (2 per iteration + setup)
+  double relres = 0.0;  // final relative residual norm
+  bool converged = false;
+};
+
+/// Reduction hooks for a distributed solve: each rank holds a slice of
+/// the vectors; the solver's inner products reduce local partials with
+/// these callbacks (identity by default, i.e. serial).
+struct DotReducer {
+  std::function<cplx(cplx)> sum_cplx = [](cplx v) { return v; };
+  std::function<double(double)> sum_double = [](double v) { return v; };
+};
+
+/// Solves A x = b. `x` holds the initial guess on entry and the solution
+/// on exit. With a non-default `reduce`, b/x are rank-local slices and
+/// the solve is collective over the reducing group.
+BicgstabResult bicgstab(const LinearOp& a, ccspan b, cspan x,
+                        const BicgstabOptions& opts = {},
+                        const DotReducer& reduce = {});
+
+}  // namespace ffw

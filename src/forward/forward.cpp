@@ -1,0 +1,132 @@
+#include "forward/forward.hpp"
+
+#include "greens/greens.hpp"
+#include "linalg/kernels.hpp"
+
+namespace ffw {
+
+ForwardSolver::ForwardSolver(MlfmaEngine& engine, const BicgstabOptions& opts)
+    : engine_(&engine), opts_(opts) {
+  const std::size_t n = engine.tree().grid().num_pixels();
+  contrast_nat_.assign(n, cplx{});
+  contrast_clu_.assign(n, cplx{});
+  work_.assign(n, cplx{});
+}
+
+void ForwardSolver::set_contrast(ccspan contrast) {
+  FFW_CHECK(contrast.size() == contrast_nat_.size());
+  copy(contrast, contrast_nat_);
+  engine_->tree().to_cluster_order(contrast, contrast_clu_);
+  refresh_preconditioner();
+}
+
+void ForwardSolver::set_jacobi_preconditioner(bool enable) {
+  use_jacobi_ = enable;
+  refresh_preconditioner();
+}
+
+void ForwardSolver::refresh_preconditioner() {
+  if (!use_jacobi_) {
+    minv_clu_.clear();
+    return;
+  }
+  const cplx g_self = self_term(engine_->tree().grid());
+  minv_clu_.resize(contrast_clu_.size());
+  for (std::size_t i = 0; i < contrast_clu_.size(); ++i) {
+    const cplx d = 1.0 - g_self * contrast_clu_[i];
+    FFW_CHECK_MSG(std::abs(d) > 1e-12, "singular Jacobi diagonal");
+    minv_clu_[i] = 1.0 / d;
+  }
+}
+
+void ForwardSolver::op_forward(ccspan x, cspan y) {
+  // y = x - G0 (O .* x), cluster order. With Jacobi preconditioning the
+  // operand is M^{-1} x (right preconditioning).
+  if (use_jacobi_) {
+    cvec xm(x.size());
+    diag_mul(minv_clu_, x, xm);
+    diag_mul(contrast_clu_, ccspan{xm}, work_);
+    engine_->apply(work_, y);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] = xm[i] - y[i];
+    return;
+  }
+  diag_mul(contrast_clu_, x, work_);
+  engine_->apply(work_, y);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = x[i] - y[i];
+}
+
+void ForwardSolver::op_adjoint(ccspan x, cspan y) {
+  // y = x - conj(O) .* (G0^H x), cluster order.
+  engine_->apply_herm(x, y);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y[i] = x[i] - std::conj(contrast_clu_[i]) * y[i];
+}
+
+BicgstabResult ForwardSolver::solve(ccspan rhs, cspan phi) {
+  const std::size_t n = contrast_nat_.size();
+  FFW_CHECK(rhs.size() == n && phi.size() == n);
+  const QuadTree& tree = engine_->tree();
+  cvec b(n), x(n);
+  tree.to_cluster_order(rhs, b);
+  tree.to_cluster_order(ccspan{phi.data(), n}, x);
+  const std::uint64_t before = engine_->phase_times().applications;
+  if (use_jacobi_) {
+    // The Krylov unknown is y = M x; convert the initial guess in and
+    // the solution out.
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] /= minv_clu_[i];
+  }
+  const BicgstabResult res =
+      bicgstab([this](ccspan in, cspan out) { op_forward(in, out); }, b, x,
+               opts_);
+  if (use_jacobi_) diag_mul(minv_clu_, cvec(x.begin(), x.end()), x);
+  ++stats_.solves;
+  stats_.bicgs_iterations += static_cast<std::uint64_t>(res.iterations);
+  stats_.mlfma_applications += engine_->phase_times().applications - before;
+  stats_.per_solve_iterations.push_back(
+      static_cast<std::uint16_t>(res.iterations));
+  tree.to_natural_order(x, phi);
+  return res;
+}
+
+BicgstabResult ForwardSolver::solve_adjoint(ccspan rhs, cspan psi) {
+  const std::size_t n = contrast_nat_.size();
+  FFW_CHECK(rhs.size() == n && psi.size() == n);
+  const QuadTree& tree = engine_->tree();
+  cvec b(n), x(n);
+  tree.to_cluster_order(rhs, b);
+  tree.to_cluster_order(ccspan{psi.data(), n}, x);
+  const std::uint64_t before = engine_->phase_times().applications;
+  const BicgstabResult res =
+      bicgstab([this](ccspan in, cspan out) { op_adjoint(in, out); }, b, x,
+               opts_);
+  ++stats_.solves;
+  stats_.bicgs_iterations += static_cast<std::uint64_t>(res.iterations);
+  stats_.mlfma_applications += engine_->phase_times().applications - before;
+  stats_.per_solve_iterations.push_back(
+      static_cast<std::uint16_t>(res.iterations));
+  tree.to_natural_order(x, psi);
+  return res;
+}
+
+void ForwardSolver::apply_system(ccspan x, cspan y) {
+  const std::size_t n = contrast_nat_.size();
+  FFW_CHECK(x.size() == n && y.size() == n);
+  const QuadTree& tree = engine_->tree();
+  cvec xc(n), yc(n);
+  tree.to_cluster_order(x, xc);
+  op_forward(xc, yc);
+  tree.to_natural_order(yc, y);
+}
+
+void ForwardSolver::apply_g0_contrast(ccspan x, cspan y) {
+  const std::size_t n = contrast_nat_.size();
+  FFW_CHECK(x.size() == n && y.size() == n);
+  const QuadTree& tree = engine_->tree();
+  cvec xc(n), yc(n);
+  tree.to_cluster_order(x, xc);
+  diag_mul(contrast_clu_, xc, work_);
+  engine_->apply(work_, yc);
+  tree.to_natural_order(yc, y);
+}
+
+}  // namespace ffw

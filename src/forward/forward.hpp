@@ -1,0 +1,85 @@
+// Forward scattering solver: given the contrast O, solve the volume
+// integral equation [I - G0 diag(O)] phi = phi_inc for the total field
+// (paper eq. 3), with the G0 products supplied by MLFMA.
+//
+// All public vectors are in natural (row-major) pixel order; the solver
+// converts to/from the MLFMA engine's cluster order internally.
+#pragma once
+
+#include "forward/bicgstab.hpp"
+#include "mlfma/engine.hpp"
+
+namespace ffw {
+
+struct ForwardStats {
+  std::uint64_t solves = 0;
+  std::uint64_t bicgs_iterations = 0;
+  std::uint64_t mlfma_applications = 0;
+  /// Per-solve iteration counts: the raw samples behind the paper's
+  /// "iteration variation" discussion (Sec. V-D) and the scaling model's
+  /// load-imbalance term.
+  std::vector<std::uint16_t> per_solve_iterations;
+
+  /// The paper reports 13.4 MLFMA multiplications per forward solution.
+  double mlfma_per_solve() const {
+    return solves ? static_cast<double>(mlfma_applications) / solves : 0.0;
+  }
+  void clear() { *this = ForwardStats{}; }
+};
+
+class ForwardSolver {
+ public:
+  /// The engine is shared (not owned): the DBIM driver reuses one engine
+  /// across illuminations and across the three solves per iteration.
+  ForwardSolver(MlfmaEngine& engine, const BicgstabOptions& opts = {});
+
+  /// Jacobi (diagonal) right preconditioning: solve A M^{-1} y = b with
+  /// M = diag(A) = 1 - G0_nn * O_n, then x = M^{-1} y. The paper lists
+  /// preconditioning against (near-)resonant systems as future work
+  /// (Sec. VIII); the diagonal grows away from 1 exactly when the
+  /// contrast is strong, which is when BiCGStab needs the help.
+  void set_jacobi_preconditioner(bool enable);
+  bool jacobi_preconditioner() const { return use_jacobi_; }
+
+  /// Set the contrast vector O (natural order, length N).
+  void set_contrast(ccspan contrast);
+  ccspan contrast_natural() const { return contrast_nat_; }
+
+  /// Solve [I - G0 O] phi = rhs. `phi` carries the initial guess in and
+  /// the solution out (natural order).
+  BicgstabResult solve(ccspan rhs, cspan phi);
+
+  /// Solve the Hermitian-transposed system [I - G0 O]^H psi = rhs
+  /// (needed by the adjoint Frechet operator).
+  BicgstabResult solve_adjoint(ccspan rhs, cspan psi);
+
+  /// y = [I - G0 O] x without solving (for residual checks / tests).
+  void apply_system(ccspan x, cspan y);
+
+  /// y = G0 * (O .* x) — the scattered-field operator on pixels.
+  void apply_g0_contrast(ccspan x, cspan y);
+
+  const ForwardStats& stats() const { return stats_; }
+  void clear_stats() { stats_.clear(); }
+
+  MlfmaEngine& engine() { return *engine_; }
+  const QuadTree& tree() const { return engine_->tree(); }
+  const BicgstabOptions& options() const { return opts_; }
+
+ private:
+  void op_forward(ccspan x, cspan y);  // cluster order
+  void op_adjoint(ccspan x, cspan y);  // cluster order
+
+  MlfmaEngine* engine_;
+  BicgstabOptions opts_;
+  void refresh_preconditioner();
+
+  cvec contrast_nat_;   // natural order
+  cvec contrast_clu_;   // cluster order
+  cvec work_;           // cluster-order scratch
+  bool use_jacobi_ = false;
+  cvec minv_clu_;       // 1 / diag(A), cluster order (empty if disabled)
+  ForwardStats stats_;
+};
+
+}  // namespace ffw

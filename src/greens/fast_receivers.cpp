@@ -1,0 +1,63 @@
+#include "greens/fast_receivers.hpp"
+
+#include "greens/greens.hpp"
+#include "mlfma/operators.hpp"
+
+namespace ffw {
+
+FastReceiverOperator::FastReceiverOperator(MlfmaEngine& engine,
+                                           const std::vector<Vec2>& receivers)
+    : engine_(&engine), receivers_(receivers) {
+  const QuadTree& tree = engine.tree();
+  FFW_CHECK_MSG(tree.num_levels() > 0,
+                "fast receivers need at least one far-field level");
+  top_level_ = tree.num_levels() - 1;
+  const TreeLevel& top = tree.level(top_level_);
+  num_top_ = top.num_clusters;
+  const LevelPlan& plan = engine.plan().level(top_level_);
+  q_top_ = static_cast<std::size_t>(plan.samples);
+  const double k = tree.grid().k0();
+  prefactor_ = 0.25 * iu * source_factor(tree.grid()) /
+               static_cast<double>(q_top_);
+
+  // Far-zone check: every receiver at least 1.5 cluster widths from
+  // every top cluster centre (the addition theorem needs
+  // |X| > |v| ~ 0.71 w; 1.5 w leaves the excess-bandwidth margin).
+  trans_.resize(receivers_.size() * num_top_ * q_top_);
+  for (std::size_t r = 0; r < receivers_.size(); ++r) {
+    for (std::size_t c = 0; c < num_top_; ++c) {
+      const Vec2 x = tree.cluster_center(top_level_, c) - receivers_[r];
+      FFW_CHECK_MSG(norm(x) > 1.5 * top.width,
+                    "receiver too close to the imaging domain for the "
+                    "fast evaluation; use the dense G_R path");
+      // X = c_src - c_dest with the receiver as a zero-size destination
+      // cluster (see mlfma/operators.hpp for the sign convention).
+      const cvec t = make_translation_diag(k, x, plan.truncation,
+                                           static_cast<int>(q_top_));
+      std::copy(t.begin(), t.end(),
+                trans_.begin() +
+                    static_cast<std::ptrdiff_t>((r * num_top_ + c) * q_top_));
+    }
+  }
+}
+
+std::size_t FastReceiverOperator::bytes() const {
+  return trans_.size() * sizeof(cplx);
+}
+
+void FastReceiverOperator::apply(ccspan x_cluster, cspan y) {
+  FFW_CHECK(y.size() == receivers_.size());
+  const ccspan s_top = engine_->upward_only(x_cluster);
+  FFW_CHECK(s_top.size() == num_top_ * q_top_);
+  for (std::size_t r = 0; r < receivers_.size(); ++r) {
+    cplx acc{};
+    for (std::size_t c = 0; c < num_top_; ++c) {
+      const cplx* t = trans_.data() + (r * num_top_ + c) * q_top_;
+      const cplx* s = s_top.data() + c * q_top_;
+      for (std::size_t q = 0; q < q_top_; ++q) acc += t[q] * s[q];
+    }
+    y[r] = prefactor_ * acc;
+  }
+}
+
+}  // namespace ffw

@@ -1,0 +1,99 @@
+#include "greens/greens.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "special/bessel.hpp"
+
+namespace ffw {
+
+cplx g0_point(double k, double r) {
+  FFW_DCHECK(r > 0.0);
+  const double x = k * r;
+  return 0.25 * iu * cplx{bessel_j0(x), bessel_y0(x)};
+}
+
+double source_factor(const Grid& grid) {
+  const double k = grid.k0();
+  const double a = grid.disk_radius();
+  return (2.0 * pi * a / k) * bessel_j1(k * a);
+}
+
+cplx self_term(const Grid& grid) {
+  const double k = grid.k0();
+  const double a = grid.disk_radius();
+  const cplx h1 = {bessel_j1(k * a), bessel_y1(k * a)};
+  return iu * pi * a / (2.0 * k) * h1 - 1.0 / (k * k);
+}
+
+cplx g0_pixel(const Grid& grid, Vec2 rm, Vec2 rn) {
+  const double r = norm(rm - rn);
+  if (r < 0.5 * grid.h()) return self_term(grid);
+  return source_factor(grid) * g0_point(grid.k0(), r);
+}
+
+cvec dense_g0_apply_rows(const Grid& grid, ccspan x,
+                         std::span<const std::uint32_t> rows) {
+  const int nx = grid.nx();
+  const std::size_t n = grid.num_pixels();
+  FFW_CHECK(x.size() == n);
+  const double sf = source_factor(grid);
+  const cplx self = self_term(grid);
+  const double k = grid.k0();
+  cvec out(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::uint32_t row = rows[i];
+    const Vec2 rm = grid.pixel_center(static_cast<int>(row) % nx,
+                                      static_cast<int>(row) / nx);
+    cplx acc{};
+    for (int iy = 0; iy < nx; ++iy) {
+      for (int ix = 0; ix < nx; ++ix) {
+        const std::size_t col = grid.pixel_index(ix, iy);
+        if (col == row) {
+          acc += self * x[col];
+        } else {
+          acc += sf * g0_point(k, norm(rm - grid.pixel_center(ix, iy))) *
+                 x[col];
+        }
+      }
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+cvec dense_g0_apply(const Grid& grid, ccspan x) {
+  std::vector<std::uint32_t> rows(grid.num_pixels());
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    rows[i] = static_cast<std::uint32_t>(i);
+  return dense_g0_apply_rows(grid, x, rows);
+}
+
+CMatrix build_dense_g0(const Grid& grid) {
+  const int nx = grid.nx();
+  const std::size_t n = grid.num_pixels();
+  CMatrix g(n, n);
+  const double sf = source_factor(grid);
+  const cplx self = self_term(grid);
+  const double k = grid.k0();
+  for (int ny_ = 0; ny_ < nx; ++ny_) {
+    for (int nxx = 0; nxx < nx; ++nxx) {
+      const std::size_t col = grid.pixel_index(nxx, ny_);
+      const Vec2 rn = grid.pixel_center(nxx, ny_);
+      for (int my = 0; my < nx; ++my) {
+        for (int mx = 0; mx < nx; ++mx) {
+          const std::size_t row = grid.pixel_index(mx, my);
+          if (row == col) {
+            g(row, col) = self;
+          } else {
+            const Vec2 rm = grid.pixel_center(mx, my);
+            g(row, col) = sf * g0_point(k, norm(rm - rn));
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace ffw

@@ -1,0 +1,56 @@
+// 2-D free-space Green's function and its pixel-integrated (Richmond)
+// discretisation, paper Sec. VI-A.
+//
+//   g0(r, r') = (i/4) H0^(1)(k |r - r'|)
+//
+// The volume integral equation is discretised on square pixels with
+// pulse bases. Following Richmond's classic scheme each pixel is
+// replaced by the equal-area disk of radius a = h/sqrt(pi); the source
+// integral then has closed forms:
+//
+//   \int_disk g0(r, r') dr' = (i/4) (2 pi a / k) J1(ka) H0^(1)(k|r - c|)
+//                                                   for |r - c| > a,
+//   \int_disk g0(c, r') dr' = (i pi a / (2k)) H1^(1)(ka) - 1/k^2
+//                                                   (self term).
+//
+// This keeps the full operator inventory and O(N) structure of the
+// paper's Galerkin discretisation (the source integration contributes a
+// *scalar* factor to every off-diagonal entry, so MLFMA applies
+// unchanged); accuracy is validated against the analytic Mie series in
+// tests/forward_mie_test.cpp.
+#pragma once
+
+#include "common/types.hpp"
+#include "grid/grid.hpp"
+#include "linalg/cmatrix.hpp"
+
+namespace ffw {
+
+/// Point-kernel value g0(r) = (i/4) H0^(1)(k r), r > 0.
+cplx g0_point(double k, double r);
+
+/// Scalar source-disk integration factor: off-diagonal entries of G0 are
+/// source_factor(grid) * g0_point(k, r_mn).
+double source_factor(const Grid& grid);
+
+/// The G0 diagonal (self) entry.
+cplx self_term(const Grid& grid);
+
+/// Off-diagonal pixel-integrated kernel between two pixel centres.
+cplx g0_pixel(const Grid& grid, Vec2 rm, Vec2 rn);
+
+/// Dense N x N interaction matrix G0 (reference path, O(N^2) storage —
+/// exactly what the paper says becomes impossible at scale; used for
+/// small-problem validation and the accuracy benchmark).
+CMatrix build_dense_g0(const Grid& grid);
+
+/// Matrix-free y = G0 * x (O(N^2) compute, O(N) storage).
+cvec dense_g0_apply(const Grid& grid, ccspan x);
+
+/// Selected rows of G0 * x: out[i] = (G0 x)[rows[i]]. Lets tests compare
+/// MLFMA against the direct product on a row sample without paying the
+/// full O(N^2).
+cvec dense_g0_apply_rows(const Grid& grid, ccspan x,
+                         std::span<const std::uint32_t> rows);
+
+}  // namespace ffw

@@ -1,0 +1,52 @@
+#include "greens/nearfield.hpp"
+
+#include "greens/greens.hpp"
+#include "linalg/gemm.hpp"
+
+namespace ffw {
+
+NearFieldOperators::NearFieldOperators(const QuadTree& tree) {
+  const Grid& grid = tree.grid();
+  const double w = tree.leaf_pixel_side() * grid.h();  // cluster width
+  const int np = tree.pixels_per_leaf();
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      CMatrix m(np, np);
+      const Vec2 shift{dx * w, dy * w};
+      for (int q = 0; q < np; ++q) {  // source pixel in neighbour cluster
+        const Vec2 rs = tree.local_pixel_offset(q) + shift;
+        for (int p = 0; p < np; ++p) {  // destination pixel
+          const Vec2 rd = tree.local_pixel_offset(p);
+          m(static_cast<std::size_t>(p), static_cast<std::size_t>(q)) =
+              g0_pixel(grid, rd, rs);
+        }
+      }
+      mats_[static_cast<std::size_t>((dy + 1) * 3 + (dx + 1))] = std::move(m);
+    }
+  }
+}
+
+std::size_t NearFieldOperators::bytes() const {
+  std::size_t s = 0;
+  for (const auto& m : mats_) s += m.bytes();
+  return s;
+}
+
+void NearFieldOperators::apply(const QuadTree& tree, ccspan x, cspan y) const {
+  const std::size_t np = static_cast<std::size_t>(tree.pixels_per_leaf());
+  const auto& begin = tree.near_begin();
+  const auto& entries = tree.near();
+  const std::size_t nleaf = tree.num_leaves();
+  FFW_CHECK(x.size() == nleaf * np && y.size() == nleaf * np);
+  for (std::size_t c = 0; c < nleaf; ++c) {
+    cplx* yd = y.data() + c * np;
+    for (std::uint32_t e = begin[c]; e < begin[c + 1]; ++e) {
+      const NearEntry& ne = entries[e];
+      const CMatrix& m = type(ne.near_type);
+      const cplx* xs = x.data() + static_cast<std::size_t>(ne.src) * np;
+      gemm_raw(np, 1, np, cplx{1.0}, m.data(), np, xs, np, cplx{1.0}, yd, np);
+    }
+  }
+}
+
+}  // namespace ffw

@@ -1,0 +1,39 @@
+// Near-field leaf operators (paper Sec. IV-D, Table I row 1).
+//
+// The near-field part of G0 couples each 8x8-pixel leaf cluster to
+// itself and its 8 neighbours. Thanks to the regular pixel grid the
+// coupling matrix depends only on the *relative offset* of the two
+// clusters, so exactly nine unique dense 64x64 matrices cover the whole
+// near field — "we store nine types of key interaction matrices and use
+// them as needed during near-field multiplications".
+#pragma once
+
+#include <array>
+
+#include "grid/quadtree.hpp"
+#include "linalg/cmatrix.hpp"
+
+namespace ffw {
+
+class NearFieldOperators {
+ public:
+  explicit NearFieldOperators(const QuadTree& tree);
+
+  /// Matrix for offset type t = (dy+1)*3 + (dx+1); t == 4 is self.
+  const CMatrix& type(int t) const { return mats_[static_cast<std::size_t>(t)]; }
+
+  static constexpr int kNumTypes = 9;
+
+  /// Total operator storage (bytes) — part of the memory census.
+  std::size_t bytes() const;
+
+  /// y += G0_near * x over the whole grid, both in cluster order.
+  /// Exercised standalone in tests; the MLFMA engine calls the batched
+  /// per-cluster form directly for overlap with communication.
+  void apply(const QuadTree& tree, ccspan x, cspan y) const;
+
+ private:
+  std::array<CMatrix, kNumTypes> mats_;
+};
+
+}  // namespace ffw

@@ -1,0 +1,79 @@
+// Transmitter / receiver operators (paper Fig. 3, Sec. VI-A).
+//
+// Transmitters are Dirac line sources on a ring (or arc) around the
+// imaging domain; receivers likewise. The paper models both with delta
+// functions:
+//   phi_inc_n        = sum_t (i/4) H0(k|r_n - r_t|) q_t          (G_T q)
+//   phi_sca_r        = sum_n sf * (i/4) H0(k|r_r - r_n|) O_n phi_n  (G_R O phi)
+// where sf is the Richmond source-disk factor (the receiver sees the
+// *radiated* field of each contrast pixel, integrated over the pixel).
+//
+// G_R is materialised as a dense R x N matrix when it fits the
+// configurable budget (it is reused ~3T times per DBIM iteration),
+// otherwise applied matrix-free.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "linalg/cmatrix.hpp"
+
+namespace ffw {
+
+/// Positions of `count` elements on a circular arc of given radius
+/// centred on the domain origin, angles in [angle_begin, angle_end)
+/// (radians; full ring by default, uniformly spaced).
+std::vector<Vec2> ring_positions(int count, double radius,
+                                 double angle_begin = 0.0,
+                                 double angle_end = 2.0 * pi);
+
+class Transceivers {
+ public:
+  /// `materialize_budget` — max number of complex entries the dense G_R
+  /// cache may occupy (default 16M entries = 256 MB).
+  Transceivers(const Grid& grid, std::vector<Vec2> transmitters,
+               std::vector<Vec2> receivers,
+               std::size_t materialize_budget = std::size_t{16} << 20);
+
+  int num_transmitters() const { return static_cast<int>(tx_.size()); }
+  int num_receivers() const { return static_cast<int>(rx_.size()); }
+  const std::vector<Vec2>& transmitters() const { return tx_; }
+  const std::vector<Vec2>& receivers() const { return rx_; }
+
+  /// Incident field of transmitter t on all pixels (natural order),
+  /// unit source amplitude.
+  cvec incident_field(int t) const;
+
+  /// y = G_R x (x: pixel vector, natural order; y: length R).
+  void apply_gr(ccspan x, cspan y) const;
+
+  /// y = G_R^H x (x: length R; y: pixel vector, natural order).
+  void apply_gr_herm(ccspan x, cspan y) const;
+
+  bool gr_materialized() const { return gr_.has_value(); }
+
+  /// Partial G_R products over a pixel subset (used by the distributed
+  /// DBIM driver, where each tree rank owns a slice of the image):
+  /// y += sum_i G_R[:, pixels[i]] * x_sub[i]. Caller zero-fills and
+  /// allreduces y over the tree group.
+  void apply_gr_subset(ccspan x_sub, std::span<const std::uint32_t> pixels,
+                       cspan y_accum) const;
+
+  /// y_sub[i] = (G_R^H u)[pixels[i]].
+  void apply_gr_herm_subset(ccspan u, std::span<const std::uint32_t> pixels,
+                            cspan y_sub) const;
+
+  /// Incident field of transmitter t restricted to a pixel subset.
+  void incident_field_subset(int t, std::span<const std::uint32_t> pixels,
+                             cspan out) const;
+
+ private:
+  cplx gr_entry(int r, std::size_t pixel) const;
+
+  const Grid* grid_;
+  std::vector<Vec2> tx_, rx_;
+  std::optional<CMatrix> gr_;  // R x N cache
+};
+
+}  // namespace ffw

@@ -1,0 +1,17 @@
+#include "grid/grid.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ffw {
+
+Grid::Grid(int nx, double pixels_per_wavelength) : nx_(nx) {
+  FFW_CHECK_MSG(nx >= 1, "grid needs at least one pixel");
+  FFW_CHECK(pixels_per_wavelength > 0);
+  h_ = 1.0 / pixels_per_wavelength;
+  k0_ = 2.0 * pi;  // lambda = 1
+  a_ = h_ / std::sqrt(pi);
+}
+
+}  // namespace ffw

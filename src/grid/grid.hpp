@@ -1,0 +1,48 @@
+// Imaging-domain discretisation (paper Sec. III-A): a square domain of
+// side D centred at the origin, discretised into nx*nx square pixels of
+// side lambda/10. Lengths are expressed in wavelengths (lambda = 1), so
+// the background wavenumber is k0 = 2*pi.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace ffw {
+
+class Grid {
+ public:
+  /// nx pixels per side; `pixels_per_wavelength` defaults to the paper's
+  /// lambda/10 sampling.
+  explicit Grid(int nx, double pixels_per_wavelength = 10.0);
+
+  int nx() const { return nx_; }
+  std::size_t num_pixels() const { return static_cast<std::size_t>(nx_) * nx_; }
+
+  /// Pixel side length (wavelengths).
+  double h() const { return h_; }
+  /// Domain side length D (wavelengths).
+  double domain() const { return h_ * nx_; }
+  /// Background wavenumber (lambda = 1 units).
+  double k0() const { return k0_; }
+  /// Equal-area disk radius used by the Richmond pixel integration.
+  double disk_radius() const { return a_; }
+
+  /// Centre of pixel (ix, iy), 0 <= ix, iy < nx; domain centred at origin.
+  Vec2 pixel_center(int ix, int iy) const {
+    return {(ix + 0.5) * h_ - 0.5 * domain(), (iy + 0.5) * h_ - 0.5 * domain()};
+  }
+
+  /// Row-major linear pixel index.
+  std::size_t pixel_index(int ix, int iy) const {
+    return static_cast<std::size_t>(iy) * nx_ + ix;
+  }
+
+ private:
+  int nx_;
+  double h_;
+  double k0_;
+  double a_;
+};
+
+}  // namespace ffw

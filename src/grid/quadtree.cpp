@@ -1,0 +1,215 @@
+#include "grid/quadtree.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+#include "common/morton.hpp"
+
+namespace ffw {
+
+namespace {
+
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+/// 7x7 lookup from (dx+3, dy+3) to translation-type index (or -1).
+std::array<int, 49> make_offset_lookup() {
+  std::array<int, 49> lut;
+  lut.fill(-1);
+  const auto& offs = QuadTree::translation_offsets();
+  for (std::size_t t = 0; t < offs.size(); ++t) {
+    const auto [dx, dy] = offs[t];
+    lut[static_cast<std::size_t>((dy + 3) * 7 + (dx + 3))] = static_cast<int>(t);
+  }
+  return lut;
+}
+
+}  // namespace
+
+const std::vector<std::pair<int, int>>& QuadTree::translation_offsets() {
+  static const std::vector<std::pair<int, int>> offsets = [] {
+    std::vector<std::pair<int, int>> o;
+    for (int dy = -3; dy <= 3; ++dy) {
+      for (int dx = -3; dx <= 3; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) >= 2) o.emplace_back(dx, dy);
+      }
+    }
+    FFW_CHECK(o.size() == 40);  // Table I: 40 translation types per level
+    return o;
+  }();
+  return offsets;
+}
+
+QuadTree::QuadTree(const Grid& grid, int leaf_pixel_side)
+    : grid_(grid), leaf_pixel_side_(leaf_pixel_side) {
+  const int nx = grid.nx();
+  FFW_CHECK_MSG(leaf_pixel_side_ >= 2,
+                "leaf clusters need at least 2x2 pixels");
+  FFW_CHECK_MSG(nx % leaf_pixel_side_ == 0,
+                "nx must be a multiple of the leaf side");
+  leaf_side_ = nx / leaf_pixel_side_;
+  FFW_CHECK_MSG(is_pow2(leaf_side_),
+                "nx/leaf_pixel_side must be a power of two");
+
+  // Computed levels: sides leaf_side, leaf_side/2, ..., kTopSide.
+  if (leaf_side_ >= kTopSide) {
+    const double leaf_width = leaf_pixel_side_ * grid.h();
+    int side = leaf_side_;
+    double width = leaf_width;
+    while (side >= kTopSide) {
+      TreeLevel lvl;
+      lvl.side = side;
+      lvl.num_clusters = static_cast<std::size_t>(side) * side;
+      lvl.width = width;
+      levels_.push_back(std::move(lvl));
+      side /= 2;
+      width *= 2.0;
+    }
+  }
+
+  static const std::array<int, 49> kOffsetLut = make_offset_lookup();
+
+  // Far-field interaction lists per level.
+  const int top = num_levels() - 1;
+  for (int l = 0; l <= top; ++l) {
+    TreeLevel& lvl = levels_[static_cast<std::size_t>(l)];
+    const int side = lvl.side;
+    lvl.far_begin.assign(lvl.num_clusters + 1, 0);
+    // Two passes: count, then fill.
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<std::uint32_t> cursor;
+      if (pass == 1) {
+        std::uint32_t acc = 0;
+        for (std::size_t c = 0; c < lvl.num_clusters; ++c) {
+          const std::uint32_t n = lvl.far_begin[c];
+          lvl.far_begin[c] = acc;
+          acc += n;
+        }
+        lvl.far_begin[lvl.num_clusters] = acc;
+        lvl.far.resize(acc);
+        cursor.assign(lvl.far_begin.begin(), lvl.far_begin.end() - 1);
+      }
+      for (std::size_t c = 0; c < lvl.num_clusters; ++c) {
+        std::uint32_t cx, cy;
+        morton_decode(static_cast<std::uint32_t>(c), cx, cy);
+        auto consider = [&](int sx, int sy) {
+          if (sx < 0 || sy < 0 || sx >= side || sy >= side) return;
+          const int dx = sx - static_cast<int>(cx);
+          const int dy = sy - static_cast<int>(cy);
+          if (std::max(std::abs(dx), std::abs(dy)) < 2) return;
+          const int t = kOffsetLut[static_cast<std::size_t>((dy + 3) * 7 + (dx + 3))];
+          FFW_DCHECK(t >= 0);
+          if (pass == 0) {
+            ++lvl.far_begin[c];
+          } else {
+            const std::uint32_t src =
+                morton_encode(static_cast<std::uint32_t>(sx),
+                              static_cast<std::uint32_t>(sy));
+            lvl.far[cursor[c]++] =
+                FarEntry{src, static_cast<std::uint16_t>(t)};
+          }
+        };
+        if (l == top) {
+          // Top computed level: every non-adjacent cluster interacts here
+          // (there is no higher level to defer to). With side == 4 the
+          // offsets still fall inside the 40-type set.
+          for (int sy = 0; sy < side; ++sy)
+            for (int sx = 0; sx < side; ++sx) consider(sx, sy);
+        } else {
+          // Standard FMM list: children of the parent's 3x3 neighbourhood
+          // that are not own-near (paper Fig. 5: <= 27 entries).
+          const int px = static_cast<int>(cx) / 2, py = static_cast<int>(cy) / 2;
+          const int pside = side / 2;
+          for (int j = -1; j <= 1; ++j) {
+            for (int i = -1; i <= 1; ++i) {
+              const int qx = px + i, qy = py + j;
+              if (qx < 0 || qy < 0 || qx >= pside || qy >= pside) continue;
+              for (int ch = 0; ch < 4; ++ch) {
+                consider(2 * qx + (ch & 1), 2 * qy + (ch >> 1));
+              }
+            }
+          }
+        }
+      }
+      if (pass == 0 && lvl.num_clusters > 0) {
+        // shift handled in pass-1 preamble
+      }
+    }
+  }
+
+  // Leaf near lists (3x3 neighbourhood, 9 operator types).
+  const std::size_t nleaf = num_leaves();
+  near_begin_.assign(nleaf + 1, 0);
+  for (std::size_t c = 0; c < nleaf; ++c) {
+    std::uint32_t cx, cy;
+    morton_decode(static_cast<std::uint32_t>(c), cx, cy);
+    std::uint32_t n = 0;
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int sx = static_cast<int>(cx) + dx, sy = static_cast<int>(cy) + dy;
+        if (sx >= 0 && sy >= 0 && sx < leaf_side_ && sy < leaf_side_) ++n;
+      }
+    near_begin_[c + 1] = near_begin_[c] + n;
+  }
+  near_.resize(near_begin_[nleaf]);
+  for (std::size_t c = 0; c < nleaf; ++c) {
+    std::uint32_t cx, cy;
+    morton_decode(static_cast<std::uint32_t>(c), cx, cy);
+    std::uint32_t cur = near_begin_[c];
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int sx = static_cast<int>(cx) + dx, sy = static_cast<int>(cy) + dy;
+        if (sx < 0 || sy < 0 || sx >= leaf_side_ || sy >= leaf_side_) continue;
+        const std::uint32_t src = morton_encode(static_cast<std::uint32_t>(sx),
+                                                static_cast<std::uint32_t>(sy));
+        near_[cur++] = NearEntry{
+            src, static_cast<std::uint16_t>((dy + 1) * 3 + (dx + 1))};
+      }
+  }
+
+  // Cluster-order <-> natural-order permutations.
+  const std::size_t npix = grid.num_pixels();
+  const int np = pixels_per_leaf();
+  perm_.resize(npix);
+  iperm_.resize(npix);
+  for (std::size_t c = 0; c < nleaf; ++c) {
+    std::uint32_t lx, ly;
+    morton_decode(static_cast<std::uint32_t>(c), lx, ly);
+    for (int p = 0; p < np; ++p) {
+      const int px = p % leaf_pixel_side_, py = p / leaf_pixel_side_;
+      const std::size_t q = c * static_cast<std::size_t>(np) +
+                            static_cast<std::size_t>(p);
+      const std::size_t nat = grid.pixel_index(
+          static_cast<int>(lx) * leaf_pixel_side_ + px,
+          static_cast<int>(ly) * leaf_pixel_side_ + py);
+      perm_[q] = static_cast<std::uint32_t>(nat);
+      iperm_[nat] = static_cast<std::uint32_t>(q);
+    }
+  }
+}
+
+Vec2 QuadTree::cluster_center(int l, std::size_t c) const {
+  const TreeLevel& lvl = level(l);
+  std::uint32_t cx, cy;
+  morton_decode(static_cast<std::uint32_t>(c), cx, cy);
+  const double d = grid_.domain();
+  return {(cx + 0.5) * lvl.width - 0.5 * d, (cy + 0.5) * lvl.width - 0.5 * d};
+}
+
+void QuadTree::to_cluster_order(ccspan natural, cspan clustered) const {
+  FFW_CHECK(natural.size() == perm_.size() && clustered.size() == perm_.size());
+  for (std::size_t q = 0; q < perm_.size(); ++q) clustered[q] = natural[perm_[q]];
+}
+
+void QuadTree::to_natural_order(ccspan clustered, cspan natural) const {
+  FFW_CHECK(natural.size() == perm_.size() && clustered.size() == perm_.size());
+  for (std::size_t q = 0; q < perm_.size(); ++q) natural[perm_[q]] = clustered[q];
+}
+
+Vec2 QuadTree::local_pixel_offset(int p) const {
+  const double h = grid_.h();
+  const int px = p % leaf_pixel_side_, py = p / leaf_pixel_side_;
+  const double half = 0.5 * leaf_pixel_side_;
+  return {(px + 0.5 - half) * h, (py + 0.5 - half) * h};
+}
+
+}  // namespace ffw

@@ -1,0 +1,55 @@
+// Binary checkpointing for long reconstructions.
+//
+// The paper's runs burn thousands of node-hours; losing a 50-iteration
+// DBIM run to a node failure is expensive, so production deployments
+// checkpoint the outer-loop state. The format is a minimal tagged
+// binary container (magic, version, named complex arrays) — no external
+// serialisation library, consistent with the repository's
+// no-dependencies rule.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ffw {
+
+class Checkpoint {
+ public:
+  /// Store/overwrite a named complex array.
+  void put(const std::string& name, ccspan data);
+  /// Store a named scalar (kept as a 1-element array).
+  void put_scalar(const std::string& name, double value);
+
+  bool contains(const std::string& name) const;
+  /// Fetch a named array; aborts if missing (use contains() to probe).
+  const cvec& get(const std::string& name) const;
+  double get_scalar(const std::string& name) const;
+
+  /// Serialise to / restore from a file. Returns false on I/O errors or
+  /// a malformed/mismatched file (restore leaves *this empty then).
+  bool save(const std::string& path) const;
+  bool load(const std::string& path);
+
+  std::size_t size() const { return arrays_.size(); }
+
+ private:
+  std::map<std::string, cvec> arrays_;
+};
+
+/// DBIM outer-loop state round trip: everything needed to resume a
+/// reconstruction at iteration k (contrast, previous gradient and
+/// direction, residual history).
+struct DbimCheckpoint {
+  int iteration = 0;
+  cvec contrast;
+  cvec gradient_prev;
+  cvec direction;
+  rvec residual_history;
+
+  bool save(const std::string& path) const;
+  bool load(const std::string& path);
+};
+
+}  // namespace ffw

@@ -1,0 +1,29 @@
+#include "io/csv.hpp"
+
+#include <cstdio>
+
+namespace ffw {
+
+bool write_csv(const std::string& path,
+               const std::vector<CsvColumn>& columns) {
+  if (columns.empty()) return false;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::size_t rows = 0;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    std::fprintf(f, "%s%s", columns[c].name.c_str(),
+                 c + 1 < columns.size() ? "," : "\n");
+    rows = std::max(rows, columns[c].values.size());
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (r < columns[c].values.size())
+        std::fprintf(f, "%.10g", columns[c].values[r]);
+      std::fputc(c + 1 < columns.size() ? ',' : '\n', f);
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace ffw

@@ -1,0 +1,17 @@
+// CSV series writer: each bench emits its figure series as CSV next to
+// the console table, so plots can be regenerated externally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ffw {
+
+struct CsvColumn {
+  std::string name;
+  std::vector<double> values;
+};
+
+bool write_csv(const std::string& path, const std::vector<CsvColumn>& columns);
+
+}  // namespace ffw

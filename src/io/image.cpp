@@ -1,0 +1,54 @@
+#include "io/image.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ffw {
+
+namespace {
+bool write_pgm_raw(const std::string& path, int nx, const rvec& v, double lo,
+                   double hi) {
+  if (lo == 0.0 && hi == 0.0) {
+    lo = *std::min_element(v.begin(), v.end());
+    hi = *std::max_element(v.begin(), v.end());
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  std::fprintf(f, "P5\n%d %d\n255\n", nx, nx);
+  std::vector<unsigned char> row(static_cast<std::size_t>(nx));
+  // PGM rows are top-to-bottom; our iy grows upward — flip.
+  for (int iy = nx - 1; iy >= 0; --iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      const double t =
+          (v[static_cast<std::size_t>(iy) * nx + ix] - lo) / (hi - lo);
+      row[static_cast<std::size_t>(ix)] = static_cast<unsigned char>(
+          std::clamp(t, 0.0, 1.0) * 255.0 + 0.5);
+    }
+    std::fwrite(row.data(), 1, row.size(), f);
+  }
+  std::fclose(f);
+  return true;
+}
+}  // namespace
+
+bool write_pgm(const std::string& path, const Grid& grid, ccspan values,
+               double lo, double hi) {
+  FFW_CHECK(values.size() == grid.num_pixels());
+  rvec v(values.size());
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = values[i].real();
+  return write_pgm_raw(path, grid.nx(), v, lo, hi);
+}
+
+bool write_pgm_magnitude(const std::string& path, const Grid& grid,
+                         ccspan values) {
+  FFW_CHECK(values.size() == grid.num_pixels());
+  rvec v(values.size());
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = std::abs(values[i]);
+  return write_pgm_raw(path, grid.nx(), v, 0.0, 0.0);
+}
+
+}  // namespace ffw

@@ -1,0 +1,22 @@
+// Image output for reconstructions: binary PGM (8-bit grayscale) of the
+// real part / magnitude of a pixel map, auto-scaled. Enough to eyeball
+// the Fig. 1/2/13 reconstructions without any external dependency.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "grid/grid.hpp"
+
+namespace ffw {
+
+/// Writes real(values) as a PGM, linearly mapped from [lo, hi] to
+/// [0, 255]; lo == hi == 0 auto-scales to the data range.
+bool write_pgm(const std::string& path, const Grid& grid, ccspan values,
+               double lo = 0.0, double hi = 0.0);
+
+/// Writes |values| as a PGM (auto-scaled).
+bool write_pgm_magnitude(const std::string& path, const Grid& grid,
+                         ccspan values);
+
+}  // namespace ffw

@@ -1,0 +1,71 @@
+#include "linalg/banded.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ffw {
+
+PeriodicBandMatrix::PeriodicBandMatrix(std::size_t rows, std::size_t cols,
+                                       std::size_t width)
+    : rows_(rows), cols_(cols), width_(width), w_(rows * width, 0.0),
+      first_(rows, 0) {
+  FFW_CHECK(width <= cols);
+}
+
+void PeriodicBandMatrix::apply(ccspan x, cspan y) const {
+  FFW_CHECK(x.size() == cols_ && y.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* wr = w_.data() + r * width_;
+    std::size_t c = first_[r];
+    cplx acc{};
+    for (std::size_t j = 0; j < width_; ++j) {
+      acc += wr[j] * x[c];
+      if (++c == cols_) c = 0;
+    }
+    y[r] = acc;
+  }
+}
+
+void PeriodicBandMatrix::apply_adjoint(ccspan x, cspan y) const {
+  FFW_CHECK(x.size() == rows_ && y.size() == cols_);
+  std::fill(y.begin(), y.end(), cplx{});
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* wr = w_.data() + r * width_;
+    std::size_t c = first_[r];
+    const cplx xr = x[r];
+    for (std::size_t j = 0; j < width_; ++j) {
+      y[c] += wr[j] * xr;
+      if (++c == cols_) c = 0;
+    }
+  }
+}
+
+void PeriodicBandMatrix::apply_batch(const cplx* x, std::size_t ldx, cplx* y,
+                                     std::size_t ldy, std::size_t n) const {
+  for (std::size_t b = 0; b < n; ++b) {
+    apply(ccspan{x + b * ldx, cols_}, cspan{y + b * ldy, rows_});
+  }
+}
+
+void PeriodicBandMatrix::apply_adjoint_batch(const cplx* x, std::size_t ldx,
+                                             cplx* y, std::size_t ldy,
+                                             std::size_t n) const {
+  for (std::size_t b = 0; b < n; ++b) {
+    apply_adjoint(ccspan{x + b * ldx, rows_}, cspan{y + b * ldy, cols_});
+  }
+}
+
+std::vector<std::vector<double>> PeriodicBandMatrix::to_dense() const {
+  std::vector<std::vector<double>> d(rows_, std::vector<double>(cols_, 0.0));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::size_t c = first_[r];
+    for (std::size_t j = 0; j < width_; ++j) {
+      d[r][c] += coeff(r, j);
+      if (++c == cols_) c = 0;
+    }
+  }
+  return d;
+}
+
+}  // namespace ffw

@@ -1,0 +1,68 @@
+// Band matrices with periodic (circulant-band) column support.
+//
+// The MLFMA interpolation operator resamples a band-limited function on
+// the unit circle from Q_child uniform samples to Q_parent samples using
+// local Lagrange interpolation (Sec. IV-D: "interpolation and
+// anterpolation operators ... are realized with band-diagonal matrices";
+// "more accuracy yields a thicker band"). Because the sample grid is
+// periodic in the angle, each row's support wraps around modulo the
+// column count — hence the periodic band layout here.
+//
+// Storage: for each row r we keep `width` consecutive (mod cols) entries
+// starting at column `first[r]`. apply() computes y = A x and
+// apply_adjoint() computes y = A^H x (the anterpolation operator).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ffw {
+
+class PeriodicBandMatrix {
+ public:
+  PeriodicBandMatrix() = default;
+  PeriodicBandMatrix(std::size_t rows, std::size_t cols, std::size_t width);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t width() const { return width_; }
+
+  /// Set the support start column for row r.
+  void set_first(std::size_t r, std::size_t col0) { first_[r] = static_cast<std::uint32_t>(col0); }
+  std::size_t first(std::size_t r) const { return first_[r]; }
+
+  /// Coefficient j (0 <= j < width) of row r, multiplying column
+  /// (first[r] + j) mod cols.
+  double& coeff(std::size_t r, std::size_t j) { return w_[r * width_ + j]; }
+  double coeff(std::size_t r, std::size_t j) const { return w_[r * width_ + j]; }
+
+  /// y = A x (x.size()==cols, y.size()==rows).
+  void apply(ccspan x, cspan y) const;
+  /// y = A^T x == A^H x (coefficients are real).
+  void apply_adjoint(ccspan x, cspan y) const;
+
+  /// Batched forms over column-major panels: X is (cols x n), Y is
+  /// (rows x n), with leading dimensions ldx/ldy.
+  void apply_batch(const cplx* x, std::size_t ldx, cplx* y, std::size_t ldy,
+                   std::size_t n) const;
+  void apply_adjoint_batch(const cplx* x, std::size_t ldx, cplx* y,
+                           std::size_t ldy, std::size_t n) const;
+
+  /// Dense materialisation for testing.
+  std::vector<std::vector<double>> to_dense() const;
+
+  std::size_t bytes() const {
+    return w_.size() * sizeof(double) + first_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t width_ = 0;
+  std::vector<double> w_;
+  std::vector<std::uint32_t> first_;
+};
+
+}  // namespace ffw

@@ -1,0 +1,55 @@
+#include "linalg/cmatrix.hpp"
+
+#include <cmath>
+
+namespace ffw {
+
+CMatrix CMatrix::hermitian() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t c = 0; c < cols_; ++c)
+    for (std::size_t r = 0; r < rows_; ++r) out(c, r) = std::conj((*this)(r, c));
+  return out;
+}
+
+CMatrix CMatrix::transpose() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t c = 0; c < cols_; ++c)
+    for (std::size_t r = 0; r < rows_; ++r) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+double CMatrix::fro_norm() const {
+  double s = 0.0;
+  for (const cplx& v : data_) s += std::norm(v);
+  return std::sqrt(s);
+}
+
+void matvec(const CMatrix& a, ccspan x, cspan y) {
+  std::fill(y.begin(), y.end(), cplx{});
+  matvec_acc(a, x, y);
+}
+
+void matvec_acc(const CMatrix& a, ccspan x, cspan y) {
+  FFW_CHECK(x.size() == a.cols() && y.size() == a.rows());
+  const std::size_t m = a.rows();
+  const cplx* ap = a.data();
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const cplx xc = x[c];
+    const cplx* acol = ap + c * m;
+    for (std::size_t r = 0; r < m; ++r) y[r] += acol[r] * xc;
+  }
+}
+
+void matvec_herm(const CMatrix& a, ccspan x, cspan y) {
+  FFW_CHECK(x.size() == a.rows() && y.size() == a.cols());
+  const std::size_t m = a.rows();
+  const cplx* ap = a.data();
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const cplx* acol = ap + c * m;
+    cplx acc{};
+    for (std::size_t r = 0; r < m; ++r) acc += std::conj(acol[r]) * x[r];
+    y[c] = acc;
+  }
+}
+
+}  // namespace ffw

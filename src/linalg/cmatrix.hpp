@@ -1,0 +1,71 @@
+// Dense column-major complex matrix. Column-major is chosen so that the
+// MLFMA expansion operators (tall Q x 64 matrices applied to batches of
+// cluster vectors) stream contiguously in the GEMM micro-kernel.
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace ffw {
+
+class CMatrix {
+ public:
+  CMatrix() = default;
+  CMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  cplx& operator()(std::size_t r, std::size_t c) {
+    FFW_DCHECK(r < rows_ && c < cols_);
+    return data_[c * rows_ + r];
+  }
+  cplx operator()(std::size_t r, std::size_t c) const {
+    FFW_DCHECK(r < rows_ && c < cols_);
+    return data_[c * rows_ + r];
+  }
+
+  cplx* data() { return data_.data(); }
+  const cplx* data() const { return data_.data(); }
+
+  cspan col(std::size_t c) {
+    FFW_DCHECK(c < cols_);
+    return cspan{data_.data() + c * rows_, rows_};
+  }
+  ccspan col(std::size_t c) const {
+    FFW_DCHECK(c < cols_);
+    return ccspan{data_.data() + c * rows_, rows_};
+  }
+
+  void fill(cplx v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Conjugate (Hermitian) transpose, A^H.
+  CMatrix hermitian() const;
+  /// Plain transpose, A^T.
+  CMatrix transpose() const;
+
+  /// Frobenius norm.
+  double fro_norm() const;
+
+  /// Memory footprint in bytes (for the storage-complexity census).
+  std::size_t bytes() const { return data_.size() * sizeof(cplx); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  cvec data_;
+};
+
+/// y = A * x (sizes checked).
+void matvec(const CMatrix& a, ccspan x, cspan y);
+/// y += A * x.
+void matvec_acc(const CMatrix& a, ccspan x, cspan y);
+/// y = A^H * x.
+void matvec_herm(const CMatrix& a, ccspan x, cspan y);
+
+}  // namespace ffw

@@ -1,0 +1,120 @@
+#include "linalg/gemm.hpp"
+
+#include <algorithm>
+
+namespace ffw {
+
+namespace {
+// Register-tile sizes for the micro-kernel: 4 rows x 2 columns of C held
+// in scalars while streaming a column of A. Complex FMA keeps ~8 live
+// registers, comfortably within x86-64's budget.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 2;
+constexpr std::size_t kKc = 128;  // k blocking (A panel stays in L1/L2)
+}  // namespace
+
+void gemm_raw(std::size_t m, std::size_t n, std::size_t k, cplx alpha,
+              const cplx* a, std::size_t lda, const cplx* b, std::size_t ldb,
+              cplx beta, cplx* c, std::size_t ldc) {
+  // Scale C by beta once up front.
+  if (beta == cplx{0.0}) {
+    for (std::size_t j = 0; j < n; ++j)
+      std::fill(c + j * ldc, c + j * ldc + m, cplx{});
+  } else if (beta != cplx{1.0}) {
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < m; ++i) c[j * ldc + i] *= beta;
+  }
+  if (alpha == cplx{0.0} || m == 0 || n == 0 || k == 0) return;
+
+  for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+    const std::size_t kb = std::min(kKc, k - k0);
+    for (std::size_t j0 = 0; j0 + kNr <= n; j0 += kNr) {
+      std::size_t i0 = 0;
+      for (; i0 + kMr <= m; i0 += kMr) {
+        cplx c00{}, c10{}, c20{}, c30{}, c01{}, c11{}, c21{}, c31{};
+        const cplx* b0 = b + (j0 + 0) * ldb + k0;
+        const cplx* b1 = b + (j0 + 1) * ldb + k0;
+        for (std::size_t p = 0; p < kb; ++p) {
+          const cplx* ac = a + (k0 + p) * lda + i0;
+          const cplx bp0 = b0[p], bp1 = b1[p];
+          c00 += ac[0] * bp0;
+          c10 += ac[1] * bp0;
+          c20 += ac[2] * bp0;
+          c30 += ac[3] * bp0;
+          c01 += ac[0] * bp1;
+          c11 += ac[1] * bp1;
+          c21 += ac[2] * bp1;
+          c31 += ac[3] * bp1;
+        }
+        cplx* cc0 = c + (j0 + 0) * ldc + i0;
+        cplx* cc1 = c + (j0 + 1) * ldc + i0;
+        cc0[0] += alpha * c00;
+        cc0[1] += alpha * c10;
+        cc0[2] += alpha * c20;
+        cc0[3] += alpha * c30;
+        cc1[0] += alpha * c01;
+        cc1[1] += alpha * c11;
+        cc1[2] += alpha * c21;
+        cc1[3] += alpha * c31;
+      }
+      for (; i0 < m; ++i0) {  // row remainder
+        cplx c0{}, c1{};
+        const cplx* b0 = b + (j0 + 0) * ldb + k0;
+        const cplx* b1 = b + (j0 + 1) * ldb + k0;
+        for (std::size_t p = 0; p < kb; ++p) {
+          const cplx av = a[(k0 + p) * lda + i0];
+          c0 += av * b0[p];
+          c1 += av * b1[p];
+        }
+        c[(j0 + 0) * ldc + i0] += alpha * c0;
+        c[(j0 + 1) * ldc + i0] += alpha * c1;
+      }
+    }
+    if (n % kNr) {  // column remainder
+      const std::size_t j = n - 1;
+      for (std::size_t i0 = 0; i0 < m; ++i0) {
+        cplx acc{};
+        const cplx* bj = b + j * ldb + k0;
+        for (std::size_t p = 0; p < kb; ++p)
+          acc += a[(k0 + p) * lda + i0] * bj[p];
+        c[j * ldc + i0] += alpha * acc;
+      }
+    }
+  }
+}
+
+void gemm_herm_raw(std::size_t m, std::size_t n, std::size_t k, cplx alpha,
+                   const cplx* a, std::size_t lda, const cplx* b,
+                   std::size_t ldb, cplx beta, cplx* c, std::size_t ldc) {
+  // A is stored (k x m); column i of the logical A^H is the conjugated
+  // i-th column of A read contiguously, so the dot-product form is
+  // already stride-1 friendly.
+  for (std::size_t j = 0; j < n; ++j) {
+    const cplx* bj = b + j * ldb;
+    cplx* cj = c + j * ldc;
+    for (std::size_t i = 0; i < m; ++i) {
+      const cplx* ai = a + i * lda;
+      cplx acc{};
+      for (std::size_t p = 0; p < k; ++p) acc += std::conj(ai[p]) * bj[p];
+      cj[i] = (beta == cplx{0.0} ? cplx{} : beta * cj[i]) + alpha * acc;
+    }
+  }
+}
+
+void gemm(cplx alpha, const CMatrix& a, const CMatrix& b, cplx beta,
+          CMatrix& c) {
+  FFW_CHECK(a.cols() == b.rows());
+  FFW_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+  gemm_raw(a.rows(), b.cols(), a.cols(), alpha, a.data(), a.rows(), b.data(),
+           b.rows(), beta, c.data(), c.rows());
+}
+
+void gemm_herm_a(cplx alpha, const CMatrix& a, const CMatrix& b, cplx beta,
+                 CMatrix& c) {
+  FFW_CHECK(a.rows() == b.rows());
+  FFW_CHECK(c.rows() == a.cols() && c.cols() == b.cols());
+  gemm_herm_raw(a.cols(), b.cols(), a.rows(), alpha, a.data(), a.rows(),
+                b.data(), b.rows(), beta, c.data(), c.rows());
+}
+
+}  // namespace ffw

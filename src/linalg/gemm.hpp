@@ -1,0 +1,32 @@
+// Blocked complex GEMM. The paper implements the MLFMA multipole/local
+// expansions as dense matrix-matrix multiplications for data reuse
+// (Sec. IV-D); this is the kernel that realises them on the CPU.
+#pragma once
+
+#include "linalg/cmatrix.hpp"
+
+namespace ffw {
+
+/// C = alpha * A * B + beta * C.
+void gemm(cplx alpha, const CMatrix& a, const CMatrix& b, cplx beta,
+          CMatrix& c);
+
+/// C = alpha * A^H * B + beta * C.
+void gemm_herm_a(cplx alpha, const CMatrix& a, const CMatrix& b, cplx beta,
+                 CMatrix& c);
+
+/// Raw-pointer variant over column-major blocks:
+/// C(m x n) = alpha * A(m x k) * B(k x n) + beta * C, with leading
+/// dimensions lda/ldb/ldc. Used by the MLFMA engine where cluster data
+/// lives inside larger level-wide arrays.
+void gemm_raw(std::size_t m, std::size_t n, std::size_t k, cplx alpha,
+              const cplx* a, std::size_t lda, const cplx* b, std::size_t ldb,
+              cplx beta, cplx* c, std::size_t ldc);
+
+/// Same but with A conjugate-transposed: C = alpha * A^H * B + beta * C,
+/// where A is stored (k x m) column-major.
+void gemm_herm_raw(std::size_t m, std::size_t n, std::size_t k, cplx alpha,
+                   const cplx* a, std::size_t lda, const cplx* b,
+                   std::size_t ldb, cplx beta, cplx* c, std::size_t ldc);
+
+}  // namespace ffw

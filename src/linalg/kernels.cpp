@@ -1,0 +1,82 @@
+#include "linalg/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ffw {
+
+cplx cdot(ccspan x, ccspan y) {
+  FFW_DCHECK(x.size() == y.size());
+  cplx acc{};
+  for (std::size_t i = 0; i < x.size(); ++i) acc += std::conj(x[i]) * y[i];
+  return acc;
+}
+
+double nrm2(ccspan x) {
+  double s = 0.0;
+  for (const cplx& v : x) s += std::norm(v);
+  return std::sqrt(s);
+}
+
+void axpy(cplx a, ccspan x, cspan y) {
+  FFW_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void xpay(ccspan x, cplx a, cspan y) {
+  FFW_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + a * y[i];
+}
+
+void scal(cplx a, cspan x) {
+  for (cplx& v : x) v *= a;
+}
+
+void copy(ccspan x, cspan y) {
+  FFW_DCHECK(x.size() == y.size());
+  std::copy(x.begin(), x.end(), y.begin());
+}
+
+void sub(ccspan a, ccspan b, cspan out) {
+  FFW_DCHECK(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+}
+
+void diag_mul(ccspan d, ccspan x, cspan y) {
+  FFW_DCHECK(d.size() == x.size() && x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = d[i] * x[i];
+}
+
+void diag_mul_acc(ccspan d, ccspan x, cspan y) {
+  FFW_DCHECK(d.size() == x.size() && x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += d[i] * x[i];
+}
+
+void diag_mul_conj(ccspan d, ccspan x, cspan y) {
+  FFW_DCHECK(d.size() == x.size() && x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::conj(d[i]) * x[i];
+}
+
+double rel_max_diff(ccspan x, ccspan y) {
+  FFW_CHECK(x.size() == y.size());
+  double dmax = 0.0, ymax = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    dmax = std::max(dmax, std::abs(x[i] - y[i]));
+    ymax = std::max(ymax, std::abs(y[i]));
+  }
+  return ymax > 0.0 ? dmax / ymax : dmax;
+}
+
+double rel_l2_diff(ccspan x, ccspan y) {
+  FFW_CHECK(x.size() == y.size());
+  double d = 0.0, n = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    d += std::norm(x[i] - y[i]);
+    n += std::norm(y[i]);
+  }
+  return n > 0.0 ? std::sqrt(d / n) : std::sqrt(d);
+}
+
+}  // namespace ffw

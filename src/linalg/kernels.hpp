@@ -1,0 +1,46 @@
+// Complex vector kernels used by the Krylov solvers and the DBIM
+// optimiser. Kept free-standing so hot loops stay simple for the
+// vectoriser.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ffw {
+
+/// <x, y> = sum conj(x_i) * y_i  (inner product, conjugate-linear in x).
+cplx cdot(ccspan x, ccspan y);
+
+/// 2-norm.
+double nrm2(ccspan x);
+
+/// y += a * x.
+void axpy(cplx a, ccspan x, cspan y);
+
+/// y = x + a * y  (BiCGStab's xpay update).
+void xpay(ccspan x, cplx a, cspan y);
+
+/// x *= a.
+void scal(cplx a, cspan x);
+
+/// y = x.
+void copy(ccspan x, cspan y);
+
+/// out = a - b.
+void sub(ccspan a, ccspan b, cspan out);
+
+/// Pointwise y_i = d_i * x_i (diagonal operator).
+void diag_mul(ccspan d, ccspan x, cspan y);
+
+/// Pointwise y_i += d_i * x_i.
+void diag_mul_acc(ccspan d, ccspan x, cspan y);
+
+/// Pointwise y_i = conj(d_i) * x_i (adjoint of a diagonal operator).
+void diag_mul_conj(ccspan d, ccspan x, cspan y);
+
+/// max_i |x_i - y_i| / max_i |y_i| — relative max-norm difference.
+double rel_max_diff(ccspan x, ccspan y);
+
+/// ||x - y||_2 / ||y||_2.
+double rel_l2_diff(ccspan x, ccspan y);
+
+}  // namespace ffw

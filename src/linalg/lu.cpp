@@ -1,0 +1,87 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+namespace ffw {
+
+LuFactors::LuFactors(CMatrix a) : lu_(std::move(a)), perm_(lu_.rows()) {
+  FFW_CHECK_MSG(lu_.rows() == lu_.cols(), "LU requires a square matrix");
+  const std::size_t n = lu_.rows();
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |value| in column k at or below the diagonal.
+    std::size_t piv = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    FFW_CHECK_MSG(best > 0.0, "singular matrix in LU");
+    perm_[k] = piv;
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(piv, c));
+    }
+    const cplx dk = lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const cplx m = lu_(r, k) / dk;
+      lu_(r, k) = m;
+      if (m == cplx{0.0}) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+cvec LuFactors::solve(ccspan b) const {
+  const std::size_t n = dim();
+  FFW_CHECK(b.size() == n);
+  cvec x(b.begin(), b.end());
+  // Apply all row interchanges first: the stored L lives in the *final*
+  // row ordering (factorisation swaps whole rows, multipliers included),
+  // so P b must be formed completely before forward substitution.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (perm_[k] != k) std::swap(x[k], x[perm_[k]]);
+  }
+  for (std::size_t k = 0; k < n; ++k) {  // L y = P b (unit lower)
+    for (std::size_t r = k + 1; r < n; ++r) x[r] -= lu_(r, k) * x[k];
+  }
+  for (std::size_t k = n; k-- > 0;) {  // back substitution
+    for (std::size_t c = k + 1; c < n; ++c) x[k] -= lu_(k, c) * x[c];
+    x[k] /= lu_(k, k);
+  }
+  return x;
+}
+
+cvec LuFactors::solve_herm(ccspan b) const {
+  // A = P^T L U  =>  A^H = U^H L^H P. Solve U^H y = b, then L^H z = y,
+  // then x = P^T z (undo pivots in reverse).
+  const std::size_t n = dim();
+  FFW_CHECK(b.size() == n);
+  cvec x(b.begin(), b.end());
+  for (std::size_t k = 0; k < n; ++k) {  // U^H is lower triangular
+    for (std::size_t c = 0; c < k; ++c) x[k] -= std::conj(lu_(c, k)) * x[c];
+    x[k] /= std::conj(lu_(k, k));
+  }
+  for (std::size_t k = n; k-- > 0;) {  // L^H is unit upper triangular
+    for (std::size_t r = k + 1; r < n; ++r) x[k] -= std::conj(lu_(r, k)) * x[r];
+  }
+  for (std::size_t k = n; k-- > 0;) {
+    if (perm_[k] != k) std::swap(x[k], x[perm_[k]]);
+  }
+  return x;
+}
+
+double LuFactors::pivot_ratio() const {
+  double lo = 1e300, hi = 0.0;
+  for (std::size_t k = 0; k < dim(); ++k) {
+    const double p = std::abs(lu_(k, k));
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  return hi > 0.0 ? lo / hi : 0.0;
+}
+
+cvec lu_solve(const CMatrix& a, ccspan b) { return LuFactors(a).solve(b); }
+
+}  // namespace ffw

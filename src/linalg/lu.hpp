@@ -1,0 +1,38 @@
+// Dense LU factorisation with partial pivoting. This is the O(N^3)
+// direct solver the paper contrasts against (Sec. I); we use it as the
+// exact reference for small problems in tests and as the dense forward
+// solver in `forward/dense_ref`.
+#pragma once
+
+#include <vector>
+
+#include "linalg/cmatrix.hpp"
+
+namespace ffw {
+
+class LuFactors {
+ public:
+  /// Factor A = P * L * U in place (A is copied). Aborts on exactly
+  /// singular pivots; `nearly_singular()` reports pivot conditioning.
+  explicit LuFactors(CMatrix a);
+
+  /// Solve A x = b. b.size() == n.
+  cvec solve(ccspan b) const;
+
+  /// Solve A^H x = b (uses U^H L^H P^T without refactoring).
+  cvec solve_herm(ccspan b) const;
+
+  /// Ratio of smallest to largest |pivot| — a cheap conditioning probe.
+  double pivot_ratio() const;
+
+  std::size_t dim() const { return lu_.rows(); }
+
+ private:
+  CMatrix lu_;
+  std::vector<std::size_t> perm_;  // row permutation: pivot row at step k
+};
+
+/// Determinant-free convenience: solve A x = b with a one-shot LU.
+cvec lu_solve(const CMatrix& a, ccspan b);
+
+}  // namespace ffw

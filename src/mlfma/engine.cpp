@@ -1,0 +1,225 @@
+#include "mlfma/engine.hpp"
+
+#include <algorithm>
+
+#include "linalg/gemm.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace ffw {
+
+const char* phase_name(MlfmaPhase p) {
+  switch (p) {
+    case MlfmaPhase::kExpansion: return "Multipole Expansion";
+    case MlfmaPhase::kAggregation: return "Aggregation";
+    case MlfmaPhase::kTranslation: return "Translation";
+    case MlfmaPhase::kDisaggregation: return "Disaggregation";
+    case MlfmaPhase::kLocalExpansion: return "Local Expansion";
+    case MlfmaPhase::kNearField: return "Near-Field Interactions";
+    default: return "?";
+  }
+}
+
+double PhaseTimes::total() const {
+  double s = 0.0;
+  for (double v : seconds) s += v;
+  return s;
+}
+
+void PhaseTimes::clear() {
+  seconds.fill(0.0);
+  applications = 0;
+}
+
+namespace {
+class PhaseTimerScope {
+ public:
+  PhaseTimerScope(PhaseTimes& t, MlfmaPhase p)
+      : acc_(t.seconds[static_cast<std::size_t>(p)]) {}
+  ~PhaseTimerScope() { acc_ += timer_.seconds(); }
+
+ private:
+  double& acc_;
+  Timer timer_;
+};
+}  // namespace
+
+MlfmaEngine::MlfmaEngine(const QuadTree& tree, const MlfmaParams& params)
+    : tree_(&tree), plan_(tree, params), ops_(tree, plan_), near_(tree) {
+  s_.resize(static_cast<std::size_t>(tree.num_levels()));
+  g_.resize(static_cast<std::size_t>(tree.num_levels()));
+  for (int l = 0; l < tree.num_levels(); ++l) {
+    const std::size_t q = static_cast<std::size_t>(plan_.level(l).samples);
+    s_[static_cast<std::size_t>(l)].resize(q * tree.level(l).num_clusters);
+    g_[static_cast<std::size_t>(l)].resize(q * tree.level(l).num_clusters);
+  }
+}
+
+std::size_t MlfmaEngine::bytes() const {
+  std::size_t s = ops_.bytes() + near_.bytes();
+  for (const auto& v : s_) s += v.size() * sizeof(cplx);
+  for (const auto& v : g_) s += v.size() * sizeof(cplx);
+  return s;
+}
+
+void MlfmaEngine::upward_pass(ccspan x) {
+  const std::size_t np = static_cast<std::size_t>(tree_->pixels_per_leaf());
+  const std::size_t nleaf = tree_->num_leaves();
+  const std::size_t q0 = static_cast<std::size_t>(plan_.level(0).samples);
+
+  {
+    PhaseTimerScope t(times_, MlfmaPhase::kExpansion);
+    // S0 = E (q0 x 64) * X (64 x nleaf): one batched GEMM over a column
+    // range per thread.
+    const std::size_t nthreads =
+        std::min<std::size_t>(static_cast<std::size_t>(num_threads()), nleaf);
+    const std::size_t chunk = (nleaf + nthreads - 1) / nthreads;
+    parallel_for(0, nthreads, [&](std::size_t tid) {
+      const std::size_t c0 = tid * chunk;
+      const std::size_t c1 = std::min(nleaf, c0 + chunk);
+      if (c0 >= c1) return;
+      gemm_raw(q0, c1 - c0, np, cplx{1.0}, ops_.expansion().data(), q0,
+               x.data() + c0 * np, np, cplx{0.0}, s_[0].data() + c0 * q0, q0);
+    });
+  }
+
+  PhaseTimerScope t(times_, MlfmaPhase::kAggregation);
+  for (int l = 0; l + 1 < tree_->num_levels(); ++l) {
+    const LevelOperators& ops = ops_.level(l);
+    const std::size_t qc = static_cast<std::size_t>(ops.samples);
+    const std::size_t qp =
+        static_cast<std::size_t>(plan_.level(l + 1).samples);
+    const std::size_t nparents = tree_->level(l + 1).num_clusters;
+    const cplx* src = s_[static_cast<std::size_t>(l)].data();
+    cplx* dst = s_[static_cast<std::size_t>(l) + 1].data();
+    parallel_for(0, nparents, [&](std::size_t p) {
+      cplx* sp = dst + p * qp;
+      std::fill(sp, sp + qp, cplx{});
+      cvec tmp(qp);
+      for (int j = 0; j < 4; ++j) {
+        // Child Morton index = 4p + j; bit0/bit1 of j give the child's
+        // +-x/+-y position, matching the shift-table construction.
+        const cplx* sc = src + (4 * p + static_cast<std::size_t>(j)) * qc;
+        ops.interp.apply(ccspan{sc, qc}, tmp);
+        const cvec& sh = ops.up_shift[static_cast<std::size_t>(j)];
+        for (std::size_t q = 0; q < qp; ++q) sp[q] += sh[q] * tmp[q];
+      }
+    });
+  }
+}
+
+void MlfmaEngine::translation_pass() {
+  PhaseTimerScope t(times_, MlfmaPhase::kTranslation);
+  for (int l = 0; l < tree_->num_levels(); ++l) {
+    const TreeLevel& lvl = tree_->level(l);
+    const LevelOperators& ops = ops_.level(l);
+    const std::size_t q = static_cast<std::size_t>(ops.samples);
+    const cplx* src = s_[static_cast<std::size_t>(l)].data();
+    cplx* dst = g_[static_cast<std::size_t>(l)].data();
+    parallel_for_dynamic(0, lvl.num_clusters, [&](std::size_t c) {
+      cplx* gc = dst + c * q;
+      std::fill(gc, gc + q, cplx{});
+      for (std::uint32_t e = lvl.far_begin[c]; e < lvl.far_begin[c + 1]; ++e) {
+        const FarEntry& fe = lvl.far[e];
+        const cplx* sc = src + static_cast<std::size_t>(fe.src) * q;
+        const cvec& trans = ops.translations[fe.trans_type];
+        for (std::size_t i = 0; i < q; ++i) gc[i] += trans[i] * sc[i];
+      }
+    });
+  }
+}
+
+void MlfmaEngine::downward_pass(cspan y) {
+  const std::size_t np = static_cast<std::size_t>(tree_->pixels_per_leaf());
+  const std::size_t nleaf = tree_->num_leaves();
+
+  {
+    PhaseTimerScope t(times_, MlfmaPhase::kDisaggregation);
+    for (int l = tree_->num_levels() - 1; l >= 1; --l) {
+      const LevelOperators& child_ops = ops_.level(l - 1);
+      const std::size_t qp = static_cast<std::size_t>(plan_.level(l).samples);
+      const std::size_t qc = static_cast<std::size_t>(child_ops.samples);
+      const std::size_t nparents = tree_->level(l).num_clusters;
+      const cplx* src = g_[static_cast<std::size_t>(l)].data();
+      cplx* dst = g_[static_cast<std::size_t>(l) - 1].data();
+      // Anterpolation scale: quadrature-consistent resampling down to the
+      // child rate (see DESIGN.md Sec. 5).
+      const double scale = static_cast<double>(qc) / static_cast<double>(qp);
+      parallel_for(0, nparents, [&](std::size_t p) {
+        const cplx* gp = src + p * qp;
+        cvec shifted(qp), down(qc);
+        for (int j = 0; j < 4; ++j) {
+          const cvec& sh = child_ops.down_shift[static_cast<std::size_t>(j)];
+          for (std::size_t q = 0; q < qp; ++q) shifted[q] = sh[q] * gp[q];
+          child_ops.interp.apply_adjoint(shifted, down);
+          cplx* gc = dst + (4 * p + static_cast<std::size_t>(j)) * qc;
+          for (std::size_t q = 0; q < qc; ++q) gc[q] += scale * down[q];
+        }
+      });
+    }
+  }
+
+  PhaseTimerScope t(times_, MlfmaPhase::kLocalExpansion);
+  const std::size_t q0 = static_cast<std::size_t>(plan_.level(0).samples);
+  const std::size_t nthreads =
+      std::min<std::size_t>(static_cast<std::size_t>(num_threads()), nleaf);
+  const std::size_t chunk = (nleaf + nthreads - 1) / nthreads;
+  parallel_for(0, nthreads, [&](std::size_t tid) {
+    const std::size_t c0 = tid * chunk;
+    const std::size_t c1 = std::min(nleaf, c0 + chunk);
+    if (c0 >= c1) return;
+    // y(64 x cols) += R (64 x q0) * G0 (q0 x cols)
+    gemm_raw(np, c1 - c0, q0, cplx{1.0}, ops_.local_expansion().data(), np,
+             g_[0].data() + c0 * q0, q0, cplx{1.0}, y.data() + c0 * np, np);
+  });
+}
+
+void MlfmaEngine::apply(ccspan x, cspan y) {
+  const std::size_t n = tree_->grid().num_pixels();
+  FFW_CHECK(x.size() == n && y.size() == n);
+  std::fill(y.begin(), y.end(), cplx{});
+
+  if (tree_->num_levels() > 0) {
+    upward_pass(x);
+    translation_pass();
+    downward_pass(y);
+  }
+
+  {
+    PhaseTimerScope t(times_, MlfmaPhase::kNearField);
+    const std::size_t np =
+        static_cast<std::size_t>(tree_->pixels_per_leaf());
+    const auto& begin = tree_->near_begin();
+    const auto& entries = tree_->near();
+    parallel_for_dynamic(0, tree_->num_leaves(), [&](std::size_t c) {
+      cplx* yd = y.data() + c * np;
+      for (std::uint32_t e = begin[c]; e < begin[c + 1]; ++e) {
+        const NearEntry& ne = entries[e];
+        const CMatrix& m = near_.type(ne.near_type);
+        const cplx* xs = x.data() + static_cast<std::size_t>(ne.src) * np;
+        gemm_raw(np, 1, np, cplx{1.0}, m.data(), np, xs, np, cplx{1.0}, yd,
+                 np);
+      }
+    });
+  }
+  ++times_.applications;
+}
+
+ccspan MlfmaEngine::upward_only(ccspan x) {
+  const std::size_t n = tree_->grid().num_pixels();
+  FFW_CHECK(x.size() == n);
+  FFW_CHECK_MSG(tree_->num_levels() > 0,
+                "upward_only needs at least one far-field level");
+  upward_pass(x);
+  return ccspan{s_.back()};
+}
+
+void MlfmaEngine::apply_herm(ccspan x, cspan y) {
+  // G0 is complex-symmetric: G0^T = G0, hence G0^H = conj(G0) and
+  // G0^H x = conj(G0 conj(x)).
+  cvec xc(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) xc[i] = std::conj(x[i]);
+  apply(xc, y);
+  for (auto& v : y) v = std::conj(v);
+}
+
+}  // namespace ffw

@@ -1,0 +1,96 @@
+// Serial / within-node MLFMA engine: O(N) application of the dense
+// interaction matrix G0 (paper Sec. III-B, bottom of Fig. 4).
+//
+// apply() runs the four phases — aggregation (with the leaf multipole
+// expansion), translation, disaggregation (with the leaf local
+// expansion) and the near-field pass — over Morton-ordered per-level
+// sample arrays. Leaf expansions are batched into single GEMMs across
+// all clusters (Sec. IV-D), aggregation/disaggregation stream each
+// parent's four children through the shared band-diagonal interpolator
+// and diagonal shift tables, and translation is a diagonal
+// multiply-accumulate per interaction-list entry.
+//
+// Phase wall-times are accumulated in `phase_times()`; they are the
+// measured inputs for the Table III / Table IV reproduction and the
+// scaling model.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/timer.hpp"
+#include "greens/nearfield.hpp"
+#include "grid/quadtree.hpp"
+#include "mlfma/operators.hpp"
+#include "mlfma/plan.hpp"
+
+namespace ffw {
+
+enum class MlfmaPhase {
+  kExpansion = 0,      // leaf multipole expansion (dense GEMM)
+  kAggregation,        // interpolate + shift up the tree
+  kTranslation,        // diagonal far-field translations
+  kDisaggregation,     // shift + anterpolate down the tree
+  kLocalExpansion,     // leaf local expansion (dense GEMM)
+  kNearField,          // 9-type dense near-field pass
+  kCount
+};
+
+const char* phase_name(MlfmaPhase p);
+
+struct PhaseTimes {
+  std::array<double, static_cast<std::size_t>(MlfmaPhase::kCount)> seconds{};
+  std::uint64_t applications = 0;
+
+  double total() const;
+  void clear();
+};
+
+class MlfmaEngine {
+ public:
+  MlfmaEngine(const QuadTree& tree, const MlfmaParams& params = {});
+
+  /// y = G0 * x; x and y are pixel vectors in *cluster order*
+  /// (QuadTree::to_cluster_order), y is overwritten.
+  void apply(ccspan x, cspan y);
+
+  /// y = G0^H * x. G0 is complex-symmetric (reciprocity), so
+  /// G0^H x = conj(G0 conj(x)); used by the adjoint Frechet operator.
+  void apply_herm(ccspan x, cspan y);
+
+  /// Runs only the upward pass (expansion + aggregation) for `x` and
+  /// returns the top-level outgoing spectra panel (Q_top x 16,
+  /// column-major, Morton order). Used by the fast receiver operator
+  /// (greens/fast_receivers.hpp) to evaluate exterior fields in
+  /// O(N + R sqrt(N)) instead of O(R N).
+  ccspan upward_only(ccspan x);
+
+  const QuadTree& tree() const { return *tree_; }
+  const MlfmaPlan& plan() const { return plan_; }
+  const MlfmaOperators& operators() const { return ops_; }
+  const NearFieldOperators& nearfield() const { return near_; }
+
+  const PhaseTimes& phase_times() const { return times_; }
+  void clear_phase_times() { times_.clear(); }
+
+  /// Precomputed-table + workspace storage (the O(N) memory census).
+  std::size_t bytes() const;
+
+ private:
+  void upward_pass(ccspan x);
+  void translation_pass();
+  void downward_pass(cspan y);
+
+  const QuadTree* tree_;
+  MlfmaPlan plan_;
+  MlfmaOperators ops_;
+  NearFieldOperators near_;
+
+  // Per-level outgoing (s_) and incoming (g_) sample panels, Q_l rows by
+  // num_clusters(l) columns, column-major, Morton column order.
+  std::vector<cvec> s_, g_;
+
+  PhaseTimes times_;
+};
+
+}  // namespace ffw

@@ -1,0 +1,91 @@
+// The precomputed MLFMA operator tables of paper Table I:
+//
+//   | operator                | structure     | # types        |
+//   |-------------------------|---------------|----------------|
+//   | near-field interactions | dense         | 9  (greens/)   |
+//   | multipole expansion     | dense         | 1              |
+//   | interpolations          | band-diagonal | 1 per level    |
+//   | multipole shiftings     | diagonal      | 4 per level    |
+//   | translations            | diagonal      | 40 per level   |
+//   | local shiftings         | diagonal      | 4 per level    |
+//   | anterpolations          | band-diagonal | 1 per level    |
+//   | local expansion         | dense         | 1              |
+//
+// All tables are built once in the setup stage and reused for every
+// matvec of every forward solution (Sec. IV-D: "Matrices for these
+// operators are generated ahead of time ... and stored as lookup
+// tables"). The regular grid makes each table independent of the cluster
+// position, which is the whole memory story of the paper.
+#pragma once
+
+#include <vector>
+
+#include "grid/quadtree.hpp"
+#include "linalg/banded.hpp"
+#include "linalg/cmatrix.hpp"
+#include "mlfma/plan.hpp"
+
+namespace ffw {
+
+/// Diagonal translation operator samples T_X(alpha_q), q = 0..Q-1, for
+/// translation vector X, truncation L:
+///   T_L(alpha) = sum_{m=-L..L} H_m^(1)(k|X|) e^{i m (alpha - theta_X - pi/2)}.
+/// This realises the diagonalised 2-D addition theorem in the form
+///   (1/Q) sum_q T_L(alpha_q; X) e^{i k_hat(alpha_q) . d} = H0^(1)(k|X - d|),
+/// (Gegenbauer/Graf, |d| < |X|), so the engine passes X = c_src - c_dest:
+/// with d = u_dest - v_src the right-hand side becomes
+/// H0(k |(c_dest + u) - (c_src + v)|), the pixel-pair kernel. Validated
+/// against direct H0 evaluation in tests/mlfma_translation_test.cpp.
+cvec make_translation_diag(double k, Vec2 x, int truncation, int samples);
+
+/// Band-diagonal Lagrange interpolation matrix resampling a periodic
+/// band-limited function from `src_samples` to `dst_samples` uniform
+/// points with a `width`-point local stencil.
+PeriodicBandMatrix make_interpolation(int src_samples, int dst_samples,
+                                      int width);
+
+struct LevelOperators {
+  int truncation = 0;
+  int samples = 0;
+  /// translations[t] — one diagonal (length Q) per 40 offsets.
+  std::vector<cvec> translations;
+  /// Upward (multipole) shift diagonals for the 4 child positions, at the
+  /// *parent* sample rate; empty at the top level.
+  std::vector<cvec> up_shift;
+  /// Downward (local) shift diagonals = conj(up_shift), kept explicitly
+  /// (Table I counts them as their own 4 types).
+  std::vector<cvec> down_shift;
+  /// Interpolation: this level's rate -> parent rate (empty at top).
+  PeriodicBandMatrix interp;
+
+  std::size_t bytes() const;
+};
+
+class MlfmaOperators {
+ public:
+  MlfmaOperators(const QuadTree& tree, const MlfmaPlan& plan);
+
+  /// Dense leaf multipole-expansion matrix (Q0 x 64):
+  /// E[q, p] = e^{-i k_hat(alpha_q) . u_p}.
+  const CMatrix& expansion() const { return expansion_; }
+
+  /// Dense leaf local-expansion matrix (64 x Q0) with the leaf quadrature
+  /// weight 1/Q0 and the kernel prefactor (i/4)*source_factor folded in:
+  /// R[p, q] = pref/Q0 * e^{+i k_hat(alpha_q) . u_p}.
+  const CMatrix& local_expansion() const { return local_; }
+
+  const LevelOperators& level(int l) const {
+    return levels_[static_cast<std::size_t>(l)];
+  }
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+
+  /// Total precomputed-table footprint (Sec. IV-D memory optimisation).
+  std::size_t bytes() const;
+
+ private:
+  CMatrix expansion_;
+  CMatrix local_;
+  std::vector<LevelOperators> levels_;
+};
+
+}  // namespace ffw

@@ -1,0 +1,283 @@
+#include "mlfma/partitioned.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "linalg/gemm.hpp"
+
+namespace ffw {
+
+namespace {
+constexpr int kTagNear = 1;
+constexpr int kTagLevel = 10;  // + level
+}  // namespace
+
+PartitionedMlfma::PartitionedMlfma(const QuadTree& tree,
+                                   const MlfmaParams& params, int nranks)
+    : tree_(&tree), plan_(tree, params), ops_(tree, plan_), near_(tree),
+      nranks_(nranks) {
+  FFW_CHECK_MSG(tree.num_levels() >= 1,
+                "partitioned MLFMA needs at least one far-field level");
+  const std::size_t top_clusters =
+      tree.level(tree.num_levels() - 1).num_clusters;
+  FFW_CHECK_MSG(nranks >= 1 &&
+                    top_clusters % static_cast<std::size_t>(nranks) == 0,
+                "rank count must divide the top-level cluster count (16)");
+
+  // Build per-level exchange lists: need[dest_rank][src_rank] = clusters.
+  level_exchange_.resize(static_cast<std::size_t>(tree.num_levels()));
+  for (int l = 0; l < tree.num_levels(); ++l) {
+    const TreeLevel& lvl = tree.level(l);
+    std::map<std::pair<int, int>, std::set<std::uint32_t>> need;
+    for (std::size_t c = 0; c < lvl.num_clusters; ++c) {
+      const int rd = owner_of(l, c);
+      for (std::uint32_t e = lvl.far_begin[c]; e < lvl.far_begin[c + 1]; ++e) {
+        const std::uint32_t src = lvl.far[e].src;
+        const int rs = owner_of(l, src);
+        if (rs != rd) need[{rd, rs}].insert(src);
+      }
+    }
+    auto& per_rank = level_exchange_[static_cast<std::size_t>(l)];
+    per_rank.resize(static_cast<std::size_t>(nranks));
+    for (const auto& [key, clusters] : need) {
+      const auto [rd, rs] = key;
+      const std::vector<std::uint32_t> list(clusters.begin(), clusters.end());
+      // rd receives `list` from rs; rs sends `list` to rd.
+      {
+        PeerExchange ex;
+        ex.peer = rs;
+        ex.recv_clusters = list;
+        per_rank[static_cast<std::size_t>(rd)].push_back(std::move(ex));
+      }
+      {
+        PeerExchange ex;
+        ex.peer = rd;
+        ex.send_clusters = list;
+        per_rank[static_cast<std::size_t>(rs)].push_back(std::move(ex));
+      }
+    }
+  }
+
+  // Near-field leaf ghost exchanges.
+  {
+    std::map<std::pair<int, int>, std::set<std::uint32_t>> need;
+    const auto& begin = tree.near_begin();
+    const auto& entries = tree.near();
+    for (std::size_t c = 0; c < tree.num_leaves(); ++c) {
+      const int rd = owner_of(0, c);
+      for (std::uint32_t e = begin[c]; e < begin[c + 1]; ++e) {
+        const int rs = owner_of(0, entries[e].src);
+        if (rs != rd) need[{rd, rs}].insert(entries[e].src);
+      }
+    }
+    near_exchange_.resize(static_cast<std::size_t>(nranks));
+    for (const auto& [key, clusters] : need) {
+      const auto [rd, rs] = key;
+      const std::vector<std::uint32_t> list(clusters.begin(), clusters.end());
+      {
+        PeerExchange ex;
+        ex.peer = rs;
+        ex.recv_clusters = list;
+        near_exchange_[static_cast<std::size_t>(rd)].push_back(std::move(ex));
+      }
+      {
+        PeerExchange ex;
+        ex.peer = rd;
+        ex.send_clusters = list;
+        near_exchange_[static_cast<std::size_t>(rs)].push_back(std::move(ex));
+      }
+    }
+  }
+}
+
+std::size_t PartitionedMlfma::cluster_begin(int level, int rank) const {
+  return tree_->level(level).num_clusters * static_cast<std::size_t>(rank) /
+         static_cast<std::size_t>(nranks_);
+}
+
+std::size_t PartitionedMlfma::cluster_end(int level, int rank) const {
+  return cluster_begin(level, rank + 1);
+}
+
+int PartitionedMlfma::owner_of(int level, std::size_t cluster) const {
+  return static_cast<int>(cluster * static_cast<std::size_t>(nranks_) /
+                          tree_->level(level).num_clusters);
+}
+
+std::size_t PartitionedMlfma::leaf_begin(int rank) const {
+  return cluster_begin(0, rank);
+}
+
+std::size_t PartitionedMlfma::leaf_end(int rank) const {
+  return cluster_end(0, rank);
+}
+
+void PartitionedMlfma::apply(Comm& comm, ccspan x_local, cspan y_local,
+                             int rank_base) const {
+  const int rank = comm.rank() - rank_base;
+  FFW_CHECK(rank >= 0 && rank < nranks_);
+  const std::size_t np = static_cast<std::size_t>(tree_->pixels_per_leaf());
+  const std::size_t lb = leaf_begin(rank), le = leaf_end(rank);
+  const std::size_t nlocal = (le - lb) * np;
+  FFW_CHECK(x_local.size() == nlocal && y_local.size() == nlocal);
+  const int nlev = tree_->num_levels();
+
+  // --- Post near-field halo sends first (overlap with the whole upward
+  // pass, paper Fig. 8).
+  for (const PeerExchange& ex : near_exchange_[static_cast<std::size_t>(rank)]) {
+    if (ex.send_clusters.empty()) continue;
+    cvec buf(ex.send_clusters.size() * np);
+    for (std::size_t i = 0; i < ex.send_clusters.size(); ++i) {
+      const std::size_t c = ex.send_clusters[i];
+      std::copy_n(x_local.data() + (c - lb) * np, np, buf.data() + i * np);
+    }
+    comm.send(rank_base + ex.peer, kTagNear, ccspan{buf});
+  }
+
+  // Per-level sample panels (full-size index space; only owned + ghost
+  // columns are populated — a real MPI build would compact these, which
+  // only changes indexing, not communication or arithmetic).
+  std::vector<cvec> s(static_cast<std::size_t>(nlev)),
+      g(static_cast<std::size_t>(nlev));
+  for (int l = 0; l < nlev; ++l) {
+    const std::size_t q = static_cast<std::size_t>(plan_.level(l).samples);
+    s[static_cast<std::size_t>(l)].assign(q * tree_->level(l).num_clusters,
+                                          cplx{});
+    g[static_cast<std::size_t>(l)].assign(q * tree_->level(l).num_clusters,
+                                          cplx{});
+  }
+
+  // --- Upward pass on the owned sub-trees (communication-free), posting
+  // each level's spectra to peers as soon as that level is complete.
+  auto send_level_halo = [&](int l) {
+    const std::size_t q = static_cast<std::size_t>(plan_.level(l).samples);
+    for (const PeerExchange& ex :
+         level_exchange_[static_cast<std::size_t>(l)][static_cast<std::size_t>(rank)]) {
+      if (ex.send_clusters.empty()) continue;
+      cvec buf(ex.send_clusters.size() * q);
+      for (std::size_t i = 0; i < ex.send_clusters.size(); ++i) {
+        std::copy_n(s[static_cast<std::size_t>(l)].data() +
+                        ex.send_clusters[i] * q,
+                    q, buf.data() + i * q);
+      }
+      comm.send(rank_base + ex.peer, kTagLevel + l, ccspan{buf});
+    }
+  };
+
+  {  // leaf multipole expansion for owned leaves
+    const std::size_t q0 = static_cast<std::size_t>(plan_.level(0).samples);
+    gemm_raw(q0, le - lb, np, cplx{1.0}, ops_.expansion().data(), q0,
+             x_local.data(), np, cplx{0.0}, s[0].data() + lb * q0, q0);
+    send_level_halo(0);
+  }
+  for (int l = 0; l + 1 < nlev; ++l) {
+    const LevelOperators& lops = ops_.level(l);
+    const std::size_t qc = static_cast<std::size_t>(lops.samples);
+    const std::size_t qp = static_cast<std::size_t>(plan_.level(l + 1).samples);
+    const std::size_t pb = cluster_begin(l + 1, rank),
+                      pe = cluster_end(l + 1, rank);
+    cvec tmp(qp);
+    for (std::size_t p = pb; p < pe; ++p) {
+      cplx* sp = s[static_cast<std::size_t>(l) + 1].data() + p * qp;
+      for (int j = 0; j < 4; ++j) {
+        const cplx* sc = s[static_cast<std::size_t>(l)].data() +
+                         (4 * p + static_cast<std::size_t>(j)) * qc;
+        lops.interp.apply(ccspan{sc, qc}, tmp);
+        const cvec& sh = lops.up_shift[static_cast<std::size_t>(j)];
+        for (std::size_t q = 0; q < qp; ++q) sp[q] += sh[q] * tmp[q];
+      }
+    }
+    send_level_halo(l + 1);
+  }
+
+  // --- Translation: receive each level's ghosts, then translate owned
+  // clusters.
+  for (int l = 0; l < nlev; ++l) {
+    const std::size_t q = static_cast<std::size_t>(plan_.level(l).samples);
+    for (const PeerExchange& ex :
+         level_exchange_[static_cast<std::size_t>(l)][static_cast<std::size_t>(rank)]) {
+      if (ex.recv_clusters.empty()) continue;
+      const cvec buf = comm.recv<cplx>(rank_base + ex.peer, kTagLevel + l);
+      FFW_CHECK(buf.size() == ex.recv_clusters.size() * q);
+      for (std::size_t i = 0; i < ex.recv_clusters.size(); ++i) {
+        std::copy_n(buf.data() + i * q, q,
+                    s[static_cast<std::size_t>(l)].data() +
+                        ex.recv_clusters[i] * q);
+      }
+    }
+    const TreeLevel& lvl = tree_->level(l);
+    const LevelOperators& lops = ops_.level(l);
+    for (std::size_t c = cluster_begin(l, rank); c < cluster_end(l, rank);
+         ++c) {
+      cplx* gc = g[static_cast<std::size_t>(l)].data() + c * q;
+      for (std::uint32_t e = lvl.far_begin[c]; e < lvl.far_begin[c + 1]; ++e) {
+        const FarEntry& fe = lvl.far[e];
+        const cplx* sc = s[static_cast<std::size_t>(l)].data() +
+                         static_cast<std::size_t>(fe.src) * q;
+        const cvec& trans = lops.translations[fe.trans_type];
+        for (std::size_t i = 0; i < q; ++i) gc[i] += trans[i] * sc[i];
+      }
+    }
+  }
+
+  // --- Downward pass (communication-free on owned sub-trees).
+  for (int l = nlev - 1; l >= 1; --l) {
+    const LevelOperators& child_ops = ops_.level(l - 1);
+    const std::size_t qp = static_cast<std::size_t>(plan_.level(l).samples);
+    const std::size_t qc = static_cast<std::size_t>(child_ops.samples);
+    const double scale = static_cast<double>(qc) / static_cast<double>(qp);
+    cvec shifted(qp), down(qc);
+    for (std::size_t p = cluster_begin(l, rank); p < cluster_end(l, rank);
+         ++p) {
+      const cplx* gp = g[static_cast<std::size_t>(l)].data() + p * qp;
+      for (int j = 0; j < 4; ++j) {
+        const cvec& sh = child_ops.down_shift[static_cast<std::size_t>(j)];
+        for (std::size_t q = 0; q < qp; ++q) shifted[q] = sh[q] * gp[q];
+        child_ops.interp.apply_adjoint(shifted, down);
+        cplx* gc = g[static_cast<std::size_t>(l) - 1].data() +
+                   (4 * p + static_cast<std::size_t>(j)) * qc;
+        for (std::size_t q = 0; q < qc; ++q) gc[q] += scale * down[q];
+      }
+    }
+  }
+  {  // leaf local expansion into y_local
+    const std::size_t q0 = static_cast<std::size_t>(plan_.level(0).samples);
+    gemm_raw(np, le - lb, q0, cplx{1.0}, ops_.local_expansion().data(), np,
+             g[0].data() + lb * q0, q0, cplx{0.0}, y_local.data(), np);
+  }
+
+  // --- Near field: assemble ghost leaf values, then the 9-type pass.
+  cvec x_ghost(tree_->num_leaves() * np, cplx{});
+  std::copy_n(x_local.data(), nlocal, x_ghost.data() + lb * np);
+  for (const PeerExchange& ex : near_exchange_[static_cast<std::size_t>(rank)]) {
+    if (ex.recv_clusters.empty()) continue;
+    const cvec buf = comm.recv<cplx>(rank_base + ex.peer, kTagNear);
+    FFW_CHECK(buf.size() == ex.recv_clusters.size() * np);
+    for (std::size_t i = 0; i < ex.recv_clusters.size(); ++i) {
+      std::copy_n(buf.data() + i * np, np,
+                  x_ghost.data() + ex.recv_clusters[i] * np);
+    }
+  }
+  const auto& begin = tree_->near_begin();
+  const auto& entries = tree_->near();
+  for (std::size_t c = lb; c < le; ++c) {
+    cplx* yd = y_local.data() + (c - lb) * np;
+    for (std::uint32_t e = begin[c]; e < begin[c + 1]; ++e) {
+      const NearEntry& ne = entries[e];
+      const CMatrix& m = near_.type(ne.near_type);
+      const cplx* xs = x_ghost.data() + static_cast<std::size_t>(ne.src) * np;
+      gemm_raw(np, 1, np, cplx{1.0}, m.data(), np, xs, np, cplx{1.0}, yd, np);
+    }
+  }
+}
+
+void PartitionedMlfma::apply_herm(Comm& comm, ccspan x_local, cspan y_local,
+                                  int rank_base) const {
+  cvec xc(x_local.size());
+  for (std::size_t i = 0; i < xc.size(); ++i) xc[i] = std::conj(x_local[i]);
+  apply(comm, xc, y_local, rank_base);
+  for (auto& v : y_local) v = std::conj(v);
+}
+
+}  // namespace ffw

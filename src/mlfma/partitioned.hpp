@@ -1,0 +1,96 @@
+// Distributed-memory MLFMA: the paper's second parallelisation dimension
+// (Sec. IV-A/IV-B), executed over the virtual cluster.
+//
+// The 16 sub-trees rooted at the top computed level (4x4 clusters) are
+// distributed over P <= 16 ranks in Morton order; because a cluster and
+// all of its descendants share a Morton prefix, every rank owns a
+// contiguous range of clusters at *every* level, and:
+//
+//   * the leaf multipole/local expansions, aggregation and
+//     disaggregation are entirely local (no communication);
+//   * the translation phase at each level needs the outgoing spectra of
+//     remote interaction-list sources — exchanged once per level with
+//     one aggregated buffer per peer (Sec. IV-B: "small communication
+//     buffers are aggregated into larger ones");
+//   * the near-field phase needs ghost leaf values of boundary
+//     neighbours — likewise one buffer per peer.
+//
+// Communication/computation overlap (paper Fig. 8) is modelled by the
+// send-early/receive-late schedule: each rank posts its near-field halo
+// *before* the upward pass and each level's spectra right after that
+// level is aggregated; receives happen just before the data is consumed
+// (translation / near-field), by which point the buffered sends have
+// long been deposited.
+//
+// Rank-local vectors are the rank's contiguous leaf slice in cluster
+// order (64 pixels per leaf). Equality with the serial engine is
+// asserted bit-for-bit-modulo-rounding in tests/partitioned_test.cpp.
+#pragma once
+
+#include <memory>
+
+#include "greens/nearfield.hpp"
+#include "mlfma/operators.hpp"
+#include "mlfma/plan.hpp"
+#include "vcluster/comm.hpp"
+
+namespace ffw {
+
+class PartitionedMlfma {
+ public:
+  /// `nranks` must divide the top-level cluster count (1, 2, 4, 8 or 16
+  /// for trees reaching the 4x4 top level).
+  PartitionedMlfma(const QuadTree& tree, const MlfmaParams& params,
+                   int nranks);
+
+  int nranks() const { return nranks_; }
+  const QuadTree& tree() const { return *tree_; }
+  const MlfmaPlan& plan() const { return plan_; }
+
+  /// Leaf-cluster ownership range of `rank`.
+  std::size_t leaf_begin(int rank) const;
+  std::size_t leaf_end(int rank) const;
+  /// Pixel count of the rank's slice.
+  std::size_t local_pixels(int rank) const {
+    return (leaf_end(rank) - leaf_begin(rank)) *
+           static_cast<std::size_t>(tree_->pixels_per_leaf());
+  }
+
+  /// y_local = (G0 x)|_rank, given x_local = x|_rank. Collective: every
+  /// rank in [rank_base, rank_base + nranks) must call this inside the
+  /// same VCluster::run; the tree rank is comm.rank() - rank_base. The
+  /// 2-D DBIM driver uses rank_base = group * tree_ranks so several
+  /// illumination groups run independent distributed MLFMAs in the same
+  /// cluster (paper Fig. 6).
+  void apply(Comm& comm, ccspan x_local, cspan y_local,
+             int rank_base = 0) const;
+
+  /// y_local = (G0^H x)|_rank (via conjugation symmetry, still
+  /// collective).
+  void apply_herm(Comm& comm, ccspan x_local, cspan y_local,
+                  int rank_base = 0) const;
+
+ private:
+  struct PeerExchange {
+    int peer = -1;
+    std::vector<std::uint32_t> send_clusters;  // local clusters peer needs
+    std::vector<std::uint32_t> recv_clusters;  // remote clusters we need
+  };
+
+  std::size_t cluster_begin(int level, int rank) const;
+  std::size_t cluster_end(int level, int rank) const;
+  int owner_of(int level, std::size_t cluster) const;
+
+  const QuadTree* tree_;
+  MlfmaPlan plan_;
+  MlfmaOperators ops_;
+  NearFieldOperators near_;
+  int nranks_;
+
+  // exchanges_[level][rank] -> list of peer exchanges for that rank.
+  std::vector<std::vector<std::vector<PeerExchange>>> level_exchange_;
+  // Near-field (leaf x ghost) exchanges per rank.
+  std::vector<std::vector<PeerExchange>> near_exchange_;
+};
+
+}  // namespace ffw

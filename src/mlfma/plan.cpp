@@ -1,0 +1,37 @@
+#include "mlfma/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ffw {
+
+int truncation_order(double k, double w, double digits) {
+  FFW_CHECK(k > 0 && w > 0 && digits > 0);
+  const double kd = k * w * std::sqrt(2.0);
+  const double excess = 1.8 * std::pow(digits, 2.0 / 3.0) * std::cbrt(kd);
+  return static_cast<int>(std::ceil(kd + excess));
+}
+
+MlfmaPlan::MlfmaPlan(const QuadTree& tree, const MlfmaParams& params)
+    : params_(params) {
+  FFW_CHECK(params.oversample >= 1.0);
+  const double k = tree.grid().k0();
+  levels_.reserve(static_cast<std::size_t>(tree.num_levels()));
+  for (int l = 0; l < tree.num_levels(); ++l) {
+    const double w = tree.level(l).width;
+    LevelPlan lp;
+    lp.truncation = truncation_order(k, w, params.digits);
+    const int qmin = static_cast<int>(
+        std::ceil(params.oversample * (2.0 * lp.truncation + 1.0)));
+    lp.samples = qmin + (qmin % 2);  // even sample counts
+    levels_.push_back(lp);
+  }
+  interp_width_ = params.interp_width > 0
+                      ? params.interp_width
+                      : 2 * std::max(3, static_cast<int>(std::ceil(
+                                            0.9 * params.digits)));
+}
+
+}  // namespace ffw

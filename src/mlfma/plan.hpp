@@ -1,0 +1,60 @@
+// MLFMA sampling plan: truncation orders, sample counts and workspace
+// sizes per quad-tree level.
+//
+// The outgoing/incoming fields of a cluster of width w are band-limited
+// (to working precision) to harmonic order
+//
+//   L(w) = ceil( k d + 1.8 * d0^(2/3) * (k d)^(1/3) ),   d = w * sqrt(2),
+//
+// the classic "excess bandwidth" rule, with d0 the requested number of
+// accurate digits (paper Sec. V-B targets 1e-5 => d0 = 5). Each level
+// stores Q >= oversample * (2L+1) uniform angular samples; the
+// oversampling (default 2x) is what lets the *local* band-diagonal
+// Lagrange interpolation of Sec. IV-D reach the target accuracy instead
+// of requiring exact (global FFT) resampling.
+#pragma once
+
+#include <vector>
+
+#include "grid/quadtree.hpp"
+
+namespace ffw {
+
+struct MlfmaParams {
+  /// Requested accurate digits of the matvec relative to the dense
+  /// reference (paper: 5).
+  double digits = 5.0;
+  /// Angular oversampling factor for each level's sample grid.
+  double oversample = 2.0;
+  /// Width (points) of the band-diagonal interpolation stencil;
+  /// 0 = choose from `digits`.
+  int interp_width = 0;
+};
+
+/// Truncation order for a cluster of width `w` (wavelength units) at
+/// wavenumber k.
+int truncation_order(double k, double w, double digits);
+
+struct LevelPlan {
+  int truncation = 0;   // L
+  int samples = 0;      // Q (uniform angles 2*pi*q/Q)
+};
+
+class MlfmaPlan {
+ public:
+  MlfmaPlan(const QuadTree& tree, const MlfmaParams& params);
+
+  const MlfmaParams& params() const { return params_; }
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  const LevelPlan& level(int l) const { return levels_[static_cast<std::size_t>(l)]; }
+
+  /// Effective interpolation stencil width.
+  int interp_width() const { return interp_width_; }
+
+ private:
+  MlfmaParams params_;
+  std::vector<LevelPlan> levels_;
+  int interp_width_;
+};
+
+}  // namespace ffw

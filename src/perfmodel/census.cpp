@@ -1,0 +1,164 @@
+#include "perfmodel/census.hpp"
+
+#include <map>
+#include <set>
+
+namespace ffw {
+
+WorkCensus census_work(const QuadTree& tree, const MlfmaPlan& plan) {
+  WorkCensus w;
+  const double np = tree.pixels_per_leaf();
+  const double nleaf = static_cast<double>(tree.num_leaves());
+  if (tree.num_levels() == 0) {
+    // near-field only
+    const auto& nb = tree.near_begin();
+    w.cmacs[static_cast<std::size_t>(MlfmaPhase::kNearField)] =
+        static_cast<double>(nb.back()) * np * np;
+    return w;
+  }
+  const double q0 = plan.level(0).samples;
+
+  w.cmacs[static_cast<std::size_t>(MlfmaPhase::kExpansion)] = q0 * np * nleaf;
+  w.cmacs[static_cast<std::size_t>(MlfmaPhase::kLocalExpansion)] =
+      q0 * np * nleaf;
+
+  double agg = 0.0, trans = 0.0;
+  for (int l = 0; l < tree.num_levels(); ++l) {
+    const TreeLevel& lvl = tree.level(l);
+    const double q = plan.level(l).samples;
+    trans += static_cast<double>(lvl.far_begin.back()) * q;
+    if (l + 1 < tree.num_levels()) {
+      const double qp = plan.level(l + 1).samples;
+      const double children = static_cast<double>(lvl.num_clusters);
+      // interp (band, width real coefficients ~ 1/2 cmac each) + shift
+      agg += children * (qp * plan.interp_width() * 0.5 + qp);
+    }
+  }
+  w.cmacs[static_cast<std::size_t>(MlfmaPhase::kAggregation)] = agg;
+  w.cmacs[static_cast<std::size_t>(MlfmaPhase::kDisaggregation)] = agg;
+  w.cmacs[static_cast<std::size_t>(MlfmaPhase::kTranslation)] = trans;
+
+  const auto& nb = tree.near_begin();
+  w.cmacs[static_cast<std::size_t>(MlfmaPhase::kNearField)] =
+      static_cast<double>(nb.back()) * np * np;
+  return w;
+}
+
+MemoryCensus census_memory(const QuadTree& tree, const MlfmaPlan& plan) {
+  MemoryCensus m;
+  const std::uint64_t np = static_cast<std::uint64_t>(tree.pixels_per_leaf());
+  const std::uint64_t n = tree.grid().num_pixels();
+  m.dense_equivalent_bytes = n * n * sizeof(cplx);
+
+  // 9 near-field matrices.
+  m.operator_bytes += 9ull * np * np * sizeof(cplx);
+  if (tree.num_levels() == 0) return m;
+
+  const std::uint64_t q0 = static_cast<std::uint64_t>(plan.level(0).samples);
+  m.operator_bytes += 2ull * q0 * np * sizeof(cplx);  // expansions
+  for (int l = 0; l < tree.num_levels(); ++l) {
+    const std::uint64_t q = static_cast<std::uint64_t>(plan.level(l).samples);
+    m.operator_bytes += 40ull * q * sizeof(cplx);  // translations
+    if (l + 1 < tree.num_levels()) {
+      const std::uint64_t qp =
+          static_cast<std::uint64_t>(plan.level(l + 1).samples);
+      m.operator_bytes += 8ull * qp * sizeof(cplx);  // 4 up + 4 down shifts
+      m.operator_bytes += qp * (static_cast<std::uint64_t>(
+                                    plan.interp_width()) * sizeof(double) +
+                                sizeof(std::uint32_t));  // band interp
+    }
+    m.panel_bytes += 2ull * q * tree.level(l).num_clusters * sizeof(cplx);
+  }
+  return m;
+}
+
+CommCensus census_halo(const QuadTree& tree, const MlfmaPlan& plan,
+                       int p_tree) {
+  CommCensus out;
+  const std::uint64_t np_halo =
+      static_cast<std::uint64_t>(tree.pixels_per_leaf());
+  if (p_tree <= 1 || tree.num_levels() == 0) return out;
+  auto owner = [&](int level, std::size_t c) {
+    return static_cast<int>(c * static_cast<std::size_t>(p_tree) /
+                            tree.level(level).num_clusters);
+  };
+  std::map<int, std::uint64_t> per_rank;  // bytes touching each rank
+
+  for (int l = 0; l < tree.num_levels(); ++l) {
+    const TreeLevel& lvl = tree.level(l);
+    // ghost set per (dest rank, src cluster); one message per
+    // (dest, src-rank) pair per level.
+    std::map<std::pair<int, int>, std::set<std::uint32_t>> need;
+    for (std::size_t c = 0; c < lvl.num_clusters; ++c) {
+      const int rd = owner(l, c);
+      for (std::uint32_t e = lvl.far_begin[c]; e < lvl.far_begin[c + 1]; ++e) {
+        const int rs = owner(l, lvl.far[e].src);
+        if (rs != rd) need[{rd, rs}].insert(lvl.far[e].src);
+      }
+    }
+    const std::uint64_t q = static_cast<std::uint64_t>(plan.level(l).samples);
+    for (const auto& [key, ghosts] : need) {
+      const std::uint64_t b = ghosts.size() * q * sizeof(cplx);
+      out.bytes += b;
+      out.messages += 1;
+      out.unbuffered_messages += ghosts.size();
+      per_rank[key.first] += b;
+      per_rank[key.second] += b;
+    }
+  }
+  {  // near-field leaf ghosts
+    std::map<std::pair<int, int>, std::set<std::uint32_t>> need;
+    for (std::size_t c = 0; c < tree.num_leaves(); ++c) {
+      const int rd = owner(0, c);
+      for (std::uint32_t e = tree.near_begin()[c];
+           e < tree.near_begin()[c + 1]; ++e) {
+        const int rs = owner(0, tree.near()[e].src);
+        if (rs != rd) need[{rd, rs}].insert(tree.near()[e].src);
+      }
+    }
+    for (const auto& [key, ghosts] : need) {
+      const std::uint64_t b = ghosts.size() * np_halo * sizeof(cplx);
+      out.bytes += b;
+      out.messages += 1;
+      out.unbuffered_messages += ghosts.size();
+      per_rank[key.first] += b;
+      per_rank[key.second] += b;
+    }
+  }
+  for (const auto& [rank, b] : per_rank)
+    out.max_rank_bytes = std::max(out.max_rank_bytes, b);
+  return out;
+}
+
+double census_imbalance(const QuadTree& tree, const MlfmaPlan& plan,
+                        int p_tree) {
+  if (p_tree <= 1) return 1.0;
+  const double np = tree.pixels_per_leaf();
+  std::vector<double> rank_work(static_cast<std::size_t>(p_tree), 0.0);
+  auto owner = [&](int level, std::size_t c) {
+    return static_cast<std::size_t>(c * static_cast<std::size_t>(p_tree) /
+                                    tree.level(level).num_clusters);
+  };
+  for (int l = 0; l < tree.num_levels(); ++l) {
+    const TreeLevel& lvl = tree.level(l);
+    const double q = plan.level(l).samples;
+    for (std::size_t c = 0; c < lvl.num_clusters; ++c) {
+      rank_work[owner(l, c)] +=
+          static_cast<double>(lvl.far_begin[c + 1] - lvl.far_begin[c]) * q;
+    }
+  }
+  for (std::size_t c = 0; c < tree.num_leaves(); ++c) {
+    rank_work[owner(0, c)] +=
+        static_cast<double>(tree.near_begin()[c + 1] -
+                            tree.near_begin()[c]) * np * np;
+  }
+  double max_w = 0.0, sum_w = 0.0;
+  for (double w : rank_work) {
+    max_w = std::max(max_w, w);
+    sum_w += w;
+  }
+  const double avg = sum_w / static_cast<double>(p_tree);
+  return avg > 0.0 ? max_w / avg : 1.0;
+}
+
+}  // namespace ffw

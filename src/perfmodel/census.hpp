@@ -1,0 +1,59 @@
+// Work / memory / communication census of an MLFMA configuration:
+// analytic counts of complex multiply-adds per phase, operator-table
+// bytes, and halo-exchange volumes for a given sub-tree partitioning.
+// These are the structural inputs to the performance model, and they are
+// exactly the quantities Sec. III-C of the paper analyses (O(N) work and
+// storage).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mlfma/engine.hpp"
+
+namespace ffw {
+
+struct WorkCensus {
+  /// Complex multiply-accumulate counts per full MLFMA application.
+  std::array<double, static_cast<std::size_t>(MlfmaPhase::kCount)> cmacs{};
+
+  double total() const {
+    double s = 0.0;
+    for (double v : cmacs) s += v;
+    return s;
+  }
+};
+
+/// Analytic per-phase work of one G0 application on this tree/plan.
+WorkCensus census_work(const QuadTree& tree, const MlfmaPlan& plan);
+
+/// Precomputed operator-table bytes (Table I storage) + per-level sample
+/// panel bytes — the O(N) storage claim of Sec. III-C.
+struct MemoryCensus {
+  std::uint64_t operator_bytes = 0;  // shared lookup tables
+  std::uint64_t panel_bytes = 0;     // per-level sample arrays
+  std::uint64_t dense_equivalent_bytes = 0;  // what a dense G0 would need
+};
+MemoryCensus census_memory(const QuadTree& tree, const MlfmaPlan& plan);
+
+/// Halo exchange per MLFMA application when the tree is split over
+/// `p_tree` ranks: total bytes on the wire and message count, plus the
+/// maximum per-rank byte load (the scaling bottleneck). Matches the
+/// virtual-cluster traffic counters byte-for-byte (asserted in tests).
+struct CommCensus {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;          // aggregated buffers (as built)
+  std::uint64_t unbuffered_messages = 0;  // one message per ghost cluster
+  std::uint64_t max_rank_bytes = 0;
+};
+CommCensus census_halo(const QuadTree& tree, const MlfmaPlan& plan,
+                       int p_tree);
+
+/// Compute load imbalance of the Morton-contiguous partitioning: the
+/// busiest rank's per-application cmacs divided by the average. Corner
+/// and edge clusters have shorter interaction lists, so interior-heavy
+/// ranks carry more translation/near-field work.
+double census_imbalance(const QuadTree& tree, const MlfmaPlan& plan,
+                        int p_tree);
+
+}  // namespace ffw

@@ -1,0 +1,118 @@
+#include "phantom/phantom.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ffw {
+
+cvec contrast_from_permittivity(const Grid& grid, ccspan delta_eps) {
+  const double k2 = grid.k0() * grid.k0();
+  cvec out(delta_eps.size());
+  for (std::size_t i = 0; i < delta_eps.size(); ++i) out[i] = k2 * delta_eps[i];
+  return out;
+}
+
+namespace {
+struct Ellipse {
+  double value, a, b, x0, y0, phi_deg;
+};
+
+// Shepp & Logan (1974) parameters on the unit square [-1, 1]^2.
+constexpr Ellipse kSheppLogan[] = {
+    {2.0, 0.69, 0.92, 0.0, 0.0, 0.0},
+    {-0.98, 0.6624, 0.8740, 0.0, -0.0184, 0.0},
+    {-0.02, 0.1100, 0.3100, 0.22, 0.0, -18.0},
+    {-0.02, 0.1600, 0.4100, -0.22, 0.0, 18.0},
+    {0.01, 0.2100, 0.2500, 0.0, 0.35, 0.0},
+    {0.01, 0.0460, 0.0460, 0.0, 0.10, 0.0},
+    {0.01, 0.0460, 0.0460, 0.0, -0.10, 0.0},
+    {0.01, 0.0460, 0.0230, -0.08, -0.605, 0.0},
+    {0.01, 0.0230, 0.0230, 0.0, -0.606, 0.0},
+    {0.01, 0.0230, 0.0460, 0.06, -0.605, 0.0},
+};
+}  // namespace
+
+cvec shepp_logan(const Grid& grid, double max_contrast, double fill) {
+  FFW_CHECK(fill > 0.0 && fill <= 1.0);
+  const int nx = grid.nx();
+  const double scale = fill * 0.5 * grid.domain();
+  cvec out(grid.num_pixels(), cplx{});
+  double peak = 0.0;
+  for (int iy = 0; iy < nx; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      const Vec2 p = grid.pixel_center(ix, iy);
+      const double x = p.x / scale, y = p.y / scale;
+      double v = 0.0;
+      for (const Ellipse& e : kSheppLogan) {
+        const double phi = e.phi_deg * pi / 180.0;
+        const double c = std::cos(phi), s = std::sin(phi);
+        const double xr = c * (x - e.x0) + s * (y - e.y0);
+        const double yr = -s * (x - e.x0) + c * (y - e.y0);
+        if ((xr * xr) / (e.a * e.a) + (yr * yr) / (e.b * e.b) <= 1.0)
+          v += e.value;
+      }
+      out[grid.pixel_index(ix, iy)] = v;
+      peak = std::max(peak, std::fabs(v));
+    }
+  }
+  if (peak > 0.0) {
+    const double rescale = max_contrast / peak;
+    for (auto& v : out) v *= rescale;
+  }
+  return out;
+}
+
+cvec annulus(const Grid& grid, double r_in, double r_out, cplx contrast) {
+  FFW_CHECK(0.0 <= r_in && r_in < r_out);
+  const int nx = grid.nx();
+  cvec out(grid.num_pixels(), cplx{});
+  for (int iy = 0; iy < nx; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      const double r = norm(grid.pixel_center(ix, iy));
+      if (r >= r_in && r < r_out) out[grid.pixel_index(ix, iy)] = contrast;
+    }
+  }
+  return out;
+}
+
+cvec disks(const Grid& grid, const std::vector<Disk>& list) {
+  const int nx = grid.nx();
+  cvec out(grid.num_pixels(), cplx{});
+  for (int iy = 0; iy < nx; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      const Vec2 p = grid.pixel_center(ix, iy);
+      for (const Disk& d : list) {
+        if (norm(p - d.center) <= d.radius)
+          out[grid.pixel_index(ix, iy)] = d.contrast;
+      }
+    }
+  }
+  return out;
+}
+
+cvec gaussian_blob(const Grid& grid, Vec2 center, double sigma, cplx peak) {
+  FFW_CHECK(sigma > 0.0);
+  const int nx = grid.nx();
+  cvec out(grid.num_pixels());
+  for (int iy = 0; iy < nx; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      const Vec2 p = grid.pixel_center(ix, iy);
+      const double d2 = dot(p - center, p - center);
+      out[grid.pixel_index(ix, iy)] = peak * std::exp(-d2 / (2 * sigma * sigma));
+    }
+  }
+  return out;
+}
+
+double image_rmse(ccspan reconstructed, ccspan reference) {
+  FFW_CHECK(reconstructed.size() == reference.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    num += std::norm(reconstructed[i] - reference[i]);
+    den += std::norm(reference[i]);
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+}  // namespace ffw

@@ -1,0 +1,49 @@
+// Numerical phantoms (true objects) for reconstruction experiments.
+//
+// All generators return the *relative permittivity contrast*
+// delta_eps_r(r) per pixel (natural order); convert to the solver's
+// contrast function O(r) = k0^2 * delta_eps_r(r) with
+// contrast_from_permittivity().
+//
+//  * shepp_logan(): the classic head-section benchmark of paper Fig. 13
+//    (Shepp & Logan 1974), 10 ellipses, values rescaled to a requested
+//    maximum contrast (the paper uses 0.02).
+//  * annulus(): the high-contrast homogeneous ring of paper Fig. 1.
+//  * disks(): a configurable set of homogeneous cylinders (used for the
+//    limited-angle study of Fig. 2 and for Mie-series validation).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "grid/grid.hpp"
+
+namespace ffw {
+
+/// O = k0^2 * delta_eps (elementwise).
+cvec contrast_from_permittivity(const Grid& grid, ccspan delta_eps);
+
+/// Shepp-Logan head phantom scaled to `fill` of the domain half-width,
+/// with the peak |contrast| normalised to `max_contrast`.
+cvec shepp_logan(const Grid& grid, double max_contrast, double fill = 0.9);
+
+/// Homogeneous annulus: contrast inside r_in <= r < r_out, 0 elsewhere.
+cvec annulus(const Grid& grid, double r_in, double r_out, cplx contrast);
+
+struct Disk {
+  Vec2 center;
+  double radius = 0.0;
+  cplx contrast;
+};
+
+/// Union of homogeneous disks (later disks overwrite earlier ones).
+cvec disks(const Grid& grid, const std::vector<Disk>& list);
+
+/// Smooth Gaussian blob: c * exp(-|r - c0|^2 / (2 sigma^2)).
+cvec gaussian_blob(const Grid& grid, Vec2 center, double sigma, cplx peak);
+
+/// Root-mean-square error between two pixel maps, relative to the RMS of
+/// the reference: the image-quality metric for Figs. 1, 2, 13.
+double image_rmse(ccspan reconstructed, ccspan reference);
+
+}  // namespace ffw

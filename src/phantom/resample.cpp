@@ -1,0 +1,52 @@
+#include "phantom/resample.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ffw {
+
+cvec downsample2(ccspan values, int nx) {
+  FFW_CHECK(nx % 2 == 0 &&
+            values.size() == static_cast<std::size_t>(nx) * nx);
+  const int half = nx / 2;
+  cvec out(static_cast<std::size_t>(half) * half);
+  for (int iy = 0; iy < half; ++iy) {
+    for (int ix = 0; ix < half; ++ix) {
+      const std::size_t base =
+          static_cast<std::size_t>(2 * iy) * nx + 2 * ix;
+      out[static_cast<std::size_t>(iy) * half + ix] =
+          0.25 * (values[base] + values[base + 1] +
+                  values[base + nx] + values[base + nx + 1]);
+    }
+  }
+  return out;
+}
+
+cvec upsample2(ccspan values, int nx_coarse) {
+  FFW_CHECK(values.size() ==
+            static_cast<std::size_t>(nx_coarse) * nx_coarse);
+  const int nx = 2 * nx_coarse;
+  cvec out(static_cast<std::size_t>(nx) * nx);
+  auto at = [&](int ix, int iy) {
+    ix = std::clamp(ix, 0, nx_coarse - 1);
+    iy = std::clamp(iy, 0, nx_coarse - 1);
+    return values[static_cast<std::size_t>(iy) * nx_coarse + ix];
+  };
+  for (int iy = 0; iy < nx; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      // Fine pixel centre relative to the coarse grid: coarse index and
+      // the +-1/4-cell offset direction.
+      const int cx = ix / 2, cy = iy / 2;
+      const int dx = (ix % 2 == 0) ? -1 : 1;
+      const int dy = (iy % 2 == 0) ? -1 : 1;
+      out[static_cast<std::size_t>(iy) * nx + ix] =
+          (9.0 / 16.0) * at(cx, cy) + (3.0 / 16.0) * at(cx + dx, cy) +
+          (3.0 / 16.0) * at(cx, cy + dy) +
+          (1.0 / 16.0) * at(cx + dx, cy + dy);
+    }
+  }
+  return out;
+}
+
+}  // namespace ffw

@@ -1,0 +1,21 @@
+// Pixel-map resampling between grids of different resolution (the same
+// physical domain sampled at different frequencies). Used by the
+// multi-frequency DBIM extension: a reconstruction on a coarse
+// (low-frequency) grid seeds the next, finer stage.
+#pragma once
+
+#include "common/types.hpp"
+#include "grid/grid.hpp"
+
+namespace ffw {
+
+/// 2x downsample by 2x2 box averaging. nx must be even; the output is
+/// (nx/2) x (nx/2), row-major like the input.
+cvec downsample2(ccspan values, int nx);
+
+/// 2x upsample with bilinear interpolation (cell-centred grids: the
+/// fine pixel centres sit at +-1/4 of a coarse cell, so the weights are
+/// 9/16, 3/16, 3/16, 1/16; edges clamp).
+cvec upsample2(ccspan values, int nx_coarse);
+
+}  // namespace ffw

@@ -1,0 +1,58 @@
+#include "phantom/setup.hpp"
+
+#include "linalg/kernels.hpp"
+
+namespace ffw {
+
+CMatrix synthesize_measurements(ForwardSolver& solver, const Transceivers& trx,
+                                ccspan contrast, double noise_std,
+                                std::uint64_t noise_seed) {
+  const std::size_t n = contrast.size();
+  const int t_count = trx.num_transmitters();
+  const int r_count = trx.num_receivers();
+  solver.set_contrast(contrast);
+  CMatrix measured(static_cast<std::size_t>(r_count),
+                   static_cast<std::size_t>(t_count));
+  cvec phi(n), ophi(n);
+  Rng rng(noise_seed);
+  for (int t = 0; t < t_count; ++t) {
+    const cvec inc = trx.incident_field(t);
+    copy(inc, phi);  // incident field as the initial guess
+    const BicgstabResult res = solver.solve(inc, phi);
+    FFW_CHECK_MSG(res.converged, "measurement synthesis forward solve failed");
+    diag_mul(contrast, phi, ophi);
+    trx.apply_gr(ophi, measured.col(static_cast<std::size_t>(t)));
+    if (noise_std > 0.0) {
+      // Additive complex Gaussian noise scaled to the per-illumination
+      // RMS signal level.
+      auto col = measured.col(static_cast<std::size_t>(t));
+      const double rms =
+          nrm2(col) / std::sqrt(static_cast<double>(r_count));
+      for (auto& v : col) {
+        v += noise_std * rms * 0.70710678118654752 * rng.cnormal();
+      }
+    }
+  }
+  return measured;
+}
+
+Scenario::Scenario(const ScenarioConfig& config, cvec true_permittivity)
+    : config_(config), grid_(config.nx), tree_(grid_, config.leaf_pixel_side) {
+  FFW_CHECK(true_permittivity.size() == grid_.num_pixels());
+  engine_ = std::make_unique<MlfmaEngine>(tree_, config.mlfma);
+  const double radius = config.ring_radius_factor * grid_.domain();
+  trx_ = std::make_unique<Transceivers>(
+      grid_,
+      ring_positions(config.num_transmitters, radius, config.tx_angle_begin,
+                     config.tx_angle_end),
+      ring_positions(config.num_receivers, radius, config.rx_angle_begin,
+                     config.rx_angle_end));
+  true_contrast_ = contrast_from_permittivity(grid_, true_permittivity);
+
+  ForwardSolver solver(*engine_, config.forward);
+  measured_ = synthesize_measurements(solver, *trx_, true_contrast_,
+                                      config.measurement_noise,
+                                      config.noise_seed);
+}
+
+}  // namespace ffw

@@ -1,0 +1,251 @@
+#include "vcluster/comm.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace ffw {
+
+std::uint64_t TrafficStats::total_bytes() const {
+  std::uint64_t s = 0;
+  for (auto b : bytes) s += b;
+  return s;
+}
+
+std::uint64_t TrafficStats::total_messages() const {
+  std::uint64_t s = 0;
+  for (auto m : messages) s += m;
+  return s;
+}
+
+std::uint64_t TrafficStats::max_rank_bytes() const {
+  std::uint64_t best = 0;
+  for (int r = 0; r < nranks; ++r) {
+    std::uint64_t s = 0;
+    for (int o = 0; o < nranks; ++o) {
+      s += bytes[static_cast<std::size_t>(r) * nranks + o];
+      s += bytes[static_cast<std::size_t>(o) * nranks + r];
+    }
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+VCluster::VCluster(int nranks) : nranks_(nranks) {
+  FFW_CHECK(nranks >= 1);
+  boxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) boxes_.push_back(std::make_unique<Mailbox>());
+  bytes_.assign(static_cast<std::size_t>(nranks) * nranks, 0);
+  messages_.assign(static_cast<std::size_t>(nranks) * nranks, 0);
+}
+
+void VCluster::run(const std::function<void(Comm&)>& rank_main) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([this, r, &rank_main] {
+      Comm comm(this, r);
+      rank_main(comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TrafficStats VCluster::traffic() const {
+  std::lock_guard lk(stats_mu_);
+  return TrafficStats{nranks_, bytes_, messages_};
+}
+
+void VCluster::reset_traffic() {
+  std::lock_guard lk(stats_mu_);
+  std::fill(bytes_.begin(), bytes_.end(), 0);
+  std::fill(messages_.begin(), messages_.end(), 0);
+}
+
+void VCluster::deposit(int src, int dst, int tag,
+                       std::vector<unsigned char> bytes) {
+  {
+    std::lock_guard lk(stats_mu_);
+    const std::size_t e = static_cast<std::size_t>(src) * nranks_ + dst;
+    bytes_[e] += bytes.size();
+    messages_[e] += 1;
+  }
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard lk(box.mu);
+    box.q[{src, tag}].push_back(std::move(bytes));
+  }
+  box.cv.notify_all();
+}
+
+int Comm::size() const { return owner_->size(); }
+
+void Comm::send_bytes(int dst, int tag, const unsigned char* p,
+                      std::size_t n) {
+  FFW_CHECK(dst >= 0 && dst < size());
+  FFW_CHECK_MSG(dst != rank_, "self-sends are not supported; keep local data local");
+  owner_->deposit(rank_, dst, tag, std::vector<unsigned char>(p, p + n));
+}
+
+std::vector<unsigned char> Comm::recv_bytes(int src, int tag) {
+  FFW_CHECK(src >= 0 && src < size());
+  VCluster::Mailbox& box = *owner_->boxes_[static_cast<std::size_t>(rank_)];
+  std::unique_lock lk(box.mu);
+  const auto key = std::make_pair(src, tag);
+  box.cv.wait(lk, [&] {
+    auto it = box.q.find(key);
+    return it != box.q.end() && !it->second.empty();
+  });
+  auto it = box.q.find(key);
+  std::vector<unsigned char> out = std::move(it->second.front());
+  it->second.pop_front();
+  return out;
+}
+
+bool Comm::probe(int src, int tag) {
+  VCluster::Mailbox& box = *owner_->boxes_[static_cast<std::size_t>(rank_)];
+  std::lock_guard lk(box.mu);
+  auto it = box.q.find({src, tag});
+  return it != box.q.end() && !it->second.empty();
+}
+
+void Comm::barrier() {
+  std::unique_lock lk(owner_->bar_mu_);
+  const std::uint64_t gen = owner_->bar_gen_;
+  if (++owner_->bar_count_ == owner_->size()) {
+    owner_->bar_count_ = 0;
+    ++owner_->bar_gen_;
+    owner_->bar_cv_.notify_all();
+  } else {
+    owner_->bar_cv_.wait(lk, [&] { return owner_->bar_gen_ != gen; });
+  }
+}
+
+namespace {
+constexpr int kTagCollective = -1000;  // reserved tag space for collectives
+
+/// Largest power of two <= n.
+int pow2_floor(int n) { return 1 << (std::bit_width(static_cast<unsigned>(n)) - 1); }
+}  // namespace
+
+// Recursive-doubling allreduce; ranks beyond the power-of-two prefix fold
+// into the prefix first (standard MPI algorithm), so traffic counters
+// match a real implementation's volume.
+template <typename T>
+static void allreduce_sum_impl(Comm& c, std::span<T> inout) {
+  const int p = c.size();
+  if (p == 1) return;
+  const int rank = c.rank();
+  const int p2 = pow2_floor(p);
+  const int rem = p - p2;
+
+  if (rank >= p2) {  // fold extra ranks into [0, rem)
+    c.send(rank - p2, kTagCollective, std::span<const T>(inout));
+    c.recv_into(rank - p2, kTagCollective - 1, inout);
+    return;
+  }
+  if (rank < rem) {
+    const std::vector<T> other = c.recv<T>(rank + p2, kTagCollective);
+    for (std::size_t i = 0; i < inout.size(); ++i) inout[i] += other[i];
+  }
+  for (int mask = 1; mask < p2; mask <<= 1) {
+    const int peer = rank ^ mask;
+    c.send(peer, kTagCollective - 2 - std::countr_zero(static_cast<unsigned>(mask)),
+           std::span<const T>(inout));
+    const std::vector<T> other = c.recv<T>(
+        peer, kTagCollective - 2 - std::countr_zero(static_cast<unsigned>(mask)));
+    for (std::size_t i = 0; i < inout.size(); ++i) inout[i] += other[i];
+  }
+  if (rank < rem) {
+    c.send(rank + p2, kTagCollective - 1, std::span<const T>(inout));
+  }
+}
+
+void Comm::allreduce_sum(cspan inout) { allreduce_sum_impl(*this, inout); }
+void Comm::allreduce_sum(rspan inout) { allreduce_sum_impl(*this, inout); }
+
+double Comm::allreduce_sum(double v) {
+  double buf[1] = {v};
+  allreduce_sum(rspan{buf, 1});
+  return buf[0];
+}
+
+double Comm::allreduce_max(double v) {
+  // max = allreduce over the semigroup; reuse the doubling pattern with a
+  // local max fold via sum-of-deltas is wrong, so do gather-to-0 + bcast.
+  const int p = size();
+  if (p == 1) return v;
+  if (rank_ == 0) {
+    double best = v;
+    for (int r = 1; r < p; ++r) {
+      const std::vector<double> x = recv<double>(r, kTagCollective - 50);
+      best = std::max(best, x[0]);
+    }
+    for (int r = 1; r < p; ++r) {
+      const double out[1] = {best};
+      send(r, kTagCollective - 51, std::span<const double>(out, 1));
+    }
+    return best;
+  }
+  const double out[1] = {v};
+  send(0, kTagCollective - 50, std::span<const double>(out, 1));
+  return recv<double>(0, kTagCollective - 51)[0];
+}
+
+template <typename T>
+static void group_allreduce_impl(Comm& c, std::span<T> inout,
+                                 std::span<const int> group) {
+  if (group.size() <= 1) return;
+  constexpr int kTagGroup = -2000;
+  const int me = c.rank();
+  const int leader = group[0];
+  FFW_DCHECK(std::is_sorted(group.begin(), group.end()));
+  if (me == leader) {
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      const std::vector<T> part = c.recv<T>(group[i], kTagGroup);
+      FFW_CHECK(part.size() == inout.size());
+      for (std::size_t k = 0; k < inout.size(); ++k) inout[k] += part[k];
+    }
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      c.send(group[i], kTagGroup - 1, std::span<const T>(inout));
+    }
+  } else {
+    c.send(leader, kTagGroup, std::span<const T>(inout));
+    c.recv_into(leader, kTagGroup - 1, inout);
+  }
+}
+
+void Comm::group_allreduce_sum(cspan inout, std::span<const int> group) {
+  group_allreduce_impl(*this, inout, group);
+}
+
+void Comm::group_allreduce_sum(rspan inout, std::span<const int> group) {
+  group_allreduce_impl(*this, inout, group);
+}
+
+double Comm::group_allreduce_sum(double v, std::span<const int> group) {
+  double buf[1] = {v};
+  group_allreduce_sum(rspan{buf, 1}, group);
+  return buf[0];
+}
+
+void Comm::bcast(cspan data, int root) {
+  const int p = size();
+  if (p == 1) return;
+  // Binomial tree rooted at `root` using relative ranks.
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (vrank < mask) {
+      const int child = vrank + mask;
+      if (child < p) {
+        send((child + root) % p, kTagCollective - 100,
+             std::span<const cplx>(data));
+      }
+    } else if (vrank < 2 * mask) {
+      recv_into((vrank - mask + root) % p, kTagCollective - 100, data);
+    }
+    mask <<= 1;
+  }
+}
+
+}  // namespace ffw

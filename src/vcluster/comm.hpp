@@ -1,0 +1,158 @@
+// Virtual cluster: an in-process message-passing runtime standing in for
+// MPI (no MPI is available in this environment; see DESIGN.md Sec. 2).
+//
+// Each rank runs on its own thread and communicates exclusively through
+// this API — matched send/recv with tags, barriers, and collectives
+// implemented *on top of* point-to-point messages (recursive doubling)
+// so that the traffic accounting reflects what a real MPI job would put
+// on the wire. The per-edge byte/message counters feed the performance
+// model that reproduces the paper's scaling figures.
+//
+// Semantics follow the MPI subset the paper needs:
+//  * send() is buffered (returns immediately) — the paper's
+//    communication/computation overlap (Fig. 8) posts sends early and
+//    drains receives late, which this models faithfully.
+//  * recv() blocks until a matching (src, tag) message arrives; message
+//    order between a fixed (src, dst, tag) triple is FIFO.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace ffw {
+
+struct TrafficStats {
+  // bytes[src * nranks + dst], messages likewise.
+  int nranks = 0;
+  std::vector<std::uint64_t> bytes;
+  std::vector<std::uint64_t> messages;
+
+  std::uint64_t total_bytes() const;
+  std::uint64_t total_messages() const;
+  /// Max bytes sent+received by any single rank (the scaling bottleneck).
+  std::uint64_t max_rank_bytes() const;
+};
+
+class VCluster;
+
+/// Per-rank communicator handle, valid only inside VCluster::run.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Buffered, tagged point-to-point send. Returns immediately.
+  template <typename T>
+  void send(int dst, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag,
+               reinterpret_cast<const unsigned char*>(data.data()),
+               data.size() * sizeof(T));
+  }
+
+  /// Blocking receive of a message matching (src, tag).
+  template <typename T>
+  std::vector<T> recv(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<unsigned char> raw = recv_bytes(src, tag);
+    FFW_CHECK_MSG(raw.size() % sizeof(T) == 0, "message size mismatch");
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  /// Blocking receive directly into a caller buffer (size must match).
+  template <typename T>
+  void recv_into(int src, int tag, std::span<T> out) {
+    const std::vector<unsigned char> raw = recv_bytes(src, tag);
+    FFW_CHECK_MSG(raw.size() == out.size() * sizeof(T),
+                  "recv_into size mismatch");
+    std::memcpy(out.data(), raw.data(), raw.size());
+  }
+
+  /// True if a matching message is already queued (non-blocking probe;
+  /// used to drain communication while computing, Fig. 8 style).
+  bool probe(int src, int tag);
+
+  void barrier();
+
+  /// In-place sum-allreduce over complex vectors (recursive doubling).
+  void allreduce_sum(cspan inout);
+  void allreduce_sum(rspan inout);
+  double allreduce_max(double v);
+  double allreduce_sum(double v);
+
+  /// Broadcast from root (binomial tree over point-to-point sends).
+  void bcast(cspan data, int root);
+
+  /// Sum-allreduce over a subgroup of ranks (sorted, must contain
+  /// rank()). Used by the 2-D DBIM driver: a *tree group* shares one
+  /// MLFMA, an *illumination column* combines gradients (paper Fig. 6).
+  /// Implemented as gather-to-leader + broadcast over point-to-point
+  /// messages so traffic accounting stays faithful.
+  void group_allreduce_sum(cspan inout, std::span<const int> group);
+  void group_allreduce_sum(rspan inout, std::span<const int> group);
+  double group_allreduce_sum(double v, std::span<const int> group);
+
+ private:
+  friend class VCluster;
+  Comm(VCluster* owner, int rank) : owner_(owner), rank_(rank) {}
+
+  void send_bytes(int dst, int tag, const unsigned char* p, std::size_t n);
+  std::vector<unsigned char> recv_bytes(int src, int tag);
+
+  VCluster* owner_;
+  int rank_;
+};
+
+class VCluster {
+ public:
+  explicit VCluster(int nranks);
+
+  /// Run `rank_main` on every rank (one thread per rank) and join.
+  /// Any FFW_CHECK failure in a rank aborts the process (fail-fast).
+  void run(const std::function<void(Comm&)>& rank_main);
+
+  int size() const { return nranks_; }
+
+  /// Traffic observed since construction (or last reset).
+  TrafficStats traffic() const;
+  void reset_traffic();
+
+ private:
+  friend class Comm;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    // keyed by (src, tag)
+    std::map<std::pair<int, int>, std::deque<std::vector<unsigned char>>> q;
+  };
+
+  void deposit(int src, int dst, int tag, std::vector<unsigned char> bytes);
+
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+
+  // Central barrier.
+  std::mutex bar_mu_;
+  std::condition_variable bar_cv_;
+  int bar_count_ = 0;
+  std::uint64_t bar_gen_ = 0;
+
+  mutable std::mutex stats_mu_;
+  std::vector<std::uint64_t> bytes_;
+  std::vector<std::uint64_t> messages_;
+};
+
+}  // namespace ffw

@@ -1,0 +1,138 @@
+// Special-function substrate tests: values against high-precision
+// references (Mathematica / mpmath, 16 significant digits), recurrence
+// and Wronskian identities, and array-vs-scalar consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "special/bessel.hpp"
+
+namespace ffw {
+namespace {
+
+TEST(Bessel, J0KnownValues) {
+  EXPECT_NEAR(bessel_j0(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(bessel_j0(1.0), 0.7651976865579666, 1e-13);
+  EXPECT_NEAR(bessel_j0(2.404825557695773), 0.0, 1e-12);  // first zero
+  EXPECT_NEAR(bessel_j0(5.0), -0.17759677131433830, 1e-13);
+  EXPECT_NEAR(bessel_j0(10.0), -0.24593576445134835, 1e-12);
+  EXPECT_NEAR(bessel_j0(13.9), 0.18357985545786959, 2e-11);  // series edge
+  EXPECT_NEAR(bessel_j0(14.1), 0.15695287703260125, 2e-11);  // asym edge
+  EXPECT_NEAR(bessel_j0(50.0), 0.055812327669251746, 1e-13);
+  EXPECT_NEAR(bessel_j0(500.0), -0.034100556880728050, 1e-13);
+}
+
+TEST(Bessel, J1KnownValues) {
+  EXPECT_NEAR(bessel_j1(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(bessel_j1(1.0), 0.4400505857449335, 1e-13);
+  EXPECT_NEAR(bessel_j1(5.0), -0.3275791375914652, 1e-13);
+  EXPECT_NEAR(bessel_j1(10.0), 0.04347274616886144, 1e-12);
+  EXPECT_NEAR(bessel_j1(100.0), -0.07714535201411216, 1e-13);
+  EXPECT_NEAR(bessel_j1(-1.0), -0.4400505857449335, 1e-13);  // odd function
+}
+
+TEST(Bessel, Y0KnownValues) {
+  EXPECT_NEAR(bessel_y0(1.0), 0.08825696421567696, 1e-13);
+  EXPECT_NEAR(bessel_y0(2.0), 0.5103756726497451, 1e-13);
+  EXPECT_NEAR(bessel_y0(5.0), -0.30851762524903376, 1e-13);
+  EXPECT_NEAR(bessel_y0(10.0), 0.05567116728359939, 1e-12);
+  EXPECT_NEAR(bessel_y0(50.0), -0.09806499547007698, 1e-13);
+  // Small argument (log singularity region).
+  EXPECT_NEAR(bessel_y0(0.1), -1.5342386513503667, 1e-12);
+  EXPECT_NEAR(bessel_y0(0.01), -3.0054556370836458, 1e-12);
+}
+
+TEST(Bessel, Y1KnownValues) {
+  EXPECT_NEAR(bessel_y1(1.0), -0.7812128213002887, 1e-13);
+  EXPECT_NEAR(bessel_y1(5.0), 0.1478631433912268, 1e-13);
+  EXPECT_NEAR(bessel_y1(10.0), 0.24901542420695388, 1e-12);
+  EXPECT_NEAR(bessel_y1(0.1), -6.458951094702027, 1e-11);
+  EXPECT_NEAR(bessel_y1(100.0), -0.02037231200275932, 1e-13);
+}
+
+// Wronskian: J_{n+1}(x) Y_n(x) - J_n(x) Y_{n+1}(x) = 2/(pi x).
+TEST(Bessel, Wronskian) {
+  for (double x : {0.3, 1.0, 3.7, 7.11, 12.0, 14.5, 33.0, 120.0}) {
+    const double w =
+        bessel_j1(x) * bessel_y0(x) - bessel_j0(x) * bessel_y1(x);
+    EXPECT_NEAR(w, 2.0 / (pi * x), 1e-12 * std::max(1.0, 2.0 / (pi * x)))
+        << "x=" << x;
+  }
+}
+
+TEST(Bessel, JnArrayMatchesScalars) {
+  for (double x : {0.5, 3.0, 11.0, 20.0, 77.0}) {
+    rvec jn(31);
+    bessel_jn_array(x, jn);
+    EXPECT_NEAR(jn[0], bessel_j0(x), 1e-12) << "x=" << x;
+    EXPECT_NEAR(jn[1], bessel_j1(x), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Bessel, JnArrayKnownHighOrders) {
+  rvec jn(26);
+  bessel_jn_array(10.0, jn);
+  EXPECT_NEAR(jn[5], -0.23406152818679364, 1e-12);   // J5(10)
+  EXPECT_NEAR(jn[10], 0.20748610663335885, 1e-12);   // J10(10)
+  EXPECT_NEAR(jn[25], 7.2146349904696136e-09, 1e-16); // J25(10), deep decay
+}
+
+TEST(Bessel, JnSumIdentity) {
+  // J0(x) + 2 sum_{k>=1} J_{2k}(x) = 1 for all x.
+  for (double x : {1.0, 7.0, 25.0, 60.0}) {
+    rvec jn(static_cast<std::size_t>(2 * x) + 40);
+    bessel_jn_array(x, jn);
+    double s = jn[0];
+    for (std::size_t m = 2; m < jn.size(); m += 2) s += 2.0 * jn[m];
+    EXPECT_NEAR(s, 1.0, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Bessel, YnArrayKnownValues) {
+  rvec yn(11);
+  bessel_yn_array(5.0, yn);
+  EXPECT_NEAR(yn[2], 0.36766288260552311, 1e-12);   // Y2(5)
+  EXPECT_NEAR(yn[5], -0.45369482249110193, 1e-12);  // Y5(5)
+  EXPECT_NEAR(yn[10], -25.129110095610090, 1e-9);   // Y10(5), growth regime
+}
+
+TEST(Bessel, HankelArrayConsistent) {
+  cvec h(21);
+  hankel1_array(9.3, h);
+  rvec jn(21), yn(21);
+  bessel_jn_array(9.3, jn);
+  bessel_yn_array(9.3, yn);
+  for (std::size_t m = 0; m < h.size(); ++m) {
+    EXPECT_DOUBLE_EQ(h[m].real(), jn[m]);
+    EXPECT_DOUBLE_EQ(h[m].imag(), yn[m]);
+  }
+}
+
+// Recurrence consistency as a property over a parameter sweep: the
+// computed arrays must satisfy C_{m-1} + C_{m+1} = (2m/x) C_m.
+class BesselRecurrence : public ::testing::TestWithParam<double> {};
+
+TEST_P(BesselRecurrence, ThreeTermRecurrence) {
+  const double x = GetParam();
+  const std::size_t n = 30;
+  rvec jn(n), yn(n);
+  bessel_jn_array(x, jn);
+  bessel_yn_array(x, yn);
+  for (std::size_t m = 1; m + 1 < n; ++m) {
+    const double lhs_j = jn[m - 1] + jn[m + 1];
+    const double rhs_j = 2.0 * m / x * jn[m];
+    EXPECT_NEAR(lhs_j, rhs_j, 1e-10 * std::max(1.0, std::fabs(rhs_j)))
+        << "J recurrence at m=" << m << " x=" << x;
+    const double lhs_y = yn[m - 1] + yn[m + 1];
+    const double rhs_y = 2.0 * m / x * yn[m];
+    EXPECT_NEAR(lhs_y, rhs_y, 1e-9 * std::max(1.0, std::fabs(rhs_y)))
+        << "Y recurrence at m=" << m << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ArgSweep, BesselRecurrence,
+                         ::testing::Values(0.7, 2.5, 6.2832, 9.9, 13.99, 14.01,
+                                           21.3, 55.5, 201.7));
+
+}  // namespace
+}  // namespace ffw

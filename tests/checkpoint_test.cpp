@@ -1,0 +1,134 @@
+// Checkpoint container and DBIM-state round trips, including corruption
+// handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "io/checkpoint.hpp"
+#include "linalg/kernels.hpp"
+
+namespace ffw {
+namespace {
+
+TEST(Checkpoint, ArrayRoundTrip) {
+  Rng rng(1);
+  cvec a(100), b(7);
+  rng.fill_cnormal(a);
+  rng.fill_cnormal(b);
+
+  Checkpoint out;
+  out.put("alpha", a);
+  out.put("beta", b);
+  out.put_scalar("gamma", 42.5);
+  const std::string path = "/tmp/ffw_ckpt_test.bin";
+  ASSERT_TRUE(out.save(path));
+
+  Checkpoint in;
+  ASSERT_TRUE(in.load(path));
+  EXPECT_EQ(in.size(), 3u);
+  ASSERT_TRUE(in.contains("alpha"));
+  EXPECT_LT(rel_l2_diff(in.get("alpha"), a), 1e-16);
+  EXPECT_LT(rel_l2_diff(in.get("beta"), b), 1e-16);
+  EXPECT_DOUBLE_EQ(in.get_scalar("gamma"), 42.5);
+  EXPECT_FALSE(in.contains("delta"));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, OverwriteReplaces) {
+  Checkpoint ck;
+  ck.put_scalar("x", 1.0);
+  ck.put_scalar("x", 2.0);
+  EXPECT_EQ(ck.size(), 1u);
+  EXPECT_DOUBLE_EQ(ck.get_scalar("x"), 2.0);
+}
+
+TEST(Checkpoint, EmptyArraysSurvive) {
+  Checkpoint out;
+  out.put("empty", cvec{});
+  const std::string path = "/tmp/ffw_ckpt_empty.bin";
+  ASSERT_TRUE(out.save(path));
+  Checkpoint in;
+  ASSERT_TRUE(in.load(path));
+  EXPECT_TRUE(in.contains("empty"));
+  EXPECT_TRUE(in.get("empty").empty());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsCorruptFile) {
+  const std::string path = "/tmp/ffw_ckpt_corrupt.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "not a checkpoint at all";
+  }
+  Checkpoint in;
+  EXPECT_FALSE(in.load(path));
+  EXPECT_EQ(in.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsTruncatedFile) {
+  Rng rng(2);
+  cvec a(64);
+  rng.fill_cnormal(a);
+  Checkpoint out;
+  out.put("a", a);
+  const std::string path = "/tmp/ffw_ckpt_trunc.bin";
+  ASSERT_TRUE(out.save(path));
+  // Truncate to half.
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    const auto sz = in.tellg();
+    std::vector<char> buf(static_cast<std::size_t>(sz) / 2);
+    in.seekg(0);
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+    outf.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+  Checkpoint in;
+  EXPECT_FALSE(in.load(path));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileFails) {
+  Checkpoint in;
+  EXPECT_FALSE(in.load("/tmp/ffw_ckpt_does_not_exist.bin"));
+}
+
+TEST(DbimCheckpointState, RoundTrip) {
+  Rng rng(3);
+  DbimCheckpoint out;
+  out.iteration = 17;
+  out.contrast.resize(50);
+  out.gradient_prev.resize(50);
+  out.direction.resize(50);
+  rng.fill_cnormal(out.contrast);
+  rng.fill_cnormal(out.gradient_prev);
+  rng.fill_cnormal(out.direction);
+  out.residual_history = {1.0, 0.5, 0.25, 0.125};
+
+  const std::string path = "/tmp/ffw_ckpt_dbim.bin";
+  ASSERT_TRUE(out.save(path));
+  DbimCheckpoint in;
+  ASSERT_TRUE(in.load(path));
+  EXPECT_EQ(in.iteration, 17);
+  EXPECT_LT(rel_l2_diff(in.contrast, out.contrast), 1e-16);
+  EXPECT_LT(rel_l2_diff(in.direction, out.direction), 1e-16);
+  ASSERT_EQ(in.residual_history.size(), 4u);
+  EXPECT_DOUBLE_EQ(in.residual_history[3], 0.125);
+  std::remove(path.c_str());
+}
+
+TEST(DbimCheckpointState, RejectsWrongSchema) {
+  Checkpoint ck;
+  ck.put_scalar("iteration", 3.0);  // missing all the arrays
+  const std::string path = "/tmp/ffw_ckpt_schema.bin";
+  ASSERT_TRUE(ck.save(path));
+  DbimCheckpoint in;
+  EXPECT_FALSE(in.load(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ffw

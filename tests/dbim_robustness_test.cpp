@@ -1,0 +1,142 @@
+// Robustness properties of the inverse solver: measurement noise,
+// lossy (complex-permittivity) objects, and early-termination
+// regularisation behaviour.
+#include <gtest/gtest.h>
+
+#include "dbim/dbim.hpp"
+#include "phantom/setup.hpp"
+
+namespace ffw {
+namespace {
+
+ScenarioConfig base_config() {
+  ScenarioConfig c;
+  c.nx = 32;
+  c.num_transmitters = 8;
+  c.num_receivers = 24;
+  return c;
+}
+
+TEST(DbimRobustness, ToleratesModerateMeasurementNoise) {
+  ScenarioConfig cfg = base_config();
+  Grid grid(cfg.nx);
+  const cvec truth = gaussian_blob(grid, Vec2{0.2, 0.3}, 0.5,
+                                   cplx{0.01, 0.0});
+  cfg.measurement_noise = 0.0;
+  Scenario clean(cfg, truth);
+  cfg.measurement_noise = 0.02;  // 2% additive noise
+  Scenario noisy(cfg, truth);
+
+  DbimOptions opts;
+  opts.max_iterations = 10;
+  const DbimResult clean_res = dbim_reconstruct(
+      clean.engine(), clean.transceivers(), clean.measurements(), opts);
+  const DbimResult noisy_res = dbim_reconstruct(
+      noisy.engine(), noisy.transceivers(), noisy.measurements(), opts);
+
+  const double clean_rmse =
+      image_rmse(clean_res.contrast, clean.true_contrast());
+  const double noisy_rmse =
+      image_rmse(noisy_res.contrast, noisy.true_contrast());
+  EXPECT_LT(noisy_rmse, 3.0 * clean_rmse + 0.15);
+  // Noise floors the residual: it cannot drop (far) below the noise
+  // level, while the clean run continues descending.
+  EXPECT_GT(noisy_res.history.relative_residual.back(), 0.01);
+}
+
+TEST(DbimRobustness, NoiseFloorsResidualAtNoiseLevel) {
+  ScenarioConfig cfg = base_config();
+  Grid grid(cfg.nx);
+  const cvec truth = gaussian_blob(grid, Vec2{0.0, 0.0}, 0.5,
+                                   cplx{0.008, 0.0});
+  cfg.measurement_noise = 0.05;
+  Scenario scene(cfg, truth);
+  DbimOptions opts;
+  opts.max_iterations = 12;
+  const DbimResult res = dbim_reconstruct(
+      scene.engine(), scene.transceivers(), scene.measurements(), opts);
+  // Residual cannot beat the 5% noise floor by much.
+  EXPECT_GT(res.history.relative_residual.back(), 0.02);
+}
+
+TEST(DbimRobustness, ReconstructsLossyObject) {
+  // Complex permittivity (absorption): the solver is fully complex, so
+  // both the real and imaginary contrast maps must come back.
+  ScenarioConfig cfg = base_config();
+  cfg.num_transmitters = 12;
+  cfg.num_receivers = 32;
+  Grid grid(cfg.nx);
+  const cvec truth = gaussian_blob(grid, Vec2{0.1, -0.2}, 0.5,
+                                   cplx{0.01, -0.004});
+  Scenario scene(cfg, truth);
+  DbimOptions opts;
+  opts.max_iterations = 15;
+  const DbimResult res = dbim_reconstruct(
+      scene.engine(), scene.transceivers(), scene.measurements(), opts);
+  EXPECT_LT(image_rmse(res.contrast, scene.true_contrast()), 0.6);
+  // The imaginary (loss) part must be genuinely recovered, not left zero.
+  double im_num = 0.0, im_den = 0.0;
+  for (std::size_t i = 0; i < res.contrast.size(); ++i) {
+    im_num += std::pow(res.contrast[i].imag() -
+                       scene.true_contrast()[i].imag(), 2);
+    im_den += std::pow(scene.true_contrast()[i].imag(), 2);
+  }
+  EXPECT_LT(std::sqrt(im_num / im_den), 0.75);
+}
+
+TEST(DbimRobustness, ResidualMonotoneUnderNoiseFreeData) {
+  ScenarioConfig cfg = base_config();
+  Grid grid(cfg.nx);
+  Scenario scene(cfg, annulus(grid, 0.5, 0.9, cplx{0.02, 0.0}));
+  DbimOptions opts;
+  opts.max_iterations = 10;
+  const DbimResult res = dbim_reconstruct(
+      scene.engine(), scene.transceivers(), scene.measurements(), opts);
+  const auto& h = res.history.relative_residual;
+  for (std::size_t i = 1; i < h.size(); ++i) {
+    EXPECT_LE(h[i], h[i - 1] * 1.05) << "at iteration " << i;
+  }
+}
+
+TEST(DbimRobustness, SteepestDescentAlsoConvergesJustSlower) {
+  ScenarioConfig cfg = base_config();
+  Grid grid(cfg.nx);
+  Scenario scene(cfg,
+                 gaussian_blob(grid, Vec2{0.0, 0.0}, 0.5, cplx{0.01, 0.0}));
+  DbimOptions cg_opts;
+  cg_opts.max_iterations = 10;
+  DbimOptions sd_opts = cg_opts;
+  sd_opts.conjugate_gradient = false;
+  const DbimResult cg = dbim_reconstruct(
+      scene.engine(), scene.transceivers(), scene.measurements(), cg_opts);
+  const DbimResult sd = dbim_reconstruct(
+      scene.engine(), scene.transceivers(), scene.measurements(), sd_opts);
+  EXPECT_LT(sd.history.relative_residual.back(),
+            sd.history.relative_residual.front());
+  EXPECT_LE(cg.history.relative_residual.back(),
+            sd.history.relative_residual.back() * 1.2);
+}
+
+TEST(DbimRobustness, ColdStartsMatchWarmStartsInResult) {
+  ScenarioConfig cfg = base_config();
+  cfg.num_transmitters = 4;
+  Grid grid(cfg.nx);
+  Scenario scene(cfg, annulus(grid, 0.5, 1.0, cplx{0.03, 0.0}));
+  DbimOptions warm;
+  warm.max_iterations = 6;
+  DbimOptions cold = warm;
+  cold.warm_start_fields = false;
+  const DbimResult w = dbim_reconstruct(
+      scene.engine(), scene.transceivers(), scene.measurements(), warm);
+  const DbimResult c = dbim_reconstruct(
+      scene.engine(), scene.transceivers(), scene.measurements(), cold);
+  // Same math, different initial guesses for the inner solver: images
+  // agree to solver tolerance, and warm starts never need more MLFMA
+  // products (the strict improvement is quantified, on a harder scene,
+  // by bench_ablation_optimizer).
+  EXPECT_LT(image_rmse(w.contrast, c.contrast), 0.05);
+  EXPECT_LE(w.history.mlfma_applications, c.history.mlfma_applications);
+}
+
+}  // namespace
+}  // namespace ffw

@@ -1,0 +1,81 @@
+// Fast (top-level expansion) receiver evaluation vs the dense G_R.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "greens/fast_receivers.hpp"
+#include "linalg/kernels.hpp"
+
+namespace ffw {
+namespace {
+
+class FastReceivers : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastReceivers, MatchesDenseGr) {
+  const int nx = GetParam();
+  Grid grid(nx);
+  QuadTree tree(grid);
+  MlfmaEngine engine(tree);
+  const auto rx = ring_positions(24, grid.domain());
+  Transceivers dense(grid, ring_positions(2, grid.domain()), rx);
+  FastReceiverOperator fast(engine, rx);
+
+  const std::size_t n = grid.num_pixels();
+  Rng rng(static_cast<std::uint64_t>(nx));
+  cvec x_nat(n), x_clu(n);
+  rng.fill_cnormal(x_nat);
+  tree.to_cluster_order(x_nat, x_clu);
+
+  cvec y_dense(24), y_fast(24);
+  dense.apply_gr(x_nat, y_dense);
+  fast.apply(x_clu, y_fast);
+  EXPECT_LT(rel_l2_diff(y_fast, y_dense), 1e-5) << "nx=" << nx;
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, FastReceivers,
+                         ::testing::Values(32, 64, 128));
+
+TEST(FastReceiversCost, StorageScalesWithSqrtN) {
+  // Table storage is R * 16 * Q_top complex; Q_top ~ sqrt(N).
+  Grid small(64), large(256);
+  QuadTree ts(small), tl(large);
+  MlfmaEngine es(ts), el(tl);
+  const auto rx_s = ring_positions(16, small.domain());
+  const auto rx_l = ring_positions(16, large.domain());
+  FastReceiverOperator fs(es, rx_s), fl(el, rx_l);
+  // N grows 16x; sqrt(N) grows 4x: storage should grow well under 16x.
+  EXPECT_LT(static_cast<double>(fl.bytes()),
+            8.0 * static_cast<double>(fs.bytes()));
+}
+
+TEST(FastReceiversCost, RefusesReceiversInsideTheDomain) {
+  Grid grid(64);
+  QuadTree tree(grid);
+  MlfmaEngine engine(tree);
+  const std::vector<Vec2> inside = {{0.5, 0.5}};
+  EXPECT_DEATH(FastReceiverOperator(engine, inside), "too close");
+}
+
+TEST(FastReceiversCost, LinearInSources) {
+  Grid grid(64);
+  QuadTree tree(grid);
+  MlfmaEngine engine(tree);
+  const auto rx = ring_positions(8, grid.domain());
+  FastReceiverOperator fast(engine, rx);
+  const std::size_t n = grid.num_pixels();
+  Rng rng(5);
+  cvec a(n), b(n), ab(n), ya(8), yb(8), yab(8);
+  rng.fill_cnormal(a);
+  rng.fill_cnormal(b);
+  const cplx w{0.3, -1.1};
+  for (std::size_t i = 0; i < n; ++i) ab[i] = a[i] + w * b[i];
+  fast.apply(a, ya);
+  fast.apply(b, yb);
+  fast.apply(ab, yab);
+  for (std::size_t r = 0; r < 8; ++r) {
+    EXPECT_NEAR(std::abs(yab[r] - (ya[r] + w * yb[r])), 0.0,
+                1e-12 * std::abs(yab[r]) + 1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace ffw

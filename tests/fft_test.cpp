@@ -1,0 +1,111 @@
+// FFT substrate: radix-2 and Bluestein paths against the O(N^2) DFT,
+// round trips, Parseval, and spectral resampling of band-limited signals
+// (the exact-interpolation oracle used by the MLFMA interp tests).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "linalg/kernels.hpp"
+
+namespace ffw {
+namespace {
+
+class FftSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftSizes, MatchesReferenceDft) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Rng rng(n);
+  cvec x(n);
+  rng.fill_cnormal(x);
+  const cvec ref = dft_reference(x);
+  cvec got(x.begin(), x.end());
+  fft(got);
+  EXPECT_LT(rel_l2_diff(got, ref), 1e-11) << "n=" << n;
+}
+
+TEST_P(FftSizes, RoundTrip) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Rng rng(n + 1);
+  cvec x(n);
+  rng.fill_cnormal(x);
+  cvec y(x.begin(), x.end());
+  fft(y);
+  ifft(y);
+  EXPECT_LT(rel_l2_diff(y, x), 1e-12) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 12, 16, 30, 64,
+                                           74, 100, 110, 127, 128, 254));
+
+TEST(Fft, ParsevalPow2) {
+  Rng rng(3);
+  cvec x(64);
+  rng.fill_cnormal(x);
+  const double tx = nrm2(x);
+  cvec y(x.begin(), x.end());
+  fft(y);
+  EXPECT_NEAR(nrm2(y), tx * 8.0, 1e-10);  // ||X|| = sqrt(N) ||x||
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  cvec x(16, cplx{});
+  x[0] = 1.0;
+  fft(x);
+  for (const auto& v : x) EXPECT_NEAR(std::abs(v - cplx{1.0}), 0.0, 1e-13);
+}
+
+TEST(SpectralResample, ExactForBandLimited) {
+  // A signal band-limited to |m| <= 5, sampled at 16 points, resampled to
+  // 38 points, must match the analytic evaluation exactly.
+  const int band = 5;
+  Rng rng(17);
+  cvec coeff(static_cast<std::size_t>(2 * band + 1));
+  rng.fill_cnormal(coeff);
+  auto eval = [&](double theta) {
+    cplx acc{};
+    for (int m = -band; m <= band; ++m) {
+      acc += coeff[static_cast<std::size_t>(m + band)] *
+             cplx{std::cos(m * theta), std::sin(m * theta)};
+    }
+    return acc;
+  };
+  const std::size_t n = 16, m = 38;
+  cvec x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = eval(2.0 * pi * static_cast<double>(i) / n);
+  const cvec up = spectral_resample(x, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const cplx want = eval(2.0 * pi * static_cast<double>(i) / m);
+    EXPECT_NEAR(std::abs(up[i] - want), 0.0, 1e-11);
+  }
+}
+
+TEST(SpectralResample, DownsampleBandLimited) {
+  const int band = 3;
+  Rng rng(18);
+  cvec coeff(static_cast<std::size_t>(2 * band + 1));
+  rng.fill_cnormal(coeff);
+  auto eval = [&](double theta) {
+    cplx acc{};
+    for (int mm = -band; mm <= band; ++mm) {
+      acc += coeff[static_cast<std::size_t>(mm + band)] *
+             cplx{std::cos(mm * theta), std::sin(mm * theta)};
+    }
+    return acc;
+  };
+  const std::size_t n = 40, m = 9;  // 9 > 2*3+1 = 7: no aliasing
+  cvec x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = eval(2.0 * pi * static_cast<double>(i) / n);
+  const cvec down = spectral_resample(x, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const cplx want = eval(2.0 * pi * static_cast<double>(i) / m);
+    EXPECT_NEAR(std::abs(down[i] - want), 0.0, 1e-11);
+  }
+}
+
+}  // namespace
+}  // namespace ffw

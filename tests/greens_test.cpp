@@ -1,0 +1,103 @@
+// Green's-function discretisation: kernel values, Richmond disk
+// integration consistency, symmetry/reciprocity, and the matrix-free
+// reference paths.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "greens/greens.hpp"
+#include "linalg/kernels.hpp"
+#include "special/bessel.hpp"
+
+namespace ffw {
+namespace {
+
+TEST(Greens, PointKernelIsQuarterIHankel) {
+  const double k = 2.0 * pi;
+  for (double r : {0.05, 0.3, 1.7, 9.0}) {
+    const cplx g = g0_point(k, r);
+    const cplx h{bessel_j0(k * r), bessel_y0(k * r)};
+    EXPECT_NEAR(std::abs(g - 0.25 * iu * h), 0.0, 1e-14);
+  }
+}
+
+TEST(Greens, SourceFactorApproachesPixelArea) {
+  // For small ka, (2 pi a / k) J1(ka) -> pi a^2 = pixel area h^2.
+  Grid grid(16);
+  const double area = grid.h() * grid.h();
+  EXPECT_NEAR(source_factor(grid) / area, 1.0, 0.05);
+}
+
+TEST(Greens, SelfTermMatchesNumericalDiskIntegral) {
+  // Integrate g0 over the equal-area disk numerically (polar midpoint)
+  // and compare to the closed form.
+  Grid grid(16);
+  const double k = grid.k0();
+  const double a = grid.disk_radius();
+  cplx quad{};
+  const int nr = 2000, nt = 8;
+  for (int i = 0; i < nr; ++i) {
+    const double rho = (i + 0.5) * a / nr;
+    for (int j = 0; j < nt; ++j) {
+      quad += g0_point(k, rho) * rho;
+    }
+  }
+  quad *= (a / nr) * (2.0 * pi / nt);
+  const cplx closed = self_term(grid);
+  // The integrand has a log singularity at the origin; the midpoint
+  // rule converges slowly there, hence the modest tolerance.
+  EXPECT_NEAR(std::abs(quad - closed), 0.0, 1e-5 * std::abs(closed));
+}
+
+TEST(Greens, PixelKernelReciprocity) {
+  Grid grid(32);
+  const Vec2 p1 = grid.pixel_center(3, 7);
+  const Vec2 p2 = grid.pixel_center(20, 14);
+  EXPECT_EQ(g0_pixel(grid, p1, p2), g0_pixel(grid, p2, p1));
+}
+
+TEST(Greens, DenseG0IsComplexSymmetric) {
+  Grid grid(16);
+  const CMatrix g = build_dense_g0(grid);
+  for (std::size_t i = 0; i < g.rows(); i += 7) {
+    for (std::size_t j = 0; j < g.cols(); j += 11) {
+      EXPECT_EQ(g(i, j), g(j, i));
+    }
+  }
+}
+
+TEST(Greens, MatrixFreeApplyMatchesDenseMatrix) {
+  Grid grid(16);
+  const CMatrix g = build_dense_g0(grid);
+  Rng rng(71);
+  cvec x(grid.num_pixels());
+  rng.fill_cnormal(x);
+  cvec y_mat(grid.num_pixels());
+  matvec(g, x, y_mat);
+  const cvec y_free = dense_g0_apply(grid, x);
+  EXPECT_LT(rel_l2_diff(y_free, y_mat), 1e-13);
+}
+
+TEST(Greens, RowSubsetMatchesFullApply) {
+  Grid grid(16);
+  Rng rng(72);
+  cvec x(grid.num_pixels());
+  rng.fill_cnormal(x);
+  const cvec full = dense_g0_apply(grid, x);
+  const std::vector<std::uint32_t> rows = {0, 17, 99, 255};
+  const cvec sub = dense_g0_apply_rows(grid, x, rows);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(sub[i], full[rows[i]]);
+  }
+}
+
+TEST(Greens, KernelDecaysLikeInverseSqrt) {
+  // |H0(kr)| ~ sqrt(2/(pi k r)) at large r: doubling r shrinks the
+  // kernel by ~sqrt(2).
+  const double k = 2.0 * pi;
+  const double g1 = std::abs(g0_point(k, 20.0));
+  const double g2 = std::abs(g0_point(k, 40.0));
+  EXPECT_NEAR(g1 / g2, std::sqrt(2.0), 0.01);
+}
+
+}  // namespace
+}  // namespace ffw

@@ -1,0 +1,52 @@
+// Imaging-domain grid geometry.
+#include <gtest/gtest.h>
+
+#include "grid/grid.hpp"
+
+namespace ffw {
+namespace {
+
+TEST(Grid, PaperDiscretisation) {
+  Grid grid(1024);  // the paper's 1M-unknown domain
+  EXPECT_DOUBLE_EQ(grid.h(), 0.1);           // lambda/10 pixels
+  EXPECT_DOUBLE_EQ(grid.domain(), 102.4);    // 102.4 lambda
+  EXPECT_EQ(grid.num_pixels(), std::size_t{1} << 20);
+  EXPECT_DOUBLE_EQ(grid.k0(), 2.0 * pi);
+}
+
+TEST(Grid, PixelCentersAreCellCentred) {
+  Grid grid(4, 10.0);  // 0.4-lambda domain
+  const Vec2 c00 = grid.pixel_center(0, 0);
+  EXPECT_NEAR(c00.x, -0.15, 1e-14);
+  EXPECT_NEAR(c00.y, -0.15, 1e-14);
+  const Vec2 c33 = grid.pixel_center(3, 3);
+  EXPECT_NEAR(c33.x, 0.15, 1e-14);
+  EXPECT_NEAR(c33.y, 0.15, 1e-14);
+  // Domain is centred: the centre of the grid is the origin.
+  const Vec2 mid = 0.5 * (grid.pixel_center(1, 2) + grid.pixel_center(2, 1));
+  EXPECT_NEAR(mid.x, 0.0, 1e-14);
+  EXPECT_NEAR(mid.y, 0.0, 1e-14);
+}
+
+TEST(Grid, IndexingIsRowMajor) {
+  Grid grid(8);
+  EXPECT_EQ(grid.pixel_index(0, 0), 0u);
+  EXPECT_EQ(grid.pixel_index(7, 0), 7u);
+  EXPECT_EQ(grid.pixel_index(0, 1), 8u);
+  EXPECT_EQ(grid.pixel_index(7, 7), 63u);
+}
+
+TEST(Grid, CustomSamplingDensity) {
+  Grid coarse(64, 5.0);  // lambda/5 pixels
+  EXPECT_DOUBLE_EQ(coarse.h(), 0.2);
+  EXPECT_DOUBLE_EQ(coarse.domain(), 12.8);
+}
+
+TEST(Grid, DiskRadiusPreservesArea) {
+  Grid grid(32);
+  const double a = grid.disk_radius();
+  EXPECT_NEAR(pi * a * a, grid.h() * grid.h(), 1e-14);
+}
+
+}  // namespace
+}  // namespace ffw

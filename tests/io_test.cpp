@@ -1,0 +1,116 @@
+// Image/CSV output round trips (parse back what we wrote).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/image.hpp"
+#include "phantom/phantom.hpp"
+
+namespace ffw {
+namespace {
+
+struct Pgm {
+  int w = 0, h = 0, maxval = 0;
+  std::vector<unsigned char> pixels;
+};
+
+Pgm read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  Pgm p;
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P5");
+  in >> p.w >> p.h >> p.maxval;
+  in.get();  // single whitespace after header
+  p.pixels.resize(static_cast<std::size_t>(p.w) * p.h);
+  in.read(reinterpret_cast<char*>(p.pixels.data()),
+          static_cast<std::streamsize>(p.pixels.size()));
+  return p;
+}
+
+TEST(Image, PgmRoundTrip) {
+  Grid grid(16);
+  cvec v(grid.num_pixels(), cplx{});
+  // Gradient along x: pixel (ix, iy) value = ix.
+  for (int iy = 0; iy < 16; ++iy)
+    for (int ix = 0; ix < 16; ++ix)
+      v[grid.pixel_index(ix, iy)] = static_cast<double>(ix);
+  const std::string path = "/tmp/ffw_io_test.pgm";
+  ASSERT_TRUE(write_pgm(path, grid, v, 0.0, 15.0));
+  const Pgm p = read_pgm(path);
+  EXPECT_EQ(p.w, 16);
+  EXPECT_EQ(p.h, 16);
+  EXPECT_EQ(p.maxval, 255);
+  // Leftmost column maps to 0, rightmost to 255.
+  EXPECT_EQ(p.pixels[0], 0);
+  EXPECT_EQ(p.pixels[15], 255);
+  // Row flip: PGM row 0 is our top row (iy = 15) — same gradient.
+  EXPECT_EQ(p.pixels[static_cast<std::size_t>(15) * 16 + 15], 255);
+  std::remove(path.c_str());
+}
+
+TEST(Image, AutoScaleUsesDataRange) {
+  Grid grid(8);
+  cvec v(grid.num_pixels(), cplx{5.0, 0.0});
+  v[0] = cplx{1.0, 0.0};  // min
+  v[1] = cplx{9.0, 0.0};  // max
+  const std::string path = "/tmp/ffw_io_test2.pgm";
+  ASSERT_TRUE(write_pgm(path, grid, v));
+  const Pgm p = read_pgm(path);
+  // Pixel 0 and 1 are in our bottom row = last PGM row.
+  const std::size_t last_row = static_cast<std::size_t>(7) * 8;
+  EXPECT_EQ(p.pixels[last_row + 0], 0);
+  EXPECT_EQ(p.pixels[last_row + 1], 255);
+  std::remove(path.c_str());
+}
+
+TEST(Image, MagnitudeVariant) {
+  Grid grid(8);
+  cvec v(grid.num_pixels(), cplx{});
+  v[10] = cplx{3.0, 4.0};  // |v| = 5
+  const std::string path = "/tmp/ffw_io_test3.pgm";
+  ASSERT_TRUE(write_pgm_magnitude(path, grid, v));
+  const Pgm p = read_pgm(path);
+  unsigned char mx = 0;
+  for (auto c : p.pixels) mx = std::max(mx, c);
+  EXPECT_EQ(mx, 255);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RoundTrip) {
+  const std::string path = "/tmp/ffw_io_test.csv";
+  ASSERT_TRUE(write_csv(path, {{"nodes", {64, 128, 256}},
+                               {"time", {1.5, 0.75, 0.4}}}));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "nodes,time");
+  std::getline(in, line);
+  EXPECT_EQ(line, "64,1.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "128,0.75");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RaggedColumnsPadWithEmpty) {
+  const std::string path = "/tmp/ffw_io_test2.csv";
+  ASSERT_TRUE(write_csv(path, {{"a", {1, 2}}, {"b", {7}}}));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,7");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EmptyColumnsRejected) {
+  EXPECT_FALSE(write_csv("/tmp/ffw_io_never.csv", {}));
+}
+
+}  // namespace
+}  // namespace ffw

@@ -1,0 +1,96 @@
+// Tunable leaf cluster size: the tree, operators and engine must stay
+// correct for 4x4, 8x8 (paper default) and 16x16-pixel leaves, and the
+// partitioned engine must still match the serial one.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "greens/greens.hpp"
+#include "linalg/kernels.hpp"
+#include "mlfma/engine.hpp"
+#include "mlfma/partitioned.hpp"
+
+namespace ffw {
+namespace {
+
+class LeafSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeafSizes, TreeGeometryConsistent) {
+  const int leaf = GetParam();
+  Grid grid(128);
+  QuadTree tree(grid, leaf);
+  EXPECT_EQ(tree.leaf_pixel_side(), leaf);
+  EXPECT_EQ(tree.pixels_per_leaf(), leaf * leaf);
+  EXPECT_EQ(tree.leaf_side(), 128 / leaf);
+  EXPECT_DOUBLE_EQ(tree.level(0).width, leaf * grid.h());
+  // Permutation is a bijection.
+  std::vector<bool> seen(grid.num_pixels(), false);
+  for (auto v : tree.perm()) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST_P(LeafSizes, MlfmaMeetsAccuracyTarget) {
+  const int leaf = GetParam();
+  Grid grid(64);
+  QuadTree tree(grid, leaf);
+  MlfmaEngine engine(tree);
+  const std::size_t n = grid.num_pixels();
+  Rng rng(static_cast<std::uint64_t>(leaf));
+  cvec x_nat(n), x(n), y(n), y_nat(n);
+  rng.fill_cnormal(x_nat);
+  tree.to_cluster_order(x_nat, x);
+  engine.apply(x, y);
+  tree.to_natural_order(y, y_nat);
+
+  const std::size_t nrows = 768;
+  std::vector<std::uint32_t> rows(nrows);
+  for (auto& r : rows) r = static_cast<std::uint32_t>(rng.next_u64() % n);
+  const cvec ref = dense_g0_apply_rows(grid, x_nat, rows);
+  cvec sub(nrows);
+  for (std::size_t i = 0; i < nrows; ++i) sub[i] = y_nat[rows[i]];
+  EXPECT_LT(rel_l2_diff(sub, ref), 1e-5) << "leaf=" << leaf;
+}
+
+TEST_P(LeafSizes, PartitionedMatchesSerial) {
+  const int leaf = GetParam();
+  Grid grid(64);
+  QuadTree tree(grid, leaf);
+  if (tree.num_levels() < 1) GTEST_SKIP();
+  MlfmaParams params;
+  MlfmaEngine serial(tree, params);
+  PartitionedMlfma dist(tree, params, 4);
+  const std::size_t n = grid.num_pixels();
+  Rng rng(99);
+  cvec x(n), y_serial(n), y_dist(n);
+  rng.fill_cnormal(x);
+  serial.apply(x, y_serial);
+  VCluster vc(4);
+  vc.run([&](Comm& comm) {
+    const std::size_t b = dist.leaf_begin(comm.rank()) *
+                          static_cast<std::size_t>(tree.pixels_per_leaf());
+    const std::size_t sz = dist.local_pixels(comm.rank());
+    cvec y_local(sz);
+    dist.apply(comm, ccspan{x.data() + b, sz}, y_local);
+    std::copy(y_local.begin(), y_local.end(), y_dist.begin() + b);
+  });
+  EXPECT_LT(rel_l2_diff(y_dist, y_serial), 1e-12) << "leaf=" << leaf;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LeafSizes, ::testing::Values(4, 8, 16));
+
+TEST(LeafSizes, SmallerLeavesMeanMoreLevels) {
+  Grid grid(128);
+  QuadTree fine(grid, 4), paper(grid, 8), coarse(grid, 16);
+  EXPECT_EQ(fine.num_levels(), paper.num_levels() + 1);
+  EXPECT_EQ(paper.num_levels(), coarse.num_levels() + 1);
+}
+
+TEST(LeafSizes, InvalidSizesRejected) {
+  Grid grid(64);
+  EXPECT_DEATH(QuadTree(grid, 5), "multiple");   // 64 % 5 != 0
+  EXPECT_DEATH(QuadTree(grid, 1), "at least");   // too small
+}
+
+}  // namespace
+}  // namespace ffw

@@ -1,0 +1,142 @@
+// The paper's Sec. V-B requirement as a test: "the MLFMA parameters are
+// chosen such that each matrix-vector multiplication has at most 1e-5
+// error, relative to naive direct O(N^2) multiplication".
+//
+// We build the dense G0 reference and compare the full MLFMA apply
+// (near + all far levels) on random and structured inputs, sweeping
+// domain sizes (and hence tree depths) and accuracy digits.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "greens/greens.hpp"
+#include "linalg/kernels.hpp"
+#include "mlfma/engine.hpp"
+
+namespace ffw {
+namespace {
+
+double mlfma_vs_dense_error(int nx, const MlfmaParams& params,
+                            std::uint64_t seed) {
+  Grid grid(nx);
+  QuadTree tree(grid);
+  MlfmaEngine engine(tree, params);
+  const std::size_t n = grid.num_pixels();
+
+  Rng rng(seed);
+  cvec x_nat(n), x_clu(n), y_clu(n), y_nat(n);
+  rng.fill_cnormal(x_nat);
+  tree.to_cluster_order(x_nat, x_clu);
+  engine.apply(x_clu, y_clu);
+  tree.to_natural_order(y_clu, y_nat);
+
+  // Compare on a random row sample against the matrix-free direct
+  // product (full comparison for small n).
+  const std::size_t nrows = std::min<std::size_t>(n, 1024);
+  std::vector<std::uint32_t> rows(nrows);
+  if (nrows == n) {
+    for (std::size_t i = 0; i < n; ++i) rows[i] = static_cast<std::uint32_t>(i);
+  } else {
+    for (std::size_t i = 0; i < nrows; ++i)
+      rows[i] = static_cast<std::uint32_t>(rng.next_u64() % n);
+  }
+  const cvec y_ref = dense_g0_apply_rows(grid, x_nat, rows);
+  cvec y_sub(nrows);
+  for (std::size_t i = 0; i < nrows; ++i) y_sub[i] = y_nat[rows[i]];
+  return rel_l2_diff(y_sub, y_ref);
+}
+
+// Two-level tree (64x64 pixels, 8x8 leaves).
+TEST(MlfmaAccuracy, TwoLevelTreeMeetsPaperTarget) {
+  MlfmaParams params;
+  params.digits = 5.0;
+  EXPECT_LT(mlfma_vs_dense_error(64, params, 1), 1e-5);
+}
+
+// Three-level tree (128x128 pixels = 16k unknowns, 12.8 lambda domain).
+TEST(MlfmaAccuracy, ThreeLevelTreeMeetsPaperTarget) {
+  MlfmaParams params;
+  params.digits = 5.0;
+  EXPECT_LT(mlfma_vs_dense_error(128, params, 2), 1e-5);
+}
+
+// Single-level tree (32x32 pixels): leaves are the top level.
+TEST(MlfmaAccuracy, SingleLevelTree) {
+  MlfmaParams params;
+  params.digits = 5.0;
+  EXPECT_LT(mlfma_vs_dense_error(32, params, 3), 1e-5);
+}
+
+// Near-field-only degenerate domain (16x16 pixels, 2x2 leaves, no far
+// levels): MLFMA must equal dense to machine precision.
+TEST(MlfmaAccuracy, NearOnlyDomainIsExact) {
+  MlfmaParams params;
+  EXPECT_LT(mlfma_vs_dense_error(16, params, 4), 1e-12);
+}
+
+// Accuracy digits sweep: requested digits must be (roughly) delivered.
+class DigitsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DigitsSweep, DeliversRequestedAccuracy) {
+  const double digits = GetParam();
+  MlfmaParams params;
+  params.digits = digits;
+  const double err = mlfma_vs_dense_error(64, params, 7);
+  EXPECT_LT(err, 3.0 * std::pow(10.0, -digits)) << "digits=" << digits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Digits, DigitsSweep,
+                         ::testing::Values(3.0, 4.0, 5.0, 6.0));
+
+// Adjoint identity: <G x, y> == <x, G^H y> for random vectors.
+TEST(MlfmaAccuracy, AdjointIdentity) {
+  Grid grid(64);
+  QuadTree tree(grid);
+  MlfmaEngine engine(tree);
+  const std::size_t n = grid.num_pixels();
+  Rng rng(11);
+  cvec x(n), y(n), gx(n), ghy(n);
+  rng.fill_cnormal(x);
+  rng.fill_cnormal(y);
+  engine.apply(x, gx);
+  engine.apply_herm(y, ghy);
+  const cplx lhs = cdot(gx, y);        // <Gx, y>
+  const cplx rhs = cdot(x, ghy);       // <x, G^H y>
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-10 * std::abs(lhs));
+}
+
+// Linearity of the apply (catches workspace-reuse bugs).
+TEST(MlfmaAccuracy, Linearity) {
+  Grid grid(64);
+  QuadTree tree(grid);
+  MlfmaEngine engine(tree);
+  const std::size_t n = grid.num_pixels();
+  Rng rng(13);
+  cvec x1(n), x2(n), sum(n), y1(n), y2(n), ysum(n);
+  rng.fill_cnormal(x1);
+  rng.fill_cnormal(x2);
+  const cplx a{0.7, -1.3};
+  for (std::size_t i = 0; i < n; ++i) sum[i] = x1[i] + a * x2[i];
+  engine.apply(x1, y1);
+  engine.apply(x2, y2);
+  engine.apply(sum, ysum);
+  for (std::size_t i = 0; i < n; ++i) y1[i] += a * y2[i];
+  EXPECT_LT(rel_l2_diff(ysum, y1), 1e-12);
+}
+
+// Phase timing bookkeeping sanity.
+TEST(MlfmaAccuracy, PhaseTimesAccumulate) {
+  Grid grid(64);
+  QuadTree tree(grid);
+  MlfmaEngine engine(tree);
+  const std::size_t n = grid.num_pixels();
+  cvec x(n, cplx{1.0, 0.0}), y(n);
+  engine.apply(x, y);
+  engine.apply(x, y);
+  EXPECT_EQ(engine.phase_times().applications, 2u);
+  EXPECT_GT(engine.phase_times().total(), 0.0);
+  engine.clear_phase_times();
+  EXPECT_EQ(engine.phase_times().applications, 0u);
+}
+
+}  // namespace
+}  // namespace ffw

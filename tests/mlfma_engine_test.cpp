@@ -1,0 +1,137 @@
+// Engine-level edge cases and point-response checks, complementing the
+// aggregate accuracy tests.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "greens/greens.hpp"
+#include "linalg/kernels.hpp"
+#include "mlfma/engine.hpp"
+
+namespace ffw {
+namespace {
+
+TEST(MlfmaEngine, ZeroInputGivesZeroOutput) {
+  Grid grid(64);
+  QuadTree tree(grid);
+  MlfmaEngine engine(tree);
+  cvec x(grid.num_pixels(), cplx{}), y(grid.num_pixels(), cplx{1.0, 1.0});
+  engine.apply(x, y);
+  for (const auto& v : y) EXPECT_EQ(v, cplx{});
+}
+
+TEST(MlfmaEngine, DeltaResponseMatchesKernelColumn) {
+  // Applying G0 to a delta at pixel j must return (a sampling of) the
+  // j-th kernel column: far entries via MLFMA, near entries via the
+  // 9-type matrices, diagonal via the self term.
+  Grid grid(64);
+  QuadTree tree(grid);
+  MlfmaEngine engine(tree);
+  const std::size_t n = grid.num_pixels();
+  const std::size_t j_nat = grid.pixel_index(13, 21);
+
+  cvec x_nat(n, cplx{}), x(n), y(n), y_nat(n);
+  x_nat[j_nat] = 1.0;
+  tree.to_cluster_order(x_nat, x);
+  engine.apply(x, y);
+  tree.to_natural_order(y, y_nat);
+
+  const Vec2 src = grid.pixel_center(13, 21);
+  double max_err = 0.0;
+  for (int iy = 0; iy < grid.nx(); iy += 5) {
+    for (int ix = 0; ix < grid.nx(); ix += 5) {
+      const std::size_t row = grid.pixel_index(ix, iy);
+      const cplx want = row == j_nat
+                            ? self_term(grid)
+                            : source_factor(grid) *
+                                  g0_point(grid.k0(),
+                                           norm(grid.pixel_center(ix, iy) -
+                                                src));
+      max_err = std::max(max_err,
+                         std::abs(y_nat[row] - want) / std::abs(want));
+    }
+  }
+  EXPECT_LT(max_err, 1e-4);
+}
+
+TEST(MlfmaEngine, RepeatedAppliesAreBitIdentical) {
+  Grid grid(64);
+  QuadTree tree(grid);
+  MlfmaEngine engine(tree);
+  const std::size_t n = grid.num_pixels();
+  Rng rng(7);
+  cvec x(n), y1(n), y2(n);
+  rng.fill_cnormal(x);
+  engine.apply(x, y1);
+  engine.apply(x, y2);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(y1[i], y2[i]);
+}
+
+TEST(MlfmaEngine, ComplexSymmetryViaReciprocity) {
+  // <y, G0 x> with the *bilinear* (unconjugated) pairing is symmetric
+  // because G0^T = G0.
+  Grid grid(64);
+  QuadTree tree(grid);
+  MlfmaEngine engine(tree);
+  const std::size_t n = grid.num_pixels();
+  Rng rng(8);
+  cvec x(n), y(n), gx(n), gy(n);
+  rng.fill_cnormal(x);
+  rng.fill_cnormal(y);
+  engine.apply(x, gx);
+  engine.apply(y, gy);
+  cplx a{}, b{};
+  for (std::size_t i = 0; i < n; ++i) {
+    a += y[i] * gx[i];
+    b += x[i] * gy[i];
+  }
+  EXPECT_NEAR(std::abs(a - b), 0.0, 1e-9 * std::abs(a));
+}
+
+TEST(MlfmaEngine, NearOnlyDegenerateTreeHasNoFarPhases) {
+  Grid grid(16);  // 2x2 leaves: everything adjacent, zero far levels
+  QuadTree tree(grid);
+  ASSERT_EQ(tree.num_levels(), 0);
+  MlfmaEngine engine(tree);
+  const std::size_t n = grid.num_pixels();
+  cvec x(n, cplx{1.0, 0.0}), y(n);
+  engine.apply(x, y);
+  const auto& t = engine.phase_times();
+  EXPECT_EQ(t.seconds[static_cast<std::size_t>(MlfmaPhase::kTranslation)],
+            0.0);
+  EXPECT_GT(t.seconds[static_cast<std::size_t>(MlfmaPhase::kNearField)],
+            0.0);
+}
+
+TEST(MlfmaEngine, MemoryReportIsPlausible) {
+  Grid grid(128);
+  QuadTree tree(grid);
+  MlfmaEngine engine(tree);
+  // Tables + panels for 16k unknowns: somewhere between 1 and 64 MB.
+  EXPECT_GT(engine.bytes(), std::size_t{1} << 20);
+  EXPECT_LT(engine.bytes(), std::size_t{64} << 20);
+}
+
+class EngineDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineDepthSweep, HermitianApplyConsistentWithApply) {
+  const int nx = GetParam();
+  Grid grid(nx);
+  QuadTree tree(grid);
+  MlfmaEngine engine(tree);
+  const std::size_t n = grid.num_pixels();
+  Rng rng(static_cast<std::uint64_t>(nx));
+  cvec x(n), y(n), gx(n), ghy(n);
+  rng.fill_cnormal(x);
+  rng.fill_cnormal(y);
+  engine.apply(x, gx);
+  engine.apply_herm(y, ghy);
+  EXPECT_NEAR(std::abs(cdot(gx, y) - cdot(x, ghy)), 0.0,
+              1e-10 * std::abs(cdot(gx, y)))
+      << "nx=" << nx;
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, EngineDepthSweep,
+                         ::testing::Values(16, 32, 64, 128));
+
+}  // namespace
+}  // namespace ffw

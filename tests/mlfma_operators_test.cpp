@@ -1,0 +1,171 @@
+// Property tests of the individual MLFMA operator tables (Table I):
+// structure, unitarity, adjoint pairing, and interpolation accuracy on
+// band-limited functions against the exact spectral-resampling oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "linalg/kernels.hpp"
+#include "mlfma/operators.hpp"
+
+namespace ffw {
+namespace {
+
+struct OpsFixture {
+  Grid grid{128};
+  QuadTree tree{grid};
+  MlfmaParams params{};
+  MlfmaPlan plan{tree, params};
+  MlfmaOperators ops{tree, plan};
+};
+
+TEST(Plan, TruncationGrowsWithClusterSizeAndDigits) {
+  const double k = 2.0 * pi;
+  EXPECT_LT(truncation_order(k, 0.8, 5.0), truncation_order(k, 1.6, 5.0));
+  EXPECT_LT(truncation_order(k, 1.6, 5.0), truncation_order(k, 3.2, 5.0));
+  EXPECT_LT(truncation_order(k, 0.8, 3.0), truncation_order(k, 0.8, 7.0));
+  // L must exceed the pure bandwidth kd (excess term positive).
+  EXPECT_GT(truncation_order(k, 0.8, 5.0), k * 0.8 * std::sqrt(2.0));
+}
+
+TEST(Plan, SampleCountsRespectOversampling) {
+  OpsFixture f;
+  for (int l = 0; l < f.plan.num_levels(); ++l) {
+    const LevelPlan& lp = f.plan.level(l);
+    EXPECT_GE(lp.samples, static_cast<int>(f.params.oversample *
+                                           (2 * lp.truncation + 1)) - 1);
+    EXPECT_EQ(lp.samples % 2, 0);
+  }
+  // Sample counts increase strictly with level.
+  for (int l = 0; l + 1 < f.plan.num_levels(); ++l) {
+    EXPECT_LT(f.plan.level(l).samples, f.plan.level(l + 1).samples);
+  }
+}
+
+TEST(Operators, ShiftDiagonalsAreUnitModulus) {
+  OpsFixture f;
+  for (int l = 0; l + 1 < f.ops.num_levels(); ++l) {
+    const LevelOperators& ops = f.ops.level(l);
+    ASSERT_EQ(ops.up_shift.size(), 4u);
+    ASSERT_EQ(ops.down_shift.size(), 4u);
+    for (int j = 0; j < 4; ++j) {
+      for (std::size_t q = 0; q < ops.up_shift[static_cast<std::size_t>(j)].size(); ++q) {
+        EXPECT_NEAR(std::abs(ops.up_shift[static_cast<std::size_t>(j)][q]),
+                    1.0, 1e-13);
+        // Down shift is the conjugate of the up shift (adjoint pairing).
+        EXPECT_NEAR(std::abs(ops.down_shift[static_cast<std::size_t>(j)][q] -
+                             std::conj(ops.up_shift[static_cast<std::size_t>(j)][q])),
+                    0.0, 1e-13);
+      }
+    }
+  }
+}
+
+TEST(Operators, ChildShiftsComeInOppositePairs) {
+  // Children 0 (-x,-y) and 3 (+x,+y) are point-symmetric, so their shift
+  // diagonals are conjugates; same for 1 and 2.
+  OpsFixture f;
+  const LevelOperators& ops = f.ops.level(0);
+  for (std::size_t q = 0; q < ops.up_shift[0].size(); ++q) {
+    EXPECT_NEAR(std::abs(ops.up_shift[0][q] - std::conj(ops.up_shift[3][q])),
+                0.0, 1e-13);
+    EXPECT_NEAR(std::abs(ops.up_shift[1][q] - std::conj(ops.up_shift[2][q])),
+                0.0, 1e-13);
+  }
+}
+
+TEST(Operators, ExpansionAndLocalArePairedUpToScale) {
+  // R[p, q] = pref/Q0 * conj(E[q, p]) with pref the receive prefactor.
+  OpsFixture f;
+  const CMatrix& e = f.ops.expansion();
+  const CMatrix& r = f.ops.local_expansion();
+  ASSERT_EQ(e.rows(), r.cols());
+  ASSERT_EQ(e.cols(), r.rows());
+  const cplx scale = r(0, 0) / std::conj(e(0, 0));
+  for (std::size_t q = 0; q < e.rows(); ++q) {
+    for (std::size_t p = 0; p < e.cols(); ++p) {
+      EXPECT_NEAR(std::abs(r(p, q) - scale * std::conj(e(q, p))), 0.0,
+                  1e-13 * std::abs(scale));
+    }
+  }
+}
+
+TEST(Operators, InterpolationMatchesSpectralOracle) {
+  // The band matrix must reproduce band-limited functions to the design
+  // accuracy; the exact answer comes from FFT zero-padding.
+  OpsFixture f;
+  const LevelOperators& ops = f.ops.level(0);
+  const int qc = ops.samples;
+  const int qp = f.plan.level(1).samples;
+  // Band-limited to the *physical* content of a leaf spectrum (~ k d,
+  // the cluster diagonal bandwidth). The excess-bandwidth padding above
+  // kd carries exponentially decaying energy in real spectra, so the
+  // local Lagrange stencil only needs full accuracy on this band — that
+  // is the design contract (and why critical sampling would not work,
+  // see bench_ablation_interp).
+  const int band = static_cast<int>(
+      std::ceil(f.grid.k0() * f.tree.level(0).width * std::sqrt(2.0)));
+  Rng rng(55);
+  cvec coeff(static_cast<std::size_t>(2 * band + 1));
+  rng.fill_cnormal(coeff);
+  auto eval = [&](double theta) {
+    cplx acc{};
+    for (int m = -band; m <= band; ++m) {
+      acc += coeff[static_cast<std::size_t>(m + band)] *
+             cplx{std::cos(m * theta), std::sin(m * theta)};
+    }
+    return acc;
+  };
+  cvec x(static_cast<std::size_t>(qc));
+  for (int i = 0; i < qc; ++i)
+    x[static_cast<std::size_t>(i)] = eval(2.0 * pi * i / qc);
+  cvec got(static_cast<std::size_t>(qp));
+  ops.interp.apply(x, got);
+  const cvec want = spectral_resample(x, static_cast<std::size_t>(qp));
+  EXPECT_LT(rel_l2_diff(got, want), 1e-6);
+}
+
+TEST(Operators, TranslationTableShapes) {
+  OpsFixture f;
+  for (int l = 0; l < f.ops.num_levels(); ++l) {
+    const LevelOperators& ops = f.ops.level(l);
+    ASSERT_EQ(ops.translations.size(), 40u);
+    for (const auto& trans : ops.translations) {
+      EXPECT_EQ(trans.size(), static_cast<std::size_t>(ops.samples));
+    }
+  }
+}
+
+TEST(Operators, TranslationRotationSymmetry) {
+  // Rotating the offset by 90 degrees permutes the diagonal samples by a
+  // quarter of the angular grid (Q is a multiple of 4 by construction
+  // only when Q%4==0 — check and skip otherwise).
+  OpsFixture f;
+  const double k = f.grid.k0();
+  const LevelOperators& ops = f.ops.level(0);
+  // Build a grid whose sample count is a multiple of 4 so alpha + pi/2
+  // lands exactly on a grid point.
+  const int q = ((ops.samples + 3) / 4) * 4;
+  const double w = f.tree.level(0).width;
+  const cvec t1 = make_translation_diag(k, Vec2{2 * w, 1 * w},
+                                        ops.truncation, q);
+  const cvec t2 = make_translation_diag(k, Vec2{-1 * w, 2 * w},
+                                        ops.truncation, q);  // 90-deg rot
+  for (int i = 0; i < q; ++i) {
+    const int j = (i + q / 4) % q;  // alpha + pi/2
+    EXPECT_NEAR(std::abs(t2[static_cast<std::size_t>(j)] -
+                         t1[static_cast<std::size_t>(i)]),
+                0.0, 1e-9 * std::abs(t1[static_cast<std::size_t>(i)]) + 1e-9);
+  }
+}
+
+TEST(Operators, MemoryFootprintIsSmall) {
+  OpsFixture f;
+  // All shared tables for a 16k-unknown problem fit in ~1-2 MB.
+  EXPECT_LT(f.ops.bytes(), std::size_t{4} << 20);
+}
+
+}  // namespace
+}  // namespace ffw

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "common/morton.hpp"
+
+namespace ffw {
+namespace {
+
+TEST(Morton, KnownCodes) {
+  EXPECT_EQ(morton_encode(0, 0), 0u);
+  EXPECT_EQ(morton_encode(1, 0), 1u);
+  EXPECT_EQ(morton_encode(0, 1), 2u);
+  EXPECT_EQ(morton_encode(1, 1), 3u);
+  EXPECT_EQ(morton_encode(2, 0), 4u);
+  EXPECT_EQ(morton_encode(3, 3), 15u);
+  EXPECT_EQ(morton_encode(4, 4), 48u);
+}
+
+TEST(Morton, RoundTrip) {
+  for (std::uint32_t iy = 0; iy < 64; ++iy) {
+    for (std::uint32_t ix = 0; ix < 64; ++ix) {
+      std::uint32_t ox, oy;
+      morton_decode(morton_encode(ix, iy), ox, oy);
+      EXPECT_EQ(ox, ix);
+      EXPECT_EQ(oy, iy);
+    }
+  }
+}
+
+TEST(Morton, RoundTripLarge) {
+  for (std::uint32_t v : {255u, 256u, 1023u, 4095u, 65535u}) {
+    std::uint32_t ox, oy;
+    morton_decode(morton_encode(v, v / 3), ox, oy);
+    EXPECT_EQ(ox, v);
+    EXPECT_EQ(oy, v / 3);
+  }
+}
+
+// The property that makes sub-tree partitioning communication-free: the
+// parent of cluster c at the next level is c >> 2, and children of p are
+// exactly 4p..4p+3.
+TEST(Morton, ParentChildContiguity) {
+  for (std::uint32_t iy = 0; iy < 32; ++iy) {
+    for (std::uint32_t ix = 0; ix < 32; ++ix) {
+      const std::uint32_t c = morton_encode(ix, iy);
+      const std::uint32_t p = morton_encode(ix / 2, iy / 2);
+      EXPECT_EQ(c >> 2, p);
+      EXPECT_EQ(c & ~3u, 4 * p);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ffw

@@ -1,0 +1,138 @@
+// Partitioned (distributed) MLFMA must reproduce the serial engine for
+// every rank count, with communication only where the paper says it is
+// needed (translation + near-field).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/kernels.hpp"
+#include "mlfma/engine.hpp"
+#include "mlfma/partitioned.hpp"
+
+namespace ffw {
+namespace {
+
+class PartitionedRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionedRanks, MatchesSerialEngine) {
+  const int p = GetParam();
+  Grid grid(128);  // 3 levels, 256 leaves
+  QuadTree tree(grid);
+  MlfmaParams params;
+  MlfmaEngine serial(tree, params);
+  PartitionedMlfma dist(tree, params, p);
+
+  const std::size_t n = grid.num_pixels();
+  Rng rng(61);
+  cvec x(n), y_serial(n), y_dist(n, cplx{});
+  rng.fill_cnormal(x);  // cluster order
+  serial.apply(x, y_serial);
+
+  VCluster vc(p);
+  vc.run([&](Comm& comm) {
+    const std::size_t b = dist.leaf_begin(comm.rank()) *
+                          static_cast<std::size_t>(tree.pixels_per_leaf());
+    const std::size_t sz = dist.local_pixels(comm.rank());
+    cvec y_local(sz);
+    dist.apply(comm, ccspan{x.data() + b, sz}, y_local);
+    std::copy(y_local.begin(), y_local.end(), y_dist.begin() + b);
+  });
+
+  EXPECT_LT(rel_l2_diff(y_dist, y_serial), 1e-12) << "ranks=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, PartitionedRanks,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Partitioned, HermitianMatchesSerial) {
+  Grid grid(64);
+  QuadTree tree(grid);
+  MlfmaParams params;
+  MlfmaEngine serial(tree, params);
+  PartitionedMlfma dist(tree, params, 4);
+
+  const std::size_t n = grid.num_pixels();
+  Rng rng(62);
+  cvec x(n), y_serial(n), y_dist(n, cplx{});
+  rng.fill_cnormal(x);
+  serial.apply_herm(x, y_serial);
+
+  VCluster vc(4);
+  vc.run([&](Comm& comm) {
+    const std::size_t b =
+        dist.leaf_begin(comm.rank()) * static_cast<std::size_t>(tree.pixels_per_leaf());
+    const std::size_t sz = dist.local_pixels(comm.rank());
+    cvec y_local(sz);
+    dist.apply_herm(comm, ccspan{x.data() + b, sz}, y_local);
+    std::copy(y_local.begin(), y_local.end(), y_dist.begin() + b);
+  });
+  EXPECT_LT(rel_l2_diff(y_dist, y_serial), 1e-12);
+}
+
+TEST(Partitioned, SingleRankNeedsNoCommunication) {
+  Grid grid(64);
+  QuadTree tree(grid);
+  PartitionedMlfma dist(tree, {}, 1);
+  VCluster vc(1);
+  const std::size_t n = grid.num_pixels();
+  Rng rng(63);
+  cvec x(n), y(n);
+  rng.fill_cnormal(x);
+  vc.run([&](Comm& comm) { dist.apply(comm, x, y); });
+  EXPECT_EQ(vc.traffic().total_messages(), 0u);
+}
+
+TEST(Partitioned, CommunicationOnlyAtTranslationAndNearField) {
+  // Traffic volume must equal the sum over levels of (ghost clusters x
+  // Q_l) plus near-field ghosts x 64 — i.e., aggregation and
+  // disaggregation add nothing (the paper's key claim in Sec. IV-A).
+  Grid grid(128);
+  QuadTree tree(grid);
+  MlfmaParams params;
+  PartitionedMlfma dist(tree, params, 4);
+  MlfmaPlan plan(tree, params);
+
+  const std::size_t n = grid.num_pixels();
+  cvec x(n, cplx{1.0, -1.0});
+  VCluster vc(4);
+  vc.run([&](Comm& comm) {
+    const std::size_t b =
+        dist.leaf_begin(comm.rank()) * static_cast<std::size_t>(tree.pixels_per_leaf());
+    const std::size_t sz = dist.local_pixels(comm.rank());
+    cvec y(sz);
+    dist.apply(comm, ccspan{x.data() + b, sz}, y);
+  });
+
+  // Independently count required ghosts from the interaction lists.
+  auto owner = [&](int level, std::size_t c) {
+    return static_cast<int>(c * 4 / tree.level(level).num_clusters);
+  };
+  std::uint64_t expected_cplx = 0;
+  for (int l = 0; l < tree.num_levels(); ++l) {
+    const TreeLevel& lvl = tree.level(l);
+    std::set<std::pair<int, std::uint32_t>> ghosts;  // (dest rank, src)
+    for (std::size_t c = 0; c < lvl.num_clusters; ++c) {
+      for (std::uint32_t e = lvl.far_begin[c]; e < lvl.far_begin[c + 1]; ++e) {
+        const std::uint32_t s = lvl.far[e].src;
+        if (owner(l, s) != owner(l, c))
+          ghosts.insert({owner(l, c), s});
+      }
+    }
+    expected_cplx += ghosts.size() *
+                     static_cast<std::uint64_t>(plan.level(l).samples);
+  }
+  {
+    std::set<std::pair<int, std::uint32_t>> ghosts;
+    for (std::size_t c = 0; c < tree.num_leaves(); ++c) {
+      for (std::uint32_t e = tree.near_begin()[c];
+           e < tree.near_begin()[c + 1]; ++e) {
+        const std::uint32_t s = tree.near()[e].src;
+        if (owner(0, s) != owner(0, c)) ghosts.insert({owner(0, c), s});
+      }
+    }
+    expected_cplx += ghosts.size() * static_cast<std::size_t>(tree.pixels_per_leaf());
+  }
+  EXPECT_EQ(vc.traffic().total_bytes(), expected_cplx * sizeof(cplx));
+}
+
+}  // namespace
+}  // namespace ffw

@@ -1,0 +1,190 @@
+// Performance-model consistency: the analytic censuses must match what
+// the real code does (work census vs engine structure, comm census vs
+// measured vcluster traffic), and the model must obey basic sanity laws
+// (efficiencies <= ~1, monotone times, O(N) behaviour).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mlfma/partitioned.hpp"
+#include "perfmodel/predictor.hpp"
+
+namespace ffw {
+namespace {
+
+TEST(Census, CommMatchesMeasuredTraffic) {
+  Grid grid(128);
+  QuadTree tree(grid);
+  MlfmaParams params;
+  MlfmaPlan plan(tree, params);
+  for (int p : {2, 4, 8, 16}) {
+    PartitionedMlfma dist(tree, params, p);
+    const std::size_t n = grid.num_pixels();
+    cvec x(n, cplx{0.5, -0.5});
+    VCluster vc(p);
+    vc.run([&](Comm& comm) {
+      const std::size_t b =
+          dist.leaf_begin(comm.rank()) * static_cast<std::size_t>(tree.pixels_per_leaf());
+      const std::size_t sz = dist.local_pixels(comm.rank());
+      cvec y(sz);
+      dist.apply(comm, ccspan{x.data() + b, sz}, y);
+    });
+    const CommCensus census = census_halo(tree, plan, p);
+    EXPECT_EQ(vc.traffic().total_bytes(), census.bytes) << "p=" << p;
+    EXPECT_EQ(vc.traffic().total_messages(), census.messages) << "p=" << p;
+    EXPECT_EQ(vc.traffic().max_rank_bytes(), census.max_rank_bytes)
+        << "p=" << p;
+  }
+}
+
+TEST(Census, WorkIsLinearInN) {
+  // Sec. III-C: total work per application is O(N): quadrupling the
+  // pixel count should roughly quadruple total cmacs (within 2x slack
+  // for the log-free but boundary-affected constants).
+  MlfmaParams params;
+  double prev = 0.0;
+  for (int nx : {64, 128, 256}) {
+    Grid grid(nx);
+    QuadTree tree(grid);
+    MlfmaPlan plan(tree, params);
+    const double total = census_work(tree, plan).total();
+    if (prev > 0.0) {
+      const double ratio = total / prev;
+      EXPECT_GT(ratio, 2.5) << "nx=" << nx;
+      EXPECT_LT(ratio, 6.5) << "nx=" << nx;
+    }
+    prev = total;
+  }
+}
+
+TEST(Census, MemoryIsTinyComparedToDense) {
+  Grid grid(256);
+  QuadTree tree(grid);
+  MlfmaPlan plan(tree, {});
+  const MemoryCensus m = census_memory(tree, plan);
+  EXPECT_LT(m.operator_bytes + m.panel_bytes,
+            m.dense_equivalent_bytes / 100);
+}
+
+TEST(Census, ImbalanceBounds) {
+  Grid grid(128);
+  QuadTree tree(grid);
+  MlfmaPlan plan(tree, {});
+  EXPECT_DOUBLE_EQ(census_imbalance(tree, plan, 1), 1.0);
+  for (int p : {2, 4, 8, 16}) {
+    const double imb = census_imbalance(tree, plan, p);
+    EXPECT_GE(imb, 1.0) << "p=" << p;
+    EXPECT_LT(imb, 2.0) << "p=" << p;  // Morton ranges are decently even
+  }
+}
+
+TEST(Census, UnbufferedMessagesDominateBuffered) {
+  Grid grid(128);
+  QuadTree tree(grid);
+  MlfmaPlan plan(tree, {});
+  for (int p : {4, 16}) {
+    const CommCensus c = census_halo(tree, plan, p);
+    EXPECT_GT(c.unbuffered_messages, c.messages) << "p=" << p;
+    // One aggregated message per (peer pair, level/near class) at most.
+    EXPECT_LE(c.messages, c.unbuffered_messages);
+  }
+}
+
+class PredictorFixture : public ::testing::Test {
+ protected:
+  static const ScalingModel& model() {
+    static const ScalingModel m{MachineParams{}, calibrate(64, 1)};
+    return m;
+  }
+};
+
+TEST_F(PredictorFixture, StrongScalingEfficienciesAreSane) {
+  Grid grid(256);  // stand-in for the 1M-unknown domain
+  QuadTree tree(grid);
+  MlfmaPlan plan(tree, {});
+  ProblemSpec spec;
+  spec.nx = 256;
+  spec.transmitters = 64;
+  spec.dbim_iterations = 3;
+  const auto pts = model().strong_scaling_illuminations(
+      spec, tree, plan, {4, 8, 16, 32, 64}, true);
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_DOUBLE_EQ(pts.front().efficiency, 1.0);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i].time_s, pts[i - 1].time_s);       // faster with nodes
+    EXPECT_LE(pts[i].efficiency, 1.0 + 1e-9);
+    EXPECT_GT(pts[i].efficiency, 0.5);                 // not pathological
+    // Adjusted efficiency (variation removed) >= real efficiency.
+    EXPECT_GE(pts[i].adjusted_efficiency, pts[i].efficiency - 0.02);
+  }
+}
+
+TEST_F(PredictorFixture, SubtreeScalingIsLessEfficientThanIllumination) {
+  // The paper's headline contrast: Fig. 9 (86.1%) vs Fig. 10 (46.6%).
+  Grid grid(256);
+  QuadTree tree(grid);
+  MlfmaPlan plan(tree, {});
+  ProblemSpec spec;
+  spec.nx = 256;
+  spec.transmitters = 64;
+  spec.dbim_iterations = 2;
+  const auto illum = model().strong_scaling_illuminations(
+      spec, tree, plan, {4, 64}, true);
+  const auto subtree = model().strong_scaling_subtrees(
+      spec, tree, plan, 4, {4, 64}, true);
+  EXPECT_GT(illum.back().efficiency, subtree.back().efficiency);
+}
+
+TEST_F(PredictorFixture, GpuFasterThanCpuAndImprovesWithSize) {
+  // At 65k unknowns the modelled GPU is already faster but underfilled
+  // (the Sec. V-C2 granularity effect); at 262k the speedup approaches
+  // the roofline ceiling. Both behaviours are intentional.
+  Grid small(256), big(512);
+  QuadTree tree_s(small), tree_b(big);
+  MlfmaPlan plan_s(tree_s, {}), plan_b(tree_b, {});
+  const double ratio_s = model().mlfma_apply_time(tree_s, plan_s, 1, false) /
+                         model().mlfma_apply_time(tree_s, plan_s, 1, true);
+  const double ratio_b = model().mlfma_apply_time(tree_b, plan_b, 1, false) /
+                         model().mlfma_apply_time(tree_b, plan_b, 1, true);
+  EXPECT_GT(ratio_s, 1.2);
+  EXPECT_GT(ratio_b, ratio_s);    // less underfill at larger N
+  EXPECT_LT(ratio_b, 7.0);        // bounded by the per-phase ceilings
+}
+
+TEST_F(PredictorFixture, AdjustedWeakScalingBeatsReal) {
+  Grid grid(256);
+  QuadTree tree(grid);
+  MlfmaPlan plan(tree, {});
+  ProblemSpec base;
+  base.nx = 256;
+  base.dbim_iterations = 2;
+  const auto pts = model().weak_scaling_illuminations(base, tree, plan,
+                                                      {4, 16, 64}, true);
+  for (const auto& p : pts) {
+    EXPECT_GE(p.adjusted_efficiency, p.efficiency - 1e-9);
+  }
+}
+
+TEST_F(PredictorFixture, CalibratedRatesArePositive) {
+  const CalibratedRates& r = model().rates();
+  for (double v : r.cmacs_per_s) EXPECT_GT(v, 0.0);
+  EXPECT_GT(r.mlfma_per_solve, 2.0);
+  EXPECT_LT(r.mlfma_per_solve, 200.0);
+  EXPECT_GT(r.bicgs_mean, 1.0);
+  EXPECT_GE(r.bicgs_std, 0.0);
+}
+
+TEST_F(PredictorFixture, PhaseScalingOverlapHelpsGpu) {
+  Grid grid(256);
+  QuadTree tree(grid);
+  MlfmaPlan plan(tree, {});
+  const auto t = model().phase_scaling(tree, plan,
+                                       MlfmaPhase::kTranslation, 16);
+  // 16-node speedup vs own 1-node time.
+  const double cpu_speedup = t.cpu1 / t.cpu16;
+  const double gpu_speedup = t.gpu1 / t.gpu16;
+  EXPECT_LE(cpu_speedup, 16.0 + 1e-9);
+  EXPECT_GT(gpu_speedup, 0.0);
+}
+
+}  // namespace
+}  // namespace ffw

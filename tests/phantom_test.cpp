@@ -1,0 +1,103 @@
+// Phantom generators and image metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phantom/phantom.hpp"
+
+namespace ffw {
+namespace {
+
+TEST(Phantom, SheppLoganPeakNormalisation) {
+  Grid grid(128);
+  const cvec p = shepp_logan(grid, 0.02);
+  double peak = 0.0;
+  for (const auto& v : p) peak = std::max(peak, std::abs(v));
+  EXPECT_NEAR(peak, 0.02, 1e-12);
+}
+
+TEST(Phantom, SheppLoganSupportAndBackground) {
+  Grid grid(64);
+  const cvec p = shepp_logan(grid, 1.0);
+  const int nx = grid.nx();
+  // Background outside the skull ellipse is exactly zero; the brain
+  // interior is nonzero.
+  const double scale = 0.9 * 0.5 * grid.domain();
+  for (int iy = 0; iy < nx; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      const Vec2 q = grid.pixel_center(ix, iy);
+      const double x = q.x / scale, y = q.y / scale;
+      if ((x * x) / (0.69 * 0.69) + (y * y) / (0.92 * 0.92) > 1.05) {
+        EXPECT_EQ(p[grid.pixel_index(ix, iy)], cplx{});
+      }
+    }
+  }
+  EXPECT_NE(p[grid.pixel_index(nx / 2, nx / 2)], cplx{});
+}
+
+TEST(Phantom, SheppLoganHasInteriorStructure) {
+  Grid grid(128);
+  const cvec p = shepp_logan(grid, 0.02);
+  // More than two distinct values: skull, brain, ventricles, tumours.
+  std::set<long long> quantised;
+  for (const auto& v : p)
+    quantised.insert(static_cast<long long>(std::round(v.real() * 1e9)));
+  EXPECT_GE(quantised.size(), 4u);
+}
+
+TEST(Phantom, AnnulusAreaMatchesGeometry) {
+  Grid grid(64);
+  const double r_in = 1.0, r_out = 2.0;
+  const cvec a = annulus(grid, r_in, r_out, cplx{1.0, 0.0});
+  std::size_t count = 0;
+  for (const auto& v : a) count += (v != cplx{});
+  const double area = static_cast<double>(count) * grid.h() * grid.h();
+  const double want = pi * (r_out * r_out - r_in * r_in);
+  EXPECT_NEAR(area, want, 0.05 * want);  // staircase tolerance
+}
+
+TEST(Phantom, DisksOverwriteInOrder) {
+  Grid grid(32);
+  const cvec d = disks(grid, {{Vec2{0, 0}, 1.0, cplx{1.0, 0.0}},
+                              {Vec2{0, 0}, 0.5, cplx{2.0, 0.0}}});
+  // Centre pixel gets the later disk's value.
+  EXPECT_EQ(d[grid.pixel_index(16, 16)], (cplx{2.0, 0.0}));
+}
+
+TEST(Phantom, ContrastScalesByK0Squared) {
+  Grid grid(16);
+  cvec de(grid.num_pixels(), cplx{0.01, 0.0});
+  const cvec o = contrast_from_permittivity(grid, de);
+  const double k2 = grid.k0() * grid.k0();
+  EXPECT_NEAR(o[0].real(), 0.01 * k2, 1e-12);
+}
+
+TEST(Phantom, RmseBasics) {
+  cvec a{{1, 0}, {0, 0}}, b{{1, 0}, {0, 0}};
+  EXPECT_DOUBLE_EQ(image_rmse(a, b), 0.0);
+  cvec c{{2, 0}, {0, 0}};
+  EXPECT_DOUBLE_EQ(image_rmse(c, a), 1.0);
+}
+
+TEST(Phantom, GaussianBlobPeakAtCenter) {
+  Grid grid(32);
+  const cvec g = gaussian_blob(grid, Vec2{0.0, 0.0}, 0.4, cplx{0.05, 0.0});
+  double peak = 0.0;
+  std::size_t arg = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (std::abs(g[i]) > peak) {
+      peak = std::abs(g[i]);
+      arg = i;
+    }
+  }
+  // Peak at one of the four centre pixels.
+  const int ix = static_cast<int>(arg) % grid.nx();
+  const int iy = static_cast<int>(arg) / grid.nx();
+  EXPECT_GE(ix, grid.nx() / 2 - 1);
+  EXPECT_LE(ix, grid.nx() / 2);
+  EXPECT_GE(iy, grid.nx() / 2 - 1);
+  EXPECT_LE(iy, grid.nx() / 2);
+}
+
+}  // namespace
+}  // namespace ffw

@@ -1,0 +1,135 @@
+// Quad-tree geometry invariants: level structure, interaction-list
+// completeness (every cluster pair is covered exactly once across near +
+// all far levels), Morton permutations, and the paper's operator-type
+// counts (40 translation offsets, <= 27 far entries at non-top levels).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/morton.hpp"
+#include "grid/quadtree.hpp"
+
+namespace ffw {
+namespace {
+
+TEST(QuadTree, LevelStructure128) {
+  Grid grid(128);  // 12.8 lambda, 16x16 leaves
+  QuadTree tree(grid);
+  ASSERT_EQ(tree.num_levels(), 3);
+  EXPECT_EQ(tree.level(0).side, 16);
+  EXPECT_EQ(tree.level(1).side, 8);
+  EXPECT_EQ(tree.level(2).side, 4);
+  EXPECT_DOUBLE_EQ(tree.level(0).width, 0.8);
+  EXPECT_DOUBLE_EQ(tree.level(2).width, 3.2);
+  EXPECT_EQ(tree.level(2).num_clusters, 16u);  // the paper's 16 sub-trees
+}
+
+TEST(QuadTree, FortyTranslationOffsets) {
+  const auto& offs = QuadTree::translation_offsets();
+  EXPECT_EQ(offs.size(), 40u);
+  std::set<std::pair<int, int>> uniq(offs.begin(), offs.end());
+  EXPECT_EQ(uniq.size(), 40u);
+  for (auto [dx, dy] : offs) {
+    EXPECT_GE(std::max(std::abs(dx), std::abs(dy)), 2);
+    EXPECT_LE(std::max(std::abs(dx), std::abs(dy)), 3);
+  }
+}
+
+TEST(QuadTree, InteriorClusterHas27FarEntries) {
+  Grid grid(256);  // 32x32 leaves, interior clusters exist at level 0
+  QuadTree tree(grid);
+  const TreeLevel& lvl = tree.level(0);
+  // Pick a deep-interior cluster: (8, 8) of 32.
+  const std::uint32_t c = morton_encode(8, 8);
+  EXPECT_EQ(lvl.far_begin[c + 1] - lvl.far_begin[c], 27u);  // paper Fig. 5
+}
+
+TEST(QuadTree, NearListsCoverNeighbours) {
+  Grid grid(64);
+  QuadTree tree(grid);
+  // Corner leaf: 4 near entries; edge: 6; interior: 9.
+  const std::uint32_t corner = morton_encode(0, 0);
+  const std::uint32_t interior = morton_encode(3, 3);
+  const auto& nb = tree.near_begin();
+  EXPECT_EQ(nb[corner + 1] - nb[corner], 4u);
+  EXPECT_EQ(nb[interior + 1] - nb[interior], 9u);
+}
+
+// Exhaustive pair coverage: for every ordered leaf pair (dest, src),
+// exactly one of {leaf near list, some level's far list (between their
+// ancestors)} must account for it, exactly once.
+TEST(QuadTree, PairCoverageExactlyOnce) {
+  Grid grid(128);
+  QuadTree tree(grid);
+  const std::size_t nleaf = tree.num_leaves();
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> covered;
+
+  for (std::size_t c = 0; c < nleaf; ++c) {
+    for (std::uint32_t e = tree.near_begin()[c]; e < tree.near_begin()[c + 1];
+         ++e) {
+      covered[{static_cast<std::uint32_t>(c), tree.near()[e].src}]++;
+    }
+  }
+  for (int l = 0; l < tree.num_levels(); ++l) {
+    const TreeLevel& lvl = tree.level(l);
+    for (std::size_t c = 0; c < lvl.num_clusters; ++c) {
+      for (std::uint32_t e = lvl.far_begin[c]; e < lvl.far_begin[c + 1]; ++e) {
+        const std::uint32_t src = lvl.far[e].src;
+        // Expand to all leaf descendants.
+        const std::uint32_t width = 1u << (2 * l);
+        for (std::uint32_t dl = 0; dl < width; ++dl) {
+          for (std::uint32_t sl = 0; sl < width; ++sl) {
+            covered[{static_cast<std::uint32_t>(c) * width + dl,
+                     src * width + sl}]++;
+          }
+        }
+      }
+    }
+  }
+  ASSERT_EQ(covered.size(), nleaf * nleaf);
+  for (const auto& [pair, count] : covered) {
+    ASSERT_EQ(count, 1) << "pair (" << pair.first << "," << pair.second
+                        << ") covered " << count << " times";
+  }
+}
+
+TEST(QuadTree, PermutationRoundTrip) {
+  Grid grid(64);
+  QuadTree tree(grid);
+  const std::size_t n = grid.num_pixels();
+  cvec nat(n), clu(n), back(n);
+  for (std::size_t i = 0; i < n; ++i) nat[i] = cplx(static_cast<double>(i), 1.0);
+  tree.to_cluster_order(nat, clu);
+  tree.to_natural_order(clu, back);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(back[i], nat[i]);
+}
+
+TEST(QuadTree, ClusterCenters) {
+  Grid grid(128);
+  QuadTree tree(grid);
+  // Leaf 0 is the lower-left 8x8 block; its centre is at
+  // (-D/2 + 0.4, -D/2 + 0.4).
+  const Vec2 c0 = tree.cluster_center(0, 0);
+  EXPECT_NEAR(c0.x, -6.4 + 0.4, 1e-12);
+  EXPECT_NEAR(c0.y, -6.4 + 0.4, 1e-12);
+  // Top-level cluster (Morton 3 -> (1,1) of 4): centre at (-1.6, -1.6).
+  const Vec2 t3 = tree.cluster_center(2, 3);
+  EXPECT_NEAR(t3.x, -1.6, 1e-12);
+  EXPECT_NEAR(t3.y, -1.6, 1e-12);
+}
+
+TEST(QuadTree, LocalPixelOffsets) {
+  Grid grid(64);
+  QuadTree tree(grid);
+  // Pixel 0 of a leaf is the lower-left corner: offset (-0.35, -0.35).
+  const Vec2 p0 = tree.local_pixel_offset(0);
+  EXPECT_NEAR(p0.x, -0.35, 1e-12);
+  EXPECT_NEAR(p0.y, -0.35, 1e-12);
+  const Vec2 p63 = tree.local_pixel_offset(63);
+  EXPECT_NEAR(p63.x, 0.35, 1e-12);
+  EXPECT_NEAR(p63.y, 0.35, 1e-12);
+}
+
+}  // namespace
+}  // namespace ffw

@@ -1,0 +1,83 @@
+// Grid resampling used by the multi-frequency DBIM extension.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/kernels.hpp"
+#include "phantom/phantom.hpp"
+#include "phantom/resample.hpp"
+
+namespace ffw {
+namespace {
+
+TEST(Resample, DownsampleAveragesBlocks) {
+  // 4x4 map with known 2x2 block means.
+  cvec v(16);
+  for (int i = 0; i < 16; ++i) v[static_cast<std::size_t>(i)] = i;
+  const cvec d = downsample2(v, 4);
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_NEAR(d[0].real(), (0 + 1 + 4 + 5) / 4.0, 1e-14);
+  EXPECT_NEAR(d[1].real(), (2 + 3 + 6 + 7) / 4.0, 1e-14);
+  EXPECT_NEAR(d[2].real(), (8 + 9 + 12 + 13) / 4.0, 1e-14);
+  EXPECT_NEAR(d[3].real(), (10 + 11 + 14 + 15) / 4.0, 1e-14);
+}
+
+TEST(Resample, DownsamplePreservesConstant) {
+  cvec v(64, cplx{3.0, -1.0});
+  const cvec d = downsample2(v, 8);
+  for (const auto& x : d) EXPECT_NEAR(std::abs(x - cplx(3.0, -1.0)), 0, 1e-14);
+}
+
+TEST(Resample, UpsamplePreservesConstant) {
+  cvec v(16, cplx{2.0, 5.0});
+  const cvec u = upsample2(v, 4);
+  ASSERT_EQ(u.size(), 64u);
+  for (const auto& x : u) EXPECT_NEAR(std::abs(x - cplx(2.0, 5.0)), 0, 1e-14);
+}
+
+TEST(Resample, UpsampleReproducesLinearRamp) {
+  // Bilinear interpolation is exact for affine functions (away from the
+  // clamped boundary).
+  const int nc = 8;
+  cvec v(static_cast<std::size_t>(nc) * nc);
+  for (int iy = 0; iy < nc; ++iy)
+    for (int ix = 0; ix < nc; ++ix)
+      v[static_cast<std::size_t>(iy) * nc + ix] = 2.0 * ix - 3.0 * iy;
+  const cvec u = upsample2(v, nc);
+  const int nf = 2 * nc;
+  for (int iy = 2; iy < nf - 2; ++iy) {
+    for (int ix = 2; ix < nf - 2; ++ix) {
+      // Fine-pixel centre in coarse coordinates: (ix - 0.5) / 2.
+      const double cx = (ix - 0.5) / 2.0, cy = (iy - 0.5) / 2.0;
+      const double want = 2.0 * cx - 3.0 * cy;
+      EXPECT_NEAR(u[static_cast<std::size_t>(iy) * nf + ix].real(), want,
+                  1e-12)
+          << ix << "," << iy;
+    }
+  }
+}
+
+TEST(Resample, RoundTripIsNearIdentityForSmoothMaps) {
+  Grid grid(32);
+  const cvec smooth = gaussian_blob(grid, Vec2{0.2, -0.3}, 0.8,
+                                    cplx{1.0, 0.0});
+  const cvec down = downsample2(smooth, 32);
+  const cvec up = upsample2(down, 16);
+  EXPECT_LT(rel_l2_diff(up, smooth), 0.08);
+}
+
+TEST(Resample, UpsampleThenDownsampleIsExactOnAverage) {
+  Rng rng(91);
+  cvec v(16 * 16);
+  rng.fill_cnormal(v);
+  const cvec u = upsample2(v, 16);
+  // Mean is preserved by both operations.
+  cplx mv{}, mu{};
+  for (const auto& x : v) mv += x;
+  for (const auto& x : u) mu += x;
+  mv /= static_cast<double>(v.size());
+  mu /= static_cast<double>(u.size());
+  EXPECT_NEAR(std::abs(mv - mu), 0.0, 0.02 * std::abs(mv) + 1e-3);
+}
+
+}  // namespace
+}  // namespace ffw

@@ -1,0 +1,94 @@
+// Tikhonov-regularised DBIM: behaviour of the penalty term in both the
+// serial and the distributed driver.
+#include <gtest/gtest.h>
+
+#include "dbim/parallel_driver.hpp"
+#include "linalg/kernels.hpp"
+#include "phantom/setup.hpp"
+
+namespace ffw {
+namespace {
+
+struct NoisyScene {
+  ScenarioConfig cfg;
+  std::unique_ptr<Scenario> scene;
+
+  explicit NoisyScene(double noise) {
+    cfg.nx = 32;
+    cfg.num_transmitters = 8;
+    cfg.num_receivers = 24;
+    cfg.measurement_noise = noise;
+    Grid grid(cfg.nx);
+    scene = std::make_unique<Scenario>(
+        cfg, gaussian_blob(grid, Vec2{0.2, -0.1}, 0.5, cplx{0.01, 0.0}));
+  }
+};
+
+TEST(Tikhonov, ZeroWeightMatchesUnregularised) {
+  NoisyScene f(0.0);
+  DbimOptions a;
+  a.max_iterations = 6;
+  DbimOptions b = a;
+  b.tikhonov = 0.0;
+  const DbimResult ra = dbim_reconstruct(
+      f.scene->engine(), f.scene->transceivers(), f.scene->measurements(), a);
+  const DbimResult rb = dbim_reconstruct(
+      f.scene->engine(), f.scene->transceivers(), f.scene->measurements(), b);
+  EXPECT_LT(rel_l2_diff(ra.contrast, rb.contrast), 1e-12);
+}
+
+TEST(Tikhonov, LargeWeightSuppressesTheImage) {
+  NoisyScene f(0.0);
+  DbimOptions opts;
+  opts.max_iterations = 6;
+  opts.tikhonov = 1e6;  // absurdly strong: the minimiser is near zero
+  const DbimResult res = dbim_reconstruct(
+      f.scene->engine(), f.scene->transceivers(), f.scene->measurements(),
+      opts);
+  const double truth_norm = nrm2(f.scene->true_contrast());
+  EXPECT_LT(nrm2(res.contrast), 0.1 * truth_norm);
+}
+
+TEST(Tikhonov, DampsNoiseAmplification) {
+  NoisyScene f(0.10);  // 10% measurement noise
+  DbimOptions plain;
+  plain.max_iterations = 12;
+  DbimOptions reg = plain;
+  // Weight scaled to the data term's magnitude (measurements are tiny).
+  reg.tikhonov = 1e-7;
+  const DbimResult r0 = dbim_reconstruct(
+      f.scene->engine(), f.scene->transceivers(), f.scene->measurements(),
+      plain);
+  const DbimResult r1 = dbim_reconstruct(
+      f.scene->engine(), f.scene->transceivers(), f.scene->measurements(),
+      reg);
+  const double rmse0 = image_rmse(r0.contrast, f.scene->true_contrast());
+  const double rmse1 = image_rmse(r1.contrast, f.scene->true_contrast());
+  // Regularisation must not make things notably worse, and the
+  // regularised image must be no larger in norm (shrinkage).
+  EXPECT_LT(rmse1, rmse0 * 1.1);
+  EXPECT_LE(nrm2(r1.contrast), nrm2(r0.contrast) * 1.001);
+}
+
+TEST(Tikhonov, ParallelDriverAppliesSamePenalty) {
+  NoisyScene f(0.0);
+  DbimOptions opts;
+  opts.max_iterations = 5;
+  opts.tikhonov = 1e-6;
+  const DbimResult serial = dbim_reconstruct(
+      f.scene->engine(), f.scene->transceivers(), f.scene->measurements(),
+      opts);
+
+  ParallelDbimConfig pcfg;
+  pcfg.illum_groups = 2;
+  pcfg.tree_ranks = 2;
+  pcfg.dbim = opts;
+  VCluster vc(4);
+  const DbimResult par = dbim_reconstruct_parallel(
+      vc, f.scene->tree(), f.scene->transceivers(), f.scene->measurements(),
+      pcfg);
+  EXPECT_LT(image_rmse(par.contrast, serial.contrast), 0.05);
+}
+
+}  // namespace
+}  // namespace ffw

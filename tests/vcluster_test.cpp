@@ -1,0 +1,161 @@
+// Virtual-cluster runtime: point-to-point semantics, collectives built on
+// them, and the traffic accounting the performance model consumes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "vcluster/comm.hpp"
+
+namespace ffw {
+namespace {
+
+TEST(VCluster, PingPong) {
+  VCluster vc(2);
+  vc.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const double msg[3] = {1.0, 2.0, 3.0};
+      c.send(1, 7, std::span<const double>(msg, 3));
+      const auto back = c.recv<double>(1, 8);
+      ASSERT_EQ(back.size(), 3u);
+      EXPECT_DOUBLE_EQ(back[0], 2.0);
+    } else {
+      auto got = c.recv<double>(0, 7);
+      for (auto& v : got) v *= 2.0;
+      c.send(0, 8, std::span<const double>(got));
+    }
+  });
+}
+
+TEST(VCluster, FifoOrderingPerTag) {
+  VCluster vc(2);
+  vc.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 50; ++i) {
+        const double v[1] = {static_cast<double>(i)};
+        c.send(1, 3, std::span<const double>(v, 1));
+      }
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        EXPECT_DOUBLE_EQ(c.recv<double>(0, 3)[0], static_cast<double>(i));
+      }
+    }
+  });
+}
+
+TEST(VCluster, TagsAreIndependent) {
+  VCluster vc(2);
+  vc.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const double a[1] = {1.0}, b[1] = {2.0};
+      c.send(1, 10, std::span<const double>(a, 1));
+      c.send(1, 20, std::span<const double>(b, 1));
+    } else {
+      // Receive in reverse send order: tags must match independently.
+      EXPECT_DOUBLE_EQ(c.recv<double>(0, 20)[0], 2.0);
+      EXPECT_DOUBLE_EQ(c.recv<double>(0, 10)[0], 1.0);
+    }
+  });
+}
+
+class AllreduceSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllreduceSizes, SumMatchesSerial) {
+  const int p = GetParam();
+  VCluster vc(p);
+  vc.run([p](Comm& c) {
+    cvec v(17);
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v[i] = cplx(static_cast<double>(c.rank()), static_cast<double>(i));
+    c.allreduce_sum(cspan{v});
+    const double rank_sum = p * (p - 1) / 2.0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      EXPECT_NEAR(v[i].real(), rank_sum, 1e-12);
+      EXPECT_NEAR(v[i].imag(), static_cast<double>(i) * p, 1e-12);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, AllreduceSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+TEST(VCluster, AllreduceMaxAndScalarSum) {
+  VCluster vc(6);
+  vc.run([](Comm& c) {
+    EXPECT_DOUBLE_EQ(c.allreduce_max(static_cast<double>(c.rank())), 5.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(1.5), 9.0);
+  });
+}
+
+class BcastRoots : public ::testing::TestWithParam<int> {};
+
+TEST_P(BcastRoots, EveryRankGetsRootData) {
+  const int root = GetParam();
+  VCluster vc(5);
+  vc.run([root](Comm& c) {
+    cvec v(8, cplx{});
+    if (c.rank() == root) {
+      for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = cplx(static_cast<double>(i), 42.0);
+    }
+    c.bcast(v, root);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      EXPECT_DOUBLE_EQ(v[i].real(), static_cast<double>(i));
+      EXPECT_DOUBLE_EQ(v[i].imag(), 42.0);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Roots, BcastRoots, ::testing::Values(0, 1, 4));
+
+TEST(VCluster, BarrierOrdersPhases) {
+  VCluster vc(4);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> ok{true};
+  vc.run([&](Comm& c) {
+    phase1.fetch_add(1);
+    c.barrier();
+    if (phase1.load() != 4) ok = false;
+    c.barrier();
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(VCluster, TrafficAccounting) {
+  VCluster vc(2);
+  vc.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const cplx v[4] = {};
+      c.send(1, 1, std::span<const cplx>(v, 4));
+    } else {
+      c.recv<cplx>(0, 1);
+    }
+  });
+  const TrafficStats t = vc.traffic();
+  EXPECT_EQ(t.total_messages(), 1u);
+  EXPECT_EQ(t.total_bytes(), 4 * sizeof(cplx));
+  EXPECT_EQ(t.bytes[0 * 2 + 1], 4 * sizeof(cplx));
+  EXPECT_EQ(t.bytes[1 * 2 + 0], 0u);
+  vc.reset_traffic();
+  EXPECT_EQ(vc.traffic().total_bytes(), 0u);
+}
+
+TEST(VCluster, ProbeSeesQueuedMessage) {
+  VCluster vc(2);
+  vc.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const double v[1] = {3.14};
+      c.send(1, 9, std::span<const double>(v, 1));
+      c.barrier();
+    } else {
+      c.barrier();  // after barrier the message must be deposited
+      EXPECT_TRUE(c.probe(0, 9));
+      EXPECT_FALSE(c.probe(0, 10));
+      c.recv<double>(0, 9);
+      EXPECT_FALSE(c.probe(0, 9));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ffw
