@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_annulus.dir/bench_fig01_annulus.cpp.o"
+  "CMakeFiles/bench_fig01_annulus.dir/bench_fig01_annulus.cpp.o.d"
+  "bench_fig01_annulus"
+  "bench_fig01_annulus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_annulus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

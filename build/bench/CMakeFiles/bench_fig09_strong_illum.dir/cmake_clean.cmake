@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_strong_illum.dir/bench_fig09_strong_illum.cpp.o"
+  "CMakeFiles/bench_fig09_strong_illum.dir/bench_fig09_strong_illum.cpp.o.d"
+  "bench_fig09_strong_illum"
+  "bench_fig09_strong_illum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_strong_illum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

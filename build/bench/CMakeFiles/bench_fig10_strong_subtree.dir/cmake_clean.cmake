@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_strong_subtree.dir/bench_fig10_strong_subtree.cpp.o"
+  "CMakeFiles/bench_fig10_strong_subtree.dir/bench_fig10_strong_subtree.cpp.o.d"
+  "bench_fig10_strong_subtree"
+  "bench_fig10_strong_subtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_strong_subtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_shepp_logan.dir/bench_fig13_shepp_logan.cpp.o"
+  "CMakeFiles/bench_fig13_shepp_logan.dir/bench_fig13_shepp_logan.cpp.o.d"
+  "bench_fig13_shepp_logan"
+  "bench_fig13_shepp_logan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_shepp_logan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

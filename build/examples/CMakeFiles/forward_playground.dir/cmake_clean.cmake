@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forward_playground.dir/forward_playground.cpp.o"
+  "CMakeFiles/forward_playground.dir/forward_playground.cpp.o.d"
+  "forward_playground"
+  "forward_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forward_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

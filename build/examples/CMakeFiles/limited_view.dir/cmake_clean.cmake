@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limited_view.dir/limited_view.cpp.o"
+  "CMakeFiles/limited_view.dir/limited_view.cpp.o.d"
+  "limited_view"
+  "limited_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limited_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

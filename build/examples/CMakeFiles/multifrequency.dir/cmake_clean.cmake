@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multifrequency.dir/multifrequency.cpp.o"
+  "CMakeFiles/multifrequency.dir/multifrequency.cpp.o.d"
+  "multifrequency"
+  "multifrequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multifrequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

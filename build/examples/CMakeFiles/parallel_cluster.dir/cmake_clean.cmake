@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_cluster.dir/parallel_cluster.cpp.o"
+  "CMakeFiles/parallel_cluster.dir/parallel_cluster.cpp.o.d"
+  "parallel_cluster"
+  "parallel_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

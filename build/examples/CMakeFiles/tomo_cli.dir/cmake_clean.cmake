@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomo_cli.dir/tomo_cli.cpp.o"
+  "CMakeFiles/tomo_cli.dir/tomo_cli.cpp.o.d"
+  "tomo_cli"
+  "tomo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/morton.cpp" "src/CMakeFiles/ffwtomo.dir/common/morton.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/common/morton.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/ffwtomo.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/ffwtomo.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/common/table.cpp.o.d"
+  "/root/repo/src/dbim/born.cpp" "src/CMakeFiles/ffwtomo.dir/dbim/born.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/dbim/born.cpp.o.d"
+  "/root/repo/src/dbim/dbim.cpp" "src/CMakeFiles/ffwtomo.dir/dbim/dbim.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/dbim/dbim.cpp.o.d"
+  "/root/repo/src/dbim/frechet.cpp" "src/CMakeFiles/ffwtomo.dir/dbim/frechet.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/dbim/frechet.cpp.o.d"
+  "/root/repo/src/dbim/gauss_newton.cpp" "src/CMakeFiles/ffwtomo.dir/dbim/gauss_newton.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/dbim/gauss_newton.cpp.o.d"
+  "/root/repo/src/dbim/multifrequency.cpp" "src/CMakeFiles/ffwtomo.dir/dbim/multifrequency.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/dbim/multifrequency.cpp.o.d"
+  "/root/repo/src/dbim/parallel_driver.cpp" "src/CMakeFiles/ffwtomo.dir/dbim/parallel_driver.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/dbim/parallel_driver.cpp.o.d"
+  "/root/repo/src/fft/fft.cpp" "src/CMakeFiles/ffwtomo.dir/fft/fft.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/fft/fft.cpp.o.d"
+  "/root/repo/src/forward/bicgstab.cpp" "src/CMakeFiles/ffwtomo.dir/forward/bicgstab.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/forward/bicgstab.cpp.o.d"
+  "/root/repo/src/forward/dense_ref.cpp" "src/CMakeFiles/ffwtomo.dir/forward/dense_ref.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/forward/dense_ref.cpp.o.d"
+  "/root/repo/src/forward/forward.cpp" "src/CMakeFiles/ffwtomo.dir/forward/forward.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/forward/forward.cpp.o.d"
+  "/root/repo/src/greens/fast_receivers.cpp" "src/CMakeFiles/ffwtomo.dir/greens/fast_receivers.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/greens/fast_receivers.cpp.o.d"
+  "/root/repo/src/greens/greens.cpp" "src/CMakeFiles/ffwtomo.dir/greens/greens.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/greens/greens.cpp.o.d"
+  "/root/repo/src/greens/nearfield.cpp" "src/CMakeFiles/ffwtomo.dir/greens/nearfield.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/greens/nearfield.cpp.o.d"
+  "/root/repo/src/greens/transceivers.cpp" "src/CMakeFiles/ffwtomo.dir/greens/transceivers.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/greens/transceivers.cpp.o.d"
+  "/root/repo/src/grid/grid.cpp" "src/CMakeFiles/ffwtomo.dir/grid/grid.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/grid/grid.cpp.o.d"
+  "/root/repo/src/grid/quadtree.cpp" "src/CMakeFiles/ffwtomo.dir/grid/quadtree.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/grid/quadtree.cpp.o.d"
+  "/root/repo/src/io/checkpoint.cpp" "src/CMakeFiles/ffwtomo.dir/io/checkpoint.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/io/checkpoint.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/ffwtomo.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/image.cpp" "src/CMakeFiles/ffwtomo.dir/io/image.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/io/image.cpp.o.d"
+  "/root/repo/src/linalg/banded.cpp" "src/CMakeFiles/ffwtomo.dir/linalg/banded.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/linalg/banded.cpp.o.d"
+  "/root/repo/src/linalg/cmatrix.cpp" "src/CMakeFiles/ffwtomo.dir/linalg/cmatrix.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/linalg/cmatrix.cpp.o.d"
+  "/root/repo/src/linalg/gemm.cpp" "src/CMakeFiles/ffwtomo.dir/linalg/gemm.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/linalg/gemm.cpp.o.d"
+  "/root/repo/src/linalg/kernels.cpp" "src/CMakeFiles/ffwtomo.dir/linalg/kernels.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/linalg/kernels.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/CMakeFiles/ffwtomo.dir/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/linalg/lu.cpp.o.d"
+  "/root/repo/src/mlfma/engine.cpp" "src/CMakeFiles/ffwtomo.dir/mlfma/engine.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/mlfma/engine.cpp.o.d"
+  "/root/repo/src/mlfma/operators.cpp" "src/CMakeFiles/ffwtomo.dir/mlfma/operators.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/mlfma/operators.cpp.o.d"
+  "/root/repo/src/mlfma/partitioned.cpp" "src/CMakeFiles/ffwtomo.dir/mlfma/partitioned.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/mlfma/partitioned.cpp.o.d"
+  "/root/repo/src/mlfma/plan.cpp" "src/CMakeFiles/ffwtomo.dir/mlfma/plan.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/mlfma/plan.cpp.o.d"
+  "/root/repo/src/parallel/parallel_for.cpp" "src/CMakeFiles/ffwtomo.dir/parallel/parallel_for.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/parallel/parallel_for.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/ffwtomo.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/perfmodel/census.cpp" "src/CMakeFiles/ffwtomo.dir/perfmodel/census.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/perfmodel/census.cpp.o.d"
+  "/root/repo/src/perfmodel/predictor.cpp" "src/CMakeFiles/ffwtomo.dir/perfmodel/predictor.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/perfmodel/predictor.cpp.o.d"
+  "/root/repo/src/phantom/phantom.cpp" "src/CMakeFiles/ffwtomo.dir/phantom/phantom.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/phantom/phantom.cpp.o.d"
+  "/root/repo/src/phantom/resample.cpp" "src/CMakeFiles/ffwtomo.dir/phantom/resample.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/phantom/resample.cpp.o.d"
+  "/root/repo/src/phantom/setup.cpp" "src/CMakeFiles/ffwtomo.dir/phantom/setup.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/phantom/setup.cpp.o.d"
+  "/root/repo/src/special/bessel.cpp" "src/CMakeFiles/ffwtomo.dir/special/bessel.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/special/bessel.cpp.o.d"
+  "/root/repo/src/vcluster/comm.cpp" "src/CMakeFiles/ffwtomo.dir/vcluster/comm.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/vcluster/comm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bessel_test.dir/bessel_test.cpp.o"
+  "CMakeFiles/bessel_test.dir/bessel_test.cpp.o.d"
+  "bessel_test"
+  "bessel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bessel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbim_frechet_test.dir/dbim_frechet_test.cpp.o"
+  "CMakeFiles/dbim_frechet_test.dir/dbim_frechet_test.cpp.o.d"
+  "dbim_frechet_test"
+  "dbim_frechet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbim_frechet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

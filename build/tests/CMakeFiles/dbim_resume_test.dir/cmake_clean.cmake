@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbim_resume_test.dir/dbim_resume_test.cpp.o"
+  "CMakeFiles/dbim_resume_test.dir/dbim_resume_test.cpp.o.d"
+  "dbim_resume_test"
+  "dbim_resume_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbim_resume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbim_test.dir/dbim_test.cpp.o"
+  "CMakeFiles/dbim_test.dir/dbim_test.cpp.o.d"
+  "dbim_test"
+  "dbim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

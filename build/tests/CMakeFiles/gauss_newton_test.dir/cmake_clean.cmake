@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauss_newton_test.dir/gauss_newton_test.cpp.o"
+  "CMakeFiles/gauss_newton_test.dir/gauss_newton_test.cpp.o.d"
+  "gauss_newton_test"
+  "gauss_newton_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauss_newton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greens_test.dir/greens_test.cpp.o"
+  "CMakeFiles/greens_test.dir/greens_test.cpp.o.d"
+  "greens_test"
+  "greens_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greens_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

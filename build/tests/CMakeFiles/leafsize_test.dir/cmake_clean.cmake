@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leafsize_test.dir/leafsize_test.cpp.o"
+  "CMakeFiles/leafsize_test.dir/leafsize_test.cpp.o.d"
+  "leafsize_test"
+  "leafsize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leafsize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

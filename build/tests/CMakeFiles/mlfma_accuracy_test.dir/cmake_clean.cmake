@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlfma_accuracy_test.dir/mlfma_accuracy_test.cpp.o"
+  "CMakeFiles/mlfma_accuracy_test.dir/mlfma_accuracy_test.cpp.o.d"
+  "mlfma_accuracy_test"
+  "mlfma_accuracy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlfma_accuracy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

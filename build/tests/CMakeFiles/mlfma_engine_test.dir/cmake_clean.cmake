@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlfma_engine_test.dir/mlfma_engine_test.cpp.o"
+  "CMakeFiles/mlfma_engine_test.dir/mlfma_engine_test.cpp.o.d"
+  "mlfma_engine_test"
+  "mlfma_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlfma_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlfma_operators_test.dir/mlfma_operators_test.cpp.o"
+  "CMakeFiles/mlfma_operators_test.dir/mlfma_operators_test.cpp.o.d"
+  "mlfma_operators_test"
+  "mlfma_operators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlfma_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlfma_translation_test.dir/mlfma_translation_test.cpp.o"
+  "CMakeFiles/mlfma_translation_test.dir/mlfma_translation_test.cpp.o.d"
+  "mlfma_translation_test"
+  "mlfma_translation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlfma_translation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tikhonov_test.dir/tikhonov_test.cpp.o"
+  "CMakeFiles/tikhonov_test.dir/tikhonov_test.cpp.o.d"
+  "tikhonov_test"
+  "tikhonov_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tikhonov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

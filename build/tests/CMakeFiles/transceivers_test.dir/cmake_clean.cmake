@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transceivers_test.dir/transceivers_test.cpp.o"
+  "CMakeFiles/transceivers_test.dir/transceivers_test.cpp.o.d"
+  "transceivers_test"
+  "transceivers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transceivers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

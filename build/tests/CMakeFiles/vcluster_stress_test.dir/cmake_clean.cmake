@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcluster_stress_test.dir/vcluster_stress_test.cpp.o"
+  "CMakeFiles/vcluster_stress_test.dir/vcluster_stress_test.cpp.o.d"
+  "vcluster_stress_test"
+  "vcluster_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcluster_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

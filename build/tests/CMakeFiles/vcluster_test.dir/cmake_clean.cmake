@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcluster_test.dir/vcluster_test.cpp.o"
+  "CMakeFiles/vcluster_test.dir/vcluster_test.cpp.o.d"
+  "vcluster_test"
+  "vcluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
