@@ -25,4 +25,17 @@ inline void note(const std::string& text) {
   std::printf("note: %s\n", text.c_str());
 }
 
+/// Destination for a benchmark's machine-readable JSON result file.
+/// The directory is the FFW_BENCH_JSON_DIR CMake cache variable
+/// (default ".", i.e. the working directory of the run).
+inline std::string json_output_path(const std::string& name) {
+#ifdef FFW_BENCH_JSON_DIR
+  std::string dir = FFW_BENCH_JSON_DIR;
+#else
+  std::string dir = ".";
+#endif
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  return dir + name + ".json";
+}
+
 }  // namespace ffw::bench

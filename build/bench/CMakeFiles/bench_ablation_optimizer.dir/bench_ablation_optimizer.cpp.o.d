@@ -204,10 +204,11 @@ bench/CMakeFiles/bench_ablation_optimizer.dir/bench_ablation_optimizer.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstddef \
- /usr/include/c++/12/span /root/repo/src/mlfma/engine.hpp \
- /root/repo/src/greens/nearfield.hpp /root/repo/src/grid/quadtree.hpp \
- /root/repo/src/grid/grid.hpp /root/repo/src/linalg/cmatrix.hpp \
- /root/repo/src/common/check.hpp /root/repo/src/mlfma/operators.hpp \
+ /usr/include/c++/12/span /root/repo/src/forward/block_bicgstab.hpp \
+ /root/repo/src/linalg/block.hpp /root/repo/src/common/check.hpp \
+ /root/repo/src/mlfma/engine.hpp /root/repo/src/greens/nearfield.hpp \
+ /root/repo/src/grid/quadtree.hpp /root/repo/src/grid/grid.hpp \
+ /root/repo/src/linalg/cmatrix.hpp /root/repo/src/mlfma/operators.hpp \
  /root/repo/src/linalg/banded.hpp /root/repo/src/mlfma/plan.hpp \
  /root/repo/src/greens/transceivers.hpp /usr/include/c++/12/optional \
  /root/repo/src/io/checkpoint.hpp /usr/include/c++/12/map \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_block_apply.dir/bench_block_apply.cpp.o"
+  "CMakeFiles/bench_block_apply.dir/bench_block_apply.cpp.o.d"
+  "bench_block_apply"
+  "bench_block_apply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_block_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -248,9 +248,11 @@ bench/CMakeFiles/bench_fig13_shepp_logan.dir/bench_fig13_shepp_logan.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/dbim/frechet.hpp /root/repo/src/forward/forward.hpp \
  /root/repo/src/forward/bicgstab.hpp \
- /root/repo/src/greens/transceivers.hpp /usr/include/c++/12/optional \
- /root/repo/src/io/checkpoint.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/forward/block_bicgstab.hpp \
+ /root/repo/src/linalg/block.hpp /root/repo/src/greens/transceivers.hpp \
+ /usr/include/c++/12/optional /root/repo/src/io/checkpoint.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/io/image.hpp \
  /root/repo/src/phantom/setup.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/phantom/phantom.hpp

@@ -230,12 +230,15 @@ bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/mlfma/engine.hpp \
- /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/forward/block_bicgstab.hpp \
+ /root/repo/src/linalg/block.hpp /root/repo/src/common/check.hpp \
+ /root/repo/src/mlfma/engine.hpp /root/repo/src/common/timer.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/greens/nearfield.hpp /root/repo/src/grid/quadtree.hpp \
  /root/repo/src/grid/grid.hpp /root/repo/src/linalg/cmatrix.hpp \
- /root/repo/src/common/check.hpp /root/repo/src/mlfma/operators.hpp \
- /root/repo/src/linalg/banded.hpp /root/repo/src/mlfma/plan.hpp \
- /root/repo/src/linalg/gemm.hpp /root/repo/src/phantom/phantom.hpp
+ /root/repo/src/mlfma/operators.hpp /root/repo/src/linalg/banded.hpp \
+ /root/repo/src/mlfma/plan.hpp /root/repo/src/linalg/gemm.hpp \
+ /root/repo/src/phantom/phantom.hpp

@@ -204,7 +204,9 @@ examples/CMakeFiles/limited_view.dir/limited_view.cpp.o: \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/dbim/frechet.hpp /root/repo/src/forward/forward.hpp \
- /root/repo/src/forward/bicgstab.hpp /root/repo/src/mlfma/engine.hpp \
+ /root/repo/src/forward/bicgstab.hpp \
+ /root/repo/src/forward/block_bicgstab.hpp \
+ /root/repo/src/linalg/block.hpp /root/repo/src/mlfma/engine.hpp \
  /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \

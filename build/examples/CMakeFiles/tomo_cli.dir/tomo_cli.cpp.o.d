@@ -211,7 +211,9 @@ examples/CMakeFiles/tomo_cli.dir/tomo_cli.cpp.o: \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/dbim/frechet.hpp /root/repo/src/forward/forward.hpp \
- /root/repo/src/forward/bicgstab.hpp /root/repo/src/mlfma/engine.hpp \
+ /root/repo/src/forward/bicgstab.hpp \
+ /root/repo/src/forward/block_bicgstab.hpp \
+ /root/repo/src/linalg/block.hpp /root/repo/src/mlfma/engine.hpp \
  /root/repo/src/greens/nearfield.hpp /root/repo/src/grid/quadtree.hpp \
  /root/repo/src/mlfma/operators.hpp /root/repo/src/linalg/banded.hpp \
  /root/repo/src/mlfma/plan.hpp /root/repo/src/io/checkpoint.hpp \

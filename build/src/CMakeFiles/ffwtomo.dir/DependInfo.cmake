@@ -19,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/dbim/parallel_driver.cpp" "src/CMakeFiles/ffwtomo.dir/dbim/parallel_driver.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/dbim/parallel_driver.cpp.o.d"
   "/root/repo/src/fft/fft.cpp" "src/CMakeFiles/ffwtomo.dir/fft/fft.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/fft/fft.cpp.o.d"
   "/root/repo/src/forward/bicgstab.cpp" "src/CMakeFiles/ffwtomo.dir/forward/bicgstab.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/forward/bicgstab.cpp.o.d"
+  "/root/repo/src/forward/block_bicgstab.cpp" "src/CMakeFiles/ffwtomo.dir/forward/block_bicgstab.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/forward/block_bicgstab.cpp.o.d"
   "/root/repo/src/forward/dense_ref.cpp" "src/CMakeFiles/ffwtomo.dir/forward/dense_ref.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/forward/dense_ref.cpp.o.d"
   "/root/repo/src/forward/forward.cpp" "src/CMakeFiles/ffwtomo.dir/forward/forward.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/forward/forward.cpp.o.d"
   "/root/repo/src/greens/fast_receivers.cpp" "src/CMakeFiles/ffwtomo.dir/greens/fast_receivers.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/greens/fast_receivers.cpp.o.d"
@@ -31,6 +32,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/io/csv.cpp" "src/CMakeFiles/ffwtomo.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/io/csv.cpp.o.d"
   "/root/repo/src/io/image.cpp" "src/CMakeFiles/ffwtomo.dir/io/image.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/io/image.cpp.o.d"
   "/root/repo/src/linalg/banded.cpp" "src/CMakeFiles/ffwtomo.dir/linalg/banded.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/linalg/banded.cpp.o.d"
+  "/root/repo/src/linalg/block.cpp" "src/CMakeFiles/ffwtomo.dir/linalg/block.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/linalg/block.cpp.o.d"
   "/root/repo/src/linalg/cmatrix.cpp" "src/CMakeFiles/ffwtomo.dir/linalg/cmatrix.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/linalg/cmatrix.cpp.o.d"
   "/root/repo/src/linalg/gemm.cpp" "src/CMakeFiles/ffwtomo.dir/linalg/gemm.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/linalg/gemm.cpp.o.d"
   "/root/repo/src/linalg/kernels.cpp" "src/CMakeFiles/ffwtomo.dir/linalg/kernels.cpp.o" "gcc" "src/CMakeFiles/ffwtomo.dir/linalg/kernels.cpp.o.d"

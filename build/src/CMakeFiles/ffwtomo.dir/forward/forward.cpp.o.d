@@ -197,12 +197,14 @@ src/CMakeFiles/ffwtomo.dir/forward/forward.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstddef \
- /usr/include/c++/12/span /root/repo/src/mlfma/engine.hpp \
- /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/span /root/repo/src/forward/block_bicgstab.hpp \
+ /root/repo/src/linalg/block.hpp /root/repo/src/common/check.hpp \
+ /root/repo/src/mlfma/engine.hpp /root/repo/src/common/timer.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/greens/nearfield.hpp /root/repo/src/grid/quadtree.hpp \
  /root/repo/src/grid/grid.hpp /root/repo/src/linalg/cmatrix.hpp \
- /root/repo/src/common/check.hpp /root/repo/src/mlfma/operators.hpp \
- /root/repo/src/linalg/banded.hpp /root/repo/src/mlfma/plan.hpp \
- /root/repo/src/greens/greens.hpp /root/repo/src/linalg/kernels.hpp
+ /root/repo/src/mlfma/operators.hpp /root/repo/src/linalg/banded.hpp \
+ /root/repo/src/mlfma/plan.hpp /root/repo/src/greens/greens.hpp \
+ /root/repo/src/linalg/kernels.hpp

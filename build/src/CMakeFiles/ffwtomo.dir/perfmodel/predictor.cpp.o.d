@@ -210,9 +210,11 @@ src/CMakeFiles/ffwtomo.dir/perfmodel/predictor.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/dbim/frechet.hpp /root/repo/src/forward/forward.hpp \
  /root/repo/src/forward/bicgstab.hpp \
- /root/repo/src/greens/transceivers.hpp /usr/include/c++/12/optional \
- /root/repo/src/io/checkpoint.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/forward/block_bicgstab.hpp \
+ /root/repo/src/linalg/block.hpp /root/repo/src/greens/transceivers.hpp \
+ /usr/include/c++/12/optional /root/repo/src/io/checkpoint.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/phantom/setup.hpp \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \

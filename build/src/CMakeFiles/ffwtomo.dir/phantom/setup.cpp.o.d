@@ -236,13 +236,15 @@ src/CMakeFiles/ffwtomo.dir/phantom/setup.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/forward/block_bicgstab.hpp \
+ /root/repo/src/linalg/block.hpp /root/repo/src/common/check.hpp \
  /root/repo/src/mlfma/engine.hpp /root/repo/src/common/timer.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/greens/nearfield.hpp /root/repo/src/grid/quadtree.hpp \
  /root/repo/src/grid/grid.hpp /root/repo/src/linalg/cmatrix.hpp \
- /root/repo/src/common/check.hpp /root/repo/src/mlfma/operators.hpp \
- /root/repo/src/linalg/banded.hpp /root/repo/src/mlfma/plan.hpp \
- /root/repo/src/greens/transceivers.hpp /usr/include/c++/12/optional \
- /root/repo/src/phantom/phantom.hpp /root/repo/src/linalg/kernels.hpp
+ /root/repo/src/mlfma/operators.hpp /root/repo/src/linalg/banded.hpp \
+ /root/repo/src/mlfma/plan.hpp /root/repo/src/greens/transceivers.hpp \
+ /usr/include/c++/12/optional /root/repo/src/phantom/phantom.hpp \
+ /root/repo/src/linalg/kernels.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_apply_test.dir/block_apply_test.cpp.o"
+  "CMakeFiles/block_apply_test.dir/block_apply_test.cpp.o.d"
+  "block_apply_test"
+  "block_apply_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_apply_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

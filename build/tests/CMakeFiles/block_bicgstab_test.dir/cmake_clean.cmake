@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_bicgstab_test.dir/block_bicgstab_test.cpp.o"
+  "CMakeFiles/block_bicgstab_test.dir/block_bicgstab_test.cpp.o.d"
+  "block_bicgstab_test"
+  "block_bicgstab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_bicgstab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -317,11 +317,12 @@ tests/CMakeFiles/forward_mie_test.dir/forward_mie_test.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/forward/forward.hpp /root/repo/src/forward/bicgstab.hpp \
  /root/repo/src/common/types.hpp /usr/include/c++/12/complex \
- /usr/include/c++/12/span /root/repo/src/mlfma/engine.hpp \
- /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /root/repo/src/greens/nearfield.hpp /root/repo/src/grid/quadtree.hpp \
- /root/repo/src/grid/grid.hpp /root/repo/src/linalg/cmatrix.hpp \
- /root/repo/src/common/check.hpp /root/repo/src/mlfma/operators.hpp \
+ /usr/include/c++/12/span /root/repo/src/forward/block_bicgstab.hpp \
+ /root/repo/src/linalg/block.hpp /root/repo/src/common/check.hpp \
+ /root/repo/src/mlfma/engine.hpp /root/repo/src/common/timer.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/greens/nearfield.hpp \
+ /root/repo/src/grid/quadtree.hpp /root/repo/src/grid/grid.hpp \
+ /root/repo/src/linalg/cmatrix.hpp /root/repo/src/mlfma/operators.hpp \
  /root/repo/src/linalg/banded.hpp /root/repo/src/mlfma/plan.hpp \
  /root/repo/src/phantom/phantom.hpp /root/repo/src/special/bessel.hpp

@@ -319,7 +319,9 @@ tests/CMakeFiles/forward_test.dir/forward_test.cpp.o: \
  /root/repo/src/forward/dense_ref.hpp /root/repo/src/grid/grid.hpp \
  /root/repo/src/linalg/lu.hpp /root/repo/src/linalg/cmatrix.hpp \
  /root/repo/src/common/check.hpp /root/repo/src/forward/forward.hpp \
- /root/repo/src/forward/bicgstab.hpp /root/repo/src/mlfma/engine.hpp \
+ /root/repo/src/forward/bicgstab.hpp \
+ /root/repo/src/forward/block_bicgstab.hpp \
+ /root/repo/src/linalg/block.hpp /root/repo/src/mlfma/engine.hpp \
  /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/greens/nearfield.hpp /root/repo/src/grid/quadtree.hpp \

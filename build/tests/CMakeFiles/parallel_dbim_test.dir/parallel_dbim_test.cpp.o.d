@@ -318,15 +318,17 @@ tests/CMakeFiles/parallel_dbim_test.dir/parallel_dbim_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/span \
+ /root/repo/src/forward/block_bicgstab.hpp \
+ /root/repo/src/linalg/block.hpp /root/repo/src/common/check.hpp \
  /root/repo/src/mlfma/engine.hpp /root/repo/src/common/timer.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /root/repo/src/greens/nearfield.hpp \
  /root/repo/src/grid/quadtree.hpp /root/repo/src/grid/grid.hpp \
- /root/repo/src/linalg/cmatrix.hpp /root/repo/src/common/check.hpp \
- /root/repo/src/mlfma/operators.hpp /root/repo/src/linalg/banded.hpp \
- /root/repo/src/mlfma/plan.hpp /root/repo/src/greens/transceivers.hpp \
- /root/repo/src/io/checkpoint.hpp /root/repo/src/mlfma/partitioned.hpp \
- /root/repo/src/vcluster/comm.hpp /usr/include/c++/12/condition_variable \
+ /root/repo/src/linalg/cmatrix.hpp /root/repo/src/mlfma/operators.hpp \
+ /root/repo/src/linalg/banded.hpp /root/repo/src/mlfma/plan.hpp \
+ /root/repo/src/greens/transceivers.hpp /root/repo/src/io/checkpoint.hpp \
+ /root/repo/src/mlfma/partitioned.hpp /root/repo/src/vcluster/comm.hpp \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

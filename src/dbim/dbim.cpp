@@ -76,6 +76,91 @@ double DbimWorkspace::step_pass(int t, ccspan direction) {
   return fn * fn;
 }
 
+double DbimWorkspace::residual_pass_all(cspan residuals) {
+  const std::size_t tc = measured_->cols();
+  const std::size_t nr = measured_->rows();
+  FFW_CHECK(residuals.size() == nr * tc);
+  // RHS panel: all incident fields; warm-start guesses live directly in
+  // the phi_b_ columns, which the block solve updates in place.
+  cvec rhs(npix_ * tc);
+  for (std::size_t t = 0; t < tc; ++t) {
+    const cvec inc = trx_->incident_field(static_cast<int>(t));
+    std::copy(inc.begin(), inc.end(), rhs.begin() +
+              static_cast<std::ptrdiff_t>(t * npix_));
+    if (!phi_b_valid_[t]) {
+      copy(inc, phi_b_.col(t));  // first iteration: incident field guess
+      phi_b_valid_[t] = true;
+    }
+  }
+  const BlockBicgstabResult res = solver_.solve_block(
+      rhs, cspan{phi_b_.data(), npix_ * tc}, tc);
+  FFW_CHECK_MSG(res.converged, "DBIM residual-pass block solve diverged");
+  double cost = 0.0;
+  cvec ophi(npix_);
+  for (std::size_t t = 0; t < tc; ++t) {
+    cspan residual{residuals.data() + t * nr, nr};
+    diag_mul(solver_.contrast_natural(),
+             ccspan{phi_b_.col(t).data(), npix_}, ophi);
+    trx_->apply_gr(ophi, residual);
+    sub(residual, measured_->col(t), residual);
+    const double rn = nrm2(ccspan{residual.data(), nr});
+    cost += rn * rn;
+  }
+  return cost;
+}
+
+void DbimWorkspace::gradient_pass_all(ccspan residuals, cspan grad_accum) {
+  const std::size_t tc = measured_->cols();
+  const std::size_t nr = measured_->rows();
+  FFW_CHECK(residuals.size() == nr * tc && grad_accum.size() == npix_);
+  // Blocked adjoint Frechet: g_t = G_R^H b_t, one block adjoint solve of
+  // [I - G0 O]^H for all t, then the G0^H products as one blocked apply.
+  cvec g1(npix_ * tc), w2(npix_ * tc), w3(npix_ * tc, cplx{}),
+      w4(npix_ * tc);
+  for (std::size_t t = 0; t < tc; ++t) {
+    trx_->apply_gr_herm(ccspan{residuals.data() + t * nr, nr},
+                        cspan{g1.data() + t * npix_, npix_});
+    diag_mul_conj(solver_.contrast_natural(),
+                  ccspan{g1.data() + t * npix_, npix_},
+                  cspan{w2.data() + t * npix_, npix_});
+  }
+  const BlockBicgstabResult res = solver_.solve_adjoint_block(w2, w3, tc);
+  FFW_CHECK_MSG(res.converged, "DBIM gradient-pass block solve diverged");
+  solver_.apply_g0_herm_block(w3, w4, tc);
+  for (std::size_t t = 0; t < tc; ++t) {
+    const cplx* phi = phi_b_.col(t).data();
+    const cplx* g1t = g1.data() + t * npix_;
+    const cplx* w4t = w4.data() + t * npix_;
+    for (std::size_t i = 0; i < npix_; ++i)
+      grad_accum[i] += std::conj(phi[i]) * (g1t[i] + w4t[i]);
+  }
+}
+
+double DbimWorkspace::step_pass_all(ccspan direction) {
+  const std::size_t tc = measured_->cols();
+  FFW_CHECK(direction.size() == npix_);
+  // Blocked Frechet apply: u_t = d .* phi_b,t, one blocked G0 apply, one
+  // block forward solve, then the receiver projections per column.
+  cvec u1(npix_ * tc), u2(npix_ * tc), w(npix_ * tc, cplx{});
+  for (std::size_t t = 0; t < tc; ++t) {
+    diag_mul(direction, ccspan{phi_b_.col(t).data(), npix_},
+             cspan{u1.data() + t * npix_, npix_});
+  }
+  solver_.apply_g0_block(u1, u2, tc);
+  const BlockBicgstabResult res = solver_.solve_block(u2, w, tc);
+  FFW_CHECK_MSG(res.converged, "DBIM step-pass block solve diverged");
+  double denom = 0.0;
+  for (std::size_t t = 0; t < tc; ++t) {
+    diag_mul_acc(solver_.contrast_natural(),
+                 ccspan{w.data() + t * npix_, npix_},
+                 cspan{u1.data() + t * npix_, npix_});
+    trx_->apply_gr(ccspan{u1.data() + t * npix_, npix_}, scratch_r_);
+    const double fn = nrm2(scratch_r_);
+    denom += fn * fn;
+  }
+  return denom;
+}
+
 DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
                             const CMatrix& measured, const DbimOptions& opts,
                             const BicgstabOptions& fw_opts,
@@ -91,7 +176,8 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
     copy(initial_contrast, out.contrast);
   }
 
-  cvec grad(n), grad_prev(n), direction(n), residual(measured.rows());
+  cvec grad(n), grad_prev(n), direction(n),
+      residuals(measured.rows() * static_cast<std::size_t>(t_count));
   double grad_prev_norm2 = 0.0;
   int start_iter = 0;
   if (opts.resume) {
@@ -114,13 +200,11 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
   for (int iter = start_iter; iter < opts.max_iterations; ++iter) {
     ws.set_background(out.contrast, opts.warm_start_fields);
 
-    // Pass 1+2: residuals and gradient accumulation over illuminations.
+    // Pass 1+2: residuals and gradient, each as one blocked solve over
+    // the whole illumination set (shared-operator multi-RHS structure).
     std::fill(grad.begin(), grad.end(), cplx{});
-    double cost = 0.0;
-    for (int t = 0; t < t_count; ++t) {
-      cost += ws.residual_pass(t, residual);
-      ws.gradient_pass(t, residual, grad);
-    }
+    const double cost = ws.residual_pass_all(residuals);
+    ws.gradient_pass_all(residuals, grad);
     const double relres = std::sqrt(cost / ws.measurement_norm2());
     out.history.relative_residual.push_back(relres);
     if (opts.progress) opts.progress(iter, relres);
@@ -150,9 +234,8 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
     }
 
     // Pass 3: quadratic-fit step length (paper eq. 5 generalised to CG
-    // directions).
-    double denom = 0.0;
-    for (int t = 0; t < t_count; ++t) denom += ws.step_pass(t, direction);
+    // directions), one blocked solve for all illuminations.
+    double denom = ws.step_pass_all(direction);
     if (opts.tikhonov > 0.0) {
       denom += opts.tikhonov * std::pow(nrm2(direction), 2);
     }

@@ -91,6 +91,20 @@ class DbimWorkspace {
   /// Step pass: returns ||F_t d||^2.
   double step_pass(int t, ccspan direction);
 
+  /// Blocked residual pass over *all* illuminations: one block forward
+  /// solve shares every MLFMA table stream across the transmitter set.
+  /// Fills `residuals` (R x T, column-major) and returns the total
+  /// squared cost.
+  double residual_pass_all(cspan residuals);
+
+  /// Blocked gradient pass: grad += sum_t F_t^H b_t with a single block
+  /// adjoint solve.
+  void gradient_pass_all(ccspan residuals, cspan grad_accum);
+
+  /// Blocked step pass: returns sum_t ||F_t d||^2 with a single block
+  /// forward solve.
+  double step_pass_all(ccspan direction);
+
   /// Norm^2 of all measurements (for relative residual).
   double measurement_norm2() const { return meas_norm2_; }
 

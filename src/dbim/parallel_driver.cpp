@@ -27,8 +27,12 @@ struct RankCtx {
   std::size_t nloc = 0;                  // local pixel count
   std::vector<std::uint32_t> nat_idx;    // natural pixel index per local q
   cvec o_loc;                            // background contrast slice
-  std::vector<cvec> phi_b;               // background fields, local t order
+  // Background fields of all local transmitters as ONE block vector in
+  // the leaf-interleaved layout (panel = pixels_per_leaf, one column per
+  // local illumination), so the residual pass is a single block solve.
+  cvec phi_b;
   std::vector<int> local_t;              // transmitters of this group
+  BlockLayout lo;                        // local block layout (nrhs = |local_t|)
 
   DotReducer tree_reduce() {
     return DotReducer{
@@ -39,83 +43,134 @@ struct RankCtx {
         },
         [this](double v) {
           return comm->group_allreduce_sum(v, tree_group);
-        }};
+        },
+        [this](cspan v) { comm->group_allreduce_sum(v, tree_group); },
+        [this](rspan v) { comm->group_allreduce_sum(v, tree_group); }};
   }
 
-  /// y = [I - G0 O] x on local slices (collective over the tree group).
-  void forward_op(ccspan x, cspan y) {
-    cvec ox(nloc);
-    diag_mul(o_loc, x, ox);
-    pm->apply(*comm, ox, y, rank_base);
-    for (std::size_t i = 0; i < nloc; ++i) y[i] = x[i] - y[i];
+  /// Y = [I - G0 O] X on local block slices (collective over the tree
+  /// group; one halo message per peer per level for all columns).
+  void forward_op_block(ccspan x, cspan y) {
+    cvec ox(lo.size());
+    block_diag_mul(lo, o_loc, x, ox);
+    pm->apply_block(*comm, ox, y, lo.nrhs, rank_base);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] = x[i] - y[i];
   }
 
-  /// y = [I - G0 O]^H x.
-  void adjoint_op(ccspan x, cspan y) {
-    pm->apply_herm(*comm, x, y, rank_base);
-    for (std::size_t i = 0; i < nloc; ++i)
-      y[i] = x[i] - std::conj(o_loc[i]) * y[i];
+  /// Y = [I - G0 O]^H X.
+  void adjoint_op_block(ccspan x, cspan y) {
+    pm->apply_herm_block(*comm, x, y, lo.nrhs, rank_base);
+    for (std::size_t c = 0; c < lo.npanels; ++c) {
+      const cplx* op = o_loc.data() + c * lo.panel;
+      for (std::size_t r = 0; r < lo.nrhs; ++r) {
+        const cplx* xp = x.data() + lo.at(c, r);
+        cplx* yp = y.data() + lo.at(c, r);
+        for (std::size_t i = 0; i < lo.panel; ++i)
+          yp[i] = xp[i] - std::conj(op[i]) * yp[i];
+      }
+    }
   }
 
-  BicgstabResult solve_forward(ccspan rhs, cspan x) {
-    return bicgstab([this](ccspan in, cspan out) { forward_op(in, out); },
-                    rhs, x, cfg->forward, tree_reduce());
+  BlockBicgstabResult solve_forward_block(ccspan rhs, cspan x) {
+    return block_bicgstab(
+        [this](ccspan in, cspan out) { forward_op_block(in, out); }, rhs, x,
+        lo, cfg->forward, tree_reduce());
   }
 
-  BicgstabResult solve_adjoint(ccspan rhs, cspan x) {
-    return bicgstab([this](ccspan in, cspan out) { adjoint_op(in, out); },
-                    rhs, x, cfg->forward, tree_reduce());
+  BlockBicgstabResult solve_adjoint_block(ccspan rhs, cspan x) {
+    return block_bicgstab(
+        [this](ccspan in, cspan out) { adjoint_op_block(in, out); }, rhs, x,
+        lo, cfg->forward, tree_reduce());
   }
 
-  /// Full receiver vector G_R v from a local slice (replicated within
-  /// the tree group after the allreduce).
-  void gr_full(ccspan v_loc, cspan y) {
-    std::fill(y.begin(), y.end(), cplx{});
-    trx->apply_gr_subset(v_loc, nat_idx, y);
-    comm->group_allreduce_sum(y, tree_group);
-  }
-
-  /// Residual pass for local illumination index i: returns ||b||^2 and
-  /// fills `residual` (length R).
-  double residual_pass(std::size_t i, cspan residual) {
-    const int t = local_t[i];
-    cvec inc(nloc);
-    trx->incident_field_subset(t, nat_idx, inc);
-    cspan phi{phi_b[i]};
-    const BicgstabResult res = solve_forward(inc, phi);
-    FFW_CHECK_MSG(res.converged, "parallel DBIM forward solve diverged");
+  /// G_R projections of all block columns at once: cols[t] = G_R v_t,
+  /// replicated within the tree group after ONE batched allreduce
+  /// (instead of one per transmitter).
+  void gr_full_block(ccspan v_block, cspan cols) {
+    const std::size_t nr = static_cast<std::size_t>(trx->num_receivers());
+    FFW_CHECK(cols.size() == nr * lo.nrhs);
+    std::fill(cols.begin(), cols.end(), cplx{});
     cvec v(nloc);
-    diag_mul(o_loc, ccspan{phi.data(), nloc}, v);
-    gr_full(v, residual);
-    sub(residual, measured->col(static_cast<std::size_t>(t)), residual);
-    const double rn = nrm2(ccspan{residual.data(), residual.size()});
-    return rn * rn;
+    for (std::size_t t = 0; t < lo.nrhs; ++t) {
+      block_col_get(lo, v_block, t, v);
+      trx->apply_gr_subset(v, nat_idx, cspan{cols.data() + t * nr, nr});
+    }
+    comm->group_allreduce_sum(cols, tree_group);
   }
 
-  /// grad_loc += F_t^H b for local illumination i.
-  void gradient_pass(std::size_t i, ccspan residual, cspan grad_loc) {
-    cvec g1(nloc), w2(nloc), w3(nloc, cplx{}), w4(nloc);
-    trx->apply_gr_herm_subset(residual, nat_idx, g1);
-    diag_mul_conj(o_loc, g1, w2);
-    FFW_CHECK(solve_adjoint(w2, w3).converged);
-    pm->apply_herm(*comm, w3, w4, rank_base);
-    const cvec& phi = phi_b[i];
-    for (std::size_t q = 0; q < nloc; ++q)
-      grad_loc[q] += std::conj(phi[q]) * (g1[q] + w4[q]);
+  /// Residual pass over all local illuminations as one block solve:
+  /// returns sum_t ||b_t||^2 and fills `residuals` (R x |local_t|).
+  double residual_pass_all(cspan residuals) {
+    const std::size_t nr = static_cast<std::size_t>(trx->num_receivers());
+    cvec rhs(lo.size()), inc(nloc);
+    for (std::size_t i = 0; i < lo.nrhs; ++i) {
+      trx->incident_field_subset(local_t[i], nat_idx, inc);
+      block_col_set(lo, rhs, i, inc);
+    }
+    const BlockBicgstabResult res = solve_forward_block(rhs, phi_b);
+    FFW_CHECK_MSG(res.converged, "parallel DBIM forward solve diverged");
+    cvec v(lo.size());
+    block_diag_mul(lo, o_loc, phi_b, v);
+    gr_full_block(v, residuals);
+    double cost = 0.0;
+    for (std::size_t i = 0; i < lo.nrhs; ++i) {
+      cspan residual{residuals.data() + i * nr, nr};
+      sub(residual, measured->col(static_cast<std::size_t>(local_t[i])),
+          residual);
+      const double rn = nrm2(ccspan{residual.data(), nr});
+      cost += rn * rn;
+    }
+    return cost;
   }
 
-  /// ||F_t d||^2 for local illumination i.
-  double step_pass(std::size_t i, ccspan d_loc) {
-    cvec u1(nloc), u2(nloc), w(nloc, cplx{});
-    const cvec& phi = phi_b[i];
-    diag_mul(d_loc, ccspan{phi.data(), nloc}, u1);
-    pm->apply(*comm, u1, u2, rank_base);
-    FFW_CHECK(solve_forward(u2, w).converged);
-    for (std::size_t q = 0; q < nloc; ++q) u1[q] += o_loc[q] * w[q];
-    cvec sc(static_cast<std::size_t>(trx->num_receivers()));
-    gr_full(u1, sc);
-    const double fn = nrm2(sc);
-    return fn * fn;
+  /// grad_loc += sum_t F_t^H b_t with one block adjoint solve.
+  void gradient_pass_all(ccspan residuals, cspan grad_loc) {
+    const std::size_t nr = static_cast<std::size_t>(trx->num_receivers());
+    cvec g1(lo.size()), w2(lo.size()), w3(lo.size(), cplx{}), w4(lo.size());
+    cvec g(nloc);
+    for (std::size_t i = 0; i < lo.nrhs; ++i) {
+      trx->apply_gr_herm_subset(ccspan{residuals.data() + i * nr, nr},
+                                nat_idx, g);
+      block_col_set(lo, g1, i, g);
+    }
+    block_diag_mul_conj(lo, o_loc, g1, w2);
+    FFW_CHECK(solve_adjoint_block(w2, w3).converged);
+    pm->apply_herm_block(*comm, w3, w4, lo.nrhs, rank_base);
+    for (std::size_t c = 0; c < lo.npanels; ++c) {
+      cplx* gq = grad_loc.data() + c * lo.panel;
+      for (std::size_t r = 0; r < lo.nrhs; ++r) {
+        const cplx* phi = phi_b.data() + lo.at(c, r);
+        const cplx* g1p = g1.data() + lo.at(c, r);
+        const cplx* w4p = w4.data() + lo.at(c, r);
+        for (std::size_t i = 0; i < lo.panel; ++i)
+          gq[i] += std::conj(phi[i]) * (g1p[i] + w4p[i]);
+      }
+    }
+  }
+
+  /// sum_t ||F_t d||^2 with one block forward solve.
+  double step_pass_all(ccspan d_loc) {
+    const std::size_t nr = static_cast<std::size_t>(trx->num_receivers());
+    cvec u1(lo.size()), u2(lo.size()), w(lo.size(), cplx{});
+    block_diag_mul(lo, d_loc, phi_b, u1);
+    pm->apply_block(*comm, u1, u2, lo.nrhs, rank_base);
+    FFW_CHECK(solve_forward_block(u2, w).converged);
+    for (std::size_t c = 0; c < lo.npanels; ++c) {
+      const cplx* op = o_loc.data() + c * lo.panel;
+      for (std::size_t r = 0; r < lo.nrhs; ++r) {
+        const cplx* wp = w.data() + lo.at(c, r);
+        cplx* up = u1.data() + lo.at(c, r);
+        for (std::size_t i = 0; i < lo.panel; ++i) up[i] += op[i] * wp[i];
+      }
+    }
+    cvec sc(nr * lo.nrhs);
+    gr_full_block(u1, sc);
+    double denom = 0.0;
+    for (std::size_t i = 0; i < lo.nrhs; ++i) {
+      const double fn = nrm2(ccspan{sc.data() + i * nr, nr});
+      denom += fn * fn;
+    }
+    return denom;
   }
 };
 
@@ -167,24 +222,29 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
 
     for (int t = ctx.group; t < t_count; t += ig) ctx.local_t.push_back(t);
     ctx.o_loc.assign(ctx.nloc, cplx{});
-    ctx.phi_b.resize(ctx.local_t.size());
+    const std::size_t np =
+        static_cast<std::size_t>(tree.pixels_per_leaf());
+    ctx.lo = BlockLayout{np, ctx.local_t.size(), ctx.nloc / np};
+    ctx.phi_b.assign(ctx.lo.size(), cplx{});
+    cvec inc(ctx.nloc);
     for (std::size_t i = 0; i < ctx.local_t.size(); ++i) {
-      ctx.phi_b[i].assign(ctx.nloc, cplx{});
-      trx.incident_field_subset(ctx.local_t[i], ctx.nat_idx, ctx.phi_b[i]);
+      trx.incident_field_subset(ctx.local_t[i], ctx.nat_idx, inc);
+      block_col_set(ctx.lo, ctx.phi_b, i, inc);
     }
 
     cvec grad(ctx.nloc), grad_prev(ctx.nloc), direction(ctx.nloc),
-        residual(measured.rows());
+        residuals(measured.rows() * ctx.local_t.size());
     double grad_prev_norm2 = 0.0;
     DotReducer red = ctx.tree_reduce();
 
     for (int iter = 0; iter < config.dbim.max_iterations; ++iter) {
-      // Pass 1 + 2: residual and gradient over local illuminations.
+      // Pass 1 + 2: residual and gradient, each as one block solve over
+      // the whole local illumination set.
       std::fill(grad.begin(), grad.end(), cplx{});
       double cost_loc = 0.0;
-      for (std::size_t i = 0; i < ctx.local_t.size(); ++i) {
-        cost_loc += ctx.residual_pass(i, residual);
-        ctx.gradient_pass(i, residual, grad);
+      if (!ctx.local_t.empty()) {
+        cost_loc = ctx.residual_pass_all(residuals);
+        ctx.gradient_pass_all(residuals, grad);
       }
       // Cost: each illumination's cost is replicated tr times.
       double buf[1] = {cost_loc};
@@ -224,10 +284,9 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
           direction[q] = -grad[q] + beta * direction[q];
       }
 
-      // Pass 3: step length (paper Fig. 4 sync 2).
-      double denom_loc = 0.0;
-      for (std::size_t i = 0; i < ctx.local_t.size(); ++i)
-        denom_loc += ctx.step_pass(i, direction);
+      // Pass 3: step length (paper Fig. 4 sync 2), one block solve.
+      double denom_loc =
+          ctx.local_t.empty() ? 0.0 : ctx.step_pass_all(direction);
       double dbuf[1] = {denom_loc};
       comm.allreduce_sum(rspan{dbuf, 1});
       double denom = dbuf[0] / tr;

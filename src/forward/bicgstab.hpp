@@ -29,10 +29,14 @@ struct BicgstabResult {
 
 /// Reduction hooks for a distributed solve: each rank holds a slice of
 /// the vectors; the solver's inner products reduce local partials with
-/// these callbacks (identity by default, i.e. serial).
+/// these callbacks (identity by default, i.e. serial). The vector forms
+/// reduce many partials in one collective — the block solver batches all
+/// per-RHS dots of an iteration into a single message per sync point.
 struct DotReducer {
   std::function<cplx(cplx)> sum_cplx = [](cplx v) { return v; };
   std::function<double(double)> sum_double = [](double v) { return v; };
+  std::function<void(cspan)> sum_cplx_vec = [](cspan) {};
+  std::function<void(rspan)> sum_double_vec = [](rspan) {};
 };
 
 /// Solves A x = b. `x` holds the initial guess on entry and the solution

@@ -1,0 +1,187 @@
+#include "forward/block_bicgstab.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ffw {
+
+namespace {
+
+/// Applies `fn(base_offset, len)` to every contiguous chunk of column r.
+template <typename F>
+void for_col(const BlockLayout& lo, std::size_t r, F&& fn) {
+  for (std::size_t c = 0; c < lo.npanels; ++c) fn(lo.at(c, r), lo.panel);
+}
+
+}  // namespace
+
+BlockBicgstabResult block_bicgstab(const BlockLinearOp& a, ccspan b, cspan x,
+                                   const BlockLayout& lo,
+                                   const BicgstabOptions& opts,
+                                   const DotReducer& reduce) {
+  const std::size_t nrhs = lo.nrhs;
+  const std::size_t total = lo.size();
+  FFW_CHECK(b.size() == total && x.size() == total && nrhs >= 1);
+
+  BlockBicgstabResult res;
+  res.rhs.resize(nrhs);
+
+  cvec r(total), rhat(total), p(total), v(total, cplx{}), s(total), t(total),
+      tmp(total);
+  std::vector<char> active(nrhs, 1);
+  std::vector<double> bnorm(nrhs), scal_d(nrhs);
+  cvec rho(nrhs), alpha(nrhs), omega(nrhs), scal_c(2 * nrhs);
+
+  // ||b_r|| for every column in one reduction.
+  for (std::size_t j = 0; j < nrhs; ++j)
+    scal_d[j] = block_col_nrm2_sq(lo, b, j);
+  reduce.sum_double_vec(rspan{scal_d});
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    bnorm[j] = std::sqrt(scal_d[j]);
+    if (bnorm[j] == 0.0) {
+      for_col(lo, j, [&](std::size_t o, std::size_t n) {
+        std::fill(x.begin() + static_cast<std::ptrdiff_t>(o),
+                  x.begin() + static_cast<std::ptrdiff_t>(o + n), cplx{});
+      });
+      res.rhs[j].converged = true;
+      active[j] = 0;
+    }
+  }
+
+  auto any_active = [&] {
+    for (std::size_t j = 0; j < nrhs; ++j)
+      if (active[j]) return true;
+    return false;
+  };
+
+  // r = b - A x (one blocked matvec covers every column).
+  a(x, tmp);
+  ++res.block_matvecs;
+  for (std::size_t j = 0; j < nrhs; ++j)
+    if (active[j]) ++res.rhs[j].matvecs;
+  for (std::size_t i = 0; i < total; ++i) r[i] = b[i] - tmp[i];
+  std::copy(r.begin(), r.end(), rhat.begin());
+  std::copy(r.begin(), r.end(), p.begin());
+
+  // rho_r = <rhat_r, r_r> and ||r_r|| batched.
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    rho[j] = active[j] ? block_col_dot(lo, rhat, r, j) : cplx{};
+    scal_d[j] = active[j] ? block_col_nrm2_sq(lo, r, j) : 0.0;
+  }
+  reduce.sum_cplx_vec(cspan{rho});
+  reduce.sum_double_vec(rspan{scal_d});
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    if (!active[j]) continue;
+    const double rnorm = std::sqrt(scal_d[j]);
+    if (rnorm / bnorm[j] < opts.tol) {
+      res.rhs[j].converged = true;
+      res.rhs[j].relres = rnorm / bnorm[j];
+      active[j] = 0;
+    }
+  }
+
+  for (int it = 0; it < opts.max_iterations && any_active(); ++it) {
+    res.iterations = it + 1;
+    a(p, v);
+    ++res.block_matvecs;
+
+    // alpha_r = rho_r / <rhat_r, v_r>, batched.
+    for (std::size_t j = 0; j < nrhs; ++j)
+      scal_c[j] = active[j] ? block_col_dot(lo, rhat, v, j) : cplx{};
+    reduce.sum_cplx_vec(cspan{scal_c.data(), nrhs});
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      if (!active[j]) continue;
+      ++res.rhs[j].matvecs;
+      FFW_CHECK_MSG(std::abs(scal_c[j]) > 0.0,
+                    "block BiCGStab breakdown: <rhat, v> = 0");
+      alpha[j] = rho[j] / scal_c[j];
+      const cplx al = alpha[j];
+      for_col(lo, j, [&](std::size_t o, std::size_t n) {
+        for (std::size_t i = o; i < o + n; ++i) s[i] = r[i] - al * v[i];
+      });
+      ++res.rhs[j].iterations;
+    }
+
+    // Early exit on the half-step residual s, per column.
+    for (std::size_t j = 0; j < nrhs; ++j)
+      scal_d[j] = active[j] ? block_col_nrm2_sq(lo, s, j) : 0.0;
+    reduce.sum_double_vec(rspan{scal_d});
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      if (!active[j]) continue;
+      const double snorm = std::sqrt(scal_d[j]);
+      if (snorm / bnorm[j] < opts.tol) {
+        const cplx al = alpha[j];
+        for_col(lo, j, [&](std::size_t o, std::size_t n) {
+          for (std::size_t i = o; i < o + n; ++i) x[i] += al * p[i];
+        });
+        res.rhs[j].relres = snorm / bnorm[j];
+        res.rhs[j].converged = true;
+        active[j] = 0;
+      }
+    }
+    if (!any_active()) break;
+
+    a(s, t);
+    ++res.block_matvecs;
+
+    // omega_r = <t_r, s_r> / <t_r, t_r>, both dots in one reduction.
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      scal_c[2 * j] = active[j] ? block_col_dot(lo, t, t, j) : cplx{};
+      scal_c[2 * j + 1] = active[j] ? block_col_dot(lo, t, s, j) : cplx{};
+    }
+    reduce.sum_cplx_vec(cspan{scal_c.data(), 2 * nrhs});
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      if (!active[j]) continue;
+      ++res.rhs[j].matvecs;
+      FFW_CHECK_MSG(std::abs(scal_c[2 * j]) > 0.0,
+                    "block BiCGStab breakdown: ||t|| = 0");
+      omega[j] = scal_c[2 * j + 1] / scal_c[2 * j];
+      const cplx al = alpha[j], om = omega[j];
+      for_col(lo, j, [&](std::size_t o, std::size_t n) {
+        for (std::size_t i = o; i < o + n; ++i) {
+          x[i] += al * p[i] + om * s[i];
+          r[i] = s[i] - om * t[i];
+        }
+      });
+    }
+
+    // Full-step residual norms, batched.
+    for (std::size_t j = 0; j < nrhs; ++j)
+      scal_d[j] = active[j] ? block_col_nrm2_sq(lo, r, j) : 0.0;
+    reduce.sum_double_vec(rspan{scal_d});
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      if (!active[j]) continue;
+      res.rhs[j].relres = std::sqrt(scal_d[j]) / bnorm[j];
+      if (res.rhs[j].relres < opts.tol) {
+        res.rhs[j].converged = true;
+        active[j] = 0;
+      }
+    }
+
+    // rho update + new search direction, batched.
+    for (std::size_t j = 0; j < nrhs; ++j)
+      scal_c[j] = active[j] ? block_col_dot(lo, rhat, r, j) : cplx{};
+    reduce.sum_cplx_vec(cspan{scal_c.data(), nrhs});
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      if (!active[j]) continue;
+      const cplx rho_next = scal_c[j];
+      FFW_CHECK_MSG(std::abs(rho_next) > 0.0,
+                    "block BiCGStab breakdown: rho = 0");
+      const cplx beta = (rho_next / rho[j]) * (alpha[j] / omega[j]);
+      rho[j] = rho_next;
+      const cplx om = omega[j];
+      for_col(lo, j, [&](std::size_t o, std::size_t n) {
+        for (std::size_t i = o; i < o + n; ++i)
+          p[i] = r[i] + beta * (p[i] - om * v[i]);
+      });
+    }
+  }
+
+  res.converged = true;
+  for (std::size_t j = 0; j < nrhs; ++j)
+    res.converged = res.converged && res.rhs[j].converged;
+  return res;
+}
+
+}  // namespace ffw

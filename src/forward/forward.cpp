@@ -62,6 +62,105 @@ void ForwardSolver::op_adjoint(ccspan x, cspan y) {
     y[i] = x[i] - std::conj(contrast_clu_[i]) * y[i];
 }
 
+BlockLayout ForwardSolver::block_layout(std::size_t nrhs) const {
+  const QuadTree& tree = engine_->tree();
+  return BlockLayout{static_cast<std::size_t>(tree.pixels_per_leaf()), nrhs,
+                     tree.num_leaves()};
+}
+
+void ForwardSolver::op_forward_block(ccspan x, cspan y,
+                                     const BlockLayout& lo) {
+  // Blocked y = x - G0 (O .* x): the diagonal contrast is indexed per
+  // cluster pixel and reused across all columns of a panel.
+  if (block_work_.size() < lo.size()) block_work_.resize(lo.size());
+  cspan work{block_work_.data(), lo.size()};
+  if (use_jacobi_) {
+    cvec xm(lo.size());
+    block_diag_mul(lo, minv_clu_, x, xm);
+    block_diag_mul(lo, contrast_clu_, ccspan{xm}, work);
+    engine_->apply_block(work, y, lo.nrhs);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] = xm[i] - y[i];
+    return;
+  }
+  block_diag_mul(lo, contrast_clu_, x, work);
+  engine_->apply_block(work, y, lo.nrhs);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = x[i] - y[i];
+}
+
+void ForwardSolver::op_adjoint_block(ccspan x, cspan y,
+                                     const BlockLayout& lo) {
+  engine_->apply_herm_block(x, y, lo.nrhs);
+  for (std::size_t c = 0; c < lo.npanels; ++c) {
+    const cplx* dp = contrast_clu_.data() + c * lo.panel;
+    for (std::size_t r = 0; r < lo.nrhs; ++r) {
+      const cplx* xp = x.data() + lo.at(c, r);
+      cplx* yp = y.data() + lo.at(c, r);
+      for (std::size_t i = 0; i < lo.panel; ++i)
+        yp[i] = xp[i] - std::conj(dp[i]) * yp[i];
+    }
+  }
+}
+
+void ForwardSolver::record_block_stats(const BlockBicgstabResult& res,
+                                       std::uint64_t applications_before) {
+  stats_.solves += res.rhs.size();
+  stats_.bicgs_iterations += res.total_iterations();
+  stats_.mlfma_applications +=
+      engine_->phase_times().applications - applications_before;
+  for (const auto& r : res.rhs) {
+    stats_.per_solve_iterations.push_back(
+        static_cast<std::uint16_t>(r.iterations));
+  }
+}
+
+BlockBicgstabResult ForwardSolver::solve_block(ccspan rhs, cspan phi,
+                                               std::size_t nrhs) {
+  const std::size_t n = contrast_nat_.size();
+  FFW_CHECK(rhs.size() == n * nrhs && phi.size() == n * nrhs);
+  const QuadTree& tree = engine_->tree();
+  const BlockLayout lo = block_layout(nrhs);
+  cvec b(lo.size()), x(lo.size());
+  block_pack_natural(lo, tree.perm(), rhs, b);
+  block_pack_natural(lo, tree.perm(), ccspan{phi.data(), phi.size()}, x);
+  const std::uint64_t before = engine_->phase_times().applications;
+  if (use_jacobi_) {
+    // The Krylov unknown is y = M x per column; convert the initial
+    // guess in and the solution out.
+    for (std::size_t c = 0; c < lo.npanels; ++c) {
+      const cplx* mp = minv_clu_.data() + c * lo.panel;
+      for (std::size_t r = 0; r < nrhs; ++r) {
+        cplx* xp = x.data() + lo.at(c, r);
+        for (std::size_t i = 0; i < lo.panel; ++i) xp[i] /= mp[i];
+      }
+    }
+  }
+  const BlockBicgstabResult res = block_bicgstab(
+      [this, &lo](ccspan in, cspan out) { op_forward_block(in, out, lo); },
+      b, x, lo, opts_);
+  if (use_jacobi_) block_diag_mul(lo, minv_clu_, cvec(x.begin(), x.end()), x);
+  record_block_stats(res, before);
+  block_unpack_natural(lo, tree.perm(), x, phi);
+  return res;
+}
+
+BlockBicgstabResult ForwardSolver::solve_adjoint_block(ccspan rhs, cspan psi,
+                                                       std::size_t nrhs) {
+  const std::size_t n = contrast_nat_.size();
+  FFW_CHECK(rhs.size() == n * nrhs && psi.size() == n * nrhs);
+  const QuadTree& tree = engine_->tree();
+  const BlockLayout lo = block_layout(nrhs);
+  cvec b(lo.size()), x(lo.size());
+  block_pack_natural(lo, tree.perm(), rhs, b);
+  block_pack_natural(lo, tree.perm(), ccspan{psi.data(), psi.size()}, x);
+  const std::uint64_t before = engine_->phase_times().applications;
+  const BlockBicgstabResult res = block_bicgstab(
+      [this, &lo](ccspan in, cspan out) { op_adjoint_block(in, out, lo); },
+      b, x, lo, opts_);
+  record_block_stats(res, before);
+  block_unpack_natural(lo, tree.perm(), x, psi);
+  return res;
+}
+
 BicgstabResult ForwardSolver::solve(ccspan rhs, cspan phi) {
   const std::size_t n = contrast_nat_.size();
   FFW_CHECK(rhs.size() == n && phi.size() == n);
@@ -127,6 +226,28 @@ void ForwardSolver::apply_g0_contrast(ccspan x, cspan y) {
   diag_mul(contrast_clu_, xc, work_);
   engine_->apply(work_, yc);
   tree.to_natural_order(yc, y);
+}
+
+void ForwardSolver::apply_g0_block(ccspan x, cspan y, std::size_t nrhs) {
+  const std::size_t n = contrast_nat_.size();
+  FFW_CHECK(x.size() == n * nrhs && y.size() == n * nrhs);
+  const QuadTree& tree = engine_->tree();
+  const BlockLayout lo = block_layout(nrhs);
+  cvec xb(lo.size()), yb(lo.size());
+  block_pack_natural(lo, tree.perm(), x, xb);
+  engine_->apply_block(xb, yb, nrhs);
+  block_unpack_natural(lo, tree.perm(), yb, y);
+}
+
+void ForwardSolver::apply_g0_herm_block(ccspan x, cspan y, std::size_t nrhs) {
+  const std::size_t n = contrast_nat_.size();
+  FFW_CHECK(x.size() == n * nrhs && y.size() == n * nrhs);
+  const QuadTree& tree = engine_->tree();
+  const BlockLayout lo = block_layout(nrhs);
+  cvec xb(lo.size()), yb(lo.size());
+  block_pack_natural(lo, tree.perm(), x, xb);
+  engine_->apply_herm_block(xb, yb, nrhs);
+  block_unpack_natural(lo, tree.perm(), yb, y);
 }
 
 }  // namespace ffw

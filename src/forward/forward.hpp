@@ -7,6 +7,7 @@
 #pragma once
 
 #include "forward/bicgstab.hpp"
+#include "forward/block_bicgstab.hpp"
 #include "mlfma/engine.hpp"
 
 namespace ffw {
@@ -53,11 +54,29 @@ class ForwardSolver {
   /// (needed by the adjoint Frechet operator).
   BicgstabResult solve_adjoint(ccspan rhs, cspan psi);
 
+  /// Multi-RHS solve: [I - G0 O] phi_r = rhs_r for all nrhs columns in
+  /// one block BiCGStab (one blocked MLFMA apply per Krylov iteration
+  /// for the whole transmitter set). `rhs` and `phi` are column-major
+  /// natural-order panels (N rows, nrhs columns, column stride N); `phi`
+  /// carries initial guesses in and solutions out.
+  BlockBicgstabResult solve_block(ccspan rhs, cspan phi, std::size_t nrhs);
+
+  /// Multi-RHS adjoint solve: [I - G0 O]^H psi_r = rhs_r.
+  BlockBicgstabResult solve_adjoint_block(ccspan rhs, cspan psi,
+                                          std::size_t nrhs);
+
   /// y = [I - G0 O] x without solving (for residual checks / tests).
   void apply_system(ccspan x, cspan y);
 
   /// y = G0 * (O .* x) — the scattered-field operator on pixels.
   void apply_g0_contrast(ccspan x, cspan y);
+
+  /// Y_r = G0 * X_r over natural-order column-major panels (raw kernel,
+  /// no contrast; the blocked Frechet passes need it).
+  void apply_g0_block(ccspan x, cspan y, std::size_t nrhs);
+
+  /// Y_r = G0^H * X_r over natural-order column-major panels.
+  void apply_g0_herm_block(ccspan x, cspan y, std::size_t nrhs);
 
   const ForwardStats& stats() const { return stats_; }
   void clear_stats() { stats_.clear(); }
@@ -69,6 +88,12 @@ class ForwardSolver {
  private:
   void op_forward(ccspan x, cspan y);  // cluster order
   void op_adjoint(ccspan x, cspan y);  // cluster order
+  // Blocked variants over the leaf-interleaved block layout.
+  void op_forward_block(ccspan x, cspan y, const BlockLayout& lo);
+  void op_adjoint_block(ccspan x, cspan y, const BlockLayout& lo);
+  BlockLayout block_layout(std::size_t nrhs) const;
+  void record_block_stats(const BlockBicgstabResult& res,
+                          std::uint64_t applications_before);
 
   MlfmaEngine* engine_;
   BicgstabOptions opts_;
@@ -77,6 +102,7 @@ class ForwardSolver {
   cvec contrast_nat_;   // natural order
   cvec contrast_clu_;   // cluster order
   cvec work_;           // cluster-order scratch
+  cvec block_work_;     // block-layout scratch (grown to N * nrhs)
   bool use_jacobi_ = false;
   cvec minv_clu_;       // 1 / diag(A), cluster order (empty if disabled)
   ForwardStats stats_;

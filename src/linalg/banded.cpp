@@ -43,16 +43,42 @@ void PeriodicBandMatrix::apply_adjoint(ccspan x, cspan y) const {
 
 void PeriodicBandMatrix::apply_batch(const cplx* x, std::size_t ldx, cplx* y,
                                      std::size_t ldy, std::size_t n) const {
-  for (std::size_t b = 0; b < n; ++b) {
-    apply(ccspan{x + b * ldx, cols_}, cspan{y + b * ldy, rows_});
+  // Row-outer so each row's stencil (coefficients + support columns) is
+  // read once and applied to all n block columns — the interp-table
+  // reuse that makes the blocked MLFMA aggregation level-3-like.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* wr = w_.data() + r * width_;
+    const std::size_t c0 = first_[r];
+    for (std::size_t b = 0; b < n; ++b) {
+      const cplx* xb = x + b * ldx;
+      std::size_t c = c0;
+      cplx acc{};
+      for (std::size_t j = 0; j < width_; ++j) {
+        acc += wr[j] * xb[c];
+        if (++c == cols_) c = 0;
+      }
+      y[b * ldy + r] = acc;
+    }
   }
 }
 
 void PeriodicBandMatrix::apply_adjoint_batch(const cplx* x, std::size_t ldx,
                                              cplx* y, std::size_t ldy,
                                              std::size_t n) const {
-  for (std::size_t b = 0; b < n; ++b) {
-    apply_adjoint(ccspan{x + b * ldx, rows_}, cspan{y + b * ldy, cols_});
+  for (std::size_t b = 0; b < n; ++b)
+    std::fill(y + b * ldy, y + b * ldy + cols_, cplx{});
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* wr = w_.data() + r * width_;
+    const std::size_t c0 = first_[r];
+    for (std::size_t b = 0; b < n; ++b) {
+      cplx* yb = y + b * ldy;
+      const cplx xr = x[b * ldx + r];
+      std::size_t c = c0;
+      for (std::size_t j = 0; j < width_; ++j) {
+        yb[c] += wr[j] * xr;
+        if (++c == cols_) c = 0;
+      }
+    }
   }
 }
 

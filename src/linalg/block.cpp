@@ -1,0 +1,104 @@
+#include "linalg/block.hpp"
+
+namespace ffw {
+
+cplx block_col_dot(const BlockLayout& lo, ccspan x, ccspan y, std::size_t r) {
+  FFW_CHECK(x.size() == lo.size() && y.size() == lo.size() && r < lo.nrhs);
+  cplx acc{};
+  for (std::size_t c = 0; c < lo.npanels; ++c) {
+    const cplx* xp = x.data() + lo.at(c, r);
+    const cplx* yp = y.data() + lo.at(c, r);
+    for (std::size_t i = 0; i < lo.panel; ++i)
+      acc += std::conj(xp[i]) * yp[i];
+  }
+  return acc;
+}
+
+double block_col_nrm2_sq(const BlockLayout& lo, ccspan x, std::size_t r) {
+  FFW_CHECK(x.size() == lo.size() && r < lo.nrhs);
+  double acc = 0.0;
+  for (std::size_t c = 0; c < lo.npanels; ++c) {
+    const cplx* xp = x.data() + lo.at(c, r);
+    for (std::size_t i = 0; i < lo.panel; ++i) acc += std::norm(xp[i]);
+  }
+  return acc;
+}
+
+void block_col_get(const BlockLayout& lo, ccspan x, std::size_t r, cspan out) {
+  FFW_CHECK(x.size() == lo.size() && out.size() == lo.rows() && r < lo.nrhs);
+  for (std::size_t c = 0; c < lo.npanels; ++c) {
+    const cplx* xp = x.data() + lo.at(c, r);
+    cplx* op = out.data() + c * lo.panel;
+    for (std::size_t i = 0; i < lo.panel; ++i) op[i] = xp[i];
+  }
+}
+
+void block_col_set(const BlockLayout& lo, cspan x, std::size_t r, ccspan in) {
+  FFW_CHECK(x.size() == lo.size() && in.size() == lo.rows() && r < lo.nrhs);
+  for (std::size_t c = 0; c < lo.npanels; ++c) {
+    cplx* xp = x.data() + lo.at(c, r);
+    const cplx* ip = in.data() + c * lo.panel;
+    for (std::size_t i = 0; i < lo.panel; ++i) xp[i] = ip[i];
+  }
+}
+
+void block_diag_mul(const BlockLayout& lo, ccspan d, ccspan x, cspan y) {
+  FFW_CHECK(d.size() == lo.rows() && x.size() == lo.size() &&
+            y.size() == lo.size());
+  for (std::size_t c = 0; c < lo.npanels; ++c) {
+    const cplx* dp = d.data() + c * lo.panel;
+    for (std::size_t r = 0; r < lo.nrhs; ++r) {
+      const cplx* xp = x.data() + lo.at(c, r);
+      cplx* yp = y.data() + lo.at(c, r);
+      for (std::size_t i = 0; i < lo.panel; ++i) yp[i] = dp[i] * xp[i];
+    }
+  }
+}
+
+void block_diag_mul_conj(const BlockLayout& lo, ccspan d, ccspan x, cspan y) {
+  FFW_CHECK(d.size() == lo.rows() && x.size() == lo.size() &&
+            y.size() == lo.size());
+  for (std::size_t c = 0; c < lo.npanels; ++c) {
+    const cplx* dp = d.data() + c * lo.panel;
+    for (std::size_t r = 0; r < lo.nrhs; ++r) {
+      const cplx* xp = x.data() + lo.at(c, r);
+      cplx* yp = y.data() + lo.at(c, r);
+      for (std::size_t i = 0; i < lo.panel; ++i)
+        yp[i] = std::conj(dp[i]) * xp[i];
+    }
+  }
+}
+
+void block_pack_natural(const BlockLayout& lo,
+                        std::span<const std::uint32_t> perm, ccspan nat,
+                        cspan out) {
+  const std::size_t n = lo.rows();
+  FFW_CHECK(perm.size() == n && nat.size() == n * lo.nrhs &&
+            out.size() == lo.size());
+  for (std::size_t c = 0; c < lo.npanels; ++c) {
+    const std::uint32_t* pp = perm.data() + c * lo.panel;
+    for (std::size_t r = 0; r < lo.nrhs; ++r) {
+      const cplx* np = nat.data() + r * n;
+      cplx* op = out.data() + lo.at(c, r);
+      for (std::size_t i = 0; i < lo.panel; ++i) op[i] = np[pp[i]];
+    }
+  }
+}
+
+void block_unpack_natural(const BlockLayout& lo,
+                          std::span<const std::uint32_t> perm, ccspan blk,
+                          cspan nat) {
+  const std::size_t n = lo.rows();
+  FFW_CHECK(perm.size() == n && blk.size() == lo.size() &&
+            nat.size() == n * lo.nrhs);
+  for (std::size_t c = 0; c < lo.npanels; ++c) {
+    const std::uint32_t* pp = perm.data() + c * lo.panel;
+    for (std::size_t r = 0; r < lo.nrhs; ++r) {
+      cplx* np = nat.data() + r * n;
+      const cplx* bp = blk.data() + lo.at(c, r);
+      for (std::size_t i = 0; i < lo.panel; ++i) np[pp[i]] = bp[i];
+    }
+  }
+}
+
+}  // namespace ffw

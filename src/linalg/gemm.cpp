@@ -11,6 +11,47 @@ namespace {
 constexpr std::size_t kMr = 4;
 constexpr std::size_t kNr = 2;
 constexpr std::size_t kKc = 128;  // k blocking (A panel stays in L1/L2)
+constexpr std::size_t kMb = 256;  // row blocking of the wide-n path (the
+                                  // 4-column C tile stays in L1)
+
+// Wide-n micro-kernel: C(:, 0..3) += A * (alpha * B(:, 0..3)) as k
+// rank-1 updates. Each A column is streamed ONCE for four C columns and
+// the row loop runs on the interleaved re/im doubles, which the
+// vectoriser turns into plain mul/add lanes — something the scalar
+// std::complex dot-product tiles above n=1..3 cannot express. This is
+// where the blocked (multi-RHS) apply gets its per-RHS speedup.
+inline void wide_tile4(std::size_t m, std::size_t k, cplx alpha,
+                       const cplx* a, std::size_t lda, const cplx* b,
+                       std::size_t ldb, cplx* c, std::size_t ldc) {
+  const std::size_t m2 = 2 * m;
+  double* c0 = reinterpret_cast<double*>(c + 0 * ldc);
+  double* c1 = reinterpret_cast<double*>(c + 1 * ldc);
+  double* c2 = reinterpret_cast<double*>(c + 2 * ldc);
+  double* c3 = reinterpret_cast<double*>(c + 3 * ldc);
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* ap = reinterpret_cast<const double*>(a + p * lda);
+    const cplx b0 = alpha * b[0 * ldb + p], b1 = alpha * b[1 * ldb + p];
+    const cplx b2 = alpha * b[2 * ldb + p], b3 = alpha * b[3 * ldb + p];
+    const double b0r = b0.real(), b0i = b0.imag();
+    const double b1r = b1.real(), b1i = b1.imag();
+    const double b2r = b2.real(), b2i = b2.imag();
+    const double b3r = b3.real(), b3i = b3.imag();
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+    for (std::size_t i = 0; i < m2; i += 2) {
+      const double ar = ap[i], ai = ap[i + 1];
+      c0[i] += b0r * ar - b0i * ai;
+      c0[i + 1] += b0r * ai + b0i * ar;
+      c1[i] += b1r * ar - b1i * ai;
+      c1[i + 1] += b1r * ai + b1i * ar;
+      c2[i] += b2r * ar - b2i * ai;
+      c2[i + 1] += b2r * ai + b2i * ar;
+      c3[i] += b3r * ar - b3i * ai;
+      c3[i + 1] += b3r * ai + b3i * ar;
+    }
+  }
+}
 }  // namespace
 
 void gemm_raw(std::size_t m, std::size_t n, std::size_t k, cplx alpha,
@@ -28,7 +69,15 @@ void gemm_raw(std::size_t m, std::size_t n, std::size_t k, cplx alpha,
 
   for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
     const std::size_t kb = std::min(kKc, k - k0);
-    for (std::size_t j0 = 0; j0 + kNr <= n; j0 += kNr) {
+    std::size_t jw = 0;
+    for (; jw + 4 <= n; jw += 4) {  // wide-n path, 4-column tiles
+      for (std::size_t i0 = 0; i0 < m; i0 += kMb) {
+        const std::size_t mb = std::min(kMb, m - i0);
+        wide_tile4(mb, kb, alpha, a + k0 * lda + i0, lda, b + jw * ldb + k0,
+                   ldb, c + jw * ldc + i0, ldc);
+      }
+    }
+    for (std::size_t j0 = jw; j0 + kNr <= n; j0 += kNr) {
       std::size_t i0 = 0;
       for (; i0 + kMr <= m; i0 += kMr) {
         cplx c00{}, c10{}, c20{}, c30{}, c01{}, c11{}, c21{}, c31{};

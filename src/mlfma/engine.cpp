@@ -47,10 +47,23 @@ MlfmaEngine::MlfmaEngine(const QuadTree& tree, const MlfmaParams& params)
     : tree_(&tree), plan_(tree, params), ops_(tree, plan_), near_(tree) {
   s_.resize(static_cast<std::size_t>(tree.num_levels()));
   g_.resize(static_cast<std::size_t>(tree.num_levels()));
-  for (int l = 0; l < tree.num_levels(); ++l) {
+  ensure_block_capacity(1);
+}
+
+void MlfmaEngine::ensure_block_capacity(std::size_t nrhs) {
+  if (nrhs <= block_capacity_ && !s_.empty() &&
+      (tree_->num_levels() == 0 || !s_[0].empty())) {
+    return;
+  }
+  block_capacity_ = std::max(block_capacity_, nrhs);
+  for (int l = 0; l < tree_->num_levels(); ++l) {
     const std::size_t q = static_cast<std::size_t>(plan_.level(l).samples);
-    s_[static_cast<std::size_t>(l)].resize(q * tree.level(l).num_clusters);
-    g_[static_cast<std::size_t>(l)].resize(q * tree.level(l).num_clusters);
+    const std::size_t need =
+        q * tree_->level(l).num_clusters * block_capacity_;
+    if (s_[static_cast<std::size_t>(l)].size() < need)
+      s_[static_cast<std::size_t>(l)].resize(need);
+    if (g_[static_cast<std::size_t>(l)].size() < need)
+      g_[static_cast<std::size_t>(l)].resize(need);
   }
 }
 
@@ -58,18 +71,22 @@ std::size_t MlfmaEngine::bytes() const {
   std::size_t s = ops_.bytes() + near_.bytes();
   for (const auto& v : s_) s += v.size() * sizeof(cplx);
   for (const auto& v : g_) s += v.size() * sizeof(cplx);
+  for (const auto& v : thread_scratch_) s += v.size() * sizeof(cplx);
+  s += herm_scratch_.size() * sizeof(cplx);
   return s;
 }
 
-void MlfmaEngine::upward_pass(ccspan x) {
+void MlfmaEngine::upward_pass(ccspan x, std::size_t nrhs) {
   const std::size_t np = static_cast<std::size_t>(tree_->pixels_per_leaf());
   const std::size_t nleaf = tree_->num_leaves();
   const std::size_t q0 = static_cast<std::size_t>(plan_.level(0).samples);
 
   {
     PhaseTimerScope t(times_, MlfmaPhase::kExpansion);
-    // S0 = E (q0 x 64) * X (64 x nleaf): one batched GEMM over a column
-    // range per thread.
+    // S0 = E (q0 x np) * X (np x nleaf*nrhs): one batched GEMM over a
+    // column range per thread. In the block layout consecutive leaves'
+    // np x nrhs input panels are contiguous, so a leaf range is just a
+    // wider GEMM.
     const std::size_t nthreads =
         std::min<std::size_t>(static_cast<std::size_t>(num_threads()), nleaf);
     const std::size_t chunk = (nleaf + nthreads - 1) / nthreads;
@@ -77,8 +94,9 @@ void MlfmaEngine::upward_pass(ccspan x) {
       const std::size_t c0 = tid * chunk;
       const std::size_t c1 = std::min(nleaf, c0 + chunk);
       if (c0 >= c1) return;
-      gemm_raw(q0, c1 - c0, np, cplx{1.0}, ops_.expansion().data(), q0,
-               x.data() + c0 * np, np, cplx{0.0}, s_[0].data() + c0 * q0, q0);
+      gemm_raw(q0, (c1 - c0) * nrhs, np, cplx{1.0}, ops_.expansion().data(),
+               q0, x.data() + c0 * np * nrhs, np, cplx{0.0},
+               s_[0].data() + c0 * q0 * nrhs, q0);
     });
   }
 
@@ -92,22 +110,29 @@ void MlfmaEngine::upward_pass(ccspan x) {
     const cplx* src = s_[static_cast<std::size_t>(l)].data();
     cplx* dst = s_[static_cast<std::size_t>(l) + 1].data();
     parallel_for(0, nparents, [&](std::size_t p) {
-      cplx* sp = dst + p * qp;
-      std::fill(sp, sp + qp, cplx{});
-      cvec tmp(qp);
+      cplx* sp = dst + p * qp * nrhs;
+      std::fill(sp, sp + qp * nrhs, cplx{});
+      cvec& ws = thread_scratch_[static_cast<std::size_t>(thread_rank())];
+      if (ws.size() < qp * nrhs) ws.resize(qp * nrhs);
+      cplx* tmp = ws.data();
       for (int j = 0; j < 4; ++j) {
         // Child Morton index = 4p + j; bit0/bit1 of j give the child's
         // +-x/+-y position, matching the shift-table construction.
-        const cplx* sc = src + (4 * p + static_cast<std::size_t>(j)) * qc;
-        ops.interp.apply(ccspan{sc, qc}, tmp);
+        const cplx* sc =
+            src + (4 * p + static_cast<std::size_t>(j)) * qc * nrhs;
+        ops.interp.apply_batch(sc, qc, tmp, qp, nrhs);
         const cvec& sh = ops.up_shift[static_cast<std::size_t>(j)];
-        for (std::size_t q = 0; q < qp; ++q) sp[q] += sh[q] * tmp[q];
+        for (std::size_t r = 0; r < nrhs; ++r) {
+          cplx* spr = sp + r * qp;
+          const cplx* tr = tmp + r * qp;
+          for (std::size_t q = 0; q < qp; ++q) spr[q] += sh[q] * tr[q];
+        }
       }
     });
   }
 }
 
-void MlfmaEngine::translation_pass() {
+void MlfmaEngine::translation_pass(std::size_t nrhs) {
   PhaseTimerScope t(times_, MlfmaPhase::kTranslation);
   for (int l = 0; l < tree_->num_levels(); ++l) {
     const TreeLevel& lvl = tree_->level(l);
@@ -116,19 +141,24 @@ void MlfmaEngine::translation_pass() {
     const cplx* src = s_[static_cast<std::size_t>(l)].data();
     cplx* dst = g_[static_cast<std::size_t>(l)].data();
     parallel_for_dynamic(0, lvl.num_clusters, [&](std::size_t c) {
-      cplx* gc = dst + c * q;
-      std::fill(gc, gc + q, cplx{});
+      cplx* gc = dst + c * q * nrhs;
+      std::fill(gc, gc + q * nrhs, cplx{});
       for (std::uint32_t e = lvl.far_begin[c]; e < lvl.far_begin[c + 1]; ++e) {
         const FarEntry& fe = lvl.far[e];
-        const cplx* sc = src + static_cast<std::size_t>(fe.src) * q;
+        const cplx* sc = src + static_cast<std::size_t>(fe.src) * q * nrhs;
+        // One translation diagonal read amortised over all nrhs spectra.
         const cvec& trans = ops.translations[fe.trans_type];
-        for (std::size_t i = 0; i < q; ++i) gc[i] += trans[i] * sc[i];
+        for (std::size_t r = 0; r < nrhs; ++r) {
+          cplx* gr = gc + r * q;
+          const cplx* sr = sc + r * q;
+          for (std::size_t i = 0; i < q; ++i) gr[i] += trans[i] * sr[i];
+        }
       }
     });
   }
 }
 
-void MlfmaEngine::downward_pass(cspan y) {
+void MlfmaEngine::downward_pass(cspan y, std::size_t nrhs) {
   const std::size_t np = static_cast<std::size_t>(tree_->pixels_per_leaf());
   const std::size_t nleaf = tree_->num_leaves();
 
@@ -145,14 +175,23 @@ void MlfmaEngine::downward_pass(cspan y) {
       // child rate (see DESIGN.md Sec. 5).
       const double scale = static_cast<double>(qc) / static_cast<double>(qp);
       parallel_for(0, nparents, [&](std::size_t p) {
-        const cplx* gp = src + p * qp;
-        cvec shifted(qp), down(qc);
+        const cplx* gp = src + p * qp * nrhs;
+        cvec& ws = thread_scratch_[static_cast<std::size_t>(thread_rank())];
+        if (ws.size() < (qp + qc) * nrhs) ws.resize((qp + qc) * nrhs);
+        cplx* shifted = ws.data();
+        cplx* down = ws.data() + qp * nrhs;
         for (int j = 0; j < 4; ++j) {
           const cvec& sh = child_ops.down_shift[static_cast<std::size_t>(j)];
-          for (std::size_t q = 0; q < qp; ++q) shifted[q] = sh[q] * gp[q];
-          child_ops.interp.apply_adjoint(shifted, down);
-          cplx* gc = dst + (4 * p + static_cast<std::size_t>(j)) * qc;
-          for (std::size_t q = 0; q < qc; ++q) gc[q] += scale * down[q];
+          for (std::size_t r = 0; r < nrhs; ++r) {
+            cplx* sr = shifted + r * qp;
+            const cplx* gr = gp + r * qp;
+            for (std::size_t q = 0; q < qp; ++q) sr[q] = sh[q] * gr[q];
+          }
+          child_ops.interp.apply_adjoint_batch(shifted, qp, down, qc, nrhs);
+          cplx* gc =
+              dst + (4 * p + static_cast<std::size_t>(j)) * qc * nrhs;
+          for (std::size_t i = 0; i < qc * nrhs; ++i)
+            gc[i] += scale * down[i];
         }
       });
     }
@@ -167,21 +206,29 @@ void MlfmaEngine::downward_pass(cspan y) {
     const std::size_t c0 = tid * chunk;
     const std::size_t c1 = std::min(nleaf, c0 + chunk);
     if (c0 >= c1) return;
-    // y(64 x cols) += R (64 x q0) * G0 (q0 x cols)
-    gemm_raw(np, c1 - c0, q0, cplx{1.0}, ops_.local_expansion().data(), np,
-             g_[0].data() + c0 * q0, q0, cplx{1.0}, y.data() + c0 * np, np);
+    // Y(np x cols) += R (np x q0) * G0 (q0 x cols), cols = leaves * nrhs
+    gemm_raw(np, (c1 - c0) * nrhs, q0, cplx{1.0},
+             ops_.local_expansion().data(), np,
+             g_[0].data() + c0 * q0 * nrhs, q0, cplx{1.0},
+             y.data() + c0 * np * nrhs, np);
   });
 }
 
-void MlfmaEngine::apply(ccspan x, cspan y) {
+void MlfmaEngine::apply(ccspan x, cspan y) { apply_block(x, y, 1); }
+
+void MlfmaEngine::apply_block(ccspan x, cspan y, std::size_t nrhs) {
   const std::size_t n = tree_->grid().num_pixels();
-  FFW_CHECK(x.size() == n && y.size() == n);
+  FFW_CHECK(nrhs >= 1);
+  FFW_CHECK(x.size() == n * nrhs && y.size() == n * nrhs);
+  ensure_block_capacity(nrhs);
+  if (thread_scratch_.size() < static_cast<std::size_t>(num_threads()))
+    thread_scratch_.resize(static_cast<std::size_t>(num_threads()));
   std::fill(y.begin(), y.end(), cplx{});
 
   if (tree_->num_levels() > 0) {
-    upward_pass(x);
-    translation_pass();
-    downward_pass(y);
+    upward_pass(x, nrhs);
+    translation_pass(nrhs);
+    downward_pass(y, nrhs);
   }
 
   {
@@ -191,17 +238,18 @@ void MlfmaEngine::apply(ccspan x, cspan y) {
     const auto& begin = tree_->near_begin();
     const auto& entries = tree_->near();
     parallel_for_dynamic(0, tree_->num_leaves(), [&](std::size_t c) {
-      cplx* yd = y.data() + c * np;
+      cplx* yd = y.data() + c * np * nrhs;
       for (std::uint32_t e = begin[c]; e < begin[c + 1]; ++e) {
         const NearEntry& ne = entries[e];
         const CMatrix& m = near_.type(ne.near_type);
-        const cplx* xs = x.data() + static_cast<std::size_t>(ne.src) * np;
-        gemm_raw(np, 1, np, cplx{1.0}, m.data(), np, xs, np, cplx{1.0}, yd,
-                 np);
+        const cplx* xs =
+            x.data() + static_cast<std::size_t>(ne.src) * np * nrhs;
+        gemm_raw(np, nrhs, np, cplx{1.0}, m.data(), np, xs, np, cplx{1.0},
+                 yd, np);
       }
     });
   }
-  ++times_.applications;
+  times_.applications += static_cast<std::uint64_t>(nrhs);
 }
 
 ccspan MlfmaEngine::upward_only(ccspan x) {
@@ -209,16 +257,25 @@ ccspan MlfmaEngine::upward_only(ccspan x) {
   FFW_CHECK(x.size() == n);
   FFW_CHECK_MSG(tree_->num_levels() > 0,
                 "upward_only needs at least one far-field level");
-  upward_pass(x);
-  return ccspan{s_.back()};
+  if (thread_scratch_.size() < static_cast<std::size_t>(num_threads()))
+    thread_scratch_.resize(static_cast<std::size_t>(num_threads()));
+  upward_pass(x, 1);
+  const int top = tree_->num_levels() - 1;
+  const std::size_t q_top =
+      static_cast<std::size_t>(plan_.level(top).samples);
+  return ccspan{s_.back().data(), q_top * tree_->level(top).num_clusters};
 }
 
-void MlfmaEngine::apply_herm(ccspan x, cspan y) {
+void MlfmaEngine::apply_herm(ccspan x, cspan y) { apply_herm_block(x, y, 1); }
+
+void MlfmaEngine::apply_herm_block(ccspan x, cspan y, std::size_t nrhs) {
   // G0 is complex-symmetric: G0^T = G0, hence G0^H = conj(G0) and
-  // G0^H x = conj(G0 conj(x)).
-  cvec xc(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) xc[i] = std::conj(x[i]);
-  apply(xc, y);
+  // G0^H x = conj(G0 conj(x)). The conjugated copy lives in a member
+  // scratch buffer reused across calls.
+  if (herm_scratch_.size() < x.size()) herm_scratch_.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    herm_scratch_[i] = std::conj(x[i]);
+  apply_block(ccspan{herm_scratch_.data(), x.size()}, y, nrhs);
   for (auto& v : y) v = std::conj(v);
 }
 

@@ -51,12 +51,25 @@ class MlfmaEngine {
   MlfmaEngine(const QuadTree& tree, const MlfmaParams& params = {});
 
   /// y = G0 * x; x and y are pixel vectors in *cluster order*
-  /// (QuadTree::to_cluster_order), y is overwritten.
+  /// (QuadTree::to_cluster_order), y is overwritten. Equivalent to
+  /// apply_block with nrhs = 1.
   void apply(ccspan x, cspan y);
 
   /// y = G0^H * x. G0 is complex-symmetric (reciprocity), so
   /// G0^H x = conj(G0 conj(x)); used by the adjoint Frechet operator.
   void apply_herm(ccspan x, cspan y);
+
+  /// Multi-RHS apply: Y_r = G0 * X_r for all nrhs columns at once. X and
+  /// Y are block vectors of size N * nrhs in the leaf-interleaved block
+  /// layout (linalg/block.hpp with panel = pixels_per_leaf): every
+  /// operator table — translation diagonals, interpolation stencils,
+  /// shift vectors, near-field blocks — is streamed from memory once per
+  /// apply and reused across all columns, and the leaf expansions become
+  /// (q0 x np) x (np x nleaf*nrhs) GEMMs.
+  void apply_block(ccspan x, cspan y, std::size_t nrhs);
+
+  /// Y_r = G0^H * X_r for all columns (conjugation symmetry).
+  void apply_herm_block(ccspan x, cspan y, std::size_t nrhs);
 
   /// Runs only the upward pass (expansion + aggregation) for `x` and
   /// returns the top-level outgoing spectra panel (Q_top x 16,
@@ -77,18 +90,29 @@ class MlfmaEngine {
   std::size_t bytes() const;
 
  private:
-  void upward_pass(ccspan x);
-  void translation_pass();
-  void downward_pass(cspan y);
+  void ensure_block_capacity(std::size_t nrhs);
+  void upward_pass(ccspan x, std::size_t nrhs);
+  void translation_pass(std::size_t nrhs);
+  void downward_pass(cspan y, std::size_t nrhs);
 
   const QuadTree* tree_;
   MlfmaPlan plan_;
   MlfmaOperators ops_;
   NearFieldOperators near_;
 
-  // Per-level outgoing (s_) and incoming (g_) sample panels, Q_l rows by
-  // num_clusters(l) columns, column-major, Morton column order.
+  // Per-level outgoing (s_) and incoming (g_) sample panels. For a block
+  // apply with nrhs columns, cluster c's panel is the Q_l x nrhs
+  // column-major block at offset c * Q_l * nrhs (Morton cluster order);
+  // nrhs == 1 recovers the plain Q_l x num_clusters(l) panel. Buffers are
+  // grown to the largest nrhs seen (block_capacity_) and reused.
   std::vector<cvec> s_, g_;
+  std::size_t block_capacity_ = 1;
+
+  // Per-thread aggregation/disaggregation scratch, reused across applies
+  // (hoisted out of the hot per-parent loops).
+  std::vector<cvec> thread_scratch_;
+  // Conjugated-input scratch for apply_herm / apply_herm_block.
+  cvec herm_scratch_;
 
   PhaseTimes times_;
 };

@@ -115,22 +115,29 @@ std::size_t PartitionedMlfma::leaf_end(int rank) const {
 
 void PartitionedMlfma::apply(Comm& comm, ccspan x_local, cspan y_local,
                              int rank_base) const {
+  apply_block(comm, x_local, y_local, 1, rank_base);
+}
+
+void PartitionedMlfma::apply_block(Comm& comm, ccspan x_local, cspan y_local,
+                                   std::size_t nrhs, int rank_base) const {
   const int rank = comm.rank() - rank_base;
   FFW_CHECK(rank >= 0 && rank < nranks_);
+  FFW_CHECK(nrhs >= 1);
   const std::size_t np = static_cast<std::size_t>(tree_->pixels_per_leaf());
   const std::size_t lb = leaf_begin(rank), le = leaf_end(rank);
-  const std::size_t nlocal = (le - lb) * np;
+  const std::size_t nlocal = (le - lb) * np * nrhs;
   FFW_CHECK(x_local.size() == nlocal && y_local.size() == nlocal);
   const int nlev = tree_->num_levels();
 
   // --- Post near-field halo sends first (overlap with the whole upward
-  // pass, paper Fig. 8).
+  // pass, paper Fig. 8). One message per peer regardless of nrhs.
   for (const PeerExchange& ex : near_exchange_[static_cast<std::size_t>(rank)]) {
     if (ex.send_clusters.empty()) continue;
-    cvec buf(ex.send_clusters.size() * np);
+    cvec buf(ex.send_clusters.size() * np * nrhs);
     for (std::size_t i = 0; i < ex.send_clusters.size(); ++i) {
       const std::size_t c = ex.send_clusters[i];
-      std::copy_n(x_local.data() + (c - lb) * np, np, buf.data() + i * np);
+      std::copy_n(x_local.data() + (c - lb) * np * nrhs, np * nrhs,
+                  buf.data() + i * np * nrhs);
     }
     comm.send(rank_base + ex.peer, kTagNear, ccspan{buf});
   }
@@ -142,16 +149,17 @@ void PartitionedMlfma::apply(Comm& comm, ccspan x_local, cspan y_local,
       g(static_cast<std::size_t>(nlev));
   for (int l = 0; l < nlev; ++l) {
     const std::size_t q = static_cast<std::size_t>(plan_.level(l).samples);
-    s[static_cast<std::size_t>(l)].assign(q * tree_->level(l).num_clusters,
-                                          cplx{});
-    g[static_cast<std::size_t>(l)].assign(q * tree_->level(l).num_clusters,
-                                          cplx{});
+    s[static_cast<std::size_t>(l)].assign(
+        q * tree_->level(l).num_clusters * nrhs, cplx{});
+    g[static_cast<std::size_t>(l)].assign(
+        q * tree_->level(l).num_clusters * nrhs, cplx{});
   }
 
   // --- Upward pass on the owned sub-trees (communication-free), posting
   // each level's spectra to peers as soon as that level is complete.
   auto send_level_halo = [&](int l) {
-    const std::size_t q = static_cast<std::size_t>(plan_.level(l).samples);
+    const std::size_t q =
+        static_cast<std::size_t>(plan_.level(l).samples) * nrhs;
     for (const PeerExchange& ex :
          level_exchange_[static_cast<std::size_t>(l)][static_cast<std::size_t>(rank)]) {
       if (ex.send_clusters.empty()) continue;
@@ -167,8 +175,8 @@ void PartitionedMlfma::apply(Comm& comm, ccspan x_local, cspan y_local,
 
   {  // leaf multipole expansion for owned leaves
     const std::size_t q0 = static_cast<std::size_t>(plan_.level(0).samples);
-    gemm_raw(q0, le - lb, np, cplx{1.0}, ops_.expansion().data(), q0,
-             x_local.data(), np, cplx{0.0}, s[0].data() + lb * q0, q0);
+    gemm_raw(q0, (le - lb) * nrhs, np, cplx{1.0}, ops_.expansion().data(), q0,
+             x_local.data(), np, cplx{0.0}, s[0].data() + lb * q0 * nrhs, q0);
     send_level_halo(0);
   }
   for (int l = 0; l + 1 < nlev; ++l) {
@@ -177,15 +185,19 @@ void PartitionedMlfma::apply(Comm& comm, ccspan x_local, cspan y_local,
     const std::size_t qp = static_cast<std::size_t>(plan_.level(l + 1).samples);
     const std::size_t pb = cluster_begin(l + 1, rank),
                       pe = cluster_end(l + 1, rank);
-    cvec tmp(qp);
+    cvec tmp(qp * nrhs);
     for (std::size_t p = pb; p < pe; ++p) {
-      cplx* sp = s[static_cast<std::size_t>(l) + 1].data() + p * qp;
+      cplx* sp = s[static_cast<std::size_t>(l) + 1].data() + p * qp * nrhs;
       for (int j = 0; j < 4; ++j) {
         const cplx* sc = s[static_cast<std::size_t>(l)].data() +
-                         (4 * p + static_cast<std::size_t>(j)) * qc;
-        lops.interp.apply(ccspan{sc, qc}, tmp);
+                         (4 * p + static_cast<std::size_t>(j)) * qc * nrhs;
+        lops.interp.apply_batch(sc, qc, tmp.data(), qp, nrhs);
         const cvec& sh = lops.up_shift[static_cast<std::size_t>(j)];
-        for (std::size_t q = 0; q < qp; ++q) sp[q] += sh[q] * tmp[q];
+        for (std::size_t r = 0; r < nrhs; ++r) {
+          cplx* spr = sp + r * qp;
+          const cplx* tr = tmp.data() + r * qp;
+          for (std::size_t q = 0; q < qp; ++q) spr[q] += sh[q] * tr[q];
+        }
       }
     }
     send_level_halo(l + 1);
@@ -199,24 +211,28 @@ void PartitionedMlfma::apply(Comm& comm, ccspan x_local, cspan y_local,
          level_exchange_[static_cast<std::size_t>(l)][static_cast<std::size_t>(rank)]) {
       if (ex.recv_clusters.empty()) continue;
       const cvec buf = comm.recv<cplx>(rank_base + ex.peer, kTagLevel + l);
-      FFW_CHECK(buf.size() == ex.recv_clusters.size() * q);
+      FFW_CHECK(buf.size() == ex.recv_clusters.size() * q * nrhs);
       for (std::size_t i = 0; i < ex.recv_clusters.size(); ++i) {
-        std::copy_n(buf.data() + i * q, q,
+        std::copy_n(buf.data() + i * q * nrhs, q * nrhs,
                     s[static_cast<std::size_t>(l)].data() +
-                        ex.recv_clusters[i] * q);
+                        ex.recv_clusters[i] * q * nrhs);
       }
     }
     const TreeLevel& lvl = tree_->level(l);
     const LevelOperators& lops = ops_.level(l);
     for (std::size_t c = cluster_begin(l, rank); c < cluster_end(l, rank);
          ++c) {
-      cplx* gc = g[static_cast<std::size_t>(l)].data() + c * q;
+      cplx* gc = g[static_cast<std::size_t>(l)].data() + c * q * nrhs;
       for (std::uint32_t e = lvl.far_begin[c]; e < lvl.far_begin[c + 1]; ++e) {
         const FarEntry& fe = lvl.far[e];
         const cplx* sc = s[static_cast<std::size_t>(l)].data() +
-                         static_cast<std::size_t>(fe.src) * q;
+                         static_cast<std::size_t>(fe.src) * q * nrhs;
         const cvec& trans = lops.translations[fe.trans_type];
-        for (std::size_t i = 0; i < q; ++i) gc[i] += trans[i] * sc[i];
+        for (std::size_t r = 0; r < nrhs; ++r) {
+          cplx* gr = gc + r * q;
+          const cplx* sr = sc + r * q;
+          for (std::size_t i = 0; i < q; ++i) gr[i] += trans[i] * sr[i];
+        }
       }
     }
   }
@@ -227,56 +243,70 @@ void PartitionedMlfma::apply(Comm& comm, ccspan x_local, cspan y_local,
     const std::size_t qp = static_cast<std::size_t>(plan_.level(l).samples);
     const std::size_t qc = static_cast<std::size_t>(child_ops.samples);
     const double scale = static_cast<double>(qc) / static_cast<double>(qp);
-    cvec shifted(qp), down(qc);
+    cvec shifted(qp * nrhs), down(qc * nrhs);
     for (std::size_t p = cluster_begin(l, rank); p < cluster_end(l, rank);
          ++p) {
-      const cplx* gp = g[static_cast<std::size_t>(l)].data() + p * qp;
+      const cplx* gp = g[static_cast<std::size_t>(l)].data() + p * qp * nrhs;
       for (int j = 0; j < 4; ++j) {
         const cvec& sh = child_ops.down_shift[static_cast<std::size_t>(j)];
-        for (std::size_t q = 0; q < qp; ++q) shifted[q] = sh[q] * gp[q];
-        child_ops.interp.apply_adjoint(shifted, down);
+        for (std::size_t r = 0; r < nrhs; ++r) {
+          cplx* sr = shifted.data() + r * qp;
+          const cplx* gr = gp + r * qp;
+          for (std::size_t q = 0; q < qp; ++q) sr[q] = sh[q] * gr[q];
+        }
+        child_ops.interp.apply_adjoint_batch(shifted.data(), qp, down.data(),
+                                             qc, nrhs);
         cplx* gc = g[static_cast<std::size_t>(l) - 1].data() +
-                   (4 * p + static_cast<std::size_t>(j)) * qc;
-        for (std::size_t q = 0; q < qc; ++q) gc[q] += scale * down[q];
+                   (4 * p + static_cast<std::size_t>(j)) * qc * nrhs;
+        for (std::size_t i = 0; i < qc * nrhs; ++i) gc[i] += scale * down[i];
       }
     }
   }
   {  // leaf local expansion into y_local
     const std::size_t q0 = static_cast<std::size_t>(plan_.level(0).samples);
-    gemm_raw(np, le - lb, q0, cplx{1.0}, ops_.local_expansion().data(), np,
-             g[0].data() + lb * q0, q0, cplx{0.0}, y_local.data(), np);
+    gemm_raw(np, (le - lb) * nrhs, q0, cplx{1.0},
+             ops_.local_expansion().data(), np,
+             g[0].data() + lb * q0 * nrhs, q0, cplx{0.0}, y_local.data(), np);
   }
 
   // --- Near field: assemble ghost leaf values, then the 9-type pass.
-  cvec x_ghost(tree_->num_leaves() * np, cplx{});
-  std::copy_n(x_local.data(), nlocal, x_ghost.data() + lb * np);
+  cvec x_ghost(tree_->num_leaves() * np * nrhs, cplx{});
+  std::copy_n(x_local.data(), nlocal, x_ghost.data() + lb * np * nrhs);
   for (const PeerExchange& ex : near_exchange_[static_cast<std::size_t>(rank)]) {
     if (ex.recv_clusters.empty()) continue;
     const cvec buf = comm.recv<cplx>(rank_base + ex.peer, kTagNear);
-    FFW_CHECK(buf.size() == ex.recv_clusters.size() * np);
+    FFW_CHECK(buf.size() == ex.recv_clusters.size() * np * nrhs);
     for (std::size_t i = 0; i < ex.recv_clusters.size(); ++i) {
-      std::copy_n(buf.data() + i * np, np,
-                  x_ghost.data() + ex.recv_clusters[i] * np);
+      std::copy_n(buf.data() + i * np * nrhs, np * nrhs,
+                  x_ghost.data() + ex.recv_clusters[i] * np * nrhs);
     }
   }
   const auto& begin = tree_->near_begin();
   const auto& entries = tree_->near();
   for (std::size_t c = lb; c < le; ++c) {
-    cplx* yd = y_local.data() + (c - lb) * np;
+    cplx* yd = y_local.data() + (c - lb) * np * nrhs;
     for (std::uint32_t e = begin[c]; e < begin[c + 1]; ++e) {
       const NearEntry& ne = entries[e];
       const CMatrix& m = near_.type(ne.near_type);
-      const cplx* xs = x_ghost.data() + static_cast<std::size_t>(ne.src) * np;
-      gemm_raw(np, 1, np, cplx{1.0}, m.data(), np, xs, np, cplx{1.0}, yd, np);
+      const cplx* xs =
+          x_ghost.data() + static_cast<std::size_t>(ne.src) * np * nrhs;
+      gemm_raw(np, nrhs, np, cplx{1.0}, m.data(), np, xs, np, cplx{1.0}, yd,
+               np);
     }
   }
 }
 
 void PartitionedMlfma::apply_herm(Comm& comm, ccspan x_local, cspan y_local,
                                   int rank_base) const {
+  apply_herm_block(comm, x_local, y_local, 1, rank_base);
+}
+
+void PartitionedMlfma::apply_herm_block(Comm& comm, ccspan x_local,
+                                        cspan y_local, std::size_t nrhs,
+                                        int rank_base) const {
   cvec xc(x_local.size());
   for (std::size_t i = 0; i < xc.size(); ++i) xc[i] = std::conj(x_local[i]);
-  apply(comm, xc, y_local, rank_base);
+  apply_block(comm, xc, y_local, nrhs, rank_base);
   for (auto& v : y_local) v = std::conj(v);
 }
 

@@ -70,6 +70,18 @@ class PartitionedMlfma {
   void apply_herm(Comm& comm, ccspan x_local, cspan y_local,
                   int rank_base = 0) const;
 
+  /// Multi-RHS apply on the rank-local block slice (leaf-interleaved
+  /// layout of linalg/block.hpp restricted to the rank's leaves, panel =
+  /// pixels_per_leaf). One message per peer per level carries all nrhs
+  /// spectra — the same byte volume as nrhs single applies in 1/nrhs the
+  /// messages (fewer, fatter vcluster messages).
+  void apply_block(Comm& comm, ccspan x_local, cspan y_local,
+                   std::size_t nrhs, int rank_base = 0) const;
+
+  /// Blocked Hermitian apply (conjugation symmetry, collective).
+  void apply_herm_block(Comm& comm, ccspan x_local, cspan y_local,
+                        std::size_t nrhs, int rank_base = 0) const;
+
  private:
   struct PeerExchange {
     int peer = -1;

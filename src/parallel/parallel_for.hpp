@@ -19,6 +19,17 @@ int hardware_threads();
 void set_num_threads(int n);
 int num_threads();
 
+/// Rank of the calling thread inside a parallel_for body, in
+/// [0, num_threads()); 0 outside parallel regions. Used to index
+/// per-thread scratch workspaces.
+inline int thread_rank() {
+#ifdef FFW_HAVE_OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
 template <typename F>
 void parallel_for(std::size_t begin, std::size_t end, F&& body) {
 #ifdef FFW_HAVE_OPENMP
