@@ -1,0 +1,167 @@
+// Communication/computation overlap ablation (paper Fig. 8): the
+// blocking-ordered distributed apply (fixed peer-and-level drain order,
+// no local work while waiting) vs. the overlapped schedule (local-first
+// with arrival-order halo draining) across 4/8/16 ranks, with a
+// randomized per-message delivery delay standing in for interconnect
+// latency. Both schedules move exactly the same bytes — asserted per
+// edge and per tag via the vcluster traffic counters — so any wall-time
+// difference is purely scheduling.
+//
+// Writes bench_overlap.json (see FFW_BENCH_JSON_DIR).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "mlfma/partitioned.hpp"
+
+using namespace ffw;
+
+namespace {
+
+/// Deterministic pseudo-random delay in [lo_us, hi_us) (splitmix64 over
+/// an atomic counter; thread-safe, identical stream for both schedules
+/// only in distribution, which is all the ablation needs).
+int hashed_delay_us(int lo_us, int hi_us) {
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t z = counter.fetch_add(1, std::memory_order_relaxed) *
+                    0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return lo_us +
+         static_cast<int>(z % static_cast<std::uint64_t>(hi_us - lo_us));
+}
+
+double timed_apply(VCluster& vc, const PartitionedMlfma& dist,
+                   const QuadTree& tree, ccspan x, std::size_t nrhs,
+                   ApplySchedule sched, int reps) {
+  const std::size_t np = static_cast<std::size_t>(tree.pixels_per_leaf());
+  double best = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    Timer timer;
+    vc.run([&](Comm& comm) {
+      const std::size_t b = dist.leaf_begin(comm.rank()) * np * nrhs;
+      const std::size_t sz = dist.local_pixels(comm.rank()) * nrhs;
+      cvec y_local(sz);
+      dist.apply_block(comm, ccspan{x.data() + b, sz}, y_local, nrhs, 0,
+                       sched);
+    });
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nx = argc > 1 ? std::atoi(argv[1]) : 128;
+  const std::size_t nrhs = argc > 2
+                               ? static_cast<std::size_t>(std::atoi(argv[2]))
+                               : 8;
+  // The delay range models interconnect latency. On this one-core
+  // machine the OS already hides one rank's blocking wait behind other
+  // ranks' compute, so the delay must be comparable to the per-apply
+  // compute for the schedule difference to surface (a real cluster
+  // shows it at any latency — every rank has its own core to idle).
+  const int delay_lo_us = argc > 3 ? std::atoi(argv[3]) : 30000;
+  const int delay_hi_us = argc > 4 ? std::atoi(argv[4]) : 60000;
+  const int reps = 3;
+  bench::banner("Overlap ablation — blocking-ordered vs arrival-order apply",
+                "paper Fig. 8 (communication/computation overlap of the "
+                "partitioned MLFMA)");
+
+  Grid grid(nx);
+  QuadTree tree(grid);
+  MlfmaParams params;
+  std::printf("grid %dx%d, nrhs=%zu, injected delay %d-%d us/message, "
+              "best of %d\n\n",
+              nx, nx, nrhs, delay_lo_us, delay_hi_us, reps);
+
+  struct Row {
+    int ranks;
+    double blocking_s, overlapped_s, speedup;
+    std::uint64_t halo_bytes;
+  };
+  std::vector<Row> rows;
+
+  for (const int p : {4, 8, 16}) {
+    PartitionedMlfma dist(tree, params, p);
+    const std::size_t n = grid.num_pixels() * nrhs;
+    Rng rng(42);
+    cvec x(n);
+    rng.fill_cnormal(x);
+
+    VCluster vc(p);
+    vc.set_send_delay([delay_lo_us, delay_hi_us](int, int, int) {
+      return hashed_delay_us(delay_lo_us, delay_hi_us);
+    });
+
+    const double t_block = timed_apply(vc, dist, tree, x, nrhs,
+                                       ApplySchedule::kBlockingOrdered, reps);
+    const TrafficStats traffic_block = vc.traffic();
+    const auto tags_block = vc.traffic_by_tag();
+    vc.reset_traffic();
+    const double t_over = timed_apply(vc, dist, tree, x, nrhs,
+                                      ApplySchedule::kOverlapped, reps);
+    const TrafficStats traffic_over = vc.traffic();
+    const auto tags_over = vc.traffic_by_tag();
+
+    // The ablation's control variable: identical wire traffic, per edge
+    // and per tag. Any wall-time gap is scheduling, not volume.
+    FFW_CHECK_MSG(traffic_block.bytes == traffic_over.bytes,
+                  "per-edge byte volume differs between schedules");
+    FFW_CHECK_MSG(traffic_block.messages == traffic_over.messages,
+                  "per-edge message count differs between schedules");
+    FFW_CHECK_MSG(tags_block == tags_over,
+                  "per-tag traffic differs between schedules");
+
+    rows.push_back({p, t_block, t_over, t_block / t_over,
+                    traffic_over.total_bytes() / static_cast<std::uint64_t>(reps)});
+  }
+
+  Table t({"ranks", "blocking [ms]", "overlapped [ms]", "speedup",
+           "halo bytes/apply"});
+  for (const Row& r : rows) {
+    char a[32], b[32], c[32];
+    std::snprintf(a, sizeof a, "%.2f", 1e3 * r.blocking_s);
+    std::snprintf(b, sizeof b, "%.2f", 1e3 * r.overlapped_s);
+    std::snprintf(c, sizeof c, "%.2fx", r.speedup);
+    t.add_row({std::to_string(r.ranks), a, b, c,
+               std::to_string(r.halo_bytes)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  const std::string path = bench::json_output_path("bench_overlap");
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"overlap\",\n  \"nx\": %d,\n"
+                 "  \"nrhs\": %zu,\n  \"delay_us\": [%d, %d],\n"
+                 "  \"rows\": [\n",
+                 nx, nrhs, delay_lo_us, delay_hi_us);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"ranks\": %d, \"blocking_s\": %.6e, "
+                   "\"overlapped_s\": %.6e, \"speedup\": %.4f, "
+                   "\"halo_bytes_per_apply\": %llu}%s\n",
+                   r.ranks, r.blocking_s, r.overlapped_s, r.speedup,
+                   static_cast<unsigned long long>(r.halo_bytes),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("json: %s\n", path.c_str());
+  } else {
+    std::printf("json: could not open %s for writing\n", path.c_str());
+  }
+
+  bench::note("the overlapped schedule should beat blocking-ordered at >= 8 "
+              "ranks: interior near-field + local translations hide the "
+              "injected halo latency that the baseline spends parked in "
+              "recv, and arrival-order draining decouples peers.");
+  return 0;
+}

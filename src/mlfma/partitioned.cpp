@@ -1,8 +1,7 @@
 #include "mlfma/partitioned.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <utility>
 
 #include "linalg/gemm.hpp"
 
@@ -24,71 +23,7 @@ PartitionedMlfma::PartitionedMlfma(const QuadTree& tree,
   FFW_CHECK_MSG(nranks >= 1 &&
                     top_clusters % static_cast<std::size_t>(nranks) == 0,
                 "rank count must divide the top-level cluster count (16)");
-
-  // Build per-level exchange lists: need[dest_rank][src_rank] = clusters.
-  level_exchange_.resize(static_cast<std::size_t>(tree.num_levels()));
-  for (int l = 0; l < tree.num_levels(); ++l) {
-    const TreeLevel& lvl = tree.level(l);
-    std::map<std::pair<int, int>, std::set<std::uint32_t>> need;
-    for (std::size_t c = 0; c < lvl.num_clusters; ++c) {
-      const int rd = owner_of(l, c);
-      for (std::uint32_t e = lvl.far_begin[c]; e < lvl.far_begin[c + 1]; ++e) {
-        const std::uint32_t src = lvl.far[e].src;
-        const int rs = owner_of(l, src);
-        if (rs != rd) need[{rd, rs}].insert(src);
-      }
-    }
-    auto& per_rank = level_exchange_[static_cast<std::size_t>(l)];
-    per_rank.resize(static_cast<std::size_t>(nranks));
-    for (const auto& [key, clusters] : need) {
-      const auto [rd, rs] = key;
-      const std::vector<std::uint32_t> list(clusters.begin(), clusters.end());
-      // rd receives `list` from rs; rs sends `list` to rd.
-      {
-        PeerExchange ex;
-        ex.peer = rs;
-        ex.recv_clusters = list;
-        per_rank[static_cast<std::size_t>(rd)].push_back(std::move(ex));
-      }
-      {
-        PeerExchange ex;
-        ex.peer = rd;
-        ex.send_clusters = list;
-        per_rank[static_cast<std::size_t>(rs)].push_back(std::move(ex));
-      }
-    }
-  }
-
-  // Near-field leaf ghost exchanges.
-  {
-    std::map<std::pair<int, int>, std::set<std::uint32_t>> need;
-    const auto& begin = tree.near_begin();
-    const auto& entries = tree.near();
-    for (std::size_t c = 0; c < tree.num_leaves(); ++c) {
-      const int rd = owner_of(0, c);
-      for (std::uint32_t e = begin[c]; e < begin[c + 1]; ++e) {
-        const int rs = owner_of(0, entries[e].src);
-        if (rs != rd) need[{rd, rs}].insert(entries[e].src);
-      }
-    }
-    near_exchange_.resize(static_cast<std::size_t>(nranks));
-    for (const auto& [key, clusters] : need) {
-      const auto [rd, rs] = key;
-      const std::vector<std::uint32_t> list(clusters.begin(), clusters.end());
-      {
-        PeerExchange ex;
-        ex.peer = rs;
-        ex.recv_clusters = list;
-        near_exchange_[static_cast<std::size_t>(rd)].push_back(std::move(ex));
-      }
-      {
-        PeerExchange ex;
-        ex.peer = rd;
-        ex.send_clusters = list;
-        near_exchange_[static_cast<std::size_t>(rs)].push_back(std::move(ex));
-      }
-    }
-  }
+  schedule_ = build_apply_schedule(tree, nranks);
 }
 
 std::size_t PartitionedMlfma::cluster_begin(int level, int rank) const {
@@ -113,84 +48,110 @@ std::size_t PartitionedMlfma::leaf_end(int rank) const {
   return cluster_end(0, rank);
 }
 
+std::size_t PartitionedMlfma::panel_elements(int rank) const {
+  const RankSchedule& rs = schedule_[static_cast<std::size_t>(rank)];
+  std::size_t n = 0;
+  for (int l = 0; l < tree_->num_levels(); ++l) {
+    const PhaseSchedule& ls = rs.levels[static_cast<std::size_t>(l)];
+    const std::size_t q = static_cast<std::size_t>(plan_.level(l).samples);
+    n += q * (2 * (ls.owned_end - ls.owned_begin) + ls.num_ghosts);
+  }
+  n += rs.near.num_ghosts *
+       static_cast<std::size_t>(tree_->pixels_per_leaf());
+  return n;
+}
+
+std::size_t PartitionedMlfma::global_panel_elements() const {
+  std::size_t n = 0;
+  for (int l = 0; l < tree_->num_levels(); ++l) {
+    n += 2 * static_cast<std::size_t>(plan_.level(l).samples) *
+         tree_->level(l).num_clusters;
+  }
+  n += tree_->num_leaves() * static_cast<std::size_t>(tree_->pixels_per_leaf());
+  return n;
+}
+
 void PartitionedMlfma::apply(Comm& comm, ccspan x_local, cspan y_local,
                              int rank_base) const {
   apply_block(comm, x_local, y_local, 1, rank_base);
 }
 
 void PartitionedMlfma::apply_block(Comm& comm, ccspan x_local, cspan y_local,
-                                   std::size_t nrhs, int rank_base) const {
+                                   std::size_t nrhs, int rank_base,
+                                   ApplySchedule sched) const {
   const int rank = comm.rank() - rank_base;
   FFW_CHECK(rank >= 0 && rank < nranks_);
   FFW_CHECK(nrhs >= 1);
+  const RankSchedule& rs = schedule_[static_cast<std::size_t>(rank)];
   const std::size_t np = static_cast<std::size_t>(tree_->pixels_per_leaf());
-  const std::size_t lb = leaf_begin(rank), le = leaf_end(rank);
+  const std::size_t lb = rs.near.owned_begin, le = rs.near.owned_end;
   const std::size_t nlocal = (le - lb) * np * nrhs;
   FFW_CHECK(x_local.size() == nlocal && y_local.size() == nlocal);
   const int nlev = tree_->num_levels();
 
   // --- Post near-field halo sends first (overlap with the whole upward
   // pass, paper Fig. 8). One message per peer regardless of nrhs.
-  for (const PeerExchange& ex : near_exchange_[static_cast<std::size_t>(rank)]) {
-    if (ex.send_clusters.empty()) continue;
-    cvec buf(ex.send_clusters.size() * np * nrhs);
-    for (std::size_t i = 0; i < ex.send_clusters.size(); ++i) {
-      const std::size_t c = ex.send_clusters[i];
-      std::copy_n(x_local.data() + (c - lb) * np * nrhs, np * nrhs,
+  for (const PeerSend& ps : rs.near.sends) {
+    cvec buf(ps.slots.size() * np * nrhs);
+    for (std::size_t i = 0; i < ps.slots.size(); ++i) {
+      std::copy_n(x_local.data() + ps.slots[i] * np * nrhs, np * nrhs,
                   buf.data() + i * np * nrhs);
     }
-    comm.send(rank_base + ex.peer, kTagNear, ccspan{buf});
+    comm.send(rank_base + ps.peer, kTagNear, ccspan{buf});
   }
 
-  // Per-level sample panels (full-size index space; only owned + ghost
-  // columns are populated — a real MPI build would compact these, which
-  // only changes indexing, not communication or arithmetic).
-  std::vector<cvec> s(static_cast<std::size_t>(nlev)),
-      g(static_cast<std::size_t>(nlev));
+  // Compact per-level spectra panels: the outgoing panel holds owned
+  // clusters (slot = cluster - owned_begin) with a separate ghost panel
+  // for the consumed remote spectra; the incoming panel holds owned
+  // clusters only. O(local share x nrhs) memory — see panel_elements().
+  std::vector<cvec> s_own(static_cast<std::size_t>(nlev)),
+      s_gh(static_cast<std::size_t>(nlev)), g_own(static_cast<std::size_t>(nlev));
   for (int l = 0; l < nlev; ++l) {
+    const PhaseSchedule& ls = rs.levels[static_cast<std::size_t>(l)];
     const std::size_t q = static_cast<std::size_t>(plan_.level(l).samples);
-    s[static_cast<std::size_t>(l)].assign(
-        q * tree_->level(l).num_clusters * nrhs, cplx{});
-    g[static_cast<std::size_t>(l)].assign(
-        q * tree_->level(l).num_clusters * nrhs, cplx{});
+    const std::size_t owned = ls.owned_end - ls.owned_begin;
+    s_own[static_cast<std::size_t>(l)].assign(q * owned * nrhs, cplx{});
+    s_gh[static_cast<std::size_t>(l)].resize(q * ls.num_ghosts * nrhs);
+    g_own[static_cast<std::size_t>(l)].assign(q * owned * nrhs, cplx{});
   }
 
-  // --- Upward pass on the owned sub-trees (communication-free), posting
-  // each level's spectra to peers as soon as that level is complete.
   auto send_level_halo = [&](int l) {
     const std::size_t q =
         static_cast<std::size_t>(plan_.level(l).samples) * nrhs;
-    for (const PeerExchange& ex :
-         level_exchange_[static_cast<std::size_t>(l)][static_cast<std::size_t>(rank)]) {
-      if (ex.send_clusters.empty()) continue;
-      cvec buf(ex.send_clusters.size() * q);
-      for (std::size_t i = 0; i < ex.send_clusters.size(); ++i) {
-        std::copy_n(s[static_cast<std::size_t>(l)].data() +
-                        ex.send_clusters[i] * q,
+    for (const PeerSend& ps : rs.levels[static_cast<std::size_t>(l)].sends) {
+      cvec buf(ps.slots.size() * q);
+      for (std::size_t i = 0; i < ps.slots.size(); ++i) {
+        std::copy_n(s_own[static_cast<std::size_t>(l)].data() + ps.slots[i] * q,
                     q, buf.data() + i * q);
       }
-      comm.send(rank_base + ex.peer, kTagLevel + l, ccspan{buf});
+      comm.send(rank_base + ps.peer, kTagLevel + l, ccspan{buf});
     }
   };
 
+  // --- Upward pass on the owned sub-trees (communication-free), posting
+  // each level's spectra to peers as soon as that level is complete.
   {  // leaf multipole expansion for owned leaves
     const std::size_t q0 = static_cast<std::size_t>(plan_.level(0).samples);
     gemm_raw(q0, (le - lb) * nrhs, np, cplx{1.0}, ops_.expansion().data(), q0,
-             x_local.data(), np, cplx{0.0}, s[0].data() + lb * q0 * nrhs, q0);
+             x_local.data(), np, cplx{0.0}, s_own[0].data(), q0);
     send_level_halo(0);
   }
   for (int l = 0; l + 1 < nlev; ++l) {
     const LevelOperators& lops = ops_.level(l);
     const std::size_t qc = static_cast<std::size_t>(lops.samples);
     const std::size_t qp = static_cast<std::size_t>(plan_.level(l + 1).samples);
-    const std::size_t pb = cluster_begin(l + 1, rank),
-                      pe = cluster_end(l + 1, rank);
+    const std::size_t pb = rs.levels[static_cast<std::size_t>(l) + 1].owned_begin,
+                      pe = rs.levels[static_cast<std::size_t>(l) + 1].owned_end;
+    // Ranks divide every level's cluster count, so a parent's children
+    // slots are 4*(p - pb) + j in the child level's owned panel.
+    FFW_DCHECK(rs.levels[static_cast<std::size_t>(l)].owned_begin == 4 * pb);
     cvec tmp(qp * nrhs);
     for (std::size_t p = pb; p < pe; ++p) {
-      cplx* sp = s[static_cast<std::size_t>(l) + 1].data() + p * qp * nrhs;
+      cplx* sp = s_own[static_cast<std::size_t>(l) + 1].data() +
+                 (p - pb) * qp * nrhs;
       for (int j = 0; j < 4; ++j) {
-        const cplx* sc = s[static_cast<std::size_t>(l)].data() +
-                         (4 * p + static_cast<std::size_t>(j)) * qc * nrhs;
+        const cplx* sc = s_own[static_cast<std::size_t>(l)].data() +
+                         (4 * (p - pb) + static_cast<std::size_t>(j)) * qc * nrhs;
         lops.interp.apply_batch(sc, qc, tmp.data(), qp, nrhs);
         const cvec& sh = lops.up_shift[static_cast<std::size_t>(j)];
         for (std::size_t r = 0; r < nrhs; ++r) {
@@ -203,97 +164,161 @@ void PartitionedMlfma::apply_block(Comm& comm, ccspan x_local, cspan y_local,
     send_level_halo(l + 1);
   }
 
-  // --- Translation: receive each level's ghosts, then translate owned
-  // clusters.
-  for (int l = 0; l < nlev; ++l) {
-    const std::size_t q = static_cast<std::size_t>(plan_.level(l).samples);
-    for (const PeerExchange& ex :
-         level_exchange_[static_cast<std::size_t>(l)][static_cast<std::size_t>(rank)]) {
-      if (ex.recv_clusters.empty()) continue;
-      const cvec buf = comm.recv<cplx>(rank_base + ex.peer, kTagLevel + l);
-      FFW_CHECK(buf.size() == ex.recv_clusters.size() * q * nrhs);
-      for (std::size_t i = 0; i < ex.recv_clusters.size(); ++i) {
-        std::copy_n(buf.data() + i * q * nrhs, q * nrhs,
-                    s[static_cast<std::size_t>(l)].data() +
-                        ex.recv_clusters[i] * q * nrhs);
-      }
-    }
-    const TreeLevel& lvl = tree_->level(l);
-    const LevelOperators& lops = ops_.level(l);
-    for (std::size_t c = cluster_begin(l, rank); c < cluster_end(l, rank);
-         ++c) {
-      cplx* gc = g[static_cast<std::size_t>(l)].data() + c * q * nrhs;
-      for (std::uint32_t e = lvl.far_begin[c]; e < lvl.far_begin[c + 1]; ++e) {
-        const FarEntry& fe = lvl.far[e];
-        const cplx* sc = s[static_cast<std::size_t>(l)].data() +
-                         static_cast<std::size_t>(fe.src) * q * nrhs;
-        const cvec& trans = lops.translations[fe.trans_type];
-        for (std::size_t r = 0; r < nrhs; ++r) {
-          cplx* gr = gc + r * q;
-          const cplx* sr = sc + r * q;
-          for (std::size_t i = 0; i < q; ++i) gr[i] += trans[i] * sr[i];
-        }
-      }
-    }
-  }
+  // --- Dependency-resolved workers. y_local accumulates the near field
+  // and, at the end, the disaggregated far field (all beta = 1 against a
+  // zero fill, so phases can run in completion order).
+  std::fill(y_local.begin(), y_local.end(), cplx{});
+  cvec x_gh(rs.near.num_ghosts * np * nrhs);
 
-  // --- Downward pass (communication-free on owned sub-trees).
-  for (int l = nlev - 1; l >= 1; --l) {
-    const LevelOperators& child_ops = ops_.level(l - 1);
-    const std::size_t qp = static_cast<std::size_t>(plan_.level(l).samples);
-    const std::size_t qc = static_cast<std::size_t>(child_ops.samples);
-    const double scale = static_cast<double>(qc) / static_cast<double>(qp);
-    cvec shifted(qp * nrhs), down(qc * nrhs);
-    for (std::size_t p = cluster_begin(l, rank); p < cluster_end(l, rank);
-         ++p) {
-      const cplx* gp = g[static_cast<std::size_t>(l)].data() + p * qp * nrhs;
-      for (int j = 0; j < 4; ++j) {
-        const cvec& sh = child_ops.down_shift[static_cast<std::size_t>(j)];
-        for (std::size_t r = 0; r < nrhs; ++r) {
-          cplx* sr = shifted.data() + r * qp;
-          const cplx* gr = gp + r * qp;
-          for (std::size_t q = 0; q < qp; ++q) sr[q] = sh[q] * gr[q];
-        }
-        child_ops.interp.apply_adjoint_batch(shifted.data(), qp, down.data(),
-                                             qc, nrhs);
-        cplx* gc = g[static_cast<std::size_t>(l) - 1].data() +
-                   (4 * p + static_cast<std::size_t>(j)) * qc * nrhs;
-        for (std::size_t i = 0; i < qc * nrhs; ++i) gc[i] += scale * down[i];
+  auto run_trans = [&](int l, const std::vector<HaloWork>& work,
+                       const cvec& src_panel) {
+    const std::size_t q = static_cast<std::size_t>(plan_.level(l).samples);
+    const LevelOperators& lops = ops_.level(l);
+    for (const HaloWork& w : work) {
+      cplx* gc = g_own[static_cast<std::size_t>(l)].data() +
+                 w.dst_slot * q * nrhs;
+      const cplx* sc = src_panel.data() + w.src_slot * q * nrhs;
+      const cvec& trans = lops.translations[w.type];
+      for (std::size_t r = 0; r < nrhs; ++r) {
+        cplx* gr = gc + r * q;
+        const cplx* sr = sc + r * q;
+        for (std::size_t i = 0; i < q; ++i) gr[i] += trans[i] * sr[i];
       }
     }
-  }
-  {  // leaf local expansion into y_local
+  };
+  auto run_near = [&](const std::vector<HaloWork>& work,
+                      const cplx* src_panel) {
+    for (const HaloWork& w : work) {
+      gemm_raw(np, nrhs, np, cplx{1.0}, near_.type(w.type).data(), np,
+               src_panel + w.src_slot * np * nrhs, np, cplx{1.0},
+               y_local.data() + w.dst_slot * np * nrhs, np);
+    }
+  };
+  // Halo payloads land contiguously in the ghost panels — no scatter.
+  auto recv_level_payload = [&](int l, const PeerRecv& pr) {
+    const std::size_t q =
+        static_cast<std::size_t>(plan_.level(l).samples) * nrhs;
+    comm.recv_into(rank_base + pr.peer, kTagLevel + l,
+                   cspan{s_gh[static_cast<std::size_t>(l)].data() +
+                             pr.slot_begin * q,
+                         pr.count * q});
+  };
+  auto recv_near_payload = [&](const PeerRecv& pr) {
+    comm.recv_into(rank_base + pr.peer, kTagNear,
+                   cspan{x_gh.data() + pr.slot_begin * np * nrhs,
+                         pr.count * np * nrhs});
+  };
+
+  // --- Downward pass + leaf local expansion (communication-free on the
+  // owned sub-trees; requires every level's translations to be done).
+  auto run_downward = [&] {
+    for (int l = nlev - 1; l >= 1; --l) {
+      const LevelOperators& child_ops = ops_.level(l - 1);
+      const std::size_t qp = static_cast<std::size_t>(plan_.level(l).samples);
+      const std::size_t qc = static_cast<std::size_t>(child_ops.samples);
+      const double scale = static_cast<double>(qc) / static_cast<double>(qp);
+      const std::size_t pb = rs.levels[static_cast<std::size_t>(l)].owned_begin,
+                        pe = rs.levels[static_cast<std::size_t>(l)].owned_end;
+      cvec shifted(qp * nrhs), down(qc * nrhs);
+      for (std::size_t p = pb; p < pe; ++p) {
+        const cplx* gp = g_own[static_cast<std::size_t>(l)].data() +
+                         (p - pb) * qp * nrhs;
+        for (int j = 0; j < 4; ++j) {
+          const cvec& sh = child_ops.down_shift[static_cast<std::size_t>(j)];
+          for (std::size_t r = 0; r < nrhs; ++r) {
+            cplx* sr = shifted.data() + r * qp;
+            const cplx* gr = gp + r * qp;
+            for (std::size_t q = 0; q < qp; ++q) sr[q] = sh[q] * gr[q];
+          }
+          child_ops.interp.apply_adjoint_batch(shifted.data(), qp, down.data(),
+                                               qc, nrhs);
+          cplx* gc = g_own[static_cast<std::size_t>(l) - 1].data() +
+                     (4 * (p - pb) + static_cast<std::size_t>(j)) * qc * nrhs;
+          for (std::size_t i = 0; i < qc * nrhs; ++i) gc[i] += scale * down[i];
+        }
+      }
+    }
     const std::size_t q0 = static_cast<std::size_t>(plan_.level(0).samples);
     gemm_raw(np, (le - lb) * nrhs, q0, cplx{1.0},
-             ops_.local_expansion().data(), np,
-             g[0].data() + lb * q0 * nrhs, q0, cplx{0.0}, y_local.data(), np);
+             ops_.local_expansion().data(), np, g_own[0].data(), q0,
+             cplx{1.0}, y_local.data(), np);
+  };
+
+  if (sched == ApplySchedule::kBlockingOrdered) {
+    // Baseline (Fig. 8 "no overlap"): drain receives in strict
+    // peer-and-level order, performing no local work while waiting —
+    // the pre-split implementation's schedule, kept for the ablation.
+    for (int l = 0; l < nlev; ++l) {
+      const PhaseSchedule& ls = rs.levels[static_cast<std::size_t>(l)];
+      for (const PeerRecv& pr : ls.recvs) recv_level_payload(l, pr);
+      run_trans(l, ls.local, s_own[static_cast<std::size_t>(l)]);
+      for (const PeerRecv& pr : ls.recvs)
+        run_trans(l, pr.work, s_gh[static_cast<std::size_t>(l)]);
+    }
+    run_downward();
+    for (const PeerRecv& pr : rs.near.recvs) recv_near_payload(pr);
+    run_near(rs.near.local, x_local.data());
+    for (const PeerRecv& pr : rs.near.recvs) run_near(pr.work, x_gh.data());
+    return;
   }
 
-  // --- Near field: assemble ghost leaf values, then the 9-type pass.
-  cvec x_ghost(tree_->num_leaves() * np * nrhs, cplx{});
-  std::copy_n(x_local.data(), nlocal, x_ghost.data() + lb * np * nrhs);
-  for (const PeerExchange& ex : near_exchange_[static_cast<std::size_t>(rank)]) {
-    if (ex.recv_clusters.empty()) continue;
-    const cvec buf = comm.recv<cplx>(rank_base + ex.peer, kTagNear);
-    FFW_CHECK(buf.size() == ex.recv_clusters.size() * np * nrhs);
-    for (std::size_t i = 0; i < ex.recv_clusters.size(); ++i) {
-      std::copy_n(buf.data() + i * np * nrhs, np * nrhs,
-                  x_ghost.data() + ex.recv_clusters[i] * np * nrhs);
-    }
+  // --- Overlapped schedule: run everything that depends only on owned
+  // data, polling for arrived halos between chunks; then park on
+  // wait_any and service the remaining messages in arrival order.
+  struct Pending {
+    int tag;
+    int level;  // -1 for the near-field message
+    const PeerRecv* pr;
+  };
+  std::vector<Pending> pending;
+  for (int l = 0; l < nlev; ++l) {
+    for (const PeerRecv& pr : rs.levels[static_cast<std::size_t>(l)].recvs)
+      pending.push_back({kTagLevel + l, l, &pr});
   }
-  const auto& begin = tree_->near_begin();
-  const auto& entries = tree_->near();
-  for (std::size_t c = lb; c < le; ++c) {
-    cplx* yd = y_local.data() + (c - lb) * np * nrhs;
-    for (std::uint32_t e = begin[c]; e < begin[c + 1]; ++e) {
-      const NearEntry& ne = entries[e];
-      const CMatrix& m = near_.type(ne.near_type);
-      const cplx* xs =
-          x_ghost.data() + static_cast<std::size_t>(ne.src) * np * nrhs;
-      gemm_raw(np, nrhs, np, cplx{1.0}, m.data(), np, xs, np, cplx{1.0}, yd,
-               np);
+  for (const PeerRecv& pr : rs.near.recvs)
+    pending.push_back({kTagNear, -1, &pr});
+
+  auto service = [&](std::size_t i) {
+    const Pending pd = pending[i];
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+    if (pd.level >= 0) {
+      recv_level_payload(pd.level, *pd.pr);
+      run_trans(pd.level, pd.pr->work,
+                s_gh[static_cast<std::size_t>(pd.level)]);
+    } else {
+      recv_near_payload(*pd.pr);
+      run_near(pd.pr->work, x_gh.data());
     }
+  };
+  auto poll = [&] {
+    for (std::size_t i = 0; i < pending.size();) {
+      if (comm.probe(rank_base + pending[i].pr->peer, pending[i].tag)) {
+        service(i);  // erases i; the next candidate slides into its place
+      } else {
+        ++i;
+      }
+    }
+  };
+
+  // Local work, biggest latency-hiding chunk first: the interior near
+  // field is independent of the whole far-field pipeline.
+  poll();
+  run_near(rs.near.local, x_local.data());
+  poll();
+  for (int l = 0; l < nlev; ++l) {
+    run_trans(l, rs.levels[static_cast<std::size_t>(l)].local,
+              s_own[static_cast<std::size_t>(l)]);
+    poll();
   }
+  // Arrival-order drain of whatever is still in flight.
+  std::vector<std::pair<int, int>> keys;
+  while (!pending.empty()) {
+    keys.clear();
+    for (const Pending& pd : pending)
+      keys.emplace_back(rank_base + pd.pr->peer, pd.tag);
+    service(comm.wait_any(keys));
+  }
+  run_downward();
 }
 
 void PartitionedMlfma::apply_herm(Comm& comm, ccspan x_local, cspan y_local,
@@ -303,10 +328,16 @@ void PartitionedMlfma::apply_herm(Comm& comm, ccspan x_local, cspan y_local,
 
 void PartitionedMlfma::apply_herm_block(Comm& comm, ccspan x_local,
                                         cspan y_local, std::size_t nrhs,
-                                        int rank_base) const {
-  cvec xc(x_local.size());
+                                        int rank_base,
+                                        ApplySchedule sched) const {
+  // Per-rank conjugation scratch, reused across the DBIM adjoint hot
+  // loop. Ranks live on distinct VCluster threads, so thread_local is
+  // naturally per-rank and race-free even when several illumination
+  // groups share one PartitionedMlfma (2-D driver).
+  static thread_local cvec xc;
+  xc.resize(x_local.size());
   for (std::size_t i = 0; i < xc.size(); ++i) xc[i] = std::conj(x_local[i]);
-  apply_block(comm, xc, y_local, nrhs, rank_base);
+  apply_block(comm, xc, y_local, nrhs, rank_base, sched);
   for (auto& v : y_local) v = std::conj(v);
 }
 

@@ -15,16 +15,27 @@
 //   * the near-field phase needs ghost leaf values of boundary
 //     neighbours — likewise one buffer per peer.
 //
-// Communication/computation overlap (paper Fig. 8) is modelled by the
-// send-early/receive-late schedule: each rank posts its near-field halo
-// *before* the upward pass and each level's spectra right after that
-// level is aggregated; receives happen just before the data is consumed
-// (translation / near-field), by which point the buffered sends have
-// long been deposited.
+// Communication/computation overlap (paper Fig. 8) is realised by a
+// dependency-split schedule computed once at construction
+// (mlfma/schedule.hpp): each rank posts its near-field halo *before*
+// the upward pass and each level's spectra right after that level is
+// aggregated; it then runs everything that depends only on owned data —
+// the interior near field and every local translation — while halo
+// messages are in flight, and drains peer messages in *arrival* order
+// (Comm::wait_any), running each peer's remote work the moment its
+// message lands. The blocking-ordered schedule (fixed peer-and-level
+// drain order, no local work while waiting) is kept as the ablation
+// baseline for the Fig. 8 reproduction (bench_overlap).
+//
+// All per-apply spectra panels are compact: owned clusters plus the
+// ghost clusters this rank actually consumes, O(local share) instead of
+// O(global tree) memory (asserted in tests/overlap_test.cpp).
 //
 // Rank-local vectors are the rank's contiguous leaf slice in cluster
 // order (64 pixels per leaf). Equality with the serial engine is
-// asserted bit-for-bit-modulo-rounding in tests/partitioned_test.cpp.
+// asserted bit-for-bit-modulo-rounding in tests/partitioned_test.cpp;
+// equality under randomized message delays (out-of-order arrival) in
+// tests/overlap_test.cpp.
 #pragma once
 
 #include <memory>
@@ -32,9 +43,19 @@
 #include "greens/nearfield.hpp"
 #include "mlfma/operators.hpp"
 #include "mlfma/plan.hpp"
+#include "mlfma/schedule.hpp"
 #include "vcluster/comm.hpp"
 
 namespace ffw {
+
+/// Drain strategy of the distributed apply (Fig. 8 ablation axis).
+enum class ApplySchedule {
+  /// Local-first with arrival-order halo draining (the default).
+  kOverlapped,
+  /// Fixed peer-and-level receive order, no local work while waiting —
+  /// the pre-overlap baseline, kept for the Fig. 8 ablation bench.
+  kBlockingOrdered,
+};
 
 class PartitionedMlfma {
  public:
@@ -74,21 +95,33 @@ class PartitionedMlfma {
   /// layout of linalg/block.hpp restricted to the rank's leaves, panel =
   /// pixels_per_leaf). One message per peer per level carries all nrhs
   /// spectra — the same byte volume as nrhs single applies in 1/nrhs the
-  /// messages (fewer, fatter vcluster messages).
+  /// messages (fewer, fatter vcluster messages). `sched` picks the halo
+  /// drain strategy; both produce identical results (same arithmetic,
+  /// accumulation reordered within rounding) with identical traffic.
   void apply_block(Comm& comm, ccspan x_local, cspan y_local,
-                   std::size_t nrhs, int rank_base = 0) const;
+                   std::size_t nrhs, int rank_base = 0,
+                   ApplySchedule sched = ApplySchedule::kOverlapped) const;
 
   /// Blocked Hermitian apply (conjugation symmetry, collective).
   void apply_herm_block(Comm& comm, ccspan x_local, cspan y_local,
-                        std::size_t nrhs, int rank_base = 0) const;
+                        std::size_t nrhs, int rank_base = 0,
+                        ApplySchedule sched = ApplySchedule::kOverlapped) const;
+
+  /// Per-apply spectra-panel footprint of `rank` in complex elements per
+  /// right-hand side: sum over levels of Q_l * (owned + ghost) for the
+  /// outgoing panel plus Q_l * owned for the incoming panel, plus the
+  /// near-field ghost leaf panel. Multiply by nrhs * sizeof(cplx) for
+  /// bytes. The pre-compaction implementation held 2 * Q_l * N_l global
+  /// elements instead (`global_panel_elements`).
+  std::size_t panel_elements(int rank) const;
+  std::size_t global_panel_elements() const;
+
+  /// The plan-time dependency split (exposed for tests/benches).
+  const RankSchedule& schedule(int rank) const {
+    return schedule_[static_cast<std::size_t>(rank)];
+  }
 
  private:
-  struct PeerExchange {
-    int peer = -1;
-    std::vector<std::uint32_t> send_clusters;  // local clusters peer needs
-    std::vector<std::uint32_t> recv_clusters;  // remote clusters we need
-  };
-
   std::size_t cluster_begin(int level, int rank) const;
   std::size_t cluster_end(int level, int rank) const;
   int owner_of(int level, std::size_t cluster) const;
@@ -99,10 +132,8 @@ class PartitionedMlfma {
   NearFieldOperators near_;
   int nranks_;
 
-  // exchanges_[level][rank] -> list of peer exchanges for that rank.
-  std::vector<std::vector<std::vector<PeerExchange>>> level_exchange_;
-  // Near-field (leaf x ghost) exchanges per rank.
-  std::vector<std::vector<PeerExchange>> near_exchange_;
+  // schedule_[rank]: per-level + near-field dependency split.
+  std::vector<RankSchedule> schedule_;
 };
 
 }  // namespace ffw

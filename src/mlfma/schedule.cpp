@@ -1,0 +1,148 @@
+#include "mlfma/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ffw {
+
+namespace {
+
+/// Splits one interaction phase (far-field level or leaf near field)
+/// into per-rank local/remote work lists. The interaction list is given
+/// in the tree's CSR form: entries of destination cluster c are
+/// entries[begin[c] .. begin[c+1]), each with a source cluster id and an
+/// operator-type index (projected out by `src_of` / `type_of` so the
+/// same code serves FarEntry and NearEntry).
+template <typename Entry, typename SrcOf, typename TypeOf>
+std::vector<PhaseSchedule> split_phase(const std::vector<std::uint32_t>& begin,
+                                       const std::vector<Entry>& entries,
+                                       std::size_t num_clusters, int nranks,
+                                       SrcOf src_of, TypeOf type_of) {
+  const std::size_t p = static_cast<std::size_t>(nranks);
+  const auto owner = [&](std::size_t c) {
+    return static_cast<int>(c * p / num_clusters);
+  };
+  std::vector<PhaseSchedule> out(p);
+
+  // Pass 1 per rank: owned range, sorted ghost list, per-peer recv
+  // groups (contiguous slot runs — ownership is monotone in the Morton
+  // index, so sorting ghosts globally groups them by peer).
+  for (std::size_t r = 0; r < p; ++r) {
+    PhaseSchedule& ps = out[r];
+    ps.owned_begin = num_clusters * r / p;
+    ps.owned_end = num_clusters * (r + 1) / p;
+    std::vector<std::uint32_t> ghosts;
+    for (std::size_t c = ps.owned_begin; c < ps.owned_end; ++c) {
+      for (std::uint32_t e = begin[c]; e < begin[c + 1]; ++e) {
+        const std::uint32_t s = src_of(entries[e]);
+        if (owner(s) != static_cast<int>(r)) ghosts.push_back(s);
+      }
+    }
+    std::sort(ghosts.begin(), ghosts.end());
+    ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+    ps.num_ghosts = ghosts.size();
+
+    for (std::size_t i = 0; i < ghosts.size();) {
+      const int peer = owner(ghosts[i]);
+      std::size_t j = i + 1;
+      while (j < ghosts.size() && owner(ghosts[j]) == peer) ++j;
+      PeerRecv pr;
+      pr.peer = peer;
+      pr.slot_begin = static_cast<std::uint32_t>(i);
+      pr.count = static_cast<std::uint32_t>(j - i);
+      ps.recvs.push_back(std::move(pr));
+      i = j;
+    }
+
+    // Pass 2: resolve every entry to compact slots.
+    const auto ghost_slot = [&](std::uint32_t s) {
+      const auto it = std::lower_bound(ghosts.begin(), ghosts.end(), s);
+      FFW_DCHECK(it != ghosts.end() && *it == s);
+      return static_cast<std::uint32_t>(it - ghosts.begin());
+    };
+    const auto recv_of = [&](std::uint32_t slot) -> PeerRecv& {
+      for (PeerRecv& pr : ps.recvs) {
+        if (slot >= pr.slot_begin && slot < pr.slot_begin + pr.count)
+          return pr;
+      }
+      FFW_CHECK_MSG(false, "ghost slot outside every peer group");
+      return ps.recvs.front();
+    };
+    for (std::size_t c = ps.owned_begin; c < ps.owned_end; ++c) {
+      const auto dst_slot = static_cast<std::uint32_t>(c - ps.owned_begin);
+      for (std::uint32_t e = begin[c]; e < begin[c + 1]; ++e) {
+        const std::uint32_t s = src_of(entries[e]);
+        const std::uint16_t t = type_of(entries[e]);
+        if (owner(s) == static_cast<int>(r)) {
+          ps.local.push_back(
+              {dst_slot,
+               static_cast<std::uint32_t>(s - ps.owned_begin), t});
+        } else {
+          const std::uint32_t slot = ghost_slot(s);
+          recv_of(slot).work.push_back({dst_slot, slot, t});
+        }
+      }
+    }
+
+    // Sends are filled from the receiving side below; stash the ghost
+    // ids temporarily in the recv groups' unused `slots` order via a
+    // second sweep over `ghosts` (cheap — done once at plan time).
+    for (PeerRecv& pr : ps.recvs) {
+      PeerSend ghost_ids;  // reuse the container: global ids, slot order
+      ghost_ids.peer = static_cast<int>(r);
+      ghost_ids.slots.assign(ghosts.begin() + pr.slot_begin,
+                             ghosts.begin() + pr.slot_begin + pr.count);
+      // The peer (pr.peer) must send exactly these clusters to rank r.
+      out[static_cast<std::size_t>(pr.peer)].sends.push_back(
+          std::move(ghost_ids));
+    }
+  }
+
+  // Convert the stashed global ids into the sender's owned-panel slots.
+  // (Safe only after every rank's owned_begin is known — it is, pass 1
+  // computed them all; senders with lower rank were filled before their
+  // own pass ran, hence the separate fix-up sweep.)
+  for (std::size_t r = 0; r < p; ++r) {
+    const std::size_t ob = num_clusters * r / p;
+    for (PeerSend& s : out[r].sends) {
+      for (std::uint32_t& c : s.slots) {
+        FFW_DCHECK(c >= ob && c < num_clusters * (r + 1) / p);
+        c = static_cast<std::uint32_t>(c - ob);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<RankSchedule> build_apply_schedule(const QuadTree& tree,
+                                               int nranks) {
+  FFW_CHECK(nranks >= 1);
+  std::vector<RankSchedule> out(static_cast<std::size_t>(nranks));
+  for (int l = 0; l < tree.num_levels(); ++l) {
+    const TreeLevel& lvl = tree.level(l);
+    auto split = split_phase(
+        lvl.far_begin, lvl.far, lvl.num_clusters, nranks,
+        [](const FarEntry& e) { return e.src; },
+        [](const FarEntry& e) { return e.trans_type; });
+    for (int r = 0; r < nranks; ++r) {
+      out[static_cast<std::size_t>(r)].levels.push_back(
+          std::move(split[static_cast<std::size_t>(r)]));
+    }
+  }
+  {
+    auto split = split_phase(
+        tree.near_begin(), tree.near(), tree.num_leaves(), nranks,
+        [](const NearEntry& e) { return e.src; },
+        [](const NearEntry& e) { return e.near_type; });
+    for (int r = 0; r < nranks; ++r) {
+      out[static_cast<std::size_t>(r)].near =
+          std::move(split[static_cast<std::size_t>(r)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ffw

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 
 namespace ffw {
 
@@ -48,6 +49,18 @@ void VCluster::run(const std::function<void(Comm&)>& rank_main) {
     });
   }
   for (auto& t : threads) t.join();
+  // Rank threads spawn delayed deliveries but have all joined, so the
+  // set below is final; join it so no delivery outlives the run.
+  std::vector<std::thread> pending;
+  {
+    std::lock_guard lk(delay_mu_);
+    pending.swap(delay_threads_);
+  }
+  for (auto& t : pending) t.join();
+}
+
+void VCluster::set_send_delay(std::function<int(int, int, int)> delay_us) {
+  delay_fn_ = std::move(delay_us);
 }
 
 TrafficStats VCluster::traffic() const {
@@ -59,16 +72,48 @@ void VCluster::reset_traffic() {
   std::lock_guard lk(stats_mu_);
   std::fill(bytes_.begin(), bytes_.end(), 0);
   std::fill(messages_.begin(), messages_.end(), 0);
+  by_tag_.clear();
+}
+
+TagTraffic VCluster::tag_traffic(int tag) const {
+  std::lock_guard lk(stats_mu_);
+  const auto it = by_tag_.find(tag);
+  return it == by_tag_.end() ? TagTraffic{} : it->second;
+}
+
+std::map<int, TagTraffic> VCluster::traffic_by_tag() const {
+  std::lock_guard lk(stats_mu_);
+  return by_tag_;
 }
 
 void VCluster::deposit(int src, int dst, int tag,
                        std::vector<unsigned char> bytes) {
   {
+    // Traffic is accounted at send time — a delivery delay changes when a
+    // message is *seen*, never what goes on the wire.
     std::lock_guard lk(stats_mu_);
     const std::size_t e = static_cast<std::size_t>(src) * nranks_ + dst;
     bytes_[e] += bytes.size();
     messages_[e] += 1;
+    TagTraffic& tt = by_tag_[tag];
+    tt.bytes += bytes.size();
+    tt.messages += 1;
   }
+  const int delay_us = delay_fn_ ? delay_fn_(src, dst, tag) : 0;
+  if (delay_us <= 0) {
+    deliver(src, dst, tag, std::move(bytes));
+    return;
+  }
+  std::lock_guard lk(delay_mu_);
+  delay_threads_.emplace_back(
+      [this, src, dst, tag, delay_us, b = std::move(bytes)]() mutable {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+        deliver(src, dst, tag, std::move(b));
+      });
+}
+
+void VCluster::deliver(int src, int dst, int tag,
+                       std::vector<unsigned char> bytes) {
   Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard lk(box.mu);
@@ -106,6 +151,24 @@ bool Comm::probe(int src, int tag) {
   std::lock_guard lk(box.mu);
   auto it = box.q.find({src, tag});
   return it != box.q.end() && !it->second.empty();
+}
+
+std::size_t Comm::wait_any(std::span<const std::pair<int, int>> keys) {
+  FFW_CHECK_MSG(!keys.empty(), "wait_any needs at least one (src, tag) key");
+  VCluster::Mailbox& box = *owner_->boxes_[static_cast<std::size_t>(rank_)];
+  std::unique_lock lk(box.mu);
+  std::size_t hit = keys.size();
+  box.cv.wait(lk, [&] {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const auto it = box.q.find(keys[i]);
+      if (it != box.q.end() && !it->second.empty()) {
+        hit = i;
+        return true;
+      }
+    }
+    return false;
+  });
+  return hit;
 }
 
 void Comm::barrier() {

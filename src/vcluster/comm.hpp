@@ -43,6 +43,15 @@ struct TrafficStats {
   std::uint64_t max_rank_bytes() const;
 };
 
+/// Aggregate traffic of one tag (e.g. one MLFMA level's halo exchange).
+/// Lets tests assert that a scheduling change moved *when* messages are
+/// drained without changing *what* goes on the wire.
+struct TagTraffic {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+  bool operator==(const TagTraffic&) const = default;
+};
+
 class VCluster;
 
 /// Per-rank communicator handle, valid only inside VCluster::run.
@@ -83,6 +92,13 @@ class Comm {
   /// True if a matching message is already queued (non-blocking probe;
   /// used to drain communication while computing, Fig. 8 style).
   bool probe(int src, int tag);
+
+  /// Blocks until at least one of the (src, tag) keys has a queued
+  /// message and returns the index of the first ready key. This is the
+  /// arrival-order primitive of the overlapped MLFMA schedule: after all
+  /// local work is exhausted, the rank parks here and services whichever
+  /// peer message lands next instead of imposing a fixed drain order.
+  std::size_t wait_any(std::span<const std::pair<int, int>> keys);
 
   void barrier();
 
@@ -129,6 +145,23 @@ class VCluster {
   TrafficStats traffic() const;
   void reset_traffic();
 
+  /// Traffic of one tag / all tags (counted at send time, like `traffic`).
+  TagTraffic tag_traffic(int tag) const;
+  std::map<int, TagTraffic> traffic_by_tag() const;
+
+  /// Inject an artificial delivery latency: `delay_us(src, dst, tag)` is
+  /// evaluated on the sender thread (must be thread-safe) and the message
+  /// becomes visible to the receiver only after that many microseconds —
+  /// send() still returns immediately, so this models a slow interconnect
+  /// without stalling the sender. Used by the overlap tests/benches to
+  /// force out-of-order halo arrival. Caveat: two in-flight messages on
+  /// the same (src, dst, tag) triple may invert their FIFO order under
+  /// unequal delays; the MLFMA apply sends each (src, tag) at most once
+  /// per collective apply, and callers issuing repeated delayed applies
+  /// in one run() must fence them with barrier(). Pass nullptr to
+  /// disable. Only call while no run() is in flight.
+  void set_send_delay(std::function<int(int src, int dst, int tag)> delay_us);
+
  private:
   friend class Comm;
 
@@ -140,9 +173,15 @@ class VCluster {
   };
 
   void deposit(int src, int dst, int tag, std::vector<unsigned char> bytes);
+  void deliver(int src, int dst, int tag, std::vector<unsigned char> bytes);
 
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
+
+  // Delayed-delivery machinery (test/bench instrumentation).
+  std::function<int(int, int, int)> delay_fn_;
+  std::mutex delay_mu_;
+  std::vector<std::thread> delay_threads_;
 
   // Central barrier.
   std::mutex bar_mu_;
@@ -153,6 +192,7 @@ class VCluster {
   mutable std::mutex stats_mu_;
   std::vector<std::uint64_t> bytes_;
   std::vector<std::uint64_t> messages_;
+  std::map<int, TagTraffic> by_tag_;
 };
 
 }  // namespace ffw

@@ -140,6 +140,81 @@ TEST(VCluster, TrafficAccounting) {
   EXPECT_EQ(vc.traffic().total_bytes(), 0u);
 }
 
+TEST(VCluster, PerTagTrafficCounters) {
+  VCluster vc(2);
+  vc.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const cplx v[4] = {};
+      c.send(1, 1, std::span<const cplx>(v, 4));
+      c.send(1, 5, std::span<const cplx>(v, 2));
+      c.send(1, 5, std::span<const cplx>(v, 3));
+    } else {
+      c.recv<cplx>(0, 5);
+      c.recv<cplx>(0, 1);
+      c.recv<cplx>(0, 5);
+    }
+  });
+  EXPECT_EQ(vc.tag_traffic(1).bytes, 4 * sizeof(cplx));
+  EXPECT_EQ(vc.tag_traffic(1).messages, 1u);
+  EXPECT_EQ(vc.tag_traffic(5).bytes, 5 * sizeof(cplx));
+  EXPECT_EQ(vc.tag_traffic(5).messages, 2u);
+  EXPECT_EQ(vc.tag_traffic(99).messages, 0u);
+  const auto by_tag = vc.traffic_by_tag();
+  EXPECT_EQ(by_tag.size(), 2u);
+  std::uint64_t total = 0;
+  for (const auto& [tag, tt] : by_tag) total += tt.bytes;
+  EXPECT_EQ(total, vc.traffic().total_bytes());
+  vc.reset_traffic();
+  EXPECT_EQ(vc.tag_traffic(1).messages, 0u);
+}
+
+TEST(VCluster, WaitAnyReturnsAReadyKey) {
+  VCluster vc(3);
+  vc.run([](Comm& c) {
+    if (c.rank() == 0) {
+      // Rank 2's message is sent first; rank 1's only after a barrier
+      // that rank 0 joins *after* its wait_any returned.
+      const std::pair<int, int> keys[2] = {{1, 4}, {2, 4}};
+      const std::size_t hit = c.wait_any(keys);
+      EXPECT_EQ(hit, 1u);  // only rank 2 has sent yet
+      EXPECT_DOUBLE_EQ(c.recv<double>(2, 4)[0], 2.0);
+      c.barrier();
+      EXPECT_EQ(c.wait_any(keys), 0u);
+      EXPECT_DOUBLE_EQ(c.recv<double>(1, 4)[0], 1.0);
+    } else if (c.rank() == 1) {
+      c.barrier();
+      const double v[1] = {1.0};
+      c.send(0, 4, std::span<const double>(v, 1));
+    } else {
+      const double v[1] = {2.0};
+      c.send(0, 4, std::span<const double>(v, 1));
+      c.barrier();
+    }
+  });
+}
+
+TEST(VCluster, DelayedSendsDeliverEventually) {
+  VCluster vc(2);
+  vc.set_send_delay([](int, int, int tag) { return tag == 2 ? 3000 : 0; });
+  vc.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const double a[1] = {1.0}, b[1] = {2.0};
+      c.send(1, 2, std::span<const double>(a, 1));  // delayed 3 ms
+      c.send(1, 3, std::span<const double>(b, 1));  // immediate
+      c.barrier();
+    } else {
+      c.barrier();  // the undelayed tag-3 message must already be here,
+      EXPECT_TRUE(c.probe(0, 3));
+      // ... while the delayed one still arrives via blocking recv.
+      EXPECT_DOUBLE_EQ(c.recv<double>(0, 2)[0], 1.0);
+      EXPECT_DOUBLE_EQ(c.recv<double>(0, 3)[0], 2.0);
+    }
+  });
+  // Delay must not change accounting.
+  EXPECT_EQ(vc.traffic().total_messages(), 2u);
+  vc.set_send_delay(nullptr);
+}
+
 TEST(VCluster, ProbeSeesQueuedMessage) {
   VCluster vc(2);
   vc.run([](Comm& c) {
