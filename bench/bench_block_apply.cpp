@@ -1,10 +1,15 @@
 // Multi-RHS (blocked) MLFMA apply throughput: per-RHS time of
-// apply_block over nrhs in {1, 2, 4, 8, 16, 32} on a fixed tree.
+// apply_block over nrhs in {1, 2, 4, 8, 16, 32} on a fixed tree, for
+// both the fp64 reference engine and the Precision::kMixed engine
+// (fp32 tables and spectra panels, fp64 accumulation at the dense
+// expansion boundaries).
 //
 // The blocked apply streams each translation diagonal, interpolation
 // stencil, shift vector and near-field block once for all columns, so
 // per-RHS time should drop well below the nrhs=1 baseline as the width
-// grows (the operator tables stop dominating the memory traffic).
+// grows (the operator tables stop dominating the memory traffic). The
+// mixed engine then halves the bytes behind every one of those streams,
+// which compounds with the blocking.
 // Writes bench_block_apply.json (see FFW_BENCH_JSON_DIR) with the raw
 // numbers for regression tracking.
 #include <algorithm>
@@ -19,15 +24,54 @@
 
 using namespace ffw;
 
+namespace {
+
+struct SweepResult {
+  std::vector<double> total_s;    // blocked apply time per width
+  std::vector<double> per_rhs_s;  // total_s / nrhs
+  std::uint64_t engine_bytes = 0;
+};
+
+SweepResult sweep(const QuadTree& tree, Precision precision,
+                  const std::vector<std::size_t>& widths, ccspan x, cspan y) {
+  MlfmaParams params;
+  params.precision = precision;
+  MlfmaEngine engine(tree, params);
+  SweepResult out;
+  for (const std::size_t w : widths) {
+    const BlockLayout lo{static_cast<std::size_t>(tree.pixels_per_leaf()), w,
+                         tree.num_leaves()};
+    // Warm-up: first call at each width grows the spectra panels.
+    engine.apply_block(ccspan{x.data(), lo.size()},
+                       cspan{y.data(), lo.size()}, w);
+    // Best-of-N: the min is the schedule-noise-free estimate, and N
+    // keeps total work ~comparable at every width.
+    const int reps = std::max(6, static_cast<int>(64 / w));
+    double total = 1e30;
+    for (int rep = 0; rep < reps; ++rep) {
+      Timer timer;
+      engine.apply_block(ccspan{x.data(), lo.size()},
+                         cspan{y.data(), lo.size()}, w);
+      total = std::min(total, timer.seconds());
+    }
+    out.total_s.push_back(total);
+    out.per_rhs_s.push_back(total / static_cast<double>(w));
+  }
+  out.engine_bytes = engine.bytes();
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const int nx = argc > 1 ? std::atoi(argv[1]) : 256;
   bench::banner("Blocked MLFMA apply — per-RHS speedup vs block width",
                 "multi-RHS extension of paper Sec. IV (one inverse "
-                "iteration solves every illumination)");
+                "iteration solves every illumination), plus the "
+                "fp32-table mixed-precision engine");
 
   Grid grid(nx);
   QuadTree tree(grid);
-  MlfmaEngine engine(tree);
   const std::size_t n = grid.num_pixels();
   std::printf("grid %dx%d (%zu unknowns), %d far-field levels\n\n", nx, nx,
               n, tree.num_levels());
@@ -40,62 +84,50 @@ int main(int argc, char** argv) {
   Rng rng(42);
   rng.fill_cnormal(x);
 
-  struct Row {
-    std::size_t nrhs;
-    double total_s, per_rhs_s, speedup;
-  };
-  std::vector<Row> rows;
-  double base_per_rhs = 0.0;
+  const SweepResult f64 = sweep(tree, Precision::kDouble, widths, x, y);
+  const SweepResult mix = sweep(tree, Precision::kMixed, widths, x, y);
 
-  for (const std::size_t w : widths) {
-    const BlockLayout lo{lo_max.panel, w, lo_max.npanels};
-    // Warm-up: first call at each width grows the spectra panels.
-    engine.apply_block(ccspan{x.data(), lo.size()},
-                       cspan{y.data(), lo.size()}, w);
-    // Enough repetitions for ~comparable total work at every width.
-    const int reps = std::max(2, static_cast<int>(16 / w));
-    Timer timer;
-    for (int rep = 0; rep < reps; ++rep) {
-      engine.apply_block(ccspan{x.data(), lo.size()},
-                         cspan{y.data(), lo.size()}, w);
-    }
-    const double total = timer.seconds() / reps;
-    const double per_rhs = total / static_cast<double>(w);
-    if (w == 1) base_per_rhs = per_rhs;
-    rows.push_back({w, total, per_rhs, base_per_rhs / per_rhs});
-  }
-
-  Table t({"nrhs", "block apply [ms]", "per-RHS [ms]", "speedup vs nrhs=1"});
-  for (const Row& r : rows) {
-    char a[32], b[32], c[32];
-    std::snprintf(a, sizeof a, "%.2f", 1e3 * r.total_s);
-    std::snprintf(b, sizeof b, "%.2f", 1e3 * r.per_rhs_s);
-    std::snprintf(c, sizeof c, "%.2fx", r.speedup);
-    t.add_row({std::to_string(r.nrhs), a, b, c});
+  Table t({"nrhs", "fp64/RHS [ms]", "mixed/RHS [ms]", "mixed speedup",
+           "vs fp64 nrhs=1"});
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    char a[32], b[32], c[32], d[32];
+    std::snprintf(a, sizeof a, "%.2f", 1e3 * f64.per_rhs_s[i]);
+    std::snprintf(b, sizeof b, "%.2f", 1e3 * mix.per_rhs_s[i]);
+    std::snprintf(c, sizeof c, "%.2fx", f64.per_rhs_s[i] / mix.per_rhs_s[i]);
+    std::snprintf(d, sizeof d, "%.2fx", f64.per_rhs_s[0] / mix.per_rhs_s[i]);
+    t.add_row({std::to_string(widths[i]), a, b, c, d});
   }
   std::printf("%s\n", t.to_string().c_str());
+  std::printf("engine footprint: fp64 %.1f MB, mixed %.1f MB\n\n",
+              static_cast<double>(f64.engine_bytes) / 1048576.0,
+              static_cast<double>(mix.engine_bytes) / 1048576.0);
 
-  const std::string path = bench::json_output_path("bench_block_apply");
-  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"block_apply\",\n  \"nx\": %d,\n"
-                 "  \"unknowns\": %zu,\n  \"rows\": [\n", nx, n);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(f,
-                   "    {\"nrhs\": %zu, \"block_apply_s\": %.6e, "
-                   "\"per_rhs_s\": %.6e, \"speedup\": %.4f}%s\n",
-                   r.nrhs, r.total_s, r.per_rhs_s, r.speedup,
-                   i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("json: %s\n", path.c_str());
-  } else {
-    std::printf("json: could not open %s for writing\n", path.c_str());
+  bench::JsonWriter json("bench_block_apply");
+  json.field("bench", "block_apply");
+  json.field("nx", nx);
+  json.field("unknowns", static_cast<std::uint64_t>(n));
+  json.field("engine_bytes_fp64", f64.engine_bytes);
+  json.field("engine_bytes_mixed", mix.engine_bytes);
+  json.begin_array("rows");
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    json.begin_object();
+    json.field("nrhs", static_cast<std::uint64_t>(widths[i]));
+    json.field("block_apply_s", f64.total_s[i]);
+    json.field("per_rhs_s", f64.per_rhs_s[i]);
+    json.field("speedup", f64.per_rhs_s[0] / f64.per_rhs_s[i]);
+    json.field("mixed_block_apply_s", mix.total_s[i]);
+    json.field("mixed_per_rhs_s", mix.per_rhs_s[i]);
+    json.field("mixed_speedup", f64.per_rhs_s[i] / mix.per_rhs_s[i]);
+    json.end();
   }
+  json.end();
+  json.close();
 
-  bench::note("per-RHS speedup at nrhs>=8 should exceed 1.5x: the "
+  bench::note("per-RHS speedup at nrhs>=8 should exceed 1.5x for the "
+              "blocked fp64 apply vs nrhs=1, and the mixed engine should "
+              "add a further table-bandwidth factor on top: the "
               "translation/interpolation tables are loaded once per "
-              "cluster instead of once per illumination.");
+              "cluster instead of once per illumination, at half the "
+              "bytes per entry.");
   return 0;
 }

@@ -135,29 +135,26 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", t.to_string().c_str());
 
-  const std::string path = bench::json_output_path("bench_overlap");
-  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-    std::fprintf(f,
-                 "{\n  \"bench\": \"overlap\",\n  \"nx\": %d,\n"
-                 "  \"nrhs\": %zu,\n  \"delay_us\": [%d, %d],\n"
-                 "  \"rows\": [\n",
-                 nx, nrhs, delay_lo_us, delay_hi_us);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(f,
-                   "    {\"ranks\": %d, \"blocking_s\": %.6e, "
-                   "\"overlapped_s\": %.6e, \"speedup\": %.4f, "
-                   "\"halo_bytes_per_apply\": %llu}%s\n",
-                   r.ranks, r.blocking_s, r.overlapped_s, r.speedup,
-                   static_cast<unsigned long long>(r.halo_bytes),
-                   i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("json: %s\n", path.c_str());
-  } else {
-    std::printf("json: could not open %s for writing\n", path.c_str());
+  bench::JsonWriter json("bench_overlap");
+  json.field("bench", "overlap");
+  json.field("nx", nx);
+  json.field("nrhs", static_cast<std::uint64_t>(nrhs));
+  json.begin_array("delay_us");
+  json.field("", delay_lo_us);
+  json.field("", delay_hi_us);
+  json.end();
+  json.begin_array("rows");
+  for (const Row& r : rows) {
+    json.begin_object();
+    json.field("ranks", r.ranks);
+    json.field("blocking_s", r.blocking_s);
+    json.field("overlapped_s", r.overlapped_s);
+    json.field("speedup", r.speedup);
+    json.field("halo_bytes_per_apply", r.halo_bytes);
+    json.end();
   }
+  json.end();
+  json.close();
 
   bench::note("the overlapped schedule should beat blocking-ordered at >= 8 "
               "ranks: interior near-field + local translations hide the "

@@ -1,7 +1,11 @@
 // Core scalar and container typedefs shared across the library.
 //
-// The whole solver works in double-precision complex arithmetic, matching
+// The solver's reference arithmetic is double-precision complex, matching
 // the paper's setup (Sec. V-B: "All computations use double-precision").
+// The mixed-precision MLFMA path (DESIGN.md Sec. 10) additionally streams
+// its precomputed operator tables, per-level spectra panels and halo
+// messages as single-precision complex — the `32`-suffixed aliases below —
+// while every Krylov recurrence and reduction stays in double.
 #pragma once
 
 #include <complex>
@@ -21,6 +25,31 @@ using cspan = std::span<cplx>;
 using ccspan = std::span<const cplx>;
 using rspan = std::span<double>;
 using crspan = std::span<const double>;
+
+// Single-precision complex: the storage/wire scalar of the mixed MLFMA.
+using cplx32 = std::complex<float>;
+using cvec32 = std::vector<cplx32>;
+using cspan32 = std::span<cplx32>;
+using ccspan32 = std::span<const cplx32>;
+
+/// Arithmetic precision policy of an operator pipeline. `kDouble` is the
+/// paper's all-fp64 setup; `kMixed` stores the Table I operator tables,
+/// the per-level spectra panels and the partitioned halo messages in
+/// fp32 (half the streamed bytes and wire traffic) while accumulating
+/// into fp64 at the leaf-expansion / local-expansion / near-field GEMM
+/// boundaries.
+enum class Precision { kDouble, kMixed };
+
+/// Round a double-complex value to storage precision T (identity for
+/// T = double). The narrowing is the *only* place the mixed pipeline
+/// loses digits relative to fp64 tables.
+template <typename T>
+inline std::complex<T> to_scalar(cplx v) {
+  return {static_cast<T>(v.real()), static_cast<T>(v.imag())};
+}
+
+inline cplx32 narrow(cplx v) { return to_scalar<float>(v); }
+inline cplx widen(cplx32 v) { return {v.real(), v.imag()}; }
 
 inline constexpr double pi = std::numbers::pi;
 inline constexpr cplx iu{0.0, 1.0};  // imaginary unit

@@ -76,6 +76,22 @@ double DbimWorkspace::step_pass(int t, ccspan direction) {
   return fn * fn;
 }
 
+bool DbimWorkspace::block_solve(ccspan rhs, cspan x, std::size_t nrhs,
+                                bool adjoint) {
+  if (solver_.mixed_engine() != nullptr) {
+    RefinedOptions ro;
+    ro.tol = solver_.options().tol;
+    const RefinedResult res =
+        adjoint ? solver_.solve_adjoint_block_refined(rhs, x, nrhs, ro)
+                : solver_.solve_block_refined(rhs, x, nrhs, ro);
+    return res.converged;
+  }
+  const BlockBicgstabResult res = adjoint
+                                      ? solver_.solve_adjoint_block(rhs, x, nrhs)
+                                      : solver_.solve_block(rhs, x, nrhs);
+  return res.converged;
+}
+
 double DbimWorkspace::residual_pass_all(cspan residuals) {
   const std::size_t tc = measured_->cols();
   const std::size_t nr = measured_->rows();
@@ -92,9 +108,9 @@ double DbimWorkspace::residual_pass_all(cspan residuals) {
       phi_b_valid_[t] = true;
     }
   }
-  const BlockBicgstabResult res = solver_.solve_block(
-      rhs, cspan{phi_b_.data(), npix_ * tc}, tc);
-  FFW_CHECK_MSG(res.converged, "DBIM residual-pass block solve diverged");
+  FFW_CHECK_MSG(block_solve(rhs, cspan{phi_b_.data(), npix_ * tc}, tc,
+                            /*adjoint=*/false),
+                "DBIM residual-pass block solve diverged");
   double cost = 0.0;
   cvec ophi(npix_);
   for (std::size_t t = 0; t < tc; ++t) {
@@ -124,8 +140,8 @@ void DbimWorkspace::gradient_pass_all(ccspan residuals, cspan grad_accum) {
                   ccspan{g1.data() + t * npix_, npix_},
                   cspan{w2.data() + t * npix_, npix_});
   }
-  const BlockBicgstabResult res = solver_.solve_adjoint_block(w2, w3, tc);
-  FFW_CHECK_MSG(res.converged, "DBIM gradient-pass block solve diverged");
+  FFW_CHECK_MSG(block_solve(w2, w3, tc, /*adjoint=*/true),
+                "DBIM gradient-pass block solve diverged");
   solver_.apply_g0_herm_block(w3, w4, tc);
   for (std::size_t t = 0; t < tc; ++t) {
     const cplx* phi = phi_b_.col(t).data();
@@ -147,8 +163,8 @@ double DbimWorkspace::step_pass_all(ccspan direction) {
              cspan{u1.data() + t * npix_, npix_});
   }
   solver_.apply_g0_block(u1, u2, tc);
-  const BlockBicgstabResult res = solver_.solve_block(u2, w, tc);
-  FFW_CHECK_MSG(res.converged, "DBIM step-pass block solve diverged");
+  FFW_CHECK_MSG(block_solve(u2, w, tc, /*adjoint=*/false),
+                "DBIM step-pass block solve diverged");
   double denom = 0.0;
   for (std::size_t t = 0; t < tc; ++t) {
     diag_mul_acc(solver_.contrast_natural(),
@@ -166,6 +182,9 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
                             const BicgstabOptions& fw_opts,
                             ccspan initial_contrast) {
   DbimWorkspace ws(engine, trx, measured, fw_opts);
+  if (opts.mixed_engine != nullptr) {
+    ws.solver().set_mixed_engine(opts.mixed_engine);
+  }
   const std::size_t n = ws.num_pixels();
   const int t_count = ws.num_illuminations();
 

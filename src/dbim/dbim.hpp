@@ -54,6 +54,12 @@ struct DbimOptions {
   /// initial-contrast argument). Borrowed pointer; caller keeps it
   /// alive for the duration of the call.
   const DbimCheckpoint* resume = nullptr;
+  /// Optional Precision::kMixed engine on the same tree (borrowed, not
+  /// owned): when set, every block solve of the inversion — forward,
+  /// adjoint-Frechet and step-length — runs mixed-precision iterative
+  /// refinement (forward/refined.hpp) with the fp32 engine doing the
+  /// Krylov sweeps and the fp64 engine only the outer residuals.
+  MlfmaEngine* mixed_engine = nullptr;
 };
 
 struct DbimHistory {
@@ -120,6 +126,10 @@ class DbimWorkspace {
   std::size_t num_pixels() const { return npix_; }
 
  private:
+  /// Block solve routed through mixed-precision refinement when a mixed
+  /// engine is registered on the solver; returns convergence.
+  bool block_solve(ccspan rhs, cspan x, std::size_t nrhs, bool adjoint);
+
   const Transceivers* trx_;
   const CMatrix* measured_;
   ForwardSolver solver_;

@@ -72,9 +72,9 @@ void ForwardSolver::op_forward_block(ccspan x, cspan y,
                                      const BlockLayout& lo) {
   // Blocked y = x - G0 (O .* x): the diagonal contrast is indexed per
   // cluster pixel and reused across all columns of a panel.
-  if (block_work_.size() < lo.size()) block_work_.resize(lo.size());
-  cspan work{block_work_.data(), lo.size()};
   if (use_jacobi_) {
+    if (block_work_.size() < lo.size()) block_work_.resize(lo.size());
+    cspan work{block_work_.data(), lo.size()};
     cvec xm(lo.size());
     block_diag_mul(lo, minv_clu_, x, xm);
     block_diag_mul(lo, contrast_clu_, ccspan{xm}, work);
@@ -82,14 +82,94 @@ void ForwardSolver::op_forward_block(ccspan x, cspan y,
     for (std::size_t i = 0; i < y.size(); ++i) y[i] = xm[i] - y[i];
     return;
   }
+  op_forward_block_on(*engine_, x, y, lo);
+}
+
+void ForwardSolver::op_forward_block_on(MlfmaEngine& eng, ccspan x, cspan y,
+                                        const BlockLayout& lo) {
+  if (block_work_.size() < lo.size()) block_work_.resize(lo.size());
+  cspan work{block_work_.data(), lo.size()};
   block_diag_mul(lo, contrast_clu_, x, work);
-  engine_->apply_block(work, y, lo.nrhs);
+  eng.apply_block(work, y, lo.nrhs);
   for (std::size_t i = 0; i < y.size(); ++i) y[i] = x[i] - y[i];
+}
+
+void ForwardSolver::set_mixed_engine(MlfmaEngine* mixed) {
+  if (mixed != nullptr) {
+    FFW_CHECK_MSG(mixed->tree().grid().num_pixels() ==
+                      engine_->tree().grid().num_pixels(),
+                  "mixed engine must cover the same grid");
+  }
+  mixed_ = mixed;
+}
+
+RefinedResult ForwardSolver::solve_block_refined(ccspan rhs, cspan phi,
+                                                 std::size_t nrhs,
+                                                 const RefinedOptions& opts) {
+  FFW_CHECK_MSG(mixed_ != nullptr,
+                "solve_block_refined needs set_mixed_engine first");
+  const std::size_t n = contrast_nat_.size();
+  FFW_CHECK(rhs.size() == n * nrhs && phi.size() == n * nrhs);
+  const QuadTree& tree = engine_->tree();
+  const BlockLayout lo = block_layout(nrhs);
+  cvec b(lo.size()), x(lo.size());
+  block_pack_natural(lo, tree.perm(), rhs, b);
+  block_pack_natural(lo, tree.perm(), ccspan{phi.data(), phi.size()}, x);
+  const std::uint64_t before = engine_->phase_times().applications +
+                               mixed_->phase_times().applications;
+  const RefinedResult res = refined_block_bicgstab(
+      [this, &lo](ccspan in, cspan out) {
+        op_forward_block_on(*engine_, in, out, lo);
+      },
+      [this, &lo](ccspan in, cspan out) {
+        op_forward_block_on(*mixed_, in, out, lo);
+      },
+      b, x, lo, opts);
+  stats_.solves += nrhs;
+  stats_.bicgs_iterations += res.inner_iterations + res.fallback_iterations;
+  stats_.mlfma_applications += engine_->phase_times().applications +
+                               mixed_->phase_times().applications - before;
+  block_unpack_natural(lo, tree.perm(), x, phi);
+  return res;
+}
+
+RefinedResult ForwardSolver::solve_adjoint_block_refined(
+    ccspan rhs, cspan psi, std::size_t nrhs, const RefinedOptions& opts) {
+  FFW_CHECK_MSG(mixed_ != nullptr,
+                "solve_adjoint_block_refined needs set_mixed_engine first");
+  const std::size_t n = contrast_nat_.size();
+  FFW_CHECK(rhs.size() == n * nrhs && psi.size() == n * nrhs);
+  const QuadTree& tree = engine_->tree();
+  const BlockLayout lo = block_layout(nrhs);
+  cvec b(lo.size()), x(lo.size());
+  block_pack_natural(lo, tree.perm(), rhs, b);
+  block_pack_natural(lo, tree.perm(), ccspan{psi.data(), psi.size()}, x);
+  const std::uint64_t before = engine_->phase_times().applications +
+                               mixed_->phase_times().applications;
+  const RefinedResult res = refined_block_bicgstab(
+      [this, &lo](ccspan in, cspan out) {
+        op_adjoint_block_on(*engine_, in, out, lo);
+      },
+      [this, &lo](ccspan in, cspan out) {
+        op_adjoint_block_on(*mixed_, in, out, lo);
+      },
+      b, x, lo, opts);
+  stats_.solves += nrhs;
+  stats_.bicgs_iterations += res.inner_iterations + res.fallback_iterations;
+  stats_.mlfma_applications += engine_->phase_times().applications +
+                               mixed_->phase_times().applications - before;
+  block_unpack_natural(lo, tree.perm(), x, psi);
+  return res;
 }
 
 void ForwardSolver::op_adjoint_block(ccspan x, cspan y,
                                      const BlockLayout& lo) {
-  engine_->apply_herm_block(x, y, lo.nrhs);
+  op_adjoint_block_on(*engine_, x, y, lo);
+}
+
+void ForwardSolver::op_adjoint_block_on(MlfmaEngine& eng, ccspan x, cspan y,
+                                        const BlockLayout& lo) {
+  eng.apply_herm_block(x, y, lo.nrhs);
   for (std::size_t c = 0; c < lo.npanels; ++c) {
     const cplx* dp = contrast_clu_.data() + c * lo.panel;
     for (std::size_t r = 0; r < lo.nrhs; ++r) {

@@ -8,6 +8,7 @@
 
 #include "forward/bicgstab.hpp"
 #include "forward/block_bicgstab.hpp"
+#include "forward/refined.hpp"
 #include "mlfma/engine.hpp"
 
 namespace ffw {
@@ -65,6 +66,29 @@ class ForwardSolver {
   BlockBicgstabResult solve_adjoint_block(ccspan rhs, cspan psi,
                                           std::size_t nrhs);
 
+  /// Registers a Precision::kMixed engine on the *same tree* as the fp32
+  /// accelerator for solve_block_refined (not owned; pass nullptr to
+  /// detach). The primary engine stays the fp64 reference.
+  void set_mixed_engine(MlfmaEngine* mixed);
+  MlfmaEngine* mixed_engine() const { return mixed_; }
+
+  /// Mixed-precision iterative refinement solve of [I - G0 O] phi = rhs
+  /// over all columns: inner block-BiCGStab sweeps run on the registered
+  /// mixed engine, outer residuals/masking in fp64 on the primary
+  /// engine, automatic pure-fp64 fallback on stall (forward/refined.hpp).
+  /// Reaches fp64-level tolerances (default 1e-8) at mixed-engine speed.
+  /// Always unpreconditioned (the Jacobi setting is ignored).
+  RefinedResult solve_block_refined(ccspan rhs, cspan phi, std::size_t nrhs,
+                                    const RefinedOptions& opts = {});
+
+  /// Mixed-precision refinement of the Hermitian-transposed system
+  /// [I - G0 O]^H psi = rhs (the adjoint Frechet solves of DBIM run at
+  /// mixed speed too — G0 is complex-symmetric, so the mixed engine's
+  /// conjugated apply serves as the inner adjoint operator).
+  RefinedResult solve_adjoint_block_refined(ccspan rhs, cspan psi,
+                                            std::size_t nrhs,
+                                            const RefinedOptions& opts = {});
+
   /// y = [I - G0 O] x without solving (for residual checks / tests).
   void apply_system(ccspan x, cspan y);
 
@@ -91,11 +115,18 @@ class ForwardSolver {
   // Blocked variants over the leaf-interleaved block layout.
   void op_forward_block(ccspan x, cspan y, const BlockLayout& lo);
   void op_adjoint_block(ccspan x, cspan y, const BlockLayout& lo);
+  // Unpreconditioned blocked forward operator on an explicit engine (the
+  // refined solve runs it against both the fp64 and the mixed engine).
+  void op_forward_block_on(MlfmaEngine& eng, ccspan x, cspan y,
+                           const BlockLayout& lo);
+  void op_adjoint_block_on(MlfmaEngine& eng, ccspan x, cspan y,
+                           const BlockLayout& lo);
   BlockLayout block_layout(std::size_t nrhs) const;
   void record_block_stats(const BlockBicgstabResult& res,
                           std::uint64_t applications_before);
 
   MlfmaEngine* engine_;
+  MlfmaEngine* mixed_ = nullptr;  // optional fp32 accelerator (not owned)
   BicgstabOptions opts_;
   void refresh_preconditioner();
 

@@ -1,0 +1,91 @@
+#include "forward/refined.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ffw {
+
+RefinedResult refined_block_bicgstab(const BlockLinearOp& a_outer,
+                                     const BlockLinearOp& a_inner, ccspan b,
+                                     cspan x, const BlockLayout& lo,
+                                     const RefinedOptions& opts,
+                                     const DotReducer& reduce) {
+  FFW_CHECK(b.size() == lo.size() && x.size() == lo.size());
+  const std::size_t nrhs = lo.nrhs;
+  RefinedResult res;
+
+  cvec r(lo.size()), d(lo.size());
+  std::vector<double> bnorm(nrhs), rnorm(nrhs), partial(nrhs);
+
+  auto reduced_col_norms = [&](ccspan v, std::vector<double>& out) {
+    for (std::size_t c = 0; c < nrhs; ++c)
+      partial[c] = block_col_nrm2_sq(lo, v, c);
+    reduce.sum_double_vec(rspan{partial.data(), nrhs});
+    for (std::size_t c = 0; c < nrhs; ++c) out[c] = std::sqrt(partial[c]);
+  };
+  reduced_col_norms(b, bnorm);
+
+  // Worst-column fp64 relative residual; recomputes r = b - A64 x.
+  auto residual = [&] {
+    a_outer(x, r);
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+    reduced_col_norms(r, rnorm);
+    double worst = 0.0;
+    for (std::size_t c = 0; c < nrhs; ++c)
+      if (bnorm[c] > 0.0) worst = std::max(worst, rnorm[c] / bnorm[c]);
+    return worst;
+  };
+  auto column_converged = [&](std::size_t c) {
+    return bnorm[c] == 0.0 || rnorm[c] <= opts.tol * bnorm[c];
+  };
+
+  double worst = residual();
+  res.relres = worst;
+  if (worst <= opts.tol) {
+    res.converged = true;
+    return res;
+  }
+
+  for (int k = 0; k < opts.max_refinements; ++k) {
+    // fp64 convergence masking: a converged column's residual is zeroed,
+    // so the inner solver freezes it immediately (zero-b mask) and it
+    // costs no further scalar work while the block keeps iterating.
+    for (std::size_t c = 0; c < nrhs; ++c) {
+      if (!column_converged(c)) continue;
+      for (std::size_t p = 0; p < lo.npanels; ++p)
+        std::fill_n(r.data() + lo.at(p, c), lo.panel, cplx{});
+    }
+
+    std::fill(d.begin(), d.end(), cplx{});
+    const BlockBicgstabResult inner =
+        block_bicgstab(a_inner, r, d, lo, opts.inner, reduce);
+    res.inner_iterations += inner.total_iterations();
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += d[i];
+    ++res.refinements;
+
+    const double prev = worst;
+    worst = residual();
+    res.relres = worst;
+    if (worst <= opts.tol) {
+      res.converged = true;
+      return res;
+    }
+    if (worst > opts.stall_factor * prev) break;  // stalled -> fallback
+  }
+
+  // Refinement stalled (or ran out of rounds) above tol: finish with the
+  // reference-precision solver from the current iterate.
+  res.fell_back = true;
+  BicgstabOptions fo;
+  fo.tol = opts.tol;
+  fo.max_iterations = opts.fallback_max_iterations;
+  const BlockBicgstabResult fb = block_bicgstab(a_outer, b, x, lo, fo, reduce);
+  res.fallback_iterations = fb.total_iterations();
+  res.relres = residual();
+  res.converged = res.relres <= opts.tol;
+  return res;
+}
+
+}  // namespace ffw

@@ -5,7 +5,9 @@
 
 namespace ffw {
 
-NearFieldOperators::NearFieldOperators(const QuadTree& tree) {
+NearFieldOperators::NearFieldOperators(const QuadTree& tree,
+                                       Precision precision)
+    : precision_(precision) {
   const Grid& grid = tree.grid();
   const double w = tree.leaf_pixel_side() * grid.h();  // cluster width
   const int np = tree.pixels_per_leaf();
@@ -24,11 +26,22 @@ NearFieldOperators::NearFieldOperators(const QuadTree& tree) {
       mats_[static_cast<std::size_t>((dy + 1) * 3 + (dx + 1))] = std::move(m);
     }
   }
+
+  if (precision_ == Precision::kMixed) {
+    for (int t = 0; t < kNumTypes; ++t) {
+      const CMatrix& m = mats_[static_cast<std::size_t>(t)];
+      cvec32& m32 = mats32_[static_cast<std::size_t>(t)];
+      m32.resize(m.rows() * m.cols());
+      for (std::size_t i = 0; i < m32.size(); ++i) m32[i] = narrow(m.data()[i]);
+      mats_[static_cast<std::size_t>(t)] = CMatrix{};
+    }
+  }
 }
 
 std::size_t NearFieldOperators::bytes() const {
   std::size_t s = 0;
   for (const auto& m : mats_) s += m.bytes();
+  for (const auto& m : mats32_) s += m.size() * sizeof(cplx32);
   return s;
 }
 
@@ -37,6 +50,7 @@ void NearFieldOperators::apply(const QuadTree& tree, ccspan x, cspan y) const {
   const auto& begin = tree.near_begin();
   const auto& entries = tree.near();
   const std::size_t nleaf = tree.num_leaves();
+  FFW_CHECK(precision_ == Precision::kDouble);
   FFW_CHECK(x.size() == nleaf * np && y.size() == nleaf * np);
   for (std::size_t c = 0; c < nleaf; ++c) {
     cplx* yd = y.data() + c * np;

@@ -17,10 +17,25 @@ namespace ffw {
 
 class NearFieldOperators {
  public:
-  explicit NearFieldOperators(const QuadTree& tree);
+  /// Tables are always generated in fp64; under Precision::kMixed they
+  /// are rounded once to fp32 and the fp64 copies dropped, so bytes()
+  /// halves and only type32() is valid.
+  explicit NearFieldOperators(const QuadTree& tree,
+                              Precision precision = Precision::kDouble);
+
+  Precision precision() const { return precision_; }
 
   /// Matrix for offset type t = (dy+1)*3 + (dx+1); t == 4 is self.
   const CMatrix& type(int t) const { return mats_[static_cast<std::size_t>(t)]; }
+
+  /// fp32 copy of type t, column-major np x np (Precision::kMixed only).
+  const cplx32* type32(int t) const {
+    return mats32_[static_cast<std::size_t>(t)].data();
+  }
+
+  /// Scalar-generic access for the templated engine passes.
+  template <typename T>
+  const std::complex<T>* type_data(int t) const;
 
   static constexpr int kNumTypes = 9;
 
@@ -30,10 +45,22 @@ class NearFieldOperators {
   /// y += G0_near * x over the whole grid, both in cluster order.
   /// Exercised standalone in tests; the MLFMA engine calls the batched
   /// per-cluster form directly for overlap with communication.
+  /// fp64-only (requires Precision::kDouble tables).
   void apply(const QuadTree& tree, ccspan x, cspan y) const;
 
  private:
+  Precision precision_ = Precision::kDouble;
   std::array<CMatrix, kNumTypes> mats_;
+  std::array<cvec32, kNumTypes> mats32_;
 };
+
+template <>
+inline const cplx* NearFieldOperators::type_data<double>(int t) const {
+  return mats_[static_cast<std::size_t>(t)].data();
+}
+template <>
+inline const cplx32* NearFieldOperators::type_data<float>(int t) const {
+  return mats32_[static_cast<std::size_t>(t)].data();
+}
 
 }  // namespace ffw

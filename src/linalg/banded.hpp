@@ -44,17 +44,32 @@ class PeriodicBandMatrix {
   void apply_adjoint(ccspan x, cspan y) const;
 
   /// Batched forms over column-major panels: X is (cols x n), Y is
-  /// (rows x n), with leading dimensions ldx/ldy.
+  /// (rows x n), with leading dimensions ldx/ldy. The fp32 overloads
+  /// stream the rounded stencil copy built by build_f32() — half the
+  /// coefficient bytes per row, which is what makes the band-diagonal
+  /// interp/anterp phases of the mixed engine cheaper, not just smaller.
   void apply_batch(const cplx* x, std::size_t ldx, cplx* y, std::size_t ldy,
                    std::size_t n) const;
   void apply_adjoint_batch(const cplx* x, std::size_t ldx, cplx* y,
                            std::size_t ldy, std::size_t n) const;
+  void apply_batch(const cplx32* x, std::size_t ldx, cplx32* y,
+                   std::size_t ldy, std::size_t n) const;
+  void apply_adjoint_batch(const cplx32* x, std::size_t ldx, cplx32* y,
+                           std::size_t ldy, std::size_t n) const;
+
+  /// Round the fp64 stencil into an fp32 copy for the mixed engine.
+  /// With `drop_f64` the double coefficients are released afterwards
+  /// (halving the table footprint); the fp64 apply overloads and
+  /// coeff()/to_dense() become invalid then.
+  void build_f32(bool drop_f64 = false);
+  bool has_f32() const { return !wf_.empty(); }
 
   /// Dense materialisation for testing.
   std::vector<std::vector<double>> to_dense() const;
 
   std::size_t bytes() const {
-    return w_.size() * sizeof(double) + first_.size() * sizeof(std::uint32_t);
+    return w_.size() * sizeof(double) + wf_.size() * sizeof(float) +
+           first_.size() * sizeof(std::uint32_t);
   }
 
  private:
@@ -62,6 +77,7 @@ class PeriodicBandMatrix {
   std::size_t cols_ = 0;
   std::size_t width_ = 0;
   std::vector<double> w_;
+  std::vector<float> wf_;  // fp32 mirror of w_ (mixed engine)
   std::vector<std::uint32_t> first_;
 };
 

@@ -1,6 +1,17 @@
 // Blocked complex GEMM. The paper implements the MLFMA multipole/local
 // expansions as dense matrix-matrix multiplications for data reuse
 // (Sec. IV-D); this is the kernel that realises them on the CPU.
+//
+// The raw kernel is templated over a *storage* scalar TS (what A and B
+// stream from memory) and an *accumulation/destination* scalar TD (what
+// C holds and what the inner products accumulate in), so one micro-kernel
+// serves the three precision modes of the engine:
+//   TS = TD = double  — the all-fp64 reference path;
+//   TS = TD = float   — fp32 spectra panels inside the mixed pipeline
+//                       (twice the SIMD lanes, half the streamed bytes);
+//   TS = float, TD = double — the mixed pipeline's leaf boundaries:
+//                       fp32 tables/panels accumulated into the fp64
+//                       solver vector (DESIGN.md Sec. 10).
 #pragma once
 
 #include "linalg/cmatrix.hpp"
@@ -17,11 +28,57 @@ void gemm_herm_a(cplx alpha, const CMatrix& a, const CMatrix& b, cplx beta,
 
 /// Raw-pointer variant over column-major blocks:
 /// C(m x n) = alpha * A(m x k) * B(k x n) + beta * C, with leading
-/// dimensions lda/ldb/ldc. Used by the MLFMA engine where cluster data
-/// lives inside larger level-wide arrays.
-void gemm_raw(std::size_t m, std::size_t n, std::size_t k, cplx alpha,
-              const cplx* a, std::size_t lda, const cplx* b, std::size_t ldb,
-              cplx beta, cplx* c, std::size_t ldc);
+/// dimensions lda/ldb/ldc. A and B stream as complex<TS>; C and all
+/// accumulation are complex<TD>. Used by the MLFMA engine where cluster
+/// data lives inside larger level-wide arrays.
+template <typename TS, typename TD>
+void gemm_raw_t(std::size_t m, std::size_t n, std::size_t k,
+                std::complex<TD> alpha, const std::complex<TS>* a,
+                std::size_t lda, const std::complex<TS>* b, std::size_t ldb,
+                std::complex<TD> beta, std::complex<TD>* c, std::size_t ldc);
+
+extern template void gemm_raw_t<double, double>(
+    std::size_t, std::size_t, std::size_t, cplx, const cplx*, std::size_t,
+    const cplx*, std::size_t, cplx, cplx*, std::size_t);
+extern template void gemm_raw_t<float, float>(
+    std::size_t, std::size_t, std::size_t, cplx32, const cplx32*, std::size_t,
+    const cplx32*, std::size_t, cplx32, cplx32*, std::size_t);
+extern template void gemm_raw_t<float, double>(
+    std::size_t, std::size_t, std::size_t, cplx, const cplx32*, std::size_t,
+    const cplx32*, std::size_t, cplx, cplx*, std::size_t);
+
+/// All-fp64 path (the historical entry point).
+inline void gemm_raw(std::size_t m, std::size_t n, std::size_t k, cplx alpha,
+                     const cplx* a, std::size_t lda, const cplx* b,
+                     std::size_t ldb, cplx beta, cplx* c, std::size_t ldc) {
+  gemm_raw_t<double, double>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+/// All-fp32 path (interior of the mixed MLFMA pipeline).
+inline void gemm_raw(std::size_t m, std::size_t n, std::size_t k,
+                     cplx32 alpha, const cplx32* a, std::size_t lda,
+                     const cplx32* b, std::size_t ldb, cplx32 beta, cplx32* c,
+                     std::size_t ldc) {
+  gemm_raw_t<float, float>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+/// Mixed path: fp32 operands, fp64 accumulation and destination.
+inline void gemm_raw(std::size_t m, std::size_t n, std::size_t k, cplx alpha,
+                     const cplx32* a, std::size_t lda, const cplx32* b,
+                     std::size_t ldb, cplx beta, cplx* c, std::size_t ldc) {
+  gemm_raw_t<float, double>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+/// Mixed leaf-expansion kernel: C32(m x n) = A32(m x k) * B32(k x n).
+/// The rank-1 MACs run in fp32 over short k-chunks and are promoted
+/// into an fp64 register tile between chunks, so the full k-long
+/// accumulation chain is fp64 while the bulk of the arithmetic keeps
+/// fp32 SIMD width; the result is rounded once into the fp32 panel.
+/// Used at the leaf-expansion accumulation boundary of the mixed MLFMA
+/// engine (m = level-0 sample count, expected small).
+void gemm_expand_mixed(std::size_t m, std::size_t n, std::size_t k,
+                       const cplx32* a, std::size_t lda, const cplx32* b,
+                       std::size_t ldb, cplx32* c, std::size_t ldc);
 
 /// Same but with A conjugate-transposed: C = alpha * A^H * B + beta * C,
 /// where A is stored (k x m) column-major.

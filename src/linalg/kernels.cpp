@@ -7,34 +7,81 @@
 
 namespace ffw {
 
-cplx cdot(ccspan x, ccspan y) {
+namespace {
+
+// Shared loop bodies over the storage scalar T; reductions accumulate in
+// double for both widths (mixed-precision policy: narrow storage, wide
+// arithmetic at reductions).
+template <typename T>
+cplx cdot_impl(std::span<const std::complex<T>> x,
+               std::span<const std::complex<T>> y) {
   FFW_DCHECK(x.size() == y.size());
   cplx acc{};
-  for (std::size_t i = 0; i < x.size(); ++i) acc += std::conj(x[i]) * y[i];
+  for (std::size_t i = 0; i < x.size(); ++i)
+    acc += std::conj(cplx{x[i]}) * cplx{y[i]};
   return acc;
 }
 
-double nrm2(ccspan x) {
+template <typename T>
+double nrm2_impl(std::span<const std::complex<T>> x) {
   double s = 0.0;
-  for (const cplx& v : x) s += std::norm(v);
+  for (const std::complex<T>& v : x) s += std::norm(cplx{v});
   return std::sqrt(s);
 }
 
-void axpy(cplx a, ccspan x, cspan y) {
+template <typename T>
+void axpy_impl(std::complex<T> a, std::span<const std::complex<T>> x,
+               std::span<std::complex<T>> y) {
   FFW_DCHECK(x.size() == y.size());
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
 }
+
+template <typename T>
+void scal_impl(std::complex<T> a, std::span<std::complex<T>> x) {
+  for (std::complex<T>& v : x) v *= a;
+}
+
+template <typename T>
+void diag_mul_impl(std::span<const std::complex<T>> d,
+                   std::span<const std::complex<T>> x,
+                   std::span<std::complex<T>> y) {
+  FFW_DCHECK(d.size() == x.size() && x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = d[i] * x[i];
+}
+
+template <typename T>
+void diag_mul_acc_impl(std::span<const std::complex<T>> d,
+                       std::span<const std::complex<T>> x,
+                       std::span<std::complex<T>> y) {
+  FFW_DCHECK(d.size() == x.size() && x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += d[i] * x[i];
+}
+
+}  // namespace
+
+cplx cdot(ccspan x, ccspan y) { return cdot_impl<double>(x, y); }
+cplx cdot(ccspan32 x, ccspan32 y) { return cdot_impl<float>(x, y); }
+
+double nrm2(ccspan x) { return nrm2_impl<double>(x); }
+double nrm2(ccspan32 x) { return nrm2_impl<float>(x); }
+
+void axpy(cplx a, ccspan x, cspan y) { axpy_impl<double>(a, x, y); }
+void axpy(cplx32 a, ccspan32 x, cspan32 y) { axpy_impl<float>(a, x, y); }
 
 void xpay(ccspan x, cplx a, cspan y) {
   FFW_DCHECK(x.size() == y.size());
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + a * y[i];
 }
 
-void scal(cplx a, cspan x) {
-  for (cplx& v : x) v *= a;
-}
+void scal(cplx a, cspan x) { scal_impl<double>(a, x); }
+void scal(cplx32 a, cspan32 x) { scal_impl<float>(a, x); }
 
 void copy(ccspan x, cspan y) {
+  FFW_DCHECK(x.size() == y.size());
+  std::copy(x.begin(), x.end(), y.begin());
+}
+
+void copy(ccspan32 x, cspan32 y) {
   FFW_DCHECK(x.size() == y.size());
   std::copy(x.begin(), x.end(), y.begin());
 }
@@ -44,19 +91,31 @@ void sub(ccspan a, ccspan b, cspan out) {
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
 }
 
-void diag_mul(ccspan d, ccspan x, cspan y) {
-  FFW_DCHECK(d.size() == x.size() && x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = d[i] * x[i];
+void diag_mul(ccspan d, ccspan x, cspan y) { diag_mul_impl<double>(d, x, y); }
+void diag_mul(ccspan32 d, ccspan32 x, cspan32 y) {
+  diag_mul_impl<float>(d, x, y);
 }
 
 void diag_mul_acc(ccspan d, ccspan x, cspan y) {
-  FFW_DCHECK(d.size() == x.size() && x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += d[i] * x[i];
+  diag_mul_acc_impl<double>(d, x, y);
+}
+void diag_mul_acc(ccspan32 d, ccspan32 x, cspan32 y) {
+  diag_mul_acc_impl<float>(d, x, y);
 }
 
 void diag_mul_conj(ccspan d, ccspan x, cspan y) {
   FFW_DCHECK(d.size() == x.size() && x.size() == y.size());
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::conj(d[i]) * x[i];
+}
+
+void narrow(ccspan x, cspan32 y) {
+  FFW_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = narrow(x[i]);
+}
+
+void widen(ccspan32 x, cspan y) {
+  FFW_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = widen(x[i]);
 }
 
 double rel_max_diff(ccspan x, ccspan y) {

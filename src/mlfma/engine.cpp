@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "linalg/gemm.hpp"
+#include "linalg/kernels.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace ffw {
@@ -44,42 +45,87 @@ class PhaseTimerScope {
 }  // namespace
 
 MlfmaEngine::MlfmaEngine(const QuadTree& tree, const MlfmaParams& params)
-    : tree_(&tree), plan_(tree, params), ops_(tree, plan_), near_(tree) {
-  s_.resize(static_cast<std::size_t>(tree.num_levels()));
-  g_.resize(static_cast<std::size_t>(tree.num_levels()));
+    : tree_(&tree), plan_(tree, params), ops_(tree, plan_),
+      near_(tree, params.precision) {
+  const std::size_t nlev = static_cast<std::size_t>(tree.num_levels());
+  s_.resize(nlev);
+  g_.resize(nlev);
+  s32_.resize(nlev);
+  g32_.resize(nlev);
   ensure_block_capacity(1);
 }
 
 void MlfmaEngine::ensure_block_capacity(std::size_t nrhs) {
-  if (nrhs <= block_capacity_ && !s_.empty() &&
-      (tree_->num_levels() == 0 || !s_[0].empty())) {
-    return;
-  }
+  const bool mixed = precision() == Precision::kMixed;
   block_capacity_ = std::max(block_capacity_, nrhs);
   for (int l = 0; l < tree_->num_levels(); ++l) {
+    const std::size_t li = static_cast<std::size_t>(l);
     const std::size_t q = static_cast<std::size_t>(plan_.level(l).samples);
     const std::size_t need =
         q * tree_->level(l).num_clusters * block_capacity_;
-    if (s_[static_cast<std::size_t>(l)].size() < need)
-      s_[static_cast<std::size_t>(l)].resize(need);
-    if (g_[static_cast<std::size_t>(l)].size() < need)
-      g_[static_cast<std::size_t>(l)].resize(need);
+    if (mixed) {
+      if (s32_[li].size() < need) s32_[li].resize(need);
+      if (g32_[li].size() < need) g32_[li].resize(need);
+    } else {
+      if (s_[li].size() < need) s_[li].resize(need);
+      if (g_[li].size() < need) g_[li].resize(need);
+    }
   }
+}
+
+void MlfmaEngine::ensure_thread_scratch() {
+  const std::size_t nt = static_cast<std::size_t>(num_threads());
+  if (precision() == Precision::kMixed) {
+    if (thread_scratch32_.size() < nt) thread_scratch32_.resize(nt);
+  } else {
+    if (thread_scratch_.size() < nt) thread_scratch_.resize(nt);
+  }
+}
+
+void MlfmaEngine::shrink_workspace() {
+  auto drop_all = [](auto& vecs) {
+    for (auto& v : vecs) {
+      v.clear();
+      v.shrink_to_fit();
+    }
+  };
+  drop_all(s_);
+  drop_all(g_);
+  drop_all(s32_);
+  drop_all(g32_);
+  drop_all(thread_scratch_);
+  drop_all(thread_scratch32_);
+  herm_scratch_.clear();
+  herm_scratch_.shrink_to_fit();
+  x32_.clear();
+  x32_.shrink_to_fit();
+  upward_widened_.clear();
+  upward_widened_.shrink_to_fit();
+  block_capacity_ = 1;
+  ensure_block_capacity(1);
 }
 
 std::size_t MlfmaEngine::bytes() const {
   std::size_t s = ops_.bytes() + near_.bytes();
   for (const auto& v : s_) s += v.size() * sizeof(cplx);
   for (const auto& v : g_) s += v.size() * sizeof(cplx);
+  for (const auto& v : s32_) s += v.size() * sizeof(cplx32);
+  for (const auto& v : g32_) s += v.size() * sizeof(cplx32);
   for (const auto& v : thread_scratch_) s += v.size() * sizeof(cplx);
+  for (const auto& v : thread_scratch32_) s += v.size() * sizeof(cplx32);
   s += herm_scratch_.size() * sizeof(cplx);
+  s += x32_.size() * sizeof(cplx32);
+  s += upward_widened_.size() * sizeof(cplx);
   return s;
 }
 
-void MlfmaEngine::upward_pass(ccspan x, std::size_t nrhs) {
+template <typename T>
+void MlfmaEngine::upward_pass_t(const std::complex<T>* x, std::size_t nrhs) {
+  using C = std::complex<T>;
   const std::size_t np = static_cast<std::size_t>(tree_->pixels_per_leaf());
   const std::size_t nleaf = tree_->num_leaves();
   const std::size_t q0 = static_cast<std::size_t>(plan_.level(0).samples);
+  auto& s = s_panels<T>();
 
   {
     PhaseTimerScope t(times_, MlfmaPhase::kExpansion);
@@ -94,9 +140,20 @@ void MlfmaEngine::upward_pass(ccspan x, std::size_t nrhs) {
       const std::size_t c0 = tid * chunk;
       const std::size_t c1 = std::min(nleaf, c0 + chunk);
       if (c0 >= c1) return;
-      gemm_raw(q0, (c1 - c0) * nrhs, np, cplx{1.0}, ops_.expansion().data(),
-               q0, x.data() + c0 * np * nrhs, np, cplx{0.0},
-               s_[0].data() + c0 * q0 * nrhs, q0);
+      if constexpr (std::is_same_v<T, float>) {
+        // fp64-accumulation boundary: the np-term quadrature sums are
+        // chunk-promoted into an fp64 tile (gemm_expand_mixed) and
+        // round once into the fp32 spectra panel, so the panel never
+        // carries an fp32-accumulated chain of length np.
+        gemm_expand_mixed(q0, (c1 - c0) * nrhs, np,
+                          ops_.expansion_data<float>(), q0,
+                          x + c0 * np * nrhs, np,
+                          s[0].data() + c0 * q0 * nrhs, q0);
+      } else {
+        gemm_raw_t<T, T>(q0, (c1 - c0) * nrhs, np, C{T(1)},
+                         ops_.expansion_data<T>(), q0, x + c0 * np * nrhs, np,
+                         C{}, s[0].data() + c0 * q0 * nrhs, q0);
+      }
     });
   }
 
@@ -107,60 +164,87 @@ void MlfmaEngine::upward_pass(ccspan x, std::size_t nrhs) {
     const std::size_t qp =
         static_cast<std::size_t>(plan_.level(l + 1).samples);
     const std::size_t nparents = tree_->level(l + 1).num_clusters;
-    const cplx* src = s_[static_cast<std::size_t>(l)].data();
-    cplx* dst = s_[static_cast<std::size_t>(l) + 1].data();
+    const C* src = s[static_cast<std::size_t>(l)].data();
+    C* dst = s[static_cast<std::size_t>(l) + 1].data();
     parallel_for(0, nparents, [&](std::size_t p) {
-      cplx* sp = dst + p * qp * nrhs;
-      std::fill(sp, sp + qp * nrhs, cplx{});
-      cvec& ws = thread_scratch_[static_cast<std::size_t>(thread_rank())];
+      C* sp = dst + p * qp * nrhs;
+      std::fill(sp, sp + qp * nrhs, C{});
+      auto& ws = scratch<T>()[static_cast<std::size_t>(thread_rank())];
       if (ws.size() < qp * nrhs) ws.resize(qp * nrhs);
-      cplx* tmp = ws.data();
+      C* tmp = ws.data();
       for (int j = 0; j < 4; ++j) {
         // Child Morton index = 4p + j; bit0/bit1 of j give the child's
         // +-x/+-y position, matching the shift-table construction.
-        const cplx* sc =
-            src + (4 * p + static_cast<std::size_t>(j)) * qc * nrhs;
+        const C* sc = src + (4 * p + static_cast<std::size_t>(j)) * qc * nrhs;
         ops.interp.apply_batch(sc, qc, tmp, qp, nrhs);
-        const cvec& sh = ops.up_shift[static_cast<std::size_t>(j)];
+        // Explicit real arithmetic (cf. translation_pass_t): same values,
+        // but the shift MAC vectorizes.
+        const auto& sh = ops.up<T>()[static_cast<std::size_t>(j)];
+        const T* shp = reinterpret_cast<const T*>(sh.data());
         for (std::size_t r = 0; r < nrhs; ++r) {
-          cplx* spr = sp + r * qp;
-          const cplx* tr = tmp + r * qp;
-          for (std::size_t q = 0; q < qp; ++q) spr[q] += sh[q] * tr[q];
+          T* spr = reinterpret_cast<T*>(sp + r * qp);
+          const T* tr = reinterpret_cast<const T*>(tmp + r * qp);
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+          for (std::size_t q = 0; q < qp; ++q) {
+            const T ar = shp[2 * q], ai = shp[2 * q + 1];
+            const T br = tr[2 * q], bi = tr[2 * q + 1];
+            spr[2 * q] += ar * br - ai * bi;
+            spr[2 * q + 1] += ar * bi + ai * br;
+          }
         }
       }
     });
   }
 }
 
-void MlfmaEngine::translation_pass(std::size_t nrhs) {
+template <typename T>
+void MlfmaEngine::translation_pass_t(std::size_t nrhs) {
+  using C = std::complex<T>;
   PhaseTimerScope t(times_, MlfmaPhase::kTranslation);
   for (int l = 0; l < tree_->num_levels(); ++l) {
     const TreeLevel& lvl = tree_->level(l);
     const LevelOperators& ops = ops_.level(l);
     const std::size_t q = static_cast<std::size_t>(ops.samples);
-    const cplx* src = s_[static_cast<std::size_t>(l)].data();
-    cplx* dst = g_[static_cast<std::size_t>(l)].data();
+    const C* src = s_panels<T>()[static_cast<std::size_t>(l)].data();
+    C* dst = g_panels<T>()[static_cast<std::size_t>(l)].data();
     parallel_for_dynamic(0, lvl.num_clusters, [&](std::size_t c) {
-      cplx* gc = dst + c * q * nrhs;
-      std::fill(gc, gc + q * nrhs, cplx{});
+      C* gc = dst + c * q * nrhs;
+      std::fill(gc, gc + q * nrhs, C{});
       for (std::uint32_t e = lvl.far_begin[c]; e < lvl.far_begin[c + 1]; ++e) {
         const FarEntry& fe = lvl.far[e];
-        const cplx* sc = src + static_cast<std::size_t>(fe.src) * q * nrhs;
+        const C* sc = src + static_cast<std::size_t>(fe.src) * q * nrhs;
         // One translation diagonal read amortised over all nrhs spectra.
-        const cvec& trans = ops.translations[fe.trans_type];
+        // Explicit real arithmetic: identical to the complex multiply on
+        // finite values but free of its NaN-recovery branch, so the
+        // diagonal MAC vectorizes.
+        const auto& trans = ops.trans<T>()[fe.trans_type];
+        const T* tp = reinterpret_cast<const T*>(trans.data());
         for (std::size_t r = 0; r < nrhs; ++r) {
-          cplx* gr = gc + r * q;
-          const cplx* sr = sc + r * q;
-          for (std::size_t i = 0; i < q; ++i) gr[i] += trans[i] * sr[i];
+          T* gr = reinterpret_cast<T*>(gc + r * q);
+          const T* sr = reinterpret_cast<const T*>(sc + r * q);
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+          for (std::size_t i = 0; i < q; ++i) {
+            const T ar = tp[2 * i], ai = tp[2 * i + 1];
+            const T br = sr[2 * i], bi = sr[2 * i + 1];
+            gr[2 * i] += ar * br - ai * bi;
+            gr[2 * i + 1] += ar * bi + ai * br;
+          }
         }
       }
     });
   }
 }
 
-void MlfmaEngine::downward_pass(cspan y, std::size_t nrhs) {
+template <typename T>
+void MlfmaEngine::downward_pass_t(cspan y, std::size_t nrhs) {
+  using C = std::complex<T>;
   const std::size_t np = static_cast<std::size_t>(tree_->pixels_per_leaf());
   const std::size_t nleaf = tree_->num_leaves();
+  auto& g = g_panels<T>();
 
   {
     PhaseTimerScope t(times_, MlfmaPhase::kDisaggregation);
@@ -169,27 +253,36 @@ void MlfmaEngine::downward_pass(cspan y, std::size_t nrhs) {
       const std::size_t qp = static_cast<std::size_t>(plan_.level(l).samples);
       const std::size_t qc = static_cast<std::size_t>(child_ops.samples);
       const std::size_t nparents = tree_->level(l).num_clusters;
-      const cplx* src = g_[static_cast<std::size_t>(l)].data();
-      cplx* dst = g_[static_cast<std::size_t>(l) - 1].data();
+      const C* src = g[static_cast<std::size_t>(l)].data();
+      C* dst = g[static_cast<std::size_t>(l) - 1].data();
       // Anterpolation scale: quadrature-consistent resampling down to the
       // child rate (see DESIGN.md Sec. 5).
-      const double scale = static_cast<double>(qc) / static_cast<double>(qp);
+      const T scale = static_cast<T>(qc) / static_cast<T>(qp);
       parallel_for(0, nparents, [&](std::size_t p) {
-        const cplx* gp = src + p * qp * nrhs;
-        cvec& ws = thread_scratch_[static_cast<std::size_t>(thread_rank())];
+        const C* gp = src + p * qp * nrhs;
+        auto& ws = scratch<T>()[static_cast<std::size_t>(thread_rank())];
         if (ws.size() < (qp + qc) * nrhs) ws.resize((qp + qc) * nrhs);
-        cplx* shifted = ws.data();
-        cplx* down = ws.data() + qp * nrhs;
+        C* shifted = ws.data();
+        C* down = ws.data() + qp * nrhs;
         for (int j = 0; j < 4; ++j) {
-          const cvec& sh = child_ops.down_shift[static_cast<std::size_t>(j)];
+          // Explicit real arithmetic (cf. translation_pass_t): vectorizes.
+          const auto& sh = child_ops.down<T>()[static_cast<std::size_t>(j)];
+          const T* shp = reinterpret_cast<const T*>(sh.data());
           for (std::size_t r = 0; r < nrhs; ++r) {
-            cplx* sr = shifted + r * qp;
-            const cplx* gr = gp + r * qp;
-            for (std::size_t q = 0; q < qp; ++q) sr[q] = sh[q] * gr[q];
+            T* sr = reinterpret_cast<T*>(shifted + r * qp);
+            const T* gr = reinterpret_cast<const T*>(gp + r * qp);
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+            for (std::size_t q = 0; q < qp; ++q) {
+              const T ar = shp[2 * q], ai = shp[2 * q + 1];
+              const T br = gr[2 * q], bi = gr[2 * q + 1];
+              sr[2 * q] = ar * br - ai * bi;
+              sr[2 * q + 1] = ar * bi + ai * br;
+            }
           }
           child_ops.interp.apply_adjoint_batch(shifted, qp, down, qc, nrhs);
-          cplx* gc =
-              dst + (4 * p + static_cast<std::size_t>(j)) * qc * nrhs;
+          C* gc = dst + (4 * p + static_cast<std::size_t>(j)) * qc * nrhs;
           for (std::size_t i = 0; i < qc * nrhs; ++i)
             gc[i] += scale * down[i];
         }
@@ -206,11 +299,53 @@ void MlfmaEngine::downward_pass(cspan y, std::size_t nrhs) {
     const std::size_t c0 = tid * chunk;
     const std::size_t c1 = std::min(nleaf, c0 + chunk);
     if (c0 >= c1) return;
-    // Y(np x cols) += R (np x q0) * G0 (q0 x cols), cols = leaves * nrhs
-    gemm_raw(np, (c1 - c0) * nrhs, q0, cplx{1.0},
-             ops_.local_expansion().data(), np,
-             g_[0].data() + c0 * q0 * nrhs, q0, cplx{1.0},
-             y.data() + c0 * np * nrhs, np);
+    // Y(np x cols) += R (np x q0) * G0 (q0 x cols), cols = leaves * nrhs.
+    // On the mixed path (T = float) this is the fp64-accumulation
+    // boundary: fp32 tables/panels stream through gemm_raw_t<float,
+    // double> and land in the fp64 output block.
+    gemm_raw_t<T, double>(np, (c1 - c0) * nrhs, q0, cplx{1.0},
+                          ops_.local_expansion_data<T>(), np,
+                          g[0].data() + c0 * q0 * nrhs, q0, cplx{1.0},
+                          y.data() + c0 * np * nrhs, np);
+  });
+}
+
+template <typename T>
+void MlfmaEngine::near_pass_t(const std::complex<T>* x, cspan y,
+                              std::size_t nrhs) {
+  PhaseTimerScope t(times_, MlfmaPhase::kNearField);
+  const std::size_t np = static_cast<std::size_t>(tree_->pixels_per_leaf());
+  const auto& begin = tree_->near_begin();
+  const auto& entries = tree_->near();
+  parallel_for_dynamic(0, tree_->num_leaves(), [&](std::size_t c) {
+    cplx* yd = y.data() + c * np * nrhs;
+    if constexpr (std::is_same_v<T, float>) {
+      // The near pass runs entirely in fp32: each 64x64 block product
+      // lands in a per-thread fp32 staging panel and widens into the
+      // fp64 output per entry, so every MAC is single-precision but the
+      // cross-source summation stays fp64 (the widen is ~1/np of the
+      // MACs).
+      auto& ws = scratch<float>()[static_cast<std::size_t>(thread_rank())];
+      if (ws.size() < np * nrhs) ws.resize(np * nrhs);
+      cplx32* acc = ws.data();
+      for (std::uint32_t e = begin[c]; e < begin[c + 1]; ++e) {
+        const NearEntry& ne = entries[e];
+        const cplx32* xs = x + static_cast<std::size_t>(ne.src) * np * nrhs;
+        gemm_raw_t<float, float>(np, nrhs, np, cplx32{1.0f},
+                                 near_.type_data<float>(ne.near_type), np, xs,
+                                 np, cplx32{}, acc, np);
+        for (std::size_t i = 0; i < np * nrhs; ++i) yd[i] += widen(acc[i]);
+      }
+    } else {
+      for (std::uint32_t e = begin[c]; e < begin[c + 1]; ++e) {
+        const NearEntry& ne = entries[e];
+        const std::complex<T>* xs =
+            x + static_cast<std::size_t>(ne.src) * np * nrhs;
+        gemm_raw_t<T, double>(np, nrhs, np, cplx{1.0},
+                              near_.type_data<T>(ne.near_type), np, xs, np,
+                              cplx{1.0}, yd, np);
+      }
+    }
   });
 }
 
@@ -221,33 +356,30 @@ void MlfmaEngine::apply_block(ccspan x, cspan y, std::size_t nrhs) {
   FFW_CHECK(nrhs >= 1);
   FFW_CHECK(x.size() == n * nrhs && y.size() == n * nrhs);
   ensure_block_capacity(nrhs);
-  if (thread_scratch_.size() < static_cast<std::size_t>(num_threads()))
-    thread_scratch_.resize(static_cast<std::size_t>(num_threads()));
+  ensure_thread_scratch();
   std::fill(y.begin(), y.end(), cplx{});
 
-  if (tree_->num_levels() > 0) {
-    upward_pass(x, nrhs);
-    translation_pass(nrhs);
-    downward_pass(y, nrhs);
-  }
-
-  {
-    PhaseTimerScope t(times_, MlfmaPhase::kNearField);
-    const std::size_t np =
-        static_cast<std::size_t>(tree_->pixels_per_leaf());
-    const auto& begin = tree_->near_begin();
-    const auto& entries = tree_->near();
-    parallel_for_dynamic(0, tree_->num_leaves(), [&](std::size_t c) {
-      cplx* yd = y.data() + c * np * nrhs;
-      for (std::uint32_t e = begin[c]; e < begin[c + 1]; ++e) {
-        const NearEntry& ne = entries[e];
-        const CMatrix& m = near_.type(ne.near_type);
-        const cplx* xs =
-            x.data() + static_cast<std::size_t>(ne.src) * np * nrhs;
-        gemm_raw(np, nrhs, np, cplx{1.0}, m.data(), np, xs, np, cplx{1.0},
-                 yd, np);
-      }
-    });
+  if (precision() == Precision::kMixed) {
+    {
+      // Narrow the input block once per apply; counted with the leaf
+      // expansion since it is the pipeline's entry stage.
+      PhaseTimerScope t(times_, MlfmaPhase::kExpansion);
+      if (x32_.size() < x.size()) x32_.resize(x.size());
+      narrow(x, cspan32{x32_.data(), x.size()});
+    }
+    if (tree_->num_levels() > 0) {
+      upward_pass_t<float>(x32_.data(), nrhs);
+      translation_pass_t<float>(nrhs);
+      downward_pass_t<float>(y, nrhs);
+    }
+    near_pass_t<float>(x32_.data(), y, nrhs);
+  } else {
+    if (tree_->num_levels() > 0) {
+      upward_pass_t<double>(x.data(), nrhs);
+      translation_pass_t<double>(nrhs);
+      downward_pass_t<double>(y, nrhs);
+    }
+    near_pass_t<double>(x.data(), y, nrhs);
   }
   times_.applications += static_cast<std::uint64_t>(nrhs);
 }
@@ -257,13 +389,24 @@ ccspan MlfmaEngine::upward_only(ccspan x) {
   FFW_CHECK(x.size() == n);
   FFW_CHECK_MSG(tree_->num_levels() > 0,
                 "upward_only needs at least one far-field level");
-  if (thread_scratch_.size() < static_cast<std::size_t>(num_threads()))
-    thread_scratch_.resize(static_cast<std::size_t>(num_threads()));
-  upward_pass(x, 1);
+  ensure_block_capacity(1);
+  ensure_thread_scratch();
   const int top = tree_->num_levels() - 1;
-  const std::size_t q_top =
-      static_cast<std::size_t>(plan_.level(top).samples);
-  return ccspan{s_.back().data(), q_top * tree_->level(top).num_clusters};
+  const std::size_t top_len =
+      static_cast<std::size_t>(plan_.level(top).samples) *
+      tree_->level(top).num_clusters;
+  if (precision() == Precision::kMixed) {
+    if (x32_.size() < n) x32_.resize(n);
+    narrow(x, cspan32{x32_.data(), n});
+    upward_pass_t<float>(x32_.data(), 1);
+    // Consumers (fast receiver operator) are fp64; widen the top panel.
+    if (upward_widened_.size() < top_len) upward_widened_.resize(top_len);
+    widen(ccspan32{s32_.back().data(), top_len},
+          cspan{upward_widened_.data(), top_len});
+    return ccspan{upward_widened_.data(), top_len};
+  }
+  upward_pass_t<double>(x.data(), 1);
+  return ccspan{s_.back().data(), top_len};
 }
 
 void MlfmaEngine::apply_herm(ccspan x, cspan y) { apply_herm_block(x, y, 1); }

@@ -86,14 +86,44 @@ class MlfmaEngine {
   const PhaseTimes& phase_times() const { return times_; }
   void clear_phase_times() { times_.clear(); }
 
+  /// Arithmetic policy (from MlfmaParams::precision). Under kMixed the
+  /// operator tables, spectra panels and near-field blocks are fp32 with
+  /// fp64 accumulation at the leaf local-expansion / near-field GEMM
+  /// boundaries; x/y stay fp64 at the API.
+  Precision precision() const { return plan_.params().precision; }
+
+  /// Releases the per-level spectra panels plus all scratch buffers
+  /// (grown to the largest nrhs seen) and re-reserves them for nrhs = 1.
+  /// Call between solve stages with very different block widths to return
+  /// the O(N * nrhs) workspace to the allocator.
+  void shrink_workspace();
+
   /// Precomputed-table + workspace storage (the O(N) memory census).
   std::size_t bytes() const;
 
  private:
   void ensure_block_capacity(std::size_t nrhs);
-  void upward_pass(ccspan x, std::size_t nrhs);
-  void translation_pass(std::size_t nrhs);
-  void downward_pass(cspan y, std::size_t nrhs);
+  void ensure_thread_scratch();
+
+  // Pass bodies are templated over the panel scalar T: T = double is the
+  // reference path, T = float the mixed path (fp32 tables + panels, fp64
+  // y accumulation in downward/near passes).
+  template <typename T>
+  void upward_pass_t(const std::complex<T>* x, std::size_t nrhs);
+  template <typename T>
+  void translation_pass_t(std::size_t nrhs);
+  template <typename T>
+  void downward_pass_t(cspan y, std::size_t nrhs);
+  template <typename T>
+  void near_pass_t(const std::complex<T>* x, cspan y, std::size_t nrhs);
+
+  // Scalar-selected views of the width-specific buffers.
+  template <typename T>
+  std::vector<std::vector<std::complex<T>>>& s_panels();
+  template <typename T>
+  std::vector<std::vector<std::complex<T>>>& g_panels();
+  template <typename T>
+  std::vector<std::vector<std::complex<T>>>& scratch();
 
   const QuadTree* tree_;
   MlfmaPlan plan_;
@@ -104,17 +134,41 @@ class MlfmaEngine {
   // apply with nrhs columns, cluster c's panel is the Q_l x nrhs
   // column-major block at offset c * Q_l * nrhs (Morton cluster order);
   // nrhs == 1 recovers the plain Q_l x num_clusters(l) panel. Buffers are
-  // grown to the largest nrhs seen (block_capacity_) and reused.
+  // grown to the largest nrhs seen (block_capacity_) and reused. Only the
+  // set matching precision() is ever allocated.
   std::vector<cvec> s_, g_;
+  std::vector<cvec32> s32_, g32_;
   std::size_t block_capacity_ = 1;
 
   // Per-thread aggregation/disaggregation scratch, reused across applies
   // (hoisted out of the hot per-parent loops).
   std::vector<cvec> thread_scratch_;
+  std::vector<cvec32> thread_scratch32_;
   // Conjugated-input scratch for apply_herm / apply_herm_block.
   cvec herm_scratch_;
+  // Narrowed input block (kMixed) and widened top-level panel returned by
+  // upward_only under kMixed.
+  cvec32 x32_;
+  cvec upward_widened_;
 
   PhaseTimes times_;
 };
+
+template <>
+inline std::vector<cvec>& MlfmaEngine::s_panels<double>() { return s_; }
+template <>
+inline std::vector<cvec32>& MlfmaEngine::s_panels<float>() { return s32_; }
+template <>
+inline std::vector<cvec>& MlfmaEngine::g_panels<double>() { return g_; }
+template <>
+inline std::vector<cvec32>& MlfmaEngine::g_panels<float>() { return g32_; }
+template <>
+inline std::vector<cvec>& MlfmaEngine::scratch<double>() {
+  return thread_scratch_;
+}
+template <>
+inline std::vector<cvec32>& MlfmaEngine::scratch<float>() {
+  return thread_scratch32_;
+}
 
 }  // namespace ffw

@@ -60,16 +60,49 @@ PeriodicBandMatrix make_interpolation(int src_samples, int dst_samples,
   return w;
 }
 
+namespace {
+
+cvec32 round32(const cvec& v) {
+  cvec32 out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = narrow(v[i]);
+  return out;
+}
+
+std::vector<cvec32> round32(const std::vector<cvec>& vs) {
+  std::vector<cvec32> out;
+  out.reserve(vs.size());
+  for (const auto& v : vs) out.push_back(round32(v));
+  return out;
+}
+
+}  // namespace
+
+void LevelOperators::build_f32(bool drop_f64) {
+  translations32 = round32(translations);
+  up_shift32 = round32(up_shift);
+  down_shift32 = round32(down_shift);
+  if (interp.rows() > 0) interp.build_f32(drop_f64);
+  if (drop_f64) {
+    std::vector<cvec>{}.swap(translations);
+    std::vector<cvec>{}.swap(up_shift);
+    std::vector<cvec>{}.swap(down_shift);
+  }
+}
+
 std::size_t LevelOperators::bytes() const {
   std::size_t s = 0;
   for (const auto& t : translations) s += t.size() * sizeof(cplx);
   for (const auto& t : up_shift) s += t.size() * sizeof(cplx);
   for (const auto& t : down_shift) s += t.size() * sizeof(cplx);
+  for (const auto& t : translations32) s += t.size() * sizeof(cplx32);
+  for (const auto& t : up_shift32) s += t.size() * sizeof(cplx32);
+  for (const auto& t : down_shift32) s += t.size() * sizeof(cplx32);
   s += interp.bytes();
   return s;
 }
 
-MlfmaOperators::MlfmaOperators(const QuadTree& tree, const MlfmaPlan& plan) {
+MlfmaOperators::MlfmaOperators(const QuadTree& tree, const MlfmaPlan& plan)
+    : precision_(plan.params().precision) {
   const double k = tree.grid().k0();
   const int nlev = tree.num_levels();
   if (nlev == 0) return;  // near-field-only degenerate domain
@@ -135,10 +168,26 @@ MlfmaOperators::MlfmaOperators(const QuadTree& tree, const MlfmaPlan& plan) {
       }
     }
   }
+
+  if (precision_ == Precision::kMixed) {
+    // Round once, then drop the fp64 copies: the halved bytes() is the
+    // real footprint, not an upper bound over two resident table sets.
+    expansion32_.resize(expansion_.rows() * expansion_.cols());
+    for (std::size_t i = 0; i < expansion32_.size(); ++i)
+      expansion32_[i] = narrow(expansion_.data()[i]);
+    local32_.resize(local_.rows() * local_.cols());
+    for (std::size_t i = 0; i < local32_.size(); ++i)
+      local32_[i] = narrow(local_.data()[i]);
+    expansion_ = CMatrix{};
+    local_ = CMatrix{};
+    for (auto& l : levels_) l.build_f32(/*drop_f64=*/true);
+  }
 }
 
 std::size_t MlfmaOperators::bytes() const {
   std::size_t s = expansion_.bytes() + local_.bytes();
+  s += expansion32_.size() * sizeof(cplx32);
+  s += local32_.size() * sizeof(cplx32);
   for (const auto& l : levels_) s += l.bytes();
   return s;
 }

@@ -58,12 +58,63 @@ struct LevelOperators {
   /// Interpolation: this level's rate -> parent rate (empty at top).
   PeriodicBandMatrix interp;
 
+  /// fp32 mirrors for Precision::kMixed, rounded once from the fp64
+  /// tables at setup (never recomputed in single precision — the table
+  /// *generation* stays fp64 so the only fp32 error is the final
+  /// rounding, ~6e-8 per entry).
+  std::vector<cvec32> translations32;
+  std::vector<cvec32> up_shift32;
+  std::vector<cvec32> down_shift32;
+
+  /// Round all diagonals + the interp stencil to fp32. With `drop_f64`
+  /// the fp64 tables are released afterwards, halving the footprint.
+  void build_f32(bool drop_f64);
+
+  /// Scalar-generic table access for the templated engine passes.
+  template <typename T>
+  const std::vector<std::vector<std::complex<T>>>& trans() const;
+  template <typename T>
+  const std::vector<std::vector<std::complex<T>>>& up() const;
+  template <typename T>
+  const std::vector<std::vector<std::complex<T>>>& down() const;
+
   std::size_t bytes() const;
 };
 
+template <>
+inline const std::vector<cvec>& LevelOperators::trans<double>() const {
+  return translations;
+}
+template <>
+inline const std::vector<cvec32>& LevelOperators::trans<float>() const {
+  return translations32;
+}
+template <>
+inline const std::vector<cvec>& LevelOperators::up<double>() const {
+  return up_shift;
+}
+template <>
+inline const std::vector<cvec32>& LevelOperators::up<float>() const {
+  return up_shift32;
+}
+template <>
+inline const std::vector<cvec>& LevelOperators::down<double>() const {
+  return down_shift;
+}
+template <>
+inline const std::vector<cvec32>& LevelOperators::down<float>() const {
+  return down_shift32;
+}
+
 class MlfmaOperators {
  public:
+  /// Builds the tables. All generation happens in fp64; when
+  /// plan.params().precision == Precision::kMixed the tables are rounded
+  /// once to fp32 and the fp64 copies are dropped, so bytes() reports the
+  /// halved footprint and the fp64 accessors become invalid.
   MlfmaOperators(const QuadTree& tree, const MlfmaPlan& plan);
+
+  Precision precision() const { return precision_; }
 
   /// Dense leaf multipole-expansion matrix (Q0 x 64):
   /// E[q, p] = e^{-i k_hat(alpha_q) . u_p}.
@@ -74,6 +125,17 @@ class MlfmaOperators {
   /// R[p, q] = pref/Q0 * e^{+i k_hat(alpha_q) . u_p}.
   const CMatrix& local_expansion() const { return local_; }
 
+  /// fp32 copies of the expansion matrices, column-major with the same
+  /// dimensions (only populated under Precision::kMixed).
+  const cplx32* expansion32() const { return expansion32_.data(); }
+  const cplx32* local_expansion32() const { return local32_.data(); }
+
+  /// Scalar-generic expansion access for the templated engine passes.
+  template <typename T>
+  const std::complex<T>* expansion_data() const;
+  template <typename T>
+  const std::complex<T>* local_expansion_data() const;
+
   const LevelOperators& level(int l) const {
     return levels_[static_cast<std::size_t>(l)];
   }
@@ -83,9 +145,29 @@ class MlfmaOperators {
   std::size_t bytes() const;
 
  private:
+  Precision precision_ = Precision::kDouble;
   CMatrix expansion_;
   CMatrix local_;
+  cvec32 expansion32_;
+  cvec32 local32_;
   std::vector<LevelOperators> levels_;
 };
+
+template <>
+inline const cplx* MlfmaOperators::expansion_data<double>() const {
+  return expansion_.data();
+}
+template <>
+inline const cplx32* MlfmaOperators::expansion_data<float>() const {
+  return expansion32_.data();
+}
+template <>
+inline const cplx* MlfmaOperators::local_expansion_data<double>() const {
+  return local_.data();
+}
+template <>
+inline const cplx32* MlfmaOperators::local_expansion_data<float>() const {
+  return local32_.data();
+}
 
 }  // namespace ffw

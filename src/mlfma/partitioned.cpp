@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "linalg/gemm.hpp"
+#include "linalg/kernels.hpp"
 
 namespace ffw {
 
@@ -14,8 +15,8 @@ constexpr int kTagLevel = 10;  // + level
 
 PartitionedMlfma::PartitionedMlfma(const QuadTree& tree,
                                    const MlfmaParams& params, int nranks)
-    : tree_(&tree), plan_(tree, params), ops_(tree, plan_), near_(tree),
-      nranks_(nranks) {
+    : tree_(&tree), plan_(tree, params), ops_(tree, plan_),
+      near_(tree, params.precision), nranks_(nranks) {
   FFW_CHECK_MSG(tree.num_levels() >= 1,
                 "partitioned MLFMA needs at least one far-field level");
   const std::size_t top_clusters =
@@ -87,44 +88,71 @@ void PartitionedMlfma::apply_block(Comm& comm, ccspan x_local, cspan y_local,
   const std::size_t lb = rs.near.owned_begin, le = rs.near.owned_end;
   const std::size_t nlocal = (le - lb) * np * nrhs;
   FFW_CHECK(x_local.size() == nlocal && y_local.size() == nlocal);
+
+  if (plan_.params().precision == Precision::kMixed) {
+    // Narrowed per-rank input copy (thread_local is per-rank: ranks live
+    // on distinct VCluster threads). Everything downstream — panels,
+    // wire, tables — is fp32 from here.
+    static thread_local cvec32 xn;
+    xn.resize(x_local.size());
+    narrow(x_local, cspan32{xn.data(), xn.size()});
+    apply_block_impl<float>(comm, xn.data(), y_local, nrhs, rank_base, sched);
+  } else {
+    apply_block_impl<double>(comm, x_local.data(), y_local, nrhs, rank_base,
+                             sched);
+  }
+}
+
+template <typename T>
+void PartitionedMlfma::apply_block_impl(Comm& comm,
+                                        const std::complex<T>* x_local,
+                                        cspan y_local, std::size_t nrhs,
+                                        int rank_base,
+                                        ApplySchedule sched) const {
+  using C = std::complex<T>;
+  using CV = std::vector<C>;
+  const int rank = comm.rank() - rank_base;
+  const RankSchedule& rs = schedule_[static_cast<std::size_t>(rank)];
+  const std::size_t np = static_cast<std::size_t>(tree_->pixels_per_leaf());
+  const std::size_t lb = rs.near.owned_begin, le = rs.near.owned_end;
   const int nlev = tree_->num_levels();
 
   // --- Post near-field halo sends first (overlap with the whole upward
   // pass, paper Fig. 8). One message per peer regardless of nrhs.
   for (const PeerSend& ps : rs.near.sends) {
-    cvec buf(ps.slots.size() * np * nrhs);
+    CV buf(ps.slots.size() * np * nrhs);
     for (std::size_t i = 0; i < ps.slots.size(); ++i) {
-      std::copy_n(x_local.data() + ps.slots[i] * np * nrhs, np * nrhs,
+      std::copy_n(x_local + ps.slots[i] * np * nrhs, np * nrhs,
                   buf.data() + i * np * nrhs);
     }
-    comm.send(rank_base + ps.peer, kTagNear, ccspan{buf});
+    comm.send(rank_base + ps.peer, kTagNear, std::span<const C>{buf});
   }
 
   // Compact per-level spectra panels: the outgoing panel holds owned
   // clusters (slot = cluster - owned_begin) with a separate ghost panel
   // for the consumed remote spectra; the incoming panel holds owned
   // clusters only. O(local share x nrhs) memory — see panel_elements().
-  std::vector<cvec> s_own(static_cast<std::size_t>(nlev)),
+  std::vector<CV> s_own(static_cast<std::size_t>(nlev)),
       s_gh(static_cast<std::size_t>(nlev)), g_own(static_cast<std::size_t>(nlev));
   for (int l = 0; l < nlev; ++l) {
     const PhaseSchedule& ls = rs.levels[static_cast<std::size_t>(l)];
     const std::size_t q = static_cast<std::size_t>(plan_.level(l).samples);
     const std::size_t owned = ls.owned_end - ls.owned_begin;
-    s_own[static_cast<std::size_t>(l)].assign(q * owned * nrhs, cplx{});
+    s_own[static_cast<std::size_t>(l)].assign(q * owned * nrhs, C{});
     s_gh[static_cast<std::size_t>(l)].resize(q * ls.num_ghosts * nrhs);
-    g_own[static_cast<std::size_t>(l)].assign(q * owned * nrhs, cplx{});
+    g_own[static_cast<std::size_t>(l)].assign(q * owned * nrhs, C{});
   }
 
   auto send_level_halo = [&](int l) {
     const std::size_t q =
         static_cast<std::size_t>(plan_.level(l).samples) * nrhs;
     for (const PeerSend& ps : rs.levels[static_cast<std::size_t>(l)].sends) {
-      cvec buf(ps.slots.size() * q);
+      CV buf(ps.slots.size() * q);
       for (std::size_t i = 0; i < ps.slots.size(); ++i) {
         std::copy_n(s_own[static_cast<std::size_t>(l)].data() + ps.slots[i] * q,
                     q, buf.data() + i * q);
       }
-      comm.send(rank_base + ps.peer, kTagLevel + l, ccspan{buf});
+      comm.send(rank_base + ps.peer, kTagLevel + l, std::span<const C>{buf});
     }
   };
 
@@ -132,8 +160,17 @@ void PartitionedMlfma::apply_block(Comm& comm, ccspan x_local, cspan y_local,
   // each level's spectra to peers as soon as that level is complete.
   {  // leaf multipole expansion for owned leaves
     const std::size_t q0 = static_cast<std::size_t>(plan_.level(0).samples);
-    gemm_raw(q0, (le - lb) * nrhs, np, cplx{1.0}, ops_.expansion().data(), q0,
-             x_local.data(), np, cplx{0.0}, s_own[0].data(), q0);
+    if constexpr (std::is_same_v<T, float>) {
+      // fp64-accumulation boundary (matches MlfmaEngine): the quadrature
+      // sums are chunk-promoted into fp64 (gemm_expand_mixed) and round
+      // once into the fp32 panel.
+      gemm_expand_mixed(q0, (le - lb) * nrhs, np, ops_.expansion_data<float>(),
+                        q0, x_local, np, s_own[0].data(), q0);
+    } else {
+      gemm_raw_t<T, T>(q0, (le - lb) * nrhs, np, C{T(1)},
+                       ops_.expansion_data<T>(), q0, x_local, np, C{},
+                       s_own[0].data(), q0);
+    }
     send_level_halo(0);
   }
   for (int l = 0; l + 1 < nlev; ++l) {
@@ -145,19 +182,30 @@ void PartitionedMlfma::apply_block(Comm& comm, ccspan x_local, cspan y_local,
     // Ranks divide every level's cluster count, so a parent's children
     // slots are 4*(p - pb) + j in the child level's owned panel.
     FFW_DCHECK(rs.levels[static_cast<std::size_t>(l)].owned_begin == 4 * pb);
-    cvec tmp(qp * nrhs);
+    CV tmp(qp * nrhs);
     for (std::size_t p = pb; p < pe; ++p) {
-      cplx* sp = s_own[static_cast<std::size_t>(l) + 1].data() +
-                 (p - pb) * qp * nrhs;
+      C* sp = s_own[static_cast<std::size_t>(l) + 1].data() +
+              (p - pb) * qp * nrhs;
       for (int j = 0; j < 4; ++j) {
-        const cplx* sc = s_own[static_cast<std::size_t>(l)].data() +
-                         (4 * (p - pb) + static_cast<std::size_t>(j)) * qc * nrhs;
+        const C* sc = s_own[static_cast<std::size_t>(l)].data() +
+                      (4 * (p - pb) + static_cast<std::size_t>(j)) * qc * nrhs;
         lops.interp.apply_batch(sc, qc, tmp.data(), qp, nrhs);
-        const cvec& sh = lops.up_shift[static_cast<std::size_t>(j)];
+        // Explicit real arithmetic (cf. MlfmaEngine): same values on
+        // finite inputs, but the shift MAC vectorizes.
+        const auto& sh = lops.up<T>()[static_cast<std::size_t>(j)];
+        const T* shp = reinterpret_cast<const T*>(sh.data());
         for (std::size_t r = 0; r < nrhs; ++r) {
-          cplx* spr = sp + r * qp;
-          const cplx* tr = tmp.data() + r * qp;
-          for (std::size_t q = 0; q < qp; ++q) spr[q] += sh[q] * tr[q];
+          T* spr = reinterpret_cast<T*>(sp + r * qp);
+          const T* tr = reinterpret_cast<const T*>(tmp.data() + r * qp);
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+          for (std::size_t q = 0; q < qp; ++q) {
+            const T ar = shp[2 * q], ai = shp[2 * q + 1];
+            const T br = tr[2 * q], bi = tr[2 * q + 1];
+            spr[2 * q] += ar * br - ai * bi;
+            spr[2 * q + 1] += ar * bi + ai * br;
+          }
         }
       }
     }
@@ -166,32 +214,61 @@ void PartitionedMlfma::apply_block(Comm& comm, ccspan x_local, cspan y_local,
 
   // --- Dependency-resolved workers. y_local accumulates the near field
   // and, at the end, the disaggregated far field (all beta = 1 against a
-  // zero fill, so phases can run in completion order).
+  // zero fill, so phases can run in completion order). y_local stays
+  // fp64 on both paths; T = float crosses into it only through
+  // gemm_raw_t<float, double> (the fp64-accumulation boundary).
   std::fill(y_local.begin(), y_local.end(), cplx{});
-  cvec x_gh(rs.near.num_ghosts * np * nrhs);
+  CV x_gh(rs.near.num_ghosts * np * nrhs);
 
   auto run_trans = [&](int l, const std::vector<HaloWork>& work,
-                       const cvec& src_panel) {
+                       const CV& src_panel) {
     const std::size_t q = static_cast<std::size_t>(plan_.level(l).samples);
     const LevelOperators& lops = ops_.level(l);
     for (const HaloWork& w : work) {
-      cplx* gc = g_own[static_cast<std::size_t>(l)].data() +
-                 w.dst_slot * q * nrhs;
-      const cplx* sc = src_panel.data() + w.src_slot * q * nrhs;
-      const cvec& trans = lops.translations[w.type];
+      C* gc = g_own[static_cast<std::size_t>(l)].data() +
+              w.dst_slot * q * nrhs;
+      const C* sc = src_panel.data() + w.src_slot * q * nrhs;
+      const auto& trans = lops.trans<T>()[w.type];
+      const T* tp = reinterpret_cast<const T*>(trans.data());
       for (std::size_t r = 0; r < nrhs; ++r) {
-        cplx* gr = gc + r * q;
-        const cplx* sr = sc + r * q;
-        for (std::size_t i = 0; i < q; ++i) gr[i] += trans[i] * sr[i];
+        T* gr = reinterpret_cast<T*>(gc + r * q);
+        const T* sr = reinterpret_cast<const T*>(sc + r * q);
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+        for (std::size_t i = 0; i < q; ++i) {
+          const T ar = tp[2 * i], ai = tp[2 * i + 1];
+          const T br = sr[2 * i], bi = sr[2 * i + 1];
+          gr[2 * i] += ar * br - ai * bi;
+          gr[2 * i + 1] += ar * bi + ai * br;
+        }
       }
     }
   };
   auto run_near = [&](const std::vector<HaloWork>& work,
-                      const cplx* src_panel) {
-    for (const HaloWork& w : work) {
-      gemm_raw(np, nrhs, np, cplx{1.0}, near_.type(w.type).data(), np,
-               src_panel + w.src_slot * np * nrhs, np, cplx{1.0},
-               y_local.data() + w.dst_slot * np * nrhs, np);
+                      const C* src_panel) {
+    if constexpr (std::is_same_v<T, float>) {
+      // Entirely-fp32 near field: each 64x64 block product runs in
+      // single precision into a rank-local staging panel and widens
+      // into the fp64 output once (the widen is ~1/np of the MACs).
+      static thread_local cvec32 tmp;
+      if (tmp.size() < np * nrhs) tmp.resize(np * nrhs);
+      for (const HaloWork& w : work) {
+        gemm_raw_t<float, float>(np, nrhs, np, cplx32{1.0f},
+                                 near_.type_data<float>(w.type), np,
+                                 src_panel + w.src_slot * np * nrhs, np,
+                                 cplx32{}, tmp.data(), np);
+        cplx* yd = y_local.data() + w.dst_slot * np * nrhs;
+        for (std::size_t i = 0; i < np * nrhs; ++i) yd[i] += widen(tmp[i]);
+      }
+    } else {
+      for (const HaloWork& w : work) {
+        gemm_raw_t<T, double>(np, nrhs, np, cplx{1.0},
+                              near_.type_data<T>(w.type), np,
+                              src_panel + w.src_slot * np * nrhs, np,
+                              cplx{1.0},
+                              y_local.data() + w.dst_slot * np * nrhs, np);
+      }
     }
   };
   // Halo payloads land contiguously in the ghost panels — no scatter.
@@ -199,14 +276,14 @@ void PartitionedMlfma::apply_block(Comm& comm, ccspan x_local, cspan y_local,
     const std::size_t q =
         static_cast<std::size_t>(plan_.level(l).samples) * nrhs;
     comm.recv_into(rank_base + pr.peer, kTagLevel + l,
-                   cspan{s_gh[static_cast<std::size_t>(l)].data() +
-                             pr.slot_begin * q,
-                         pr.count * q});
+                   std::span<C>{s_gh[static_cast<std::size_t>(l)].data() +
+                                    pr.slot_begin * q,
+                                pr.count * q});
   };
   auto recv_near_payload = [&](const PeerRecv& pr) {
     comm.recv_into(rank_base + pr.peer, kTagNear,
-                   cspan{x_gh.data() + pr.slot_begin * np * nrhs,
-                         pr.count * np * nrhs});
+                   std::span<C>{x_gh.data() + pr.slot_begin * np * nrhs,
+                                pr.count * np * nrhs});
   };
 
   // --- Downward pass + leaf local expansion (communication-free on the
@@ -216,32 +293,41 @@ void PartitionedMlfma::apply_block(Comm& comm, ccspan x_local, cspan y_local,
       const LevelOperators& child_ops = ops_.level(l - 1);
       const std::size_t qp = static_cast<std::size_t>(plan_.level(l).samples);
       const std::size_t qc = static_cast<std::size_t>(child_ops.samples);
-      const double scale = static_cast<double>(qc) / static_cast<double>(qp);
+      const T scale = static_cast<T>(qc) / static_cast<T>(qp);
       const std::size_t pb = rs.levels[static_cast<std::size_t>(l)].owned_begin,
                         pe = rs.levels[static_cast<std::size_t>(l)].owned_end;
-      cvec shifted(qp * nrhs), down(qc * nrhs);
+      CV shifted(qp * nrhs), down(qc * nrhs);
       for (std::size_t p = pb; p < pe; ++p) {
-        const cplx* gp = g_own[static_cast<std::size_t>(l)].data() +
-                         (p - pb) * qp * nrhs;
+        const C* gp = g_own[static_cast<std::size_t>(l)].data() +
+                      (p - pb) * qp * nrhs;
         for (int j = 0; j < 4; ++j) {
-          const cvec& sh = child_ops.down_shift[static_cast<std::size_t>(j)];
+          const auto& sh = child_ops.down<T>()[static_cast<std::size_t>(j)];
+          const T* shp = reinterpret_cast<const T*>(sh.data());
           for (std::size_t r = 0; r < nrhs; ++r) {
-            cplx* sr = shifted.data() + r * qp;
-            const cplx* gr = gp + r * qp;
-            for (std::size_t q = 0; q < qp; ++q) sr[q] = sh[q] * gr[q];
+            T* sr = reinterpret_cast<T*>(shifted.data() + r * qp);
+            const T* gr = reinterpret_cast<const T*>(gp + r * qp);
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+            for (std::size_t q = 0; q < qp; ++q) {
+              const T ar = shp[2 * q], ai = shp[2 * q + 1];
+              const T br = gr[2 * q], bi = gr[2 * q + 1];
+              sr[2 * q] = ar * br - ai * bi;
+              sr[2 * q + 1] = ar * bi + ai * br;
+            }
           }
           child_ops.interp.apply_adjoint_batch(shifted.data(), qp, down.data(),
                                                qc, nrhs);
-          cplx* gc = g_own[static_cast<std::size_t>(l) - 1].data() +
-                     (4 * (p - pb) + static_cast<std::size_t>(j)) * qc * nrhs;
+          C* gc = g_own[static_cast<std::size_t>(l) - 1].data() +
+                  (4 * (p - pb) + static_cast<std::size_t>(j)) * qc * nrhs;
           for (std::size_t i = 0; i < qc * nrhs; ++i) gc[i] += scale * down[i];
         }
       }
     }
     const std::size_t q0 = static_cast<std::size_t>(plan_.level(0).samples);
-    gemm_raw(np, (le - lb) * nrhs, q0, cplx{1.0},
-             ops_.local_expansion().data(), np, g_own[0].data(), q0,
-             cplx{1.0}, y_local.data(), np);
+    gemm_raw_t<T, double>(np, (le - lb) * nrhs, q0, cplx{1.0},
+                          ops_.local_expansion_data<T>(), np, g_own[0].data(),
+                          q0, cplx{1.0}, y_local.data(), np);
   };
 
   if (sched == ApplySchedule::kBlockingOrdered) {
@@ -257,7 +343,7 @@ void PartitionedMlfma::apply_block(Comm& comm, ccspan x_local, cspan y_local,
     }
     run_downward();
     for (const PeerRecv& pr : rs.near.recvs) recv_near_payload(pr);
-    run_near(rs.near.local, x_local.data());
+    run_near(rs.near.local, x_local);
     for (const PeerRecv& pr : rs.near.recvs) run_near(pr.work, x_gh.data());
     return;
   }
@@ -303,7 +389,7 @@ void PartitionedMlfma::apply_block(Comm& comm, ccspan x_local, cspan y_local,
   // Local work, biggest latency-hiding chunk first: the interior near
   // field is independent of the whole far-field pipeline.
   poll();
-  run_near(rs.near.local, x_local.data());
+  run_near(rs.near.local, x_local);
   poll();
   for (int l = 0; l < nlev; ++l) {
     run_trans(l, rs.levels[static_cast<std::size_t>(l)].local,

@@ -126,6 +126,17 @@ class PartitionedMlfma {
   std::size_t cluster_end(int level, int rank) const;
   int owner_of(int level, std::size_t cluster) const;
 
+  // Scalar-templated apply body: T = double is the reference path, T =
+  // float the Precision::kMixed path. Under T = float every spectra
+  // panel, ghost buffer and *wire message* (near-field halo + per-level
+  // spectra, same tags) is cplx32 — the typed vcluster send/recv makes
+  // the per-edge halo bytes exactly half the fp64 run's — while y_local
+  // still accumulates in fp64 at the local-expansion/near-field GEMMs.
+  template <typename T>
+  void apply_block_impl(Comm& comm, const std::complex<T>* x_local,
+                        cspan y_local, std::size_t nrhs, int rank_base,
+                        ApplySchedule sched) const;
+
   const QuadTree* tree_;
   MlfmaPlan plan_;
   MlfmaOperators ops_;

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "common/types.hpp"
 #include "grid/quadtree.hpp"
 
 namespace ffw {
@@ -29,6 +30,13 @@ struct MlfmaParams {
   /// Width (points) of the band-diagonal interpolation stencil;
   /// 0 = choose from `digits`.
   int interp_width = 0;
+  /// Arithmetic policy for the apply pipeline. kMixed builds the operator
+  /// tables in fp64, rounds them once to fp32 at setup (halving the table
+  /// footprint), streams all spectra panels in fp32 and accumulates in
+  /// fp64 only at the dense leaf-expansion boundaries (Sec. "Precision
+  /// policy" in DESIGN.md). Matvec accuracy is ~3e-6 relative, well under
+  /// the paper's 1e-5 target.
+  Precision precision = Precision::kDouble;
 };
 
 /// Truncation order for a cluster of width `w` (wavelength units) at
