@@ -64,6 +64,7 @@ SweepResult sweep(const QuadTree& tree, Precision precision,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::TraceOptions trace = bench::parse_trace_flag(argc, argv);
   const int nx = argc > 1 ? std::atoi(argv[1]) : 256;
   bench::banner("Blocked MLFMA apply — per-RHS speedup vs block width",
                 "multi-RHS extension of paper Sec. IV (one inverse "
@@ -122,6 +123,8 @@ int main(int argc, char** argv) {
   }
   json.end();
   json.close();
+
+  bench::write_trace(trace);
 
   bench::note("per-RHS speedup at nrhs>=8 should exceed 1.5x for the "
               "blocked fp64 apply vs nrhs=1, and the mixed engine should "

@@ -15,6 +15,8 @@
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "io/csv.hpp"
+#include "io/json.hpp"
+#include "obs/obs.hpp"
 
 namespace ffw::bench {
 
@@ -40,106 +42,57 @@ inline std::string json_output_path(const std::string& name) {
   return dir + name + ".json";
 }
 
-/// Streaming emitter for the benchmark JSON result files: nested
-/// objects/arrays with automatic comma and indent handling, so the
-/// benches never hand-format separators. Scopes still open when the
-/// writer is destroyed (or close()d) are closed for it, so a bench can
-/// return early and still leave valid JSON behind. Not a general
-/// serializer — keys are emitted verbatim (no escaping), which the
-/// fixed bench field names never need.
-class JsonWriter {
+/// Benchmark result emitter: the shared ffw::JsonWriter (io/json.hpp —
+/// valid-on-early-return scoping, round-trip doubles, `null` for
+/// non-finite values) opened at the bench's json_output_path.
+class JsonWriter : public ffw::JsonWriter {
  public:
-  /// Opens `json_output_path(name)` and the top-level object. A failed
-  /// open degrades to a warning; every later call is a no-op and the
-  /// bench keeps running.
   explicit JsonWriter(const std::string& name)
-      : path_(json_output_path(name)), f_(std::fopen(path_.c_str(), "w")) {
-    if (f_ == nullptr) {
-      std::printf("json: could not open %s for writing\n", path_.c_str());
-      return;
-    }
-    std::fputc('{', f_);
-    scopes_.push_back({'}', true});
-  }
-  ~JsonWriter() { close(); }
-  JsonWriter(const JsonWriter&) = delete;
-  JsonWriter& operator=(const JsonWriter&) = delete;
-
-  bool ok() const { return f_ != nullptr; }
-  const std::string& path() const { return path_; }
-
-  void begin_object(const std::string& key = {}) { open(key, '{', '}'); }
-  void begin_array(const std::string& key = {}) { open(key, '[', ']'); }
-  /// Closes the innermost still-open object or array.
-  void end() {
-    if (f_ == nullptr || scopes_.empty()) return;
-    const Scope s = scopes_.back();
-    scopes_.pop_back();
-    if (!s.first) indent();
-    std::fputc(s.closer, f_);
-  }
-
-  void field(const std::string& key, const std::string& v) {
-    if (prefix(key)) std::fprintf(f_, "\"%s\"", v.c_str());
-  }
-  void field(const std::string& key, const char* v) {
-    field(key, std::string(v));
-  }
-  void field(const std::string& key, double v) {
-    if (prefix(key)) std::fprintf(f_, "%.6e", v);
-  }
-  void field(const std::string& key, int v) {
-    if (prefix(key)) std::fprintf(f_, "%d", v);
-  }
-  void field(const std::string& key, std::uint64_t v) {
-    if (prefix(key)) {
-      std::fprintf(f_, "%llu", static_cast<unsigned long long>(v));
-    }
-  }
-  void field(const std::string& key, bool v) {
-    if (prefix(key)) std::fputs(v ? "true" : "false", f_);
-  }
-
-  /// Closes all open scopes and the file, then reports the path.
-  void close() {
-    if (f_ == nullptr) return;
-    while (!scopes_.empty()) end();
-    std::fputc('\n', f_);
-    std::fclose(f_);
-    f_ = nullptr;
-    std::printf("json: %s\n", path_.c_str());
-  }
-
- private:
-  struct Scope {
-    char closer;
-    bool first;  // no element written yet -> next one skips the comma
-  };
-
-  void indent() {
-    std::fputc('\n', f_);
-    for (std::size_t i = 0; i < scopes_.size(); ++i) std::fputs("  ", f_);
-  }
-  /// Comma/newline/key bookkeeping shared by fields and scope openers.
-  bool prefix(const std::string& key) {
-    if (f_ == nullptr) return false;
-    if (!scopes_.empty()) {
-      if (!scopes_.back().first) std::fputc(',', f_);
-      scopes_.back().first = false;
-    }
-    indent();
-    if (!key.empty()) std::fprintf(f_, "\"%s\": ", key.c_str());
-    return true;
-  }
-  void open(const std::string& key, char opener, char closer) {
-    if (!prefix(key)) return;
-    std::fputc(opener, f_);
-    scopes_.push_back({closer, true});
-  }
-
-  std::string path_;
-  std::FILE* f_;
-  std::vector<Scope> scopes_;
+      : ffw::JsonWriter(json_output_path(name)) {}
 };
+
+/// `--trace <out.json>` support shared by the bench binaries: when the
+/// flag is present, the obs subsystem records the run and the bench
+/// writes a chrome://tracing file at exit (see write_trace()).
+struct TraceOptions {
+  bool enabled = false;
+  std::string path;
+};
+
+/// Strips `--trace <path>` (or `--trace=path`) from argv, compacting
+/// the remaining positional arguments in place so the benches' existing
+/// positional parsing is untouched, and turns tracing on when present.
+inline TraceOptions parse_trace_flag(int& argc, char** argv) {
+  TraceOptions t;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace" && i + 1 < argc) {
+      t.path = argv[++i];
+      t.enabled = true;
+    } else if (a.rfind("--trace=", 0) == 0) {
+      t.path = a.substr(8);
+      t.enabled = true;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  if (t.enabled) obs::set_enabled(true);
+  return t;
+}
+
+/// Stops recording and writes the chrome://tracing file (no-op when
+/// --trace was absent). Call after the traced workload — and after any
+/// obs summary collection, which reads the same buffers.
+inline void write_trace(const TraceOptions& t) {
+  if (!t.enabled) return;
+  obs::set_enabled(false);
+  if (obs::write_chrome_trace(t.path)) {
+    std::printf("trace: %s\n", t.path.c_str());
+  } else {
+    std::printf("trace: could not write %s\n", t.path.c_str());
+  }
+}
 
 }  // namespace ffw::bench

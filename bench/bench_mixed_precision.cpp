@@ -90,6 +90,7 @@ WireProfile profile_wire(const QuadTree& tree, Precision precision, int ranks,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::TraceOptions trace = bench::parse_trace_flag(argc, argv);
   const int nx = argc > 1 ? std::atoi(argv[1]) : 128;
   const std::size_t nrhs = argc > 2
                                ? static_cast<std::size_t>(std::atoi(argv[2]))
@@ -275,6 +276,8 @@ int main(int argc, char** argv) {
   json.field("mixed_final_residual", rmx.history.relative_residual.back());
   json.end();
   json.close();
+
+  bench::write_trace(trace);
 
   bench::note("the mixed engine halves every operator-table, spectra-panel "
               "and halo-wire byte; with fp64 kept only at the dense "

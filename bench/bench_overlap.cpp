@@ -17,6 +17,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "mlfma/partitioned.hpp"
+#include "obs/summary.hpp"
 
 using namespace ffw;
 
@@ -34,6 +35,16 @@ int hashed_delay_us(int lo_us, int hi_us) {
   z ^= z >> 31;
   return lo_us +
          static_cast<int>(z % static_cast<std::uint64_t>(hi_us - lo_us));
+}
+
+/// out.json -> out-p4.json: one chrome trace per rank count, so each
+/// file holds exactly one cluster configuration's timelines.
+std::string per_rank_count_path(const std::string& path, int p) {
+  const std::size_t dot = path.rfind('.');
+  const std::string suffix = "-p" + std::to_string(p);
+  return dot == std::string::npos ? path + suffix
+                                  : path.substr(0, dot) + suffix +
+                                        path.substr(dot);
 }
 
 double timed_apply(VCluster& vc, const PartitionedMlfma& dist,
@@ -58,6 +69,7 @@ double timed_apply(VCluster& vc, const PartitionedMlfma& dist,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::TraceOptions trace = bench::parse_trace_flag(argc, argv);
   const int nx = argc > 1 ? std::atoi(argv[1]) : 128;
   const std::size_t nrhs = argc > 2
                                ? static_cast<std::size_t>(std::atoi(argv[2]))
@@ -85,6 +97,7 @@ int main(int argc, char** argv) {
     int ranks;
     double blocking_s, overlapped_s, speedup;
     std::uint64_t halo_bytes;
+    std::uint64_t wait_block_ns = 0, wait_over_ns = 0;
   };
   std::vector<Row> rows;
 
@@ -100,15 +113,29 @@ int main(int argc, char** argv) {
       return hashed_delay_us(delay_lo_us, delay_hi_us);
     });
 
+    // Cluster-wide halo-wait nanoseconds recorded so far (reads the obs
+    // registry from the driver thread; all rank threads have joined).
+    auto total_halo_wait = [&] {
+      std::uint64_t s = 0;
+      for (int r = 0; r < p; ++r)
+        s += obs::counter_totals(
+            r)[static_cast<std::size_t>(obs::Counter::kHaloWaitNs)];
+      return s;
+    };
+    if (trace.enabled) obs::reset();  // per-rank-count trace/summary
+
     const double t_block = timed_apply(vc, dist, tree, x, nrhs,
                                        ApplySchedule::kBlockingOrdered, reps);
     const TrafficStats traffic_block = vc.traffic();
     const auto tags_block = vc.traffic_by_tag();
+    const std::uint64_t w_block = trace.enabled ? total_halo_wait() : 0;
     vc.reset_traffic();
     const double t_over = timed_apply(vc, dist, tree, x, nrhs,
                                       ApplySchedule::kOverlapped, reps);
     const TrafficStats traffic_over = vc.traffic();
     const auto tags_over = vc.traffic_by_tag();
+    const std::uint64_t w_over =
+        trace.enabled ? total_halo_wait() - w_block : 0;
 
     // The ablation's control variable: identical wire traffic, per edge
     // and per tag. Any wall-time gap is scheduling, not volume.
@@ -120,7 +147,35 @@ int main(int argc, char** argv) {
                   "per-tag traffic differs between schedules");
 
     rows.push_back({p, t_block, t_over, t_block / t_over,
-                    traffic_over.total_bytes() / static_cast<std::uint64_t>(reps)});
+                    traffic_over.total_bytes() / static_cast<std::uint64_t>(reps),
+                    w_block, w_over});
+
+    if (trace.enabled) {
+      // Cross-rank phase/counter summary via the Comm collectives.
+      // Recording is paused so the collection's own traffic and spans
+      // don't contaminate what it reports, and the injected delay is
+      // lifted so the collectives don't crawl.
+      obs::set_enabled(false);
+      vc.set_send_delay(nullptr);
+      obs::ClusterSummary sum;
+      vc.run([&](Comm& comm) {
+        obs::ClusterSummary s = obs::collect_summary(comm);
+        if (comm.rank() == 0) sum = std::move(s);
+      });
+      std::printf("-- %d ranks: per-rank phase summary (both schedules) --\n%s",
+                  p, obs::format_summary(sum).c_str());
+      const double red =
+          w_block > 0 ? 100.0 * (1.0 - static_cast<double>(w_over) /
+                                           static_cast<double>(w_block))
+                      : 0.0;
+      std::printf("halo-wait: blocking %.1f ms -> overlapped %.1f ms "
+                  "(%.0f%% reduction)\n",
+                  1e-6 * static_cast<double>(w_block),
+                  1e-6 * static_cast<double>(w_over), red);
+      obs::write_chrome_trace(per_rank_count_path(trace.path, p));
+      std::printf("\n");
+      obs::set_enabled(true);
+    }
   }
 
   Table t({"ranks", "blocking [ms]", "overlapped [ms]", "speedup",
@@ -151,10 +206,18 @@ int main(int argc, char** argv) {
     json.field("overlapped_s", r.overlapped_s);
     json.field("speedup", r.speedup);
     json.field("halo_bytes_per_apply", r.halo_bytes);
+    if (trace.enabled) {
+      json.field("halo_wait_blocking_ns", r.wait_block_ns);
+      json.field("halo_wait_overlapped_ns", r.wait_over_ns);
+    }
     json.end();
   }
   json.end();
   json.close();
+
+  // Per-rank-count traces were already written inside the sweep; the
+  // shared write_trace() would only duplicate the last one.
+  if (trace.enabled) obs::set_enabled(false);
 
   bench::note("the overlapped schedule should beat blocking-ordered at >= 8 "
               "ranks: interior near-field + local translations hide the "

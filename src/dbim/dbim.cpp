@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/kernels.hpp"
+#include "obs/obs.hpp"
 
 namespace ffw {
 
@@ -200,6 +201,14 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
   double grad_prev_norm2 = 0.0;
   int start_iter = 0;
   if (opts.resume) {
+    // Refuse to resume across a precision-policy change: the checkpoint
+    // records whether the run used a mixed-precision engine, and picking
+    // up its trajectory under a different policy silently alters the
+    // convergence history the checkpoint's residuals describe.
+    FFW_CHECK_MSG(
+        opts.resume->mixed_precision == (opts.mixed_engine != nullptr),
+        "DBIM resume: checkpoint precision policy (mixed vs fp64) does not "
+        "match DbimOptions::mixed_engine");
     FFW_CHECK(opts.resume->contrast.size() == n);
     out.contrast = opts.resume->contrast;
     grad_prev = opts.resume->gradient_prev;
@@ -217,13 +226,21 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
   }
 
   for (int iter = start_iter; iter < opts.max_iterations; ++iter) {
+    FFW_TRACE_SPAN("dbim.iteration", iter);
     ws.set_background(out.contrast, opts.warm_start_fields);
 
     // Pass 1+2: residuals and gradient, each as one blocked solve over
     // the whole illumination set (shared-operator multi-RHS structure).
     std::fill(grad.begin(), grad.end(), cplx{});
-    const double cost = ws.residual_pass_all(residuals);
-    ws.gradient_pass_all(residuals, grad);
+    double cost;
+    {
+      FFW_TRACE_SPAN("dbim.residual_pass", iter);
+      cost = ws.residual_pass_all(residuals);
+    }
+    {
+      FFW_TRACE_SPAN("dbim.gradient_pass", iter);
+      ws.gradient_pass_all(residuals, grad);
+    }
     const double relres = std::sqrt(cost / ws.measurement_norm2());
     out.history.relative_residual.push_back(relres);
     if (opts.progress) opts.progress(iter, relres);
@@ -254,7 +271,11 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
 
     // Pass 3: quadratic-fit step length (paper eq. 5 generalised to CG
     // directions), one blocked solve for all illuminations.
-    double denom = ws.step_pass_all(direction);
+    double denom;
+    {
+      FFW_TRACE_SPAN("dbim.step_pass", iter);
+      denom = ws.step_pass_all(direction);
+    }
     if (opts.tikhonov > 0.0) {
       denom += opts.tikhonov * std::pow(nrm2(direction), 2);
     }
@@ -271,6 +292,7 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
     if (opts.checkpoint) {
       DbimCheckpoint state;
       state.iteration = iter + 1;
+      state.mixed_precision = opts.mixed_engine != nullptr;
       state.contrast = out.contrast;
       state.gradient_prev = grad_prev;
       state.direction = direction;

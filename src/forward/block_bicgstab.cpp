@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace ffw {
 
@@ -83,6 +84,7 @@ BlockBicgstabResult block_bicgstab(const BlockLinearOp& a, ccspan b, cspan x,
 
   for (int it = 0; it < opts.max_iterations && any_active(); ++it) {
     res.iterations = it + 1;
+    obs::add(obs::Counter::kBicgstabIterations, 1);
     a(p, v);
     ++res.block_matvecs;
 

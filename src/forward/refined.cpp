@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace ffw {
 
@@ -64,6 +65,7 @@ RefinedResult refined_block_bicgstab(const BlockLinearOp& a_outer,
     res.inner_iterations += inner.total_iterations();
     for (std::size_t i = 0; i < x.size(); ++i) x[i] += d[i];
     ++res.refinements;
+    obs::add(obs::Counter::kRefinementRounds, 1);
 
     const double prev = worst;
     worst = residual();

@@ -91,6 +91,7 @@ bool Checkpoint::load(const std::string& path) {
 bool DbimCheckpoint::save(const std::string& path) const {
   Checkpoint ck;
   ck.put_scalar("iteration", iteration);
+  ck.put_scalar("mixed_precision", mixed_precision ? 1.0 : 0.0);
   ck.put("contrast", contrast);
   ck.put("gradient_prev", gradient_prev);
   ck.put("direction", direction);
@@ -110,6 +111,10 @@ bool DbimCheckpoint::load(const std::string& path) {
     return false;
   }
   iteration = static_cast<int>(ck.get_scalar("iteration"));
+  // Legacy files (written before the precision policy was recorded)
+  // lack this entry; they predate mixed-precision support, so fp64.
+  mixed_precision =
+      ck.contains("mixed_precision") && ck.get_scalar("mixed_precision") != 0.0;
   contrast = ck.get("contrast");
   gradient_prev = ck.get("gradient_prev");
   direction = ck.get("direction");

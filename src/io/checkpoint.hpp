@@ -40,9 +40,16 @@ class Checkpoint {
 
 /// DBIM outer-loop state round trip: everything needed to resume a
 /// reconstruction at iteration k (contrast, previous gradient and
-/// direction, residual history).
+/// direction, residual history), plus the precision policy the run was
+/// produced under — resuming a mixed-precision run with a pure-fp64
+/// engine (or vice versa) silently changes the convergence trajectory,
+/// so the policy is recorded and validated on resume.
 struct DbimCheckpoint {
   int iteration = 0;
+  /// True if the run used a mixed-precision engine (DbimOptions::
+  /// mixed_engine != nullptr). Files written before this field existed
+  /// load as false (they predate mixed-precision support).
+  bool mixed_precision = false;
   cvec contrast;
   cvec gradient_prev;
   cvec direction;

@@ -1,0 +1,133 @@
+// Streaming JSON emitter shared by the benchmark result files and the
+// obs subsystem's chrome://tracing export (obs/obs.hpp).
+//
+// Nested objects/arrays with automatic comma and indent handling, so
+// callers never hand-format separators. Scopes still open when the
+// writer is destroyed (or close()d) are closed for it, so a bench can
+// return early and still leave valid JSON behind. Not a general
+// serializer — keys are emitted verbatim (no escaping), which the fixed
+// bench/trace field names never need.
+//
+// Doubles are emitted with std::to_chars (shortest round-trip form,
+// locale-independent); non-finite values become `null`, since JSON has
+// no NaN/Inf literals and a bare `nan` token invalidates the file.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ffw {
+
+class JsonWriter {
+ public:
+  /// Opens `path` and the top-level object. A failed open degrades to a
+  /// warning; every later call is a no-op and the caller keeps running.
+  explicit JsonWriter(const std::string& path)
+      : path_(path), f_(std::fopen(path.c_str(), "w")) {
+    if (f_ == nullptr) {
+      std::printf("json: could not open %s for writing\n", path_.c_str());
+      return;
+    }
+    std::fputc('{', f_);
+    scopes_.push_back({'}', true});
+  }
+  ~JsonWriter() { close(); }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  void begin_object(const std::string& key = {}) { open(key, '{', '}'); }
+  void begin_array(const std::string& key = {}) { open(key, '[', ']'); }
+  /// Closes the innermost still-open object or array.
+  void end() {
+    if (f_ == nullptr || scopes_.empty()) return;
+    const Scope s = scopes_.back();
+    scopes_.pop_back();
+    if (!s.first) indent();
+    std::fputc(s.closer, f_);
+  }
+
+  void field(const std::string& key, const std::string& v) {
+    if (prefix(key)) std::fprintf(f_, "\"%s\"", v.c_str());
+  }
+  void field(const std::string& key, const char* v) {
+    field(key, std::string(v));
+  }
+  void field(const std::string& key, double v) {
+    if (!prefix(key)) return;
+    if (!std::isfinite(v)) {
+      std::fputs("null", f_);
+      return;
+    }
+    // Shortest round-trip decimal form: strtod(emitted) == v exactly.
+    char buf[32];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    (void)ec;  // 32 chars always suffice for the shortest double form
+    std::fwrite(buf, 1, static_cast<std::size_t>(end - buf), f_);
+  }
+  void field(const std::string& key, int v) {
+    if (prefix(key)) std::fprintf(f_, "%d", v);
+  }
+  void field(const std::string& key, std::int64_t v) {
+    if (prefix(key)) {
+      std::fprintf(f_, "%lld", static_cast<long long>(v));
+    }
+  }
+  void field(const std::string& key, std::uint64_t v) {
+    if (prefix(key)) {
+      std::fprintf(f_, "%llu", static_cast<unsigned long long>(v));
+    }
+  }
+  void field(const std::string& key, bool v) {
+    if (prefix(key)) std::fputs(v ? "true" : "false", f_);
+  }
+
+  /// Closes all open scopes and the file, then reports the path.
+  void close() {
+    if (f_ == nullptr) return;
+    while (!scopes_.empty()) end();
+    std::fputc('\n', f_);
+    std::fclose(f_);
+    f_ = nullptr;
+    std::printf("json: %s\n", path_.c_str());
+  }
+
+ private:
+  struct Scope {
+    char closer;
+    bool first;  // no element written yet -> next one skips the comma
+  };
+
+  void indent() {
+    std::fputc('\n', f_);
+    for (std::size_t i = 0; i < scopes_.size(); ++i) std::fputs("  ", f_);
+  }
+  /// Comma/newline/key bookkeeping shared by fields and scope openers.
+  bool prefix(const std::string& key) {
+    if (f_ == nullptr) return false;
+    if (!scopes_.empty()) {
+      if (!scopes_.back().first) std::fputc(',', f_);
+      scopes_.back().first = false;
+    }
+    indent();
+    if (!key.empty()) std::fprintf(f_, "\"%s\": ", key.c_str());
+    return true;
+  }
+  void open(const std::string& key, char opener, char closer) {
+    if (!prefix(key)) return;
+    std::fputc(opener, f_);
+    scopes_.push_back({closer, true});
+  }
+
+  std::string path_;
+  std::FILE* f_;
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace ffw

@@ -4,6 +4,7 @@
 
 #include "linalg/gemm.hpp"
 #include "linalg/kernels.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace ffw {
@@ -129,6 +130,7 @@ void MlfmaEngine::upward_pass_t(const std::complex<T>* x, std::size_t nrhs) {
 
   {
     PhaseTimerScope t(times_, MlfmaPhase::kExpansion);
+    FFW_TRACE_SPAN("mlfma.expand");
     // S0 = E (q0 x np) * X (np x nleaf*nrhs): one batched GEMM over a
     // column range per thread. In the block layout consecutive leaves'
     // np x nrhs input panels are contiguous, so a leaf range is just a
@@ -159,6 +161,7 @@ void MlfmaEngine::upward_pass_t(const std::complex<T>* x, std::size_t nrhs) {
 
   PhaseTimerScope t(times_, MlfmaPhase::kAggregation);
   for (int l = 0; l + 1 < tree_->num_levels(); ++l) {
+    FFW_TRACE_SPAN("mlfma.aggregate", l);
     const LevelOperators& ops = ops_.level(l);
     const std::size_t qc = static_cast<std::size_t>(ops.samples);
     const std::size_t qp =
@@ -204,6 +207,7 @@ void MlfmaEngine::translation_pass_t(std::size_t nrhs) {
   using C = std::complex<T>;
   PhaseTimerScope t(times_, MlfmaPhase::kTranslation);
   for (int l = 0; l < tree_->num_levels(); ++l) {
+    FFW_TRACE_SPAN("mlfma.translate", l);
     const TreeLevel& lvl = tree_->level(l);
     const LevelOperators& ops = ops_.level(l);
     const std::size_t q = static_cast<std::size_t>(ops.samples);
@@ -249,6 +253,7 @@ void MlfmaEngine::downward_pass_t(cspan y, std::size_t nrhs) {
   {
     PhaseTimerScope t(times_, MlfmaPhase::kDisaggregation);
     for (int l = tree_->num_levels() - 1; l >= 1; --l) {
+      FFW_TRACE_SPAN("mlfma.disaggregate", l);
       const LevelOperators& child_ops = ops_.level(l - 1);
       const std::size_t qp = static_cast<std::size_t>(plan_.level(l).samples);
       const std::size_t qc = static_cast<std::size_t>(child_ops.samples);
@@ -291,6 +296,7 @@ void MlfmaEngine::downward_pass_t(cspan y, std::size_t nrhs) {
   }
 
   PhaseTimerScope t(times_, MlfmaPhase::kLocalExpansion);
+  FFW_TRACE_SPAN("mlfma.local_expand");
   const std::size_t q0 = static_cast<std::size_t>(plan_.level(0).samples);
   const std::size_t nthreads =
       std::min<std::size_t>(static_cast<std::size_t>(num_threads()), nleaf);
@@ -314,6 +320,7 @@ template <typename T>
 void MlfmaEngine::near_pass_t(const std::complex<T>* x, cspan y,
                               std::size_t nrhs) {
   PhaseTimerScope t(times_, MlfmaPhase::kNearField);
+  FFW_TRACE_SPAN("mlfma.nearfield");
   const std::size_t np = static_cast<std::size_t>(tree_->pixels_per_leaf());
   const auto& begin = tree_->near_begin();
   const auto& entries = tree_->near();
@@ -382,6 +389,7 @@ void MlfmaEngine::apply_block(ccspan x, cspan y, std::size_t nrhs) {
     near_pass_t<double>(x.data(), y, nrhs);
   }
   times_.applications += static_cast<std::uint64_t>(nrhs);
+  obs::add(obs::Counter::kMlfmaApplications, static_cast<std::uint64_t>(nrhs));
 }
 
 ccspan MlfmaEngine::upward_only(ccspan x) {

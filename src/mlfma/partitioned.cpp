@@ -1,10 +1,12 @@
 #include "mlfma/partitioned.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "linalg/gemm.hpp"
 #include "linalg/kernels.hpp"
+#include "obs/obs.hpp"
 
 namespace ffw {
 
@@ -156,8 +158,12 @@ void PartitionedMlfma::apply_block_impl(Comm& comm,
     }
   };
 
+  obs::add(obs::Counter::kMlfmaApplications, nrhs);
+
   // --- Upward pass on the owned sub-trees (communication-free), posting
   // each level's spectra to peers as soon as that level is complete.
+  std::optional<obs::SpanScope> upward_span;
+  upward_span.emplace("dist.upward", obs::kNoArg, obs::Counter::kComputeNs);
   {  // leaf multipole expansion for owned leaves
     const std::size_t q0 = static_cast<std::size_t>(plan_.level(0).samples);
     if constexpr (std::is_same_v<T, float>) {
@@ -211,6 +217,7 @@ void PartitionedMlfma::apply_block_impl(Comm& comm,
     }
     send_level_halo(l + 1);
   }
+  upward_span.reset();
 
   // --- Dependency-resolved workers. y_local accumulates the near field
   // and, at the end, the disaggregated far field (all beta = 1 against a
@@ -222,6 +229,7 @@ void PartitionedMlfma::apply_block_impl(Comm& comm,
 
   auto run_trans = [&](int l, const std::vector<HaloWork>& work,
                        const CV& src_panel) {
+    obs::SpanScope span("dist.translate", l, obs::Counter::kComputeNs);
     const std::size_t q = static_cast<std::size_t>(plan_.level(l).samples);
     const LevelOperators& lops = ops_.level(l);
     for (const HaloWork& w : work) {
@@ -247,6 +255,7 @@ void PartitionedMlfma::apply_block_impl(Comm& comm,
   };
   auto run_near = [&](const std::vector<HaloWork>& work,
                       const C* src_panel) {
+    obs::SpanScope span("dist.near", obs::kNoArg, obs::Counter::kComputeNs);
     if constexpr (std::is_same_v<T, float>) {
       // Entirely-fp32 near field: each 64x64 block product runs in
       // single precision into a rank-local staging panel and widens
@@ -273,6 +282,7 @@ void PartitionedMlfma::apply_block_impl(Comm& comm,
   };
   // Halo payloads land contiguously in the ghost panels — no scatter.
   auto recv_level_payload = [&](int l, const PeerRecv& pr) {
+    obs::SpanScope span("dist.halo_recv", l, obs::Counter::kHaloWaitNs);
     const std::size_t q =
         static_cast<std::size_t>(plan_.level(l).samples) * nrhs;
     comm.recv_into(rank_base + pr.peer, kTagLevel + l,
@@ -281,6 +291,8 @@ void PartitionedMlfma::apply_block_impl(Comm& comm,
                                 pr.count * q});
   };
   auto recv_near_payload = [&](const PeerRecv& pr) {
+    obs::SpanScope span("dist.halo_recv", obs::kNoArg,
+                        obs::Counter::kHaloWaitNs);
     comm.recv_into(rank_base + pr.peer, kTagNear,
                    std::span<C>{x_gh.data() + pr.slot_begin * np * nrhs,
                                 pr.count * np * nrhs});
@@ -289,6 +301,8 @@ void PartitionedMlfma::apply_block_impl(Comm& comm,
   // --- Downward pass + leaf local expansion (communication-free on the
   // owned sub-trees; requires every level's translations to be done).
   auto run_downward = [&] {
+    obs::SpanScope span("dist.downward", obs::kNoArg,
+                        obs::Counter::kComputeNs);
     for (int l = nlev - 1; l >= 1; --l) {
       const LevelOperators& child_ops = ops_.level(l - 1);
       const std::size_t qp = static_cast<std::size_t>(plan_.level(l).samples);
@@ -396,13 +410,22 @@ void PartitionedMlfma::apply_block_impl(Comm& comm,
               s_own[static_cast<std::size_t>(l)]);
     poll();
   }
-  // Arrival-order drain of whatever is still in flight.
+  // Arrival-order drain of whatever is still in flight. Only the park on
+  // wait_any counts as halo wait; the service (recv + work) is accounted
+  // by its own spans so compute done during the drain stays compute.
   std::vector<std::pair<int, int>> keys;
   while (!pending.empty()) {
     keys.clear();
     for (const Pending& pd : pending)
       keys.emplace_back(rank_base + pd.pr->peer, pd.tag);
-    service(comm.wait_any(keys));
+    std::size_t hit;
+    {
+      obs::SpanScope wait("dist.halo_wait",
+                          static_cast<std::int64_t>(pending.size()),
+                          obs::Counter::kHaloWaitNs);
+      hit = comm.wait_any(keys);
+    }
+    service(hit);
   }
   run_downward();
 }

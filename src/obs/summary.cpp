@@ -1,0 +1,171 @@
+#include "obs/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+
+namespace ffw::obs {
+
+namespace {
+
+constexpr int kTagSummary = -3000;  // reserved by convention (< collectives)
+
+/// NUL-joined serialization of a sorted name list (names never contain
+/// NUL — they are C++ string literals at the call sites).
+std::string join_names(const std::vector<PhaseTotal>& totals) {
+  std::string out;
+  for (const PhaseTotal& t : totals) {
+    out += t.name;
+    out += '\0';
+  }
+  return out;
+}
+
+std::vector<std::string> split_names(const std::vector<char>& joined) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < joined.size(); ++i) {
+    if (joined[i] == '\0') {
+      out.emplace_back(joined.data() + begin, i - begin);
+      begin = i + 1;
+    }
+  }
+  return out;
+}
+
+/// min/median/max of one row-set column. `vals` is modified (sorted).
+template <typename T>
+void min_med_max(std::vector<T>& vals, T& mn, T& md, T& mx) {
+  std::sort(vals.begin(), vals.end());
+  mn = vals.front();
+  mx = vals.back();
+  md = vals[vals.size() / 2];
+}
+
+}  // namespace
+
+ClusterSummary collect_summary(Comm& comm, int rank_base) {
+  const int p = comm.size();
+  const int rank = comm.rank() - rank_base;
+  FFW_CHECK(rank >= 0 && rank < p);
+
+  ClusterSummary out;
+  out.nranks = p;
+
+  // --- Phase name union. Ranks may legitimately record different span
+  // sets (a rank whose halos all arrive during local work never parks
+  // in wait_any, so it has no halo-wait span): rank 0 gathers every
+  // rank's sorted name list, forms the sorted union, and distributes it
+  // — the same gather-to-0 + fan-out shape Comm::allreduce_max uses —
+  // so the (rank x phase) matrix below is aligned on all ranks, with
+  // zero rows for phases a rank never entered.
+  const std::vector<PhaseTotal> local = phase_totals(rank);
+  std::vector<std::string> names;
+  if (comm.rank() == rank_base) {
+    std::set<std::string> uni;
+    for (const PhaseTotal& t : local) uni.insert(t.name);
+    for (int r = 1; r < p; ++r) {
+      const std::vector<char> theirs =
+          comm.recv<char>(rank_base + r, kTagSummary);
+      for (std::string& n : split_names(theirs)) uni.insert(std::move(n));
+    }
+    names.assign(uni.begin(), uni.end());
+    std::string joined;
+    for (const std::string& n : names) {
+      joined += n;
+      joined += '\0';
+    }
+    for (int r = 1; r < p; ++r) {
+      comm.send(rank_base + r, kTagSummary - 1,
+                std::span<const char>(joined.data(), joined.size()));
+    }
+  } else {
+    const std::string mine = join_names(local);
+    comm.send(rank_base, kTagSummary,
+              std::span<const char>(mine.data(), mine.size()));
+    names = split_names(comm.recv<char>(rank_base, kTagSummary - 1));
+  }
+
+  const std::size_t nnames = names.size();
+  if (nnames > 0) {
+    // One allreduce assembles the full (rank x phase) matrix everywhere:
+    // each rank owns one row, the rest are zero.
+    rvec ns(static_cast<std::size_t>(p) * nnames, 0.0);
+    rvec counts(nnames, 0.0);
+    for (const PhaseTotal& t : local) {
+      const auto it = std::lower_bound(names.begin(), names.end(), t.name);
+      const std::size_t i =
+          static_cast<std::size_t>(std::distance(names.begin(), it));
+      ns[static_cast<std::size_t>(rank) * nnames + i] =
+          static_cast<double>(t.ns);
+      counts[i] = static_cast<double>(t.count);
+    }
+    comm.allreduce_sum(rspan{ns});
+    comm.allreduce_sum(rspan{counts});
+    out.phases.resize(nnames);
+    std::vector<double> col(static_cast<std::size_t>(p));
+    for (std::size_t i = 0; i < nnames; ++i) {
+      for (int r = 0; r < p; ++r)
+        col[static_cast<std::size_t>(r)] =
+            ns[static_cast<std::size_t>(r) * nnames + i];
+      PhaseStats& st = out.phases[i];
+      st.name = names[i];
+      double mn, md, mx;
+      min_med_max(col, mn, md, mx);
+      st.min_ms = mn * 1e-6;
+      st.med_ms = md * 1e-6;
+      st.max_ms = mx * 1e-6;
+      st.count = static_cast<std::uint64_t>(std::llround(counts[i]));
+    }
+  }
+
+  // --- Counter table: the counter set is fixed, so no name exchange.
+  const std::array<std::uint64_t, kNumCounters> mine = counter_totals(rank);
+  rvec cm(static_cast<std::size_t>(p) * kNumCounters, 0.0);
+  for (std::size_t i = 0; i < kNumCounters; ++i)
+    cm[static_cast<std::size_t>(rank) * kNumCounters + i] =
+        static_cast<double>(mine[i]);
+  comm.allreduce_sum(rspan{cm});
+  out.counters.resize(kNumCounters);
+  std::vector<std::uint64_t> col(static_cast<std::size_t>(p));
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    std::uint64_t total = 0;
+    for (int r = 0; r < p; ++r) {
+      col[static_cast<std::size_t>(r)] = static_cast<std::uint64_t>(
+          std::llround(cm[static_cast<std::size_t>(r) * kNumCounters + i]));
+      total += col[static_cast<std::size_t>(r)];
+    }
+    CounterStats& st = out.counters[i];
+    st.counter = static_cast<Counter>(i);
+    min_med_max(col, st.min, st.med, st.max);
+    st.total = total;
+  }
+  return out;
+}
+
+std::string format_summary(const ClusterSummary& s) {
+  std::string out;
+  if (!s.phases.empty()) {
+    Table t({"phase", "count", "min [ms]", "median [ms]", "max [ms]"});
+    for (const PhaseStats& ph : s.phases) {
+      t.add_row({ph.name, std::to_string(ph.count), fmt_fixed(ph.min_ms, 2),
+                 fmt_fixed(ph.med_ms, 2), fmt_fixed(ph.max_ms, 2)});
+    }
+    out += t.to_string();
+    out += "\n";
+  }
+  Table c({"counter", "min/rank", "median/rank", "max/rank", "total"});
+  for (const CounterStats& ct : s.counters) {
+    if (ct.total == 0) continue;  // unused counters stay out of the table
+    c.add_row({counter_name(ct.counter), std::to_string(ct.min),
+               std::to_string(ct.med), std::to_string(ct.max),
+               std::to_string(ct.total)});
+  }
+  out += c.to_string();
+  return out;
+}
+
+}  // namespace ffw::obs

@@ -1,0 +1,58 @@
+// Cross-rank aggregation of the obs spans and counters.
+//
+// collect_summary() is a *collective*: every rank of the communicator
+// contributes its local per-phase wall-time totals and counter values,
+// and every rank returns the identical min/median/max-across-ranks
+// table. The exchange uses only the existing Comm collectives
+// (allreduce_sum / allreduce_max), so it runs inside a VCluster::run
+// exactly like the solver's own reductions and its traffic shows up in
+// the same per-edge accounting — call it after obs::set_enabled(false)
+// if the collection itself must not perturb the wire-byte counter.
+//
+// Ranks may record different span-name sets (a rank whose halos all
+// arrive during local work never parks in wait_any, for example): the
+// summary is built over the union of names, with zero rows for phases
+// a rank never entered.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "vcluster/comm.hpp"
+
+namespace ffw::obs {
+
+/// Per-phase wall-time distribution across ranks (totals per rank).
+struct PhaseStats {
+  std::string name;
+  double min_ms = 0.0;
+  double med_ms = 0.0;
+  double max_ms = 0.0;
+  std::uint64_t count = 0;  // span count summed over ranks
+};
+
+/// Per-counter distribution across ranks.
+struct CounterStats {
+  Counter counter = Counter::kCount;
+  std::uint64_t min = 0;
+  std::uint64_t med = 0;
+  std::uint64_t max = 0;
+  std::uint64_t total = 0;
+};
+
+struct ClusterSummary {
+  int nranks = 0;
+  std::vector<PhaseStats> phases;
+  std::vector<CounterStats> counters;
+};
+
+/// Collective over `comm` (all ranks must call). Aggregates the calling
+/// rank's obs data under rank id `comm.rank() - rank_base` and returns
+/// the same summary on every rank.
+ClusterSummary collect_summary(Comm& comm, int rank_base = 0);
+
+/// Fixed-width text table (phases then counters) for bench output.
+std::string format_summary(const ClusterSummary& s);
+
+}  // namespace ffw::obs

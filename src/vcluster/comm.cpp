@@ -4,6 +4,8 @@
 #include <bit>
 #include <chrono>
 
+#include "obs/obs.hpp"
+
 namespace ffw {
 
 std::uint64_t TrafficStats::total_bytes() const {
@@ -44,6 +46,10 @@ void VCluster::run(const std::function<void(Comm&)>& rank_main) {
   threads.reserve(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
     threads.emplace_back([this, r, &rank_main] {
+      // Tag the rank thread for the obs subsystem so spans/counters
+      // recorded inside rank_main attribute to this rank (no-op while
+      // tracing is disabled).
+      obs::set_rank(r);
       Comm comm(this, r);
       rank_main(comm);
     });
@@ -128,6 +134,9 @@ void Comm::send_bytes(int dst, int tag, const unsigned char* p,
                       std::size_t n) {
   FFW_CHECK(dst >= 0 && dst < size());
   FFW_CHECK_MSG(dst != rank_, "self-sends are not supported; keep local data local");
+  // Bridge wire volume into the per-rank obs counters (the per-tag
+  // TagTraffic ledger below stays the source of truth for tests).
+  obs::add(obs::Counter::kWireBytes, n);
   owner_->deposit(rank_, dst, tag, std::vector<unsigned char>(p, p + n));
 }
 
@@ -157,9 +166,15 @@ std::size_t Comm::wait_any(std::span<const std::pair<int, int>> keys) {
   FFW_CHECK_MSG(!keys.empty(), "wait_any needs at least one (src, tag) key");
   VCluster::Mailbox& box = *owner_->boxes_[static_cast<std::size_t>(rank_)];
   std::unique_lock lk(box.mu);
+  // Rotate the scan start per call: a fixed start at index 0 services
+  // the lowest-index peer first whenever several keys are ready, so
+  // under sustained arrivals the high-index peers starve and the
+  // overlap schedule degenerates back into a fixed drain order.
+  const std::size_t start = wait_any_start_++ % keys.size();
   std::size_t hit = keys.size();
   box.cv.wait(lk, [&] {
-    for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t k = 0; k < keys.size(); ++k) {
+      const std::size_t i = (start + k) % keys.size();
       const auto it = box.q.find(keys[i]);
       if (it != box.q.end() && !it->second.empty()) {
         hit = i;

@@ -94,10 +94,13 @@ class Comm {
   bool probe(int src, int tag);
 
   /// Blocks until at least one of the (src, tag) keys has a queued
-  /// message and returns the index of the first ready key. This is the
+  /// message and returns the index of a ready key. This is the
   /// arrival-order primitive of the overlapped MLFMA schedule: after all
   /// local work is exhausted, the rank parks here and services whichever
   /// peer message lands next instead of imposing a fixed drain order.
+  /// When several keys are ready the scan start rotates round-robin per
+  /// call, so under sustained arrivals every key gets serviced instead
+  /// of the lowest index starving the rest.
   std::size_t wait_any(std::span<const std::pair<int, int>> keys);
 
   void barrier();
@@ -129,6 +132,7 @@ class Comm {
 
   VCluster* owner_;
   int rank_;
+  std::size_t wait_any_start_ = 0;  // round-robin scan rotation
 };
 
 class VCluster {

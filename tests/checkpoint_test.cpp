@@ -120,6 +120,49 @@ TEST(DbimCheckpointState, RoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(DbimCheckpointState, PrecisionPolicyRoundTrips) {
+  DbimCheckpoint out;
+  out.iteration = 3;
+  out.mixed_precision = true;
+  out.contrast.resize(8);
+  out.gradient_prev.resize(8);
+  out.direction.resize(8);
+  out.residual_history = {1.0};
+  const std::string path = "/tmp/ffw_ckpt_dbim_mixed.bin";
+  ASSERT_TRUE(out.save(path));
+  DbimCheckpoint in;
+  in.mixed_precision = false;
+  ASSERT_TRUE(in.load(path));
+  EXPECT_TRUE(in.mixed_precision);
+
+  out.mixed_precision = false;
+  ASSERT_TRUE(out.save(path));
+  in.mixed_precision = true;
+  ASSERT_TRUE(in.load(path));
+  EXPECT_FALSE(in.mixed_precision);
+  std::remove(path.c_str());
+}
+
+TEST(DbimCheckpointState, LegacyFileWithoutPolicyLoadsAsFp64) {
+  // Files written before the precision policy existed lack the
+  // "mixed_precision" entry; they predate mixed-precision support and
+  // must load as fp64 instead of failing.
+  Checkpoint legacy;
+  legacy.put_scalar("iteration", 2.0);
+  legacy.put("contrast", cvec(4));
+  legacy.put("gradient_prev", cvec(4));
+  legacy.put("direction", cvec(4));
+  legacy.put("residual_history", cvec{cplx{1.0, 0.0}, cplx{0.5, 0.0}});
+  const std::string path = "/tmp/ffw_ckpt_dbim_legacy.bin";
+  ASSERT_TRUE(legacy.save(path));
+  DbimCheckpoint in;
+  in.mixed_precision = true;  // stale state must be overwritten
+  ASSERT_TRUE(in.load(path));
+  EXPECT_FALSE(in.mixed_precision);
+  EXPECT_EQ(in.iteration, 2);
+  std::remove(path.c_str());
+}
+
 TEST(DbimCheckpointState, RejectsWrongSchema) {
   Checkpoint ck;
   ck.put_scalar("iteration", 3.0);  // missing all the arrays

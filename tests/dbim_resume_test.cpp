@@ -65,6 +65,94 @@ TEST(DbimResume, InterruptAndResumeMatchesStraightRun) {
   EXPECT_LT(image_rmse(resumed.contrast, full.contrast), 0.05);
 }
 
+// Regression: the checkpoint used to drop the precision policy, so a
+// run checkpointed under the mixed-precision engine silently resumed in
+// pure fp64 (different cost model, different iterate path). The policy
+// is now serialized and a mismatched resume dies loudly.
+TEST(DbimResume, MixedModeResumeKeepsPrecisionPolicy) {
+  ScenarioConfig cfg;
+  cfg.nx = 32;
+  cfg.num_transmitters = 6;
+  cfg.num_receivers = 20;
+  Grid grid(cfg.nx);
+  Scenario scene(cfg,
+                 gaussian_blob(grid, Vec2{0.2, -0.1}, 0.5, cplx{0.01, 0.0}));
+  MlfmaParams mixed_params;
+  mixed_params.precision = Precision::kMixed;
+  MlfmaEngine mixed(scene.tree(), mixed_params);
+
+  const int total_iters = 6, split = 3;
+
+  // First half under the mixed engine, checkpointing every iteration.
+  DbimCheckpoint saved;
+  DbimOptions first;
+  first.max_iterations = split;
+  first.mixed_engine = &mixed;
+  first.checkpoint = [&saved](const DbimCheckpoint& s) { saved = s; };
+  dbim_reconstruct(scene.engine(), scene.transceivers(),
+                   scene.measurements(), first);
+  ASSERT_EQ(saved.iteration, split);
+  EXPECT_TRUE(saved.mixed_precision);
+
+  // The policy survives the file round trip.
+  const std::string path = "/tmp/ffw_dbim_resume_mixed.bin";
+  ASSERT_TRUE(saved.save(path));
+  DbimCheckpoint restored;
+  ASSERT_TRUE(restored.load(path));
+  std::remove(path.c_str());
+  EXPECT_TRUE(restored.mixed_precision);
+
+  // Resuming under the same policy continues and converges further.
+  DbimOptions second;
+  second.max_iterations = total_iters;
+  second.mixed_engine = &mixed;
+  second.resume = &restored;
+  const DbimResult resumed = dbim_reconstruct(
+      scene.engine(), scene.transceivers(), scene.measurements(), second);
+  ASSERT_EQ(resumed.history.relative_residual.size(),
+            static_cast<std::size_t>(total_iters));
+  EXPECT_LT(resumed.history.relative_residual.back(),
+            restored.residual_history.back());
+}
+
+TEST(DbimResumeDeath, PrecisionPolicyMismatchFailsLoudly) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ScenarioConfig cfg;
+  cfg.nx = 32;
+  cfg.num_transmitters = 4;
+  cfg.num_receivers = 16;
+  Grid grid(cfg.nx);
+  Scenario scene(cfg,
+                 gaussian_blob(grid, Vec2{0.0, 0.0}, 0.4, cplx{0.005, 0.0}));
+
+  // A checkpoint recorded under the mixed policy...
+  DbimCheckpoint state;
+  state.iteration = 2;
+  state.mixed_precision = true;
+  state.contrast.assign(grid.num_pixels(), cplx{});
+  state.gradient_prev.assign(grid.num_pixels(), cplx{});
+  state.direction.assign(grid.num_pixels(), cplx{});
+  state.residual_history = {1.0, 0.5};
+
+  // ...must not silently resume with the pure-fp64 engine.
+  DbimOptions opts;
+  opts.max_iterations = 4;
+  opts.resume = &state;  // mixed_engine left null: policy mismatch
+  EXPECT_DEATH(dbim_reconstruct(scene.engine(), scene.transceivers(),
+                                scene.measurements(), opts),
+               "precision policy");
+
+  // The reverse direction (fp64 checkpoint, mixed resume) dies too.
+  MlfmaParams mixed_params;
+  mixed_params.precision = Precision::kMixed;
+  MlfmaEngine mixed(scene.tree(), mixed_params);
+  state.mixed_precision = false;
+  opts.mixed_engine = &mixed;
+  EXPECT_DEATH(dbim_reconstruct(scene.engine(), scene.transceivers(),
+                                scene.measurements(), opts),
+               "precision policy");
+}
+
 TEST(DbimResume, ResumeAtMaxIterationsIsANoop) {
   ScenarioConfig cfg;
   cfg.nx = 32;

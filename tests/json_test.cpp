@@ -1,0 +1,124 @@
+// JsonWriter (io/json.hpp) regression tests. The original bench emitter
+// wrote doubles with printf %.6e: NaN/Inf produced bare `nan`/`inf`
+// tokens (invalid JSON) and six significant digits silently truncated
+// timings. The shared writer must emit `null` for non-finite values and
+// shortest round-trip decimals for everything else.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "io/json.hpp"
+#include "json_check.hpp"
+
+namespace ffw {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string emit(const std::function<void(JsonWriter&)>& body) {
+  const std::string path = "/tmp/ffw_json_test.json";
+  {
+    JsonWriter json(path);
+    EXPECT_TRUE(json.ok());
+    body(json);
+    json.close();
+  }
+  const std::string text = slurp(path);
+  std::remove(path.c_str());
+  return text;
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  const std::string text = emit([](JsonWriter& json) {
+    json.field("nan", std::numeric_limits<double>::quiet_NaN());
+    json.field("pinf", std::numeric_limits<double>::infinity());
+    json.field("ninf", -std::numeric_limits<double>::infinity());
+    json.field("fine", 1.5);
+  });
+  EXPECT_TRUE(testing::json_valid(text)) << text;
+  // All three non-finite fields degrade to null; no bare nan/inf token
+  // (the pre-fix emitter wrote `"nan": nan` and the file would not load).
+  EXPECT_NE(text.find("\"nan\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"pinf\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"ninf\": null"), std::string::npos) << text;
+  EXPECT_EQ(text.find(": nan"), std::string::npos) << text;
+  EXPECT_EQ(text.find(": inf"), std::string::npos) << text;
+  EXPECT_EQ(text.find(": -inf"), std::string::npos) << text;
+}
+
+TEST(JsonWriter, DoublesRoundTripExactly) {
+  // Values chosen to lose digits under the old %.6e formatting.
+  const double vals[] = {1.0 / 3.0,
+                         6.02214076e23,
+                         -7.297352569311e-3,
+                         1e-300,
+                         123456789.123456789,
+                         std::nextafter(1.0, 2.0)};
+  const std::string text = emit([&](JsonWriter& json) {
+    json.begin_array("v");
+    int i = 0;
+    for (const double v : vals) {
+      json.begin_object();
+      json.field(("x" + std::to_string(i++)).c_str(), v);
+      json.end();
+    }
+    json.end();
+  });
+  ASSERT_TRUE(testing::json_valid(text)) << text;
+  // Parse each emitted number back with strtod: shortest round-trip
+  // formatting guarantees bit-exact recovery.
+  int i = 0;
+  for (const double v : vals) {
+    const std::string key = "\"x" + std::to_string(i++) + "\": ";
+    const std::size_t at = text.find(key);
+    ASSERT_NE(at, std::string::npos) << text;
+    const double back = std::strtod(text.c_str() + at + key.size(), nullptr);
+    EXPECT_EQ(back, v) << "value index " << i - 1;
+  }
+}
+
+TEST(JsonWriter, EarlyDestructionClosesAllScopes) {
+  const std::string path = "/tmp/ffw_json_early.json";
+  {
+    JsonWriter json(path);
+    json.begin_object("outer");
+    json.begin_array("rows");
+    json.begin_object();
+    json.field("partial", 1);
+    // Writer destroyed with three scopes still open — must close them.
+  }
+  const std::string text = slurp(path);
+  std::remove(path.c_str());
+  EXPECT_TRUE(testing::json_valid(text)) << text;
+}
+
+TEST(JsonWriter, MixedTypesProduceValidJson) {
+  const std::string text = emit([](JsonWriter& json) {
+    json.field("s", "hello");
+    json.field("i", -42);
+    json.field("u", std::uint64_t{18446744073709551615ull});
+    json.field("b", true);
+    json.begin_array("empty");
+    json.end();
+    json.begin_object("nested");
+    json.field("d", 0.25);
+    json.end();
+  });
+  EXPECT_TRUE(testing::json_valid(text)) << text;
+  EXPECT_NE(text.find("18446744073709551615"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ffw

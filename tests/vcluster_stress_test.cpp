@@ -3,9 +3,13 @@
 // creates (every rank sending on several tags while others compute).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <numeric>
+#include <set>
 
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 #include "vcluster/comm.hpp"
 
 namespace ffw {
@@ -96,6 +100,242 @@ TEST(VClusterStress, LargePayloads) {
     }
   });
   EXPECT_EQ(vc.traffic().total_bytes(), big * sizeof(cplx));
+}
+
+// --- wait_any fairness ---------------------------------------------------
+//
+// Regression for the starvation bug: wait_any used to scan its key list
+// from index 0 on every call, so whenever several keys were ready the
+// lowest-index peer always won. Under sustained arrivals (every queue
+// kept non-empty — exactly the overlapped apply's drain regime) the
+// high-index peers were never serviced until the low-index queues ran
+// dry, degenerating arrival-order draining into a fixed drain order.
+
+TEST(VClusterStress, WaitAnyServicesEveryReadyKey) {
+  const int p = 5, tag = 7;
+  const int per_producer = 6;
+  VCluster vc(p);
+  vc.run([&](Comm& c) {
+    if (c.rank() != 0) {
+      for (int i = 0; i < per_producer; ++i) {
+        const double v[1] = {static_cast<double>(c.rank() * 100 + i)};
+        c.send(0, tag, std::span<const double>(v, 1));
+      }
+      c.barrier();
+      return;
+    }
+    c.barrier();  // all queues are now full: every key is ready
+    std::vector<std::pair<int, int>> keys;
+    for (int src = 1; src < p; ++src) keys.emplace_back(src, tag);
+    // With every key ready the first p-1 services must hit p-1
+    // *distinct* keys. Pre-fix, all of them hit key 0.
+    std::set<std::size_t> first;
+    for (int i = 0; i < p - 1; ++i) {
+      const std::size_t hit = c.wait_any(keys);
+      first.insert(hit);
+      (void)c.recv<double>(keys[hit].first, tag);
+    }
+    EXPECT_EQ(first.size(), static_cast<std::size_t>(p - 1))
+        << "wait_any kept servicing the same key while others were ready";
+    // Drain the rest so no messages outlive the test.
+    for (int i = 0; i < (p - 1) * (per_producer - 1); ++i) {
+      const std::size_t hit = c.wait_any(keys);
+      (void)c.recv<double>(keys[hit].first, tag);
+    }
+  });
+}
+
+TEST(VClusterStress, WaitAnyNeverStarvesUnderContinuousLoad) {
+  // Continuous load: every queue is pre-filled deep enough that all keys
+  // stay ready for the whole drain. No key may go unserviced for more
+  // than one full rotation of the key list.
+  const int p = 5, tag = 9;
+  const int per_producer = 32;
+  const int nk = p - 1;
+  VCluster vc(p);
+  vc.run([&](Comm& c) {
+    if (c.rank() != 0) {
+      for (int i = 0; i < per_producer; ++i) {
+        const double v[1] = {static_cast<double>(i)};
+        c.send(0, tag, std::span<const double>(v, 1));
+      }
+      c.barrier();
+      return;
+    }
+    c.barrier();
+    std::vector<std::pair<int, int>> keys;
+    for (int src = 1; src < p; ++src) keys.emplace_back(src, tag);
+    std::vector<int> serviced(static_cast<std::size_t>(nk), 0);
+    std::vector<int> last_seen(static_cast<std::size_t>(nk), -1);
+    const int total = nk * per_producer;
+    for (int i = 0; i < total; ++i) {
+      const std::size_t hit = c.wait_any(keys);
+      (void)c.recv<double>(keys[hit].first, tag);
+      ++serviced[hit];
+      // While every queue is still non-empty, a key must not wait more
+      // than 2*nk services between visits (one full round-robin plus
+      // slack for the rotation phase).
+      if (i < total - nk * 2) {
+        EXPECT_LE(i - last_seen[hit], 2 * nk)
+            << "key " << hit << " starved at service " << i;
+      }
+      last_seen[hit] = i;
+    }
+    for (int k = 0; k < nk; ++k) {
+      EXPECT_EQ(serviced[static_cast<std::size_t>(k)], per_producer)
+          << "key " << k;
+    }
+  });
+}
+
+// --- Collectives at non-power-of-two rank counts -------------------------
+//
+// The recursive-doubling allreduce folds the ranks beyond the largest
+// power-of-two prefix into the prefix first (standard MPI algorithm).
+// These tests pin both the values and the wire traffic at p = 3, 5, 6,
+// 12, cross-checking the per-rank obs wire-byte counters against the
+// vcluster ledger and the analytic message count — so the fold-in
+// traffic pattern itself is asserted, not just the reduced numbers.
+
+/// Expected allreduce_sum payload-message count: 2*rem fold-in/out
+/// messages plus p2*log2(p2) doubling-phase messages.
+std::uint64_t allreduce_messages(int p) {
+  const int p2 = 1 << (std::bit_width(static_cast<unsigned>(p)) - 1);
+  const int rem = p - p2;
+  return static_cast<std::uint64_t>(2 * rem) +
+         static_cast<std::uint64_t>(p2) *
+             static_cast<std::uint64_t>(std::countr_zero(
+                 static_cast<unsigned>(p2)));
+}
+
+std::uint64_t wire_bytes(int rank) {
+  return obs::counter_totals(
+      rank)[static_cast<std::size_t>(obs::Counter::kWireBytes)];
+}
+
+TEST(VClusterCollectives, AllreduceSumNonPowerOfTwoRanks) {
+  for (const int p : {3, 5, 6, 12}) {
+    const std::size_t n = 17;  // deliberately not a round number
+    obs::set_enabled(false);
+    obs::reset();
+    obs::set_enabled(true);
+    VCluster vc(p);
+    vc.run([&](Comm& c) {
+      rvec v(n);
+      for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<double>(c.rank() + 1) * static_cast<double>(i + 1);
+      c.allreduce_sum(rspan{v});
+      // sum_r (r+1) = p(p+1)/2, scaled by (i+1) per element.
+      const double ranks_sum = p * (p + 1) / 2.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_DOUBLE_EQ(v[i], ranks_sum * static_cast<double>(i + 1))
+            << "p=" << p << " i=" << i;
+      }
+    });
+    obs::set_enabled(false);
+
+    const std::uint64_t expect_bytes =
+        allreduce_messages(p) * n * sizeof(double);
+    EXPECT_EQ(vc.traffic().total_bytes(), expect_bytes) << "p=" << p;
+    EXPECT_EQ(vc.traffic().total_messages(), allreduce_messages(p))
+        << "p=" << p;
+
+    // Per-rank wire bytes from the obs bridge: fold-in ranks (>= p2)
+    // send exactly one payload; prefix ranks send one per doubling round
+    // plus the fold-back if they own an extra rank.
+    const int p2 = 1 << (std::bit_width(static_cast<unsigned>(p)) - 1);
+    const int rem = p - p2;
+    const int rounds = std::countr_zero(static_cast<unsigned>(p2));
+    std::uint64_t total = 0;
+    for (int r = 0; r < p; ++r) {
+      const std::uint64_t sends =
+          r >= p2 ? 1
+                  : static_cast<std::uint64_t>(rounds) + (r < rem ? 1 : 0);
+      EXPECT_EQ(wire_bytes(r), sends * n * sizeof(double))
+          << "p=" << p << " rank=" << r;
+      total += wire_bytes(r);
+    }
+    EXPECT_EQ(total, vc.traffic().total_bytes()) << "p=" << p;
+    obs::reset();
+  }
+}
+
+TEST(VClusterCollectives, BcastNonPowerOfTwoRanks) {
+  for (const int p : {3, 5, 6, 12}) {
+    for (const int root : {0, p - 1}) {
+      const std::size_t n = 9;
+      obs::set_enabled(false);
+      obs::reset();
+      obs::set_enabled(true);
+      VCluster vc(p);
+      vc.run([&](Comm& c) {
+        cvec v(n);
+        if (c.rank() == root) {
+          for (std::size_t i = 0; i < n; ++i)
+            v[i] = cplx{static_cast<double>(i), -1.0};
+        }
+        c.bcast(cspan{v}, root);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(v[i], (cplx{static_cast<double>(i), -1.0}))
+              << "p=" << p << " root=" << root << " rank=" << c.rank();
+        }
+      });
+      obs::set_enabled(false);
+      // Binomial tree: exactly p-1 payload messages, cross-checked
+      // against the summed per-rank obs counters.
+      EXPECT_EQ(vc.traffic().total_messages(),
+                static_cast<std::uint64_t>(p - 1))
+          << "p=" << p << " root=" << root;
+      std::uint64_t total = 0;
+      for (int r = 0; r < p; ++r) total += wire_bytes(r);
+      EXPECT_EQ(total, static_cast<std::uint64_t>(p - 1) * n * sizeof(cplx))
+          << "p=" << p << " root=" << root;
+      EXPECT_EQ(total, vc.traffic().total_bytes());
+      // Leaves of the tree send nothing; the root always sends.
+      EXPECT_GT(wire_bytes(root), 0u);
+      obs::reset();
+    }
+  }
+}
+
+TEST(VClusterCollectives, GroupAllreduceNonPowerOfTwoGroups) {
+  // p = 12 split into groups of 5, 4, 3 reducing concurrently.
+  const int p = 12;
+  const std::vector<std::vector<int>> groups = {
+      {0, 1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11}};
+  const std::size_t n = 5;
+  obs::set_enabled(false);
+  obs::reset();
+  obs::set_enabled(true);
+  VCluster vc(p);
+  vc.run([&](Comm& c) {
+    const auto& mine = *std::find_if(
+        groups.begin(), groups.end(), [&](const std::vector<int>& g) {
+          return std::find(g.begin(), g.end(), c.rank()) != g.end();
+        });
+    rvec v(n, static_cast<double>(c.rank()));
+    c.group_allreduce_sum(rspan{v}, mine);
+    const double want = std::accumulate(mine.begin(), mine.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_DOUBLE_EQ(v[i], want) << "rank " << c.rank();
+    }
+  });
+  obs::set_enabled(false);
+  // Leader gather + leader broadcast: 2*(g-1) messages per group. The
+  // obs counters localise it: each member sends once, the leader g-1
+  // times.
+  std::uint64_t expect_msgs = 0;
+  for (const auto& g : groups) {
+    expect_msgs += 2 * (g.size() - 1);
+    EXPECT_EQ(wire_bytes(g[0]), (g.size() - 1) * n * sizeof(double))
+        << "leader " << g[0];
+    for (std::size_t i = 1; i < g.size(); ++i) {
+      EXPECT_EQ(wire_bytes(g[i]), n * sizeof(double)) << "member " << g[i];
+    }
+  }
+  EXPECT_EQ(vc.traffic().total_messages(), expect_msgs);
+  EXPECT_EQ(vc.traffic().total_bytes(), expect_msgs * n * sizeof(double));
+  obs::reset();
 }
 
 TEST(VClusterStress, ManySmallBarriers) {
