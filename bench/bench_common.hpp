@@ -82,6 +82,23 @@ inline TraceOptions parse_trace_flag(int& argc, char** argv) {
   return t;
 }
 
+/// Strips a boolean `flag` (e.g. "--chaos") from argv, compacting the
+/// remaining positional arguments like parse_trace_flag. Returns true
+/// when the flag was present.
+inline bool parse_bool_flag(int& argc, char** argv, const char* flag) {
+  bool found = false;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) {
+      found = true;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  return found;
+}
+
 /// Stops recording and writes the chrome://tracing file (no-op when
 /// --trace was absent). Call after the traced workload — and after any
 /// obs summary collection, which reads the same buffers.

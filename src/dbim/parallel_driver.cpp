@@ -1,5 +1,6 @@
 #include "dbim/parallel_driver.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 
@@ -96,6 +97,19 @@ struct RankCtx {
       trx->apply_gr_subset(v, nat_idx, cspan{cols.data() + t * nr, nr});
     }
     comm->group_allreduce_sum(cols, tree_group);
+  }
+
+  /// (Re)load the incident fields of the local illuminations into the
+  /// phi_b block: the initial state, and — with warm_start_fields off —
+  /// the start of every residual pass, so each iterate is a pure
+  /// function of the outer-loop state (which is what the checkpoint
+  /// stores; the crash-recovery e2e test relies on this).
+  void reset_phi_to_incident() {
+    cvec inc(nloc);
+    for (std::size_t i = 0; i < lo.nrhs; ++i) {
+      trx->incident_field_subset(local_t[i], nat_idx, inc);
+      block_col_set(lo, phi_b, i, inc);
+    }
   }
 
   /// Residual pass over all local illuminations as one block solve:
@@ -197,7 +211,12 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
   std::vector<double> history;
   std::atomic<std::uint64_t> total_matvecs{0};
 
-  vc.run([&](Comm& comm) {
+  // Crash-recovery state: set between (re)runs by the supervisor loop
+  // below, read-only while rank threads are live.
+  DbimCheckpoint resume_state;
+  bool have_resume = false;
+
+  const auto rank_program = [&](Comm& comm) {
     RankCtx ctx;
     ctx.comm = &comm;
     ctx.pm = &pm;
@@ -226,23 +245,42 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
         static_cast<std::size_t>(tree.pixels_per_leaf());
     ctx.lo = BlockLayout{np, ctx.local_t.size(), ctx.nloc / np};
     ctx.phi_b.assign(ctx.lo.size(), cplx{});
-    cvec inc(ctx.nloc);
-    for (std::size_t i = 0; i < ctx.local_t.size(); ++i) {
-      trx.incident_field_subset(ctx.local_t[i], ctx.nat_idx, inc);
-      block_col_set(ctx.lo, ctx.phi_b, i, inc);
-    }
+    ctx.reset_phi_to_incident();
 
     cvec grad(ctx.nloc), grad_prev(ctx.nloc), direction(ctx.nloc),
         residuals(measured.rows() * ctx.local_t.size());
     double grad_prev_norm2 = 0.0;
+    int start_iter = 0;
+    if (have_resume) {
+      // The checkpoint stores full natural-order arrays, so every rank
+      // (the contrast and CG memory are replicated across illumination
+      // groups) restores its cluster-order slice through nat_idx.
+      FFW_CHECK_MSG(!resume_state.mixed_precision,
+                    "parallel DBIM resume: checkpoint precision policy "
+                    "(mixed) does not match this fp64 driver");
+      FFW_CHECK(resume_state.contrast.size() == npix &&
+                resume_state.gradient_prev.size() == npix &&
+                resume_state.direction.size() == npix);
+      for (std::size_t q = 0; q < ctx.nloc; ++q) {
+        ctx.o_loc[q] = resume_state.contrast[ctx.nat_idx[q]];
+        grad_prev[q] = resume_state.gradient_prev[ctx.nat_idx[q]];
+        direction[q] = resume_state.direction[ctx.nat_idx[q]];
+      }
+      grad_prev_norm2 = std::pow(nrm2(resume_state.gradient_prev), 2);
+      start_iter = resume_state.iteration;
+    }
     DotReducer red = ctx.tree_reduce();
 
-    for (int iter = 0; iter < config.dbim.max_iterations; ++iter) {
+    for (int iter = start_iter; iter < config.dbim.max_iterations; ++iter) {
       // Pass 1 + 2: residual and gradient, each as one block solve over
       // the whole local illumination set.
       std::fill(grad.begin(), grad.end(), cplx{});
       double cost_loc = 0.0;
       if (!ctx.local_t.empty()) {
+        // Mirror the serial driver's warm-start policy: with
+        // warm_start_fields off the block solve restarts from the
+        // incident fields instead of the previous background fields.
+        if (!config.dbim.warm_start_fields) ctx.reset_phi_to_incident();
         cost_loc = ctx.residual_pass_all(residuals);
         ctx.gradient_pass_all(residuals, grad);
       }
@@ -306,6 +344,54 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
 
       copy(grad, grad_prev);
       grad_prev_norm2 = gnorm2;
+
+      // Atomic checkpoint of the completed iteration: group-0 tree ranks
+      // ship their cluster-order slices to global rank 0, which scatters
+      // them into natural order (via the tree permutation, per sender)
+      // and saves the same DbimCheckpoint format the serial driver
+      // emits. Every rank restores from it on a supervisor restart.
+      if (!config.checkpoint_path.empty() && ctx.group == 0 &&
+          (iter + 1) % std::max(1, config.checkpoint_every) == 0) {
+        constexpr int kTagCkpt = -4000;  // reserved: checkpoint gather
+        const std::size_t npl =
+            static_cast<std::size_t>(tree.pixels_per_leaf());
+        if (comm.rank() != 0) {
+          cvec pack(3 * ctx.nloc);
+          std::copy(ctx.o_loc.begin(), ctx.o_loc.end(), pack.begin());
+          std::copy(grad_prev.begin(), grad_prev.end(),
+                    pack.begin() + static_cast<std::ptrdiff_t>(ctx.nloc));
+          std::copy(direction.begin(), direction.end(),
+                    pack.begin() + static_cast<std::ptrdiff_t>(2 * ctx.nloc));
+          comm.send(0, kTagCkpt, ccspan{pack});
+        } else {
+          DbimCheckpoint state;
+          state.iteration = iter + 1;
+          state.mixed_precision = false;
+          state.contrast.assign(npix, cplx{});
+          state.gradient_prev.assign(npix, cplx{});
+          state.direction.assign(npix, cplx{});
+          const auto scatter = [&](int r, ccspan o, ccspan g, ccspan d) {
+            const std::size_t q0r = pm.leaf_begin(r) * npl;
+            for (std::size_t q = 0; q < o.size(); ++q) {
+              const std::uint32_t nat = tree.perm()[q0r + q];
+              state.contrast[nat] = o[q];
+              state.gradient_prev[nat] = g[q];
+              state.direction[nat] = d[q];
+            }
+          };
+          scatter(0, ctx.o_loc, grad_prev, direction);
+          for (int r = 1; r < tr; ++r) {
+            const cvec pack = comm.recv<cplx>(r, kTagCkpt);
+            const std::size_t nl = pm.local_pixels(r);
+            FFW_CHECK(pack.size() == 3 * nl);
+            scatter(r, ccspan{pack.data(), nl}, ccspan{pack.data() + nl, nl},
+                    ccspan{pack.data() + 2 * nl, nl});
+          }
+          state.residual_history.assign(history.begin(), history.end());
+          FFW_CHECK_MSG(state.save(config.checkpoint_path),
+                        "parallel DBIM: checkpoint save failed");
+        }
+      }
     }
 
     if (ctx.group == 0) {
@@ -315,7 +401,32 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
                         pm.leaf_begin(ctx.tree_rank) *
                         static_cast<std::size_t>(tree.pixels_per_leaf())));
     }
-  });
+  };
+
+  // Supervisor: a failed run (e.g. an injected RankFailure) is caught
+  // here; the cluster is recovered and the ranks rerun from the last
+  // atomically-saved checkpoint (or from scratch when the crash landed
+  // before the first save). Consumed crash triggers do not re-fire
+  // (VCluster keeps the cumulative send counters across recover()).
+  int restarts = 0;
+  for (;;) {
+    try {
+      vc.run(rank_program);
+      break;
+    } catch (const CommFailure&) {
+      if (restarts >= config.max_restarts) throw;
+      ++restarts;
+      vc.recover();
+      have_resume = !config.checkpoint_path.empty() &&
+                    resume_state.load(config.checkpoint_path);
+      history.clear();
+      if (have_resume) {
+        history.assign(resume_state.residual_history.begin(),
+                       resume_state.residual_history.end());
+      }
+      std::fill(out_cluster.begin(), out_cluster.end(), cplx{});
+    }
+  }
 
   DbimResult out;
   out.contrast.assign(npix, cplx{});

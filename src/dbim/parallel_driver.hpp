@@ -23,11 +23,28 @@ struct ParallelDbimConfig {
   DbimOptions dbim;
   BicgstabOptions forward;
   MlfmaParams mlfma;
+
+  /// When non-empty, global rank 0 gathers the outer-loop state
+  /// (contrast, CG memory, residual history — natural pixel order, same
+  /// DbimCheckpoint format the serial driver emits) from the group-0
+  /// tree ranks and saves it here, atomically, every `checkpoint_every`
+  /// completed iterations. Required for crash recovery.
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+  /// Supervisor restarts: when a rank fails mid-run (e.g. an injected
+  /// RankFailure, see vcluster/fault.hpp), the driver calls
+  /// VCluster::recover(), reloads the last checkpoint and reruns the
+  /// cluster from that iteration — at most this many times, after which
+  /// (or when 0) the CommFailure propagates to the caller.
+  int max_restarts = 0;
 };
 
 /// Collective reconstruction over `vc` (vc.size() must equal
 /// illum_groups * tree_ranks). Returns the same result as the serial
-/// dbim_reconstruct (validated in tests/parallel_dbim_test.cpp).
+/// dbim_reconstruct (validated in tests/parallel_dbim_test.cpp). With
+/// checkpoint_path + max_restarts set, the run survives rank crashes:
+/// each restart resumes from the last atomically-saved iteration (or
+/// from scratch when none completed yet).
 DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
                                      const Transceivers& trx,
                                      const CMatrix& measured,

@@ -44,7 +44,11 @@ double Checkpoint::get_scalar(const std::string& name) const {
 }
 
 bool Checkpoint::save(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Write-to-temp + atomic rename: a crash mid-write must never truncate
+  // the previous good checkpoint at `path` — the crash-recovery protocol
+  // (DESIGN.md Sec. 12) relies on the last completed save staying loadable.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) return false;
   bool ok = std::fwrite(kMagic, sizeof kMagic, 1, f) == 1 &&
             write_u64(f, arrays_.size());
@@ -57,8 +61,17 @@ bool Checkpoint::save(const std::string& path) const {
           std::fwrite(data.data(), sizeof(cplx), data.size(), f) ==
               data.size());
   }
-  std::fclose(f);
-  return ok;
+  ok = (std::fflush(f) == 0) && ok;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool Checkpoint::load(const std::string& path) {

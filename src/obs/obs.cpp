@@ -18,6 +18,9 @@ const char* counter_name(Counter c) {
     case Counter::kHaloWaitNs: return "halo_wait_ns";
     case Counter::kComputeNs: return "compute_ns";
     case Counter::kWireBytes: return "wire_bytes";
+    case Counter::kFaultsInjected: return "faults_injected";
+    case Counter::kCrcFailures: return "crc_failures";
+    case Counter::kDeadlineAborts: return "deadline_aborts";
     default: return "?";
   }
 }

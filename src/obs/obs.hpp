@@ -40,6 +40,9 @@ enum class Counter : int {
   kHaloWaitNs,              // time blocked on halo recv / wait_any
   kComputeNs,               // time in local translate/near/downward work
   kWireBytes,               // bytes sent (bridged from vcluster)
+  kFaultsInjected,          // fault-injection actions fired (vcluster)
+  kCrcFailures,             // corrupt frames detected at recv
+  kDeadlineAborts,          // waits that expired into DeadlineExceeded
   kCount
 };
 inline constexpr std::size_t kNumCounters =

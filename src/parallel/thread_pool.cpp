@@ -1,5 +1,8 @@
 #include "parallel/thread_pool.hpp"
 
+#include <exception>
+#include <utility>
+
 #include "common/check.hpp"
 
 namespace ffw {
@@ -12,17 +15,38 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() noexcept(false) {
   {
     std::lock_guard lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  // Workers are gone; no lock needed. Rethrowing while another exception
+  // is unwinding would terminate, so only surface the failure from a
+  // normally-destroyed pool.
+  if (first_error_ && std::uncaught_exceptions() == 0) {
+    std::exception_ptr e = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(e);
+  }
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> pt(std::move(task));
+  // Capture the first failure centrally before the packaged_task routes
+  // it into the future — callers routinely discard the future, which
+  // used to swallow the exception and leave e.g. a half-built operator
+  // table looking healthy.
+  std::packaged_task<void()> pt([this, t = std::move(task)] {
+    try {
+      t();
+    } catch (...) {
+      {
+        std::lock_guard lk(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      throw;  // the future, if kept, still observes it
+    }
+  });
   auto fut = pt.get_future();
   {
     std::lock_guard lk(mu_);
@@ -36,6 +60,11 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lk(mu_);
   idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = std::exchange(first_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::worker_loop() {

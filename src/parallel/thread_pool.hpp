@@ -5,6 +5,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -16,15 +17,22 @@ namespace ffw {
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t threads);
-  ~ThreadPool();
+  /// Joins the workers; if a task threw and neither its future nor
+  /// wait_idle() consumed the exception, rethrows it here (declared
+  /// noexcept(false); suppressed only when already unwinding) — a
+  /// throwing setup task can never silently yield a half-built table.
+  ~ThreadPool() noexcept(false);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task; the future resolves when it finishes.
+  /// Enqueue a task; the future resolves when it finishes (and carries
+  /// the task's exception, if any, for callers that keep it).
   std::future<void> submit(std::function<void()> task);
 
-  /// Block until every submitted task has completed.
+  /// Block until every submitted task has completed. If any task threw,
+  /// rethrows the first captured exception (and clears it), so callers
+  /// that discard futures still observe failures.
   void wait_idle();
 
   std::size_t size() const { return workers_.size(); }
@@ -39,6 +47,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;
   std::size_t active_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  // first task exception, guarded by mu_
 };
 
 }  // namespace ffw

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cstdio>
+#include <string>
 
 #include "obs/obs.hpp"
 
@@ -39,9 +41,13 @@ VCluster::VCluster(int nranks) : nranks_(nranks) {
   for (int r = 0; r < nranks; ++r) boxes_.push_back(std::make_unique<Mailbox>());
   bytes_.assign(static_cast<std::size_t>(nranks) * nranks, 0);
   messages_.assign(static_cast<std::size_t>(nranks) * nranks, 0);
+  rank_sends_.assign(static_cast<std::size_t>(nranks), 0);
+  blocked_.resize(static_cast<std::size_t>(nranks));
 }
 
 void VCluster::run(const std::function<void(Comm&)>& rank_main) {
+  FFW_CHECK_MSG(!aborted(),
+                "VCluster::run after a failed run; call recover() first");
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
@@ -51,7 +57,25 @@ void VCluster::run(const std::function<void(Comm&)>& rank_main) {
       // tracing is disabled).
       obs::set_rank(r);
       Comm comm(this, r);
-      rank_main(comm);
+      try {
+        rank_main(comm);
+      } catch (const ClusterAborted&) {
+        // Secondary: some other rank failed first and poisoned us. Only
+        // recorded if no primary failure ever surfaces.
+        std::lock_guard lk(fail_mu_);
+        if (!first_failure_) first_failure_ = std::current_exception();
+      } catch (const CommFailure&) {
+        {
+          std::lock_guard lk(fail_mu_);
+          if (!first_failure_primary_) {
+            first_failure_ = std::current_exception();
+            first_failure_primary_ = true;
+          }
+        }
+        poison();
+      }
+      // Anything else (including FFW_CHECK) stays fail-fast: it escapes
+      // the rank thread and terminates the process.
     });
   }
   for (auto& t : threads) t.join();
@@ -63,10 +87,60 @@ void VCluster::run(const std::function<void(Comm&)>& rank_main) {
     pending.swap(delay_threads_);
   }
   for (auto& t : pending) t.join();
+
+  std::exception_ptr failure;
+  {
+    std::lock_guard lk(fail_mu_);
+    failure = first_failure_;
+  }
+  if (failure) std::rethrow_exception(failure);
 }
 
 void VCluster::set_send_delay(std::function<int(int, int, int)> delay_us) {
   delay_fn_ = std::move(delay_us);
+}
+
+void VCluster::install_fault_plan(FaultPlan plan) {
+  plan_ = std::move(plan);
+  plan_active_ = plan_.all.any() || !plan_.per_edge.empty() ||
+                 !plan_.crashes.empty() || !plan_.stalls.empty();
+  crash_fired_.assign(plan_.crashes.size(), false);
+  stall_fired_.assign(plan_.stalls.size(), false);
+}
+
+FaultStats VCluster::fault_stats() const {
+  std::lock_guard lk(fault_mu_);
+  return fault_stats_;
+}
+
+void VCluster::set_comm_options(CommOptions opts) { opts_ = opts; }
+
+void VCluster::recover() {
+  aborted_.store(false, std::memory_order_release);
+  {
+    std::lock_guard lk(fail_mu_);
+    first_failure_ = nullptr;
+    first_failure_primary_ = false;
+  }
+  for (auto& box : boxes_) {
+    std::lock_guard lk(box->mu);
+    box->q.clear();
+  }
+  {
+    std::lock_guard lk(bar_mu_);
+    bar_count_ = 0;
+    ++bar_gen_;  // any stale waiter (there are none; threads joined) frees
+  }
+  {
+    // Fresh sequence space for the next run; rank_sends_ and the fired
+    // crash/stall flags survive so consumed triggers do not re-fire.
+    std::lock_guard lk(stats_mu_);
+    edge_seq_.clear();
+  }
+  {
+    std::lock_guard lk(blocked_mu_);
+    for (auto& b : blocked_) b = BlockedState{};
+  }
 }
 
 TrafficStats VCluster::traffic() const {
@@ -79,6 +153,7 @@ void VCluster::reset_traffic() {
   std::fill(bytes_.begin(), bytes_.end(), 0);
   std::fill(messages_.begin(), messages_.end(), 0);
   by_tag_.clear();
+  frame_bytes_ = 0;
 }
 
 TagTraffic VCluster::tag_traffic(int tag) const {
@@ -92,40 +167,283 @@ std::map<int, TagTraffic> VCluster::traffic_by_tag() const {
   return by_tag_;
 }
 
+std::uint64_t VCluster::frame_overhead_bytes() const {
+  std::lock_guard lk(stats_mu_);
+  return frame_bytes_;
+}
+
 void VCluster::deposit(int src, int dst, int tag,
                        std::vector<unsigned char> bytes) {
+  if (plan_active_) {
+    // Crash/stall triggers key off the cumulative per-rank send counter
+    // and fire *before* accounting: a crashed send never reaches the
+    // wire. The counter and the fired flags survive recover(), so a
+    // recovered run resumes counting where the dead rank stopped and a
+    // consumed crash cannot re-fire.
+    std::uint64_t nsend;
+    int stall_us = 0;
+    bool crash = false;
+    {
+      std::lock_guard lk(stats_mu_);
+      nsend = ++rank_sends_[static_cast<std::size_t>(src)];
+      for (std::size_t i = 0; i < plan_.crashes.size(); ++i) {
+        if (!crash_fired_[i] && plan_.crashes[i].rank == src &&
+            plan_.crashes[i].at_send == nsend) {
+          crash_fired_[i] = true;
+          crash = true;
+        }
+      }
+      for (std::size_t i = 0; i < plan_.stalls.size(); ++i) {
+        if (!stall_fired_[i] && plan_.stalls[i].rank == src &&
+            plan_.stalls[i].at_send == nsend) {
+          stall_fired_[i] = true;
+          stall_us += plan_.stalls[i].duration_us;
+        }
+      }
+    }
+    if (crash) {
+      {
+        std::lock_guard lk(fault_mu_);
+        ++fault_stats_.crashes;
+      }
+      obs::add(obs::Counter::kFaultsInjected, 1);
+      throw RankFailure(src, "injected crash: rank " + std::to_string(src) +
+                                 " at send #" + std::to_string(nsend));
+    }
+    if (stall_us > 0) {
+      {
+        std::lock_guard lk(fault_mu_);
+        ++fault_stats_.stalls;
+      }
+      obs::add(obs::Counter::kFaultsInjected, 1);
+      std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+    }
+  }
+
+  Frame frame;
+  frame.crc = crc32(bytes.data(), bytes.size());
+  frame.bytes = std::move(bytes);
   {
     // Traffic is accounted at send time — a delivery delay changes when a
-    // message is *seen*, never what goes on the wire.
+    // message is *seen*, never what goes on the wire. The ledger counts
+    // payload bytes only; the 12-byte frame header accumulates into
+    // frame_bytes_ so framing never perturbs per-tag wire comparisons.
     std::lock_guard lk(stats_mu_);
     const std::size_t e = static_cast<std::size_t>(src) * nranks_ + dst;
-    bytes_[e] += bytes.size();
+    bytes_[e] += frame.bytes.size();
     messages_[e] += 1;
     TagTraffic& tt = by_tag_[tag];
-    tt.bytes += bytes.size();
+    tt.bytes += frame.bytes.size();
     tt.messages += 1;
+    frame_bytes_ += kFrameBytes;
+    frame.seq = edge_seq_[{src, dst, tag}]++;
   }
-  const int delay_us = delay_fn_ ? delay_fn_(src, dst, tag) : 0;
+
+  int extra_delay_us = 0;
+  if (plan_active_) {
+    switch (fault_decide(plan_, src, dst, tag, frame.seq)) {
+      case FaultAction::kNone:
+        break;
+      case FaultAction::kDrop: {
+        std::lock_guard lk(fault_mu_);
+        ++fault_stats_.drops;
+        obs::add(obs::Counter::kFaultsInjected, 1);
+        return;  // accounted, never delivered
+      }
+      case FaultAction::kDuplicate: {
+        {
+          std::lock_guard lk(fault_mu_);
+          ++fault_stats_.duplicates;
+        }
+        obs::add(obs::Counter::kFaultsInjected, 1);
+        deliver(dst, src, tag, frame);  // same seq: receiver discards one
+        break;
+      }
+      case FaultAction::kReorder: {
+        {
+          std::lock_guard lk(fault_mu_);
+          ++fault_stats_.reorders;
+        }
+        obs::add(obs::Counter::kFaultsInjected, 1);
+        extra_delay_us = plan_.spec_for(src, dst).reorder_hold_us;
+        break;
+      }
+      case FaultAction::kCorrupt: {
+        if (!frame.bytes.empty()) {
+          {
+            std::lock_guard lk(fault_mu_);
+            ++fault_stats_.corruptions;
+          }
+          obs::add(obs::Counter::kFaultsInjected, 1);
+          // Flip after the CRC stamp so the receiver detects it.
+          frame.bytes[fault_corrupt_offset(plan_, src, dst, frame.seq,
+                                           frame.bytes.size())] ^= 0x01u;
+        }
+        break;
+      }
+    }
+  }
+
+  const int delay_us =
+      (delay_fn_ ? delay_fn_(src, dst, tag) : 0) + extra_delay_us;
   if (delay_us <= 0) {
-    deliver(src, dst, tag, std::move(bytes));
+    deliver(dst, src, tag, std::move(frame));
     return;
   }
   std::lock_guard lk(delay_mu_);
   delay_threads_.emplace_back(
-      [this, src, dst, tag, delay_us, b = std::move(bytes)]() mutable {
+      [this, src, dst, tag, delay_us, f = std::move(frame)]() mutable {
         std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
-        deliver(src, dst, tag, std::move(b));
+        deliver(dst, src, tag, std::move(f));
       });
 }
 
-void VCluster::deliver(int src, int dst, int tag,
-                       std::vector<unsigned char> bytes) {
+void VCluster::deliver(int dst, int src, int tag, Frame frame) {
   Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard lk(box.mu);
-    box.q[{src, tag}].push_back(std::move(bytes));
+    EdgeQueue& eq = box.q[{src, tag}];
+    if (frame.seq < eq.next_commit) return;  // duplicate of a committed frame
+    if (frame.seq == eq.next_commit) {
+      // In-order arrival: commit, then flush any held successors.
+      eq.ready.push_back(std::move(frame));
+      ++eq.next_commit;
+      auto it = eq.held.begin();
+      while (it != eq.held.end() && it->first == eq.next_commit) {
+        eq.ready.push_back(std::move(it->second));
+        ++eq.next_commit;
+        it = eq.held.erase(it);
+      }
+    } else {
+      // Out-of-order: park until the gap fills. try_emplace discards a
+      // duplicate of an already-held frame.
+      eq.held.try_emplace(frame.seq, std::move(frame));
+    }
   }
   box.cv.notify_all();
+}
+
+void VCluster::publish_blocked(int rank, BlockedState::Kind kind,
+                               std::vector<std::pair<int, int>> keys) {
+  std::lock_guard lk(blocked_mu_);
+  blocked_[static_cast<std::size_t>(rank)] = {kind, std::move(keys)};
+}
+
+void VCluster::clear_blocked(int rank) {
+  std::lock_guard lk(blocked_mu_);
+  blocked_[static_cast<std::size_t>(rank)] = BlockedState{};
+}
+
+std::string VCluster::wait_for_report(int aborting_rank,
+                                      const char* waiting_in) {
+  using Kind = BlockedState::Kind;
+  const auto kind_name = [](Kind k) {
+    switch (k) {
+      case Kind::kRecv: return "recv";
+      case Kind::kWaitAny: return "wait_any";
+      case Kind::kBarrier: return "barrier";
+      default: return "none";
+    }
+  };
+  std::vector<BlockedState> blocked;
+  {
+    std::lock_guard lk(blocked_mu_);
+    blocked = blocked_;
+  }
+
+  std::string out = "[vcluster] deadline exceeded: rank " +
+                    std::to_string(aborting_rank) + " blocked in " +
+                    waiting_in + " for " + std::to_string(opts_.deadline_ms) +
+                    " ms\n";
+
+  // waits_on[r] = set of ranks r cannot progress without.
+  std::vector<std::vector<int>> waits_on(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    const BlockedState& b = blocked[static_cast<std::size_t>(r)];
+    if (b.kind == Kind::kNone) continue;
+    out += "  rank " + std::to_string(r) + ": blocked in " +
+           kind_name(b.kind);
+    if (b.kind == Kind::kBarrier) {
+      for (int o = 0; o < nranks_; ++o) {
+        if (o != r && blocked[static_cast<std::size_t>(o)].kind != Kind::kBarrier)
+          waits_on[static_cast<std::size_t>(r)].push_back(o);
+      }
+      out += "\n";
+      continue;
+    }
+    Mailbox& box = *boxes_[static_cast<std::size_t>(r)];
+    std::lock_guard lk(box.mu);
+    for (const auto& [src, tag] : b.keys) {
+      const auto it = box.q.find({src, tag});
+      const EdgeQueue* eq = it == box.q.end() ? nullptr : &it->second;
+      const std::size_t ready = eq ? eq->ready.size() : 0;
+      out += " on (src=" + std::to_string(src) +
+             ", tag=" + std::to_string(tag) + ") [ready " +
+             std::to_string(ready) + ", held " +
+             std::to_string(eq ? eq->held.size() : 0);
+      if (eq && !eq->held.empty())
+        out += ", seq " + std::to_string(eq->next_commit) + " missing";
+      out += "]";
+      if (ready == 0) waits_on[static_cast<std::size_t>(r)].push_back(src);
+    }
+    out += "\n";
+  }
+
+  // Walk from the aborting rank following first unsatisfied dependencies;
+  // with <= nranks_ hops we either revisit a rank (cycle) or dead-end.
+  std::vector<int> path{aborting_rank};
+  std::vector<char> on_path(static_cast<std::size_t>(nranks_), 0);
+  on_path[static_cast<std::size_t>(aborting_rank)] = 1;
+  int cycle_at = -1;
+  while (true) {
+    const auto& deps = waits_on[static_cast<std::size_t>(path.back())];
+    if (deps.empty()) break;
+    const int next = deps.front();
+    if (on_path[static_cast<std::size_t>(next)]) {
+      cycle_at = next;
+      path.push_back(next);
+      break;
+    }
+    on_path[static_cast<std::size_t>(next)] = 1;
+    path.push_back(next);
+  }
+  if (cycle_at >= 0) {
+    std::size_t first = 0;
+    while (path[first] != cycle_at) ++first;
+    out += "  wait-for cycle: ";
+    for (std::size_t i = first; i < path.size(); ++i) {
+      if (i > first) out += " -> ";
+      out += "rank " + std::to_string(path[i]);
+    }
+    out += "\n";
+  } else {
+    out += "  no wait-for cycle from rank " + std::to_string(aborting_rank) +
+           " (waiting on a rank that is not blocked, or on a dropped "
+           "message)\n";
+  }
+  return out;
+}
+
+void VCluster::deadline_abort(int rank, const char* waiting_in) {
+  const std::string report = wait_for_report(rank, waiting_in);
+  std::fputs(report.c_str(), stderr);
+  obs::add(obs::Counter::kDeadlineAborts, 1);
+  clear_blocked(rank);
+  throw DeadlineExceeded(rank, report);
+}
+
+void VCluster::poison() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& box : boxes_) {
+    std::lock_guard lk(box->mu);
+    box->cv.notify_all();
+  }
+  std::lock_guard lk(bar_mu_);
+  bar_cv_.notify_all();
+}
+
+void VCluster::throw_cluster_aborted(int rank) const {
+  throw ClusterAborted(rank, "cluster aborted: another rank failed first");
 }
 
 int Comm::size() const { return owner_->size(); }
@@ -134,6 +452,7 @@ void Comm::send_bytes(int dst, int tag, const unsigned char* p,
                       std::size_t n) {
   FFW_CHECK(dst >= 0 && dst < size());
   FFW_CHECK_MSG(dst != rank_, "self-sends are not supported; keep local data local");
+  if (owner_->aborted()) owner_->throw_cluster_aborted(rank_);
   // Bridge wire volume into the per-rank obs counters (the per-tag
   // TagTraffic ledger below stays the source of truth for tests).
   obs::add(obs::Counter::kWireBytes, n);
@@ -143,28 +462,56 @@ void Comm::send_bytes(int dst, int tag, const unsigned char* p,
 std::vector<unsigned char> Comm::recv_bytes(int src, int tag) {
   FFW_CHECK(src >= 0 && src < size());
   VCluster::Mailbox& box = *owner_->boxes_[static_cast<std::size_t>(rank_)];
-  std::unique_lock lk(box.mu);
   const auto key = std::make_pair(src, tag);
-  box.cv.wait(lk, [&] {
-    auto it = box.q.find(key);
-    return it != box.q.end() && !it->second.empty();
-  });
+  owner_->publish_blocked(rank_, VCluster::BlockedState::Kind::kRecv, {key});
+  std::unique_lock lk(box.mu);
+  const auto pred = [&] {
+    if (owner_->aborted()) return true;
+    const auto it = box.q.find(key);
+    return it != box.q.end() && !it->second.ready.empty();
+  };
+  if (owner_->opts_.deadline_ms > 0) {
+    const auto dl = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(owner_->opts_.deadline_ms);
+    if (!box.cv.wait_until(lk, dl, pred)) {
+      lk.unlock();
+      owner_->deadline_abort(rank_, "recv");
+    }
+  } else {
+    box.cv.wait(lk, pred);
+  }
+  owner_->clear_blocked(rank_);
+  if (owner_->aborted()) {
+    lk.unlock();
+    owner_->throw_cluster_aborted(rank_);
+  }
   auto it = box.q.find(key);
-  std::vector<unsigned char> out = std::move(it->second.front());
-  it->second.pop_front();
-  return out;
+  VCluster::Frame frame = std::move(it->second.ready.front());
+  it->second.ready.pop_front();
+  lk.unlock();
+  if (crc32(frame.bytes.data(), frame.bytes.size()) != frame.crc) {
+    obs::add(obs::Counter::kCrcFailures, 1);
+    throw CorruptMessage(
+        rank_, "CRC mismatch on message (src=" + std::to_string(src) +
+                   ", tag=" + std::to_string(tag) +
+                   ", seq=" + std::to_string(frame.seq) + ", " +
+                   std::to_string(frame.bytes.size()) + " bytes)");
+  }
+  return std::move(frame.bytes);
 }
 
 bool Comm::probe(int src, int tag) {
   VCluster::Mailbox& box = *owner_->boxes_[static_cast<std::size_t>(rank_)];
   std::lock_guard lk(box.mu);
   auto it = box.q.find({src, tag});
-  return it != box.q.end() && !it->second.empty();
+  return it != box.q.end() && !it->second.ready.empty();
 }
 
 std::size_t Comm::wait_any(std::span<const std::pair<int, int>> keys) {
   FFW_CHECK_MSG(!keys.empty(), "wait_any needs at least one (src, tag) key");
   VCluster::Mailbox& box = *owner_->boxes_[static_cast<std::size_t>(rank_)];
+  owner_->publish_blocked(rank_, VCluster::BlockedState::Kind::kWaitAny,
+                          {keys.begin(), keys.end()});
   std::unique_lock lk(box.mu);
   // Rotate the scan start per call: a fixed start at index 0 services
   // the lowest-index peer first whenever several keys are ready, so
@@ -172,21 +519,38 @@ std::size_t Comm::wait_any(std::span<const std::pair<int, int>> keys) {
   // overlap schedule degenerates back into a fixed drain order.
   const std::size_t start = wait_any_start_++ % keys.size();
   std::size_t hit = keys.size();
-  box.cv.wait(lk, [&] {
+  const auto pred = [&] {
+    if (owner_->aborted()) return true;
     for (std::size_t k = 0; k < keys.size(); ++k) {
       const std::size_t i = (start + k) % keys.size();
       const auto it = box.q.find(keys[i]);
-      if (it != box.q.end() && !it->second.empty()) {
+      if (it != box.q.end() && !it->second.ready.empty()) {
         hit = i;
         return true;
       }
     }
     return false;
-  });
+  };
+  if (owner_->opts_.deadline_ms > 0) {
+    const auto dl = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(owner_->opts_.deadline_ms);
+    if (!box.cv.wait_until(lk, dl, pred)) {
+      lk.unlock();
+      owner_->deadline_abort(rank_, "wait_any");
+    }
+  } else {
+    box.cv.wait(lk, pred);
+  }
+  owner_->clear_blocked(rank_);
+  if (owner_->aborted()) {
+    lk.unlock();
+    owner_->throw_cluster_aborted(rank_);
+  }
   return hit;
 }
 
 void Comm::barrier() {
+  owner_->publish_blocked(rank_, VCluster::BlockedState::Kind::kBarrier, {});
   std::unique_lock lk(owner_->bar_mu_);
   const std::uint64_t gen = owner_->bar_gen_;
   if (++owner_->bar_count_ == owner_->size()) {
@@ -194,7 +558,24 @@ void Comm::barrier() {
     ++owner_->bar_gen_;
     owner_->bar_cv_.notify_all();
   } else {
-    owner_->bar_cv_.wait(lk, [&] { return owner_->bar_gen_ != gen; });
+    const auto pred = [&] {
+      return owner_->bar_gen_ != gen || owner_->aborted();
+    };
+    if (owner_->opts_.deadline_ms > 0) {
+      const auto dl = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(owner_->opts_.deadline_ms);
+      if (!owner_->bar_cv_.wait_until(lk, dl, pred)) {
+        lk.unlock();
+        owner_->deadline_abort(rank_, "barrier");
+      }
+    } else {
+      owner_->bar_cv_.wait(lk, pred);
+    }
+  }
+  owner_->clear_blocked(rank_);
+  if (owner_->aborted()) {
+    if (lk.owns_lock()) lk.unlock();
+    owner_->throw_cluster_aborted(rank_);
   }
 }
 
@@ -248,25 +629,37 @@ double Comm::allreduce_sum(double v) {
 }
 
 double Comm::allreduce_max(double v) {
-  // max = allreduce over the semigroup; reuse the doubling pattern with a
-  // local max fold via sum-of-deltas is wrong, so do gather-to-0 + bcast.
+  // Binomial-tree reduce to rank 0 followed by a binomial broadcast:
+  // 2(p-1) messages of 8 bytes total, and rank 0's incident degree is
+  // ceil(log2 p) per phase instead of the p-1 of a star gather — the
+  // same "traffic counters match a real MPI job" contract every other
+  // collective honors.
   const int p = size();
   if (p == 1) return v;
-  if (rank_ == 0) {
-    double best = v;
-    for (int r = 1; r < p; ++r) {
-      const std::vector<double> x = recv<double>(r, kTagCollective - 50);
-      best = std::max(best, x[0]);
-    }
-    for (int r = 1; r < p; ++r) {
+  double best = v;
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((rank_ & mask) != 0) {
+      // Lowest set bit reached: ship the partial max up the tree once.
       const double out[1] = {best};
-      send(r, kTagCollective - 51, std::span<const double>(out, 1));
+      send(rank_ ^ mask, kTagCollective - 50, std::span<const double>(out, 1));
+      break;
     }
-    return best;
+    const int peer = rank_ | mask;
+    if (peer < p)
+      best = std::max(best, recv<double>(peer, kTagCollective - 50)[0]);
   }
-  const double out[1] = {v};
-  send(0, kTagCollective - 50, std::span<const double>(out, 1));
-  return recv<double>(0, kTagCollective - 51)[0];
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if (rank_ < mask) {
+      const int child = rank_ + mask;
+      if (child < p) {
+        const double out[1] = {best};
+        send(child, kTagCollective - 51, std::span<const double>(out, 1));
+      }
+    } else if (rank_ < 2 * mask) {
+      best = recv<double>(rank_ - mask, kTagCollective - 51)[0];
+    }
+  }
+  return best;
 }
 
 template <typename T>

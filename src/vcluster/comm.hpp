@@ -13,13 +13,28 @@
 //    communication/computation overlap (Fig. 8) posts sends early and
 //    drains receives late, which this models faithfully.
 //  * recv() blocks until a matching (src, tag) message arrives; message
-//    order between a fixed (src, dst, tag) triple is FIFO.
+//    order between a fixed (src, dst, tag) triple is FIFO. FIFO holds
+//    under arbitrary delivery delays and injected reordering: every
+//    message carries a per-edge sequence number stamped at send, and the
+//    receiving mailbox commits frames in send order through a reorder
+//    buffer (duplicates are discarded by the same mechanism).
+//
+// Robustness layer (DESIGN.md Sec. 12): payloads are CRC32-framed at
+// send and verified at recv; a seeded FaultPlan (vcluster/fault.hpp) can
+// deterministically drop/duplicate/reorder/corrupt messages and stall or
+// crash ranks; recv/wait_any/barrier accept a deadline that converts a
+// silent hang into a DeadlineExceeded failure carrying the cluster
+// wait-for graph. Any CommFailure thrown in one rank poisons the
+// cluster, unblocks every other rank with ClusterAborted, and is
+// rethrown from run() so a supervisor can recover() and retry.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -28,6 +43,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "vcluster/fault.hpp"
 
 namespace ffw {
 
@@ -50,6 +66,18 @@ struct TagTraffic {
   std::uint64_t bytes = 0;
   std::uint64_t messages = 0;
   bool operator==(const TagTraffic&) const = default;
+};
+
+/// Cluster-wide communication options (install via
+/// VCluster::set_comm_options while no run() is in flight).
+struct CommOptions {
+  /// Deadline for every blocking wait (recv, wait_any, barrier) in
+  /// milliseconds; 0 disables. On expiry the blocked rank assembles the
+  /// cluster wait-for graph from all ranks' published blocked-on state
+  /// and pending-queue contents, dumps it to stderr, bumps the obs
+  /// kDeadlineAborts counter and throws DeadlineExceeded — a hang
+  /// becomes an actionable report naming the cycle.
+  int deadline_ms = 0;
 };
 
 class VCluster;
@@ -141,11 +169,18 @@ class VCluster {
 
   /// Run `rank_main` on every rank (one thread per rank) and join.
   /// Any FFW_CHECK failure in a rank aborts the process (fail-fast).
+  /// A CommFailure thrown by a rank (injected crash, CRC mismatch,
+  /// deadline expiry) poisons the cluster — every other blocked rank
+  /// unwinds with ClusterAborted — and the primary failure is rethrown
+  /// here after all rank threads joined. Call recover() before the next
+  /// run() after a failure.
   void run(const std::function<void(Comm&)>& rank_main);
 
   int size() const { return nranks_; }
 
-  /// Traffic observed since construction (or last reset).
+  /// Traffic observed since construction (or last reset). Counts payload
+  /// bytes only; the fixed per-message frame header (sequence number +
+  /// CRC32) is accounted separately in frame_overhead_bytes().
   TrafficStats traffic() const;
   void reset_traffic();
 
@@ -153,31 +188,100 @@ class VCluster {
   TagTraffic tag_traffic(int tag) const;
   std::map<int, TagTraffic> traffic_by_tag() const;
 
+  /// Total bytes of frame headers (kFrameBytes per message) since
+  /// construction or the last reset_traffic(). Kept out of the payload
+  /// ledger so per-tag wire volumes stay comparable across runs with and
+  /// without the robustness layer.
+  std::uint64_t frame_overhead_bytes() const;
+
+  /// Frame header size on the modeled wire: 8-byte per-edge sequence
+  /// number + 4-byte CRC32 of the payload.
+  static constexpr std::uint64_t kFrameBytes = 12;
+
   /// Inject an artificial delivery latency: `delay_us(src, dst, tag)` is
   /// evaluated on the sender thread (must be thread-safe) and the message
   /// becomes visible to the receiver only after that many microseconds —
   /// send() still returns immediately, so this models a slow interconnect
-  /// without stalling the sender. Used by the overlap tests/benches to
-  /// force out-of-order halo arrival. Caveat: two in-flight messages on
-  /// the same (src, dst, tag) triple may invert their FIFO order under
-  /// unequal delays; the MLFMA apply sends each (src, tag) at most once
-  /// per collective apply, and callers issuing repeated delayed applies
-  /// in one run() must fence them with barrier(). Pass nullptr to
+  /// without stalling the sender. Delivery order on one (src, dst, tag)
+  /// triple stays FIFO even under unequal delays: the receiver's reorder
+  /// buffer commits frames in sequence-number order. Pass nullptr to
   /// disable. Only call while no run() is in flight.
   void set_send_delay(std::function<int(int src, int dst, int tag)> delay_us);
 
+  /// Install (or, with a default-constructed plan, remove) a
+  /// deterministic fault-injection plan. Only call while no run() is in
+  /// flight. Crash/stall entries fire once each, keyed on cumulative
+  /// per-rank send counts that survive recover(), so a recovered run
+  /// does not replay an already-fired crash.
+  void install_fault_plan(FaultPlan plan);
+
+  /// What the injector actually did so far (cumulative, survives
+  /// recover()).
+  FaultStats fault_stats() const;
+
+  /// Cluster-wide wait deadlines etc. Only call while no run() is in
+  /// flight.
+  void set_comm_options(CommOptions opts);
+
+  /// Reset the cluster after a failed run(): clears the poison flag,
+  /// drops every undelivered frame and reorder-buffer entry, resets the
+  /// per-edge sequence counters and the barrier. Traffic and fault
+  /// statistics and the fired-crash bookkeeping are preserved. Only call
+  /// while no run() is in flight.
+  void recover();
+
  private:
   friend class Comm;
+
+  /// One framed message as it travels sender -> mailbox: payload plus
+  /// the per-edge sequence number and payload CRC32 stamped at deposit.
+  struct Frame {
+    std::uint64_t seq = 0;
+    std::uint32_t crc = 0;
+    std::vector<unsigned char> bytes;
+  };
+
+  /// Per-(src, tag) receive queue: frames commit to `ready` strictly in
+  /// sequence order; out-of-order arrivals park in `held` until the gap
+  /// fills. Duplicates (seq already committed or held) are discarded.
+  struct EdgeQueue {
+    std::uint64_t next_commit = 0;
+    std::map<std::uint64_t, Frame> held;
+    std::deque<Frame> ready;
+  };
 
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
     // keyed by (src, tag)
-    std::map<std::pair<int, int>, std::deque<std::vector<unsigned char>>> q;
+    std::map<std::pair<int, int>, EdgeQueue> q;
+  };
+
+  /// Published "what am I blocked on" state, one slot per rank; feeds
+  /// the wait-for graph a deadline expiry dumps.
+  struct BlockedState {
+    enum class Kind { kNone, kRecv, kWaitAny, kBarrier };
+    Kind kind = Kind::kNone;
+    std::vector<std::pair<int, int>> keys;  // (src, tag) being waited on
   };
 
   void deposit(int src, int dst, int tag, std::vector<unsigned char> bytes);
-  void deliver(int src, int dst, int tag, std::vector<unsigned char> bytes);
+  void deliver(int dst, int src, int tag, Frame frame);
+
+  void publish_blocked(int rank, BlockedState::Kind kind,
+                       std::vector<std::pair<int, int>> keys);
+  void clear_blocked(int rank);
+  /// Formats the cluster wait-for graph (blocked ranks, their keys,
+  /// pending-queue state, dependency cycle) as seen by `aborting_rank`.
+  std::string wait_for_report(int aborting_rank, const char* waiting_in);
+  /// Dumps the wait-for graph and throws DeadlineExceeded.
+  [[noreturn]] void deadline_abort(int rank, const char* waiting_in);
+
+  /// Marks the cluster failed and wakes every blocked rank so it can
+  /// throw ClusterAborted.
+  void poison();
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  [[noreturn]] void throw_cluster_aborted(int rank) const;
 
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
@@ -197,6 +301,31 @@ class VCluster {
   std::vector<std::uint64_t> bytes_;
   std::vector<std::uint64_t> messages_;
   std::map<int, TagTraffic> by_tag_;
+  std::uint64_t frame_bytes_ = 0;
+  // Per-edge send sequence stamps, keyed (src, dst, tag); guarded by
+  // stats_mu_ (deposit already holds it for the ledger).
+  std::map<std::tuple<int, int, int>, std::uint64_t> edge_seq_;
+  // Cumulative sends per rank (crash/stall triggers key off these).
+  std::vector<std::uint64_t> rank_sends_;
+
+  // Fault injection (vcluster/fault.hpp).
+  FaultPlan plan_;
+  bool plan_active_ = false;
+  std::vector<bool> crash_fired_;
+  std::vector<bool> stall_fired_;
+  mutable std::mutex fault_mu_;
+  FaultStats fault_stats_;
+
+  // Failure propagation.
+  CommOptions opts_;
+  std::atomic<bool> aborted_{false};
+  std::mutex fail_mu_;
+  std::exception_ptr first_failure_;
+  bool first_failure_primary_ = false;
+
+  // Blocked-on publication (wait-for graph inputs).
+  mutable std::mutex blocked_mu_;
+  std::vector<BlockedState> blocked_;
 };
 
 }  // namespace ffw

@@ -1,0 +1,113 @@
+#include "vcluster/fault.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ffw {
+
+namespace {
+
+/// Slicing-by-8 CRC-32 tables (reflected 0xEDB88320). Built once; halo
+/// panels are megabytes, so the byte-at-a-time variant would be the
+/// dominant cost of the framing.
+struct CrcTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+
+  CrcTables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t s = 1; s < 8; ++s) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+const CrcTables& crc_tables() {
+  static const CrcTables tables;
+  return tables;
+}
+
+/// splitmix64 finaliser: the per-field mixer of the decision hash.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Message-identity hash: every field goes through a full mix round so
+/// that (src, dst) and (dst, src) or consecutive seqs share no stream.
+std::uint64_t message_key(std::uint64_t seed, int src, int dst, int tag,
+                          std::uint64_t seq) {
+  std::uint64_t h = mix64(seed);
+  h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) |
+                 static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst))
+                     << 32));
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  h = mix64(h ^ seq);
+  return h;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const unsigned char* p, std::size_t n,
+                    std::uint32_t seed) {
+  const auto& t = crc_tables().t;
+  std::uint32_t c = ~seed;
+  while (n >= 8) {
+    // Little-endian 8-byte gather; bytes are consumed in address order,
+    // so the result matches the byte-at-a-time loop below.
+    const std::uint32_t lo = c ^ (static_cast<std::uint32_t>(p[0]) |
+                                  static_cast<std::uint32_t>(p[1]) << 8 |
+                                  static_cast<std::uint32_t>(p[2]) << 16 |
+                                  static_cast<std::uint32_t>(p[3]) << 24);
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             static_cast<std::uint32_t>(p[5]) << 8 |
+                             static_cast<std::uint32_t>(p[6]) << 16 |
+                             static_cast<std::uint32_t>(p[7]) << 24;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+        t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+        t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) c = t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  return ~c;
+}
+
+FaultAction fault_decide(const FaultPlan& plan, int src, int dst, int tag,
+                         std::uint64_t seq) {
+  const FaultSpec& spec = plan.spec_for(src, dst);
+  if (!spec.any()) return FaultAction::kNone;
+  Rng rng(message_key(plan.seed, src, dst, tag, seq));
+  const double u = rng.uniform();
+  double acc = spec.drop;
+  if (u < acc) return FaultAction::kDrop;
+  acc += spec.duplicate;
+  if (u < acc) return FaultAction::kDuplicate;
+  acc += spec.reorder;
+  if (u < acc) return FaultAction::kReorder;
+  acc += spec.corrupt;
+  if (u < acc) return FaultAction::kCorrupt;
+  return FaultAction::kNone;
+}
+
+std::size_t fault_corrupt_offset(const FaultPlan& plan, int src, int dst,
+                                 std::uint64_t seq, std::size_t len) {
+  FFW_CHECK(len > 0);
+  // Distinct stream from fault_decide (tag slot replaced by a marker) so
+  // the flipped byte is independent of the action draw.
+  return static_cast<std::size_t>(
+      message_key(plan.seed, src, dst, ~0, seq) % len);
+}
+
+}  // namespace ffw

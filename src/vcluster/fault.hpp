@@ -1,0 +1,167 @@
+// Deterministic fault injection and failure reporting for the virtual
+// cluster (DESIGN.md Sec. 12).
+//
+// At the paper's target scale (4,096 ranks, Sec. VII) message-timing
+// pathologies and rank failures are routine operating conditions, not
+// exceptions. This header defines the fault model the communication
+// layer implements:
+//
+//  * FaultPlan — a seeded, per-edge schedule of message drop /
+//    duplication / reorder / payload corruption plus rank stalls and
+//    rank crashes at the Nth send. Every decision is a pure function of
+//    (seed, src, dst, tag, sequence number), so a failing run replays
+//    bit-for-bit regardless of thread interleaving.
+//  * CommFailure hierarchy — what a rank observes when the cluster
+//    degrades: an injected crash (RankFailure), a CRC-detected corrupt
+//    payload (CorruptMessage), an expired wait deadline with the cluster
+//    wait-for graph attached (DeadlineExceeded), or the secondary
+//    "someone else failed first" signal (ClusterAborted).
+//  * crc32 — the frame checksum VCluster stamps on every payload at
+//    deposit and verifies at recv, so injected corruption is detected at
+//    the receive boundary instead of silently flowing into spectra.
+//
+// VCluster::run catches CommFailure from any rank thread, poisons the
+// cluster so every other rank unblocks with ClusterAborted, and rethrows
+// the primary failure to the caller — the supervisor loop of the
+// crash-recoverable DBIM driver (dbim/parallel_driver.hpp) catches it,
+// calls VCluster::recover() and resumes from the last atomic checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ffw {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `n` bytes. `seed` chains
+/// incremental computations; pass the previous return value to continue.
+std::uint32_t crc32(const unsigned char* p, std::size_t n,
+                    std::uint32_t seed = 0);
+
+// ---- Failure signals ----------------------------------------------------
+
+/// Base class of every communication-layer failure. `rank()` is the rank
+/// that first observed the failure.
+class CommFailure : public std::runtime_error {
+ public:
+  CommFailure(int rank, const std::string& what)
+      : std::runtime_error(what), rank_(rank) {}
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// An injected rank crash (FaultPlan::Crash fired at this rank's Nth
+/// send). Models a node failure: the send never reaches the wire.
+class RankFailure : public CommFailure {
+ public:
+  using CommFailure::CommFailure;
+};
+
+/// CRC mismatch between a frame's stamped checksum and its payload,
+/// detected at recv — corruption never flows into the solver.
+class CorruptMessage : public CommFailure {
+ public:
+  using CommFailure::CommFailure;
+};
+
+/// A recv/wait_any/barrier exceeded CommOptions::deadline_ms. what()
+/// carries the full cluster wait-for graph (every blocked rank with its
+/// (src, tag) keys, pending-queue state, and the dependency cycle if one
+/// exists).
+class DeadlineExceeded : public CommFailure {
+ public:
+  using CommFailure::CommFailure;
+};
+
+/// Secondary failure: another rank failed first and poisoned the
+/// cluster; this rank was unblocked so the whole run() can unwind.
+class ClusterAborted : public CommFailure {
+ public:
+  using CommFailure::CommFailure;
+};
+
+// ---- Fault plan ---------------------------------------------------------
+
+/// Per-message fault probabilities on one directed edge. Probabilities
+/// are evaluated independently per message in the order drop, duplicate,
+/// reorder, corrupt (at most one action fires per message).
+struct FaultSpec {
+  double drop = 0.0;       ///< message vanishes after send accounting
+  double duplicate = 0.0;  ///< delivered twice (same sequence number)
+  double reorder = 0.0;    ///< delivery held back ~reorder_hold_us
+  double corrupt = 0.0;    ///< one payload byte flipped in flight
+  int reorder_hold_us = 500;
+
+  bool any() const {
+    return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 || corrupt > 0.0;
+  }
+};
+
+/// Deterministic, seeded fault schedule for one cluster. Install with
+/// VCluster::install_fault_plan while no run() is in flight.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  /// Faults applied on every edge unless overridden below.
+  FaultSpec all;
+  /// Per-(src, dst) overrides (replace `all` entirely for that edge).
+  std::map<std::pair<int, int>, FaultSpec> per_edge;
+
+  /// Kill `rank` when its cumulative send counter reaches `at_send`
+  /// (1-based, counted across recoveries). Each entry fires exactly
+  /// once; schedule several entries to inject several crashes.
+  struct Crash {
+    int rank = 0;
+    std::uint64_t at_send = 1;
+  };
+  std::vector<Crash> crashes;
+
+  /// Stall `rank` for `duration_us` when its send counter reaches
+  /// `at_send` (fires once; pairs with deadlines to turn a slow rank
+  /// into a diagnosed abort instead of a silent hang).
+  struct Stall {
+    int rank = 0;
+    std::uint64_t at_send = 1;
+    int duration_us = 0;
+  };
+  std::vector<Stall> stalls;
+
+  const FaultSpec& spec_for(int src, int dst) const {
+    const auto it = per_edge.find({src, dst});
+    return it == per_edge.end() ? all : it->second;
+  }
+};
+
+/// What the injector actually did (queried via VCluster::fault_stats()).
+struct FaultStats {
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t stalls = 0;
+
+  std::uint64_t total() const {
+    return drops + duplicates + reorders + corruptions + crashes + stalls;
+  }
+  bool operator==(const FaultStats&) const = default;
+};
+
+/// Per-message fault decision, a pure function of the plan seed and the
+/// message identity (src, dst, tag, per-edge sequence number) — replays
+/// bit-for-bit no matter how rank threads interleave.
+enum class FaultAction { kNone, kDrop, kDuplicate, kReorder, kCorrupt };
+FaultAction fault_decide(const FaultPlan& plan, int src, int dst, int tag,
+                         std::uint64_t seq);
+
+/// Which payload byte a kCorrupt action flips (deterministic, in
+/// [0, len)). `len` must be nonzero.
+std::size_t fault_corrupt_offset(const FaultPlan& plan, int src, int dst,
+                                 std::uint64_t seq, std::size_t len);
+
+}  // namespace ffw

@@ -2,8 +2,12 @@
 // handling.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "io/checkpoint.hpp"
@@ -94,6 +98,111 @@ TEST(Checkpoint, RejectsTruncatedFile) {
 TEST(Checkpoint, MissingFileFails) {
   Checkpoint in;
   EXPECT_FALSE(in.load("/tmp/ffw_ckpt_does_not_exist.bin"));
+}
+
+TEST(Checkpoint, TruncationFuzzEvery64ByteOffset) {
+  // A writer killed mid-write leaves a prefix of the file. Every strict
+  // prefix must be rejected by load (never half-parsed into arrays), and
+  // producing the prefix elsewhere must leave the original loadable —
+  // jointly with SaveIsAtomicUnderConcurrentLoad this is the "crash at
+  // any byte offset loses nothing" guarantee.
+  Rng rng(11);
+  Checkpoint out;
+  cvec a(300), b(41);
+  rng.fill_cnormal(a);
+  rng.fill_cnormal(b);
+  out.put("a", a);
+  out.put("b", b);
+  out.put_scalar("iter", 9.0);
+  const std::string path = "/tmp/ffw_ckpt_fuzz.bin";
+  ASSERT_TRUE(out.save(path));
+
+  std::vector<char> whole;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    whole.resize(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(whole.data(), static_cast<std::streamsize>(whole.size()));
+  }
+  const std::string trunc_path = "/tmp/ffw_ckpt_fuzz_trunc.bin";
+  for (std::size_t cut = 0; cut < whole.size(); cut += 64) {
+    {
+      std::ofstream f(trunc_path, std::ios::binary | std::ios::trunc);
+      f.write(whole.data(), static_cast<std::streamsize>(cut));
+    }
+    Checkpoint in;
+    EXPECT_FALSE(in.load(trunc_path)) << "cut=" << cut;
+    EXPECT_EQ(in.size(), 0u) << "cut=" << cut;
+    // The prior (complete) file is untouched by the failed writer.
+    Checkpoint prior;
+    ASSERT_TRUE(prior.load(path)) << "cut=" << cut;
+    EXPECT_LT(rel_l2_diff(prior.get("a"), a), 1e-16);
+  }
+  std::remove(path.c_str());
+  std::remove(trunc_path.c_str());
+}
+
+TEST(Checkpoint, SaveIsAtomicUnderConcurrentLoad) {
+  // Regression for the direct-open save: while a large save is in
+  // flight, a reader racing it must only ever observe the previous
+  // complete checkpoint or the new complete checkpoint — never a
+  // truncated in-progress file. Pre-fix, save() opened the destination
+  // itself, so concurrent loads (and any crash mid-write) saw a torn
+  // file; now the write lands in <path>.tmp and is renamed into place.
+  const std::string path = "/tmp/ffw_ckpt_atomic.bin";
+  const std::size_t n = 1u << 19;  // 8 MB payload: a wide write window
+  Checkpoint old_ck;
+  old_ck.put("gen", cvec(n, cplx{1.0, 0.0}));
+  ASSERT_TRUE(old_ck.save(path));
+
+  std::atomic<bool> done{false};
+  std::atomic<int> bad{0}, seen{0};
+  std::thread reader([&] {
+    while (!done.load()) {
+      Checkpoint in;
+      if (!in.load(path)) {
+        ++bad;  // a torn/partial file was visible
+        continue;
+      }
+      ++seen;
+      const cvec& g = in.get("gen");
+      ASSERT_EQ(g.size(), n);
+      const double v = g[0].real();
+      EXPECT_TRUE(v == 1.0 || v == 2.0) << v;
+    }
+  });
+  for (int rep = 0; rep < 8; ++rep) {
+    Checkpoint next;
+    next.put("gen", cvec(n, cplx{2.0, 0.0}));
+    ASSERT_TRUE(next.save(path));
+  }
+  done.store(true);
+  reader.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GT(seen.load(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FailedSaveLeavesPriorFileIntact) {
+  const std::string path = "/tmp/ffw_ckpt_keep.bin";
+  Checkpoint good;
+  good.put_scalar("x", 7.0);
+  ASSERT_TRUE(good.save(path));
+
+  // Block the temp slot with a directory: the new save cannot even open
+  // its scratch file, must report failure, and must not have touched the
+  // destination.
+  const std::string tmp = path + ".tmp";
+  ASSERT_EQ(std::remove(tmp.c_str()), -1);  // no stale temp left behind
+  ASSERT_EQ(mkdir(tmp.c_str(), 0700), 0);
+  Checkpoint next;
+  next.put_scalar("x", 8.0);
+  EXPECT_FALSE(next.save(path));
+  Checkpoint in;
+  ASSERT_TRUE(in.load(path));
+  EXPECT_DOUBLE_EQ(in.get_scalar("x"), 7.0);
+  rmdir(tmp.c_str());
+  std::remove(path.c_str());
 }
 
 TEST(DbimCheckpointState, RoundTrip) {

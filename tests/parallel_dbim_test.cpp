@@ -3,8 +3,11 @@
 // trajectory (up to floating-point ordering) and the same image.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "dbim/parallel_driver.hpp"
 #include "phantom/setup.hpp"
+#include "vcluster/fault.hpp"
 
 namespace ffw {
 namespace {
@@ -81,6 +84,118 @@ TEST(ParallelDbim, IlluminationSyncTrafficIsTwicePerIteration) {
   // the same pattern. Bound: well under 100 messages per iteration, and
   // zero MLFMA halo bytes (tree not partitioned).
   EXPECT_LT(t.total_messages(), 100u * 3u);
+}
+
+TEST(ParallelDbim, SurvivesInjectedCrashesViaCheckpointRestart) {
+  // End-to-end crash recovery: two injected rank crashes mid-run must
+  // leave the reconstruction indistinguishable from the fault-free one.
+  // The driver's supervisor catches each RankFailure, recovers the
+  // cluster and resumes from the last atomically-saved checkpoint.
+  SceneFixture f;
+  DbimOptions opts;
+  opts.max_iterations = 6;
+  // Warm-started background fields are deliberately not checkpointed
+  // (they are re-derived on resume); with warm starts off every iterate
+  // is a pure function of the checkpointed outer-loop state, so the
+  // crashed run must match the fault-free run to rounding.
+  opts.warm_start_fields = false;
+
+  ParallelDbimConfig pcfg;
+  pcfg.illum_groups = 2;
+  pcfg.tree_ranks = 2;
+  pcfg.dbim = opts;
+  pcfg.checkpoint_path = "/tmp/ffw_dbim_e2e_ref.ckpt";
+
+  constexpr int p = 4;
+  VCluster vc_ref(p);
+  const DbimResult ref = dbim_reconstruct_parallel(
+      vc_ref, f.scene->tree(), f.scene->transceivers(),
+      f.scene->measurements(), pcfg);
+
+  // Place the crashes from the fault-free run's per-rank send totals:
+  // rank 1 dies ~40% in, rank 2 ~70% in. The 1-based send counters are
+  // cumulative across recoveries and every value is eventually reached,
+  // so any at_send below the clean-run total is guaranteed to fire.
+  const TrafficStats t = vc_ref.traffic();
+  const auto sends_of = [&t](int r) {
+    std::uint64_t s = 0;
+    for (int d = 0; d < p; ++d) s += t.messages[r * p + d];
+    return s;
+  };
+  ASSERT_GT(sends_of(1), 10u);
+  ASSERT_GT(sends_of(2), 10u);
+
+  FaultPlan plan;
+  plan.crashes.push_back({1, sends_of(1) * 2 / 5});
+  plan.crashes.push_back({2, sends_of(2) * 7 / 10});
+
+  pcfg.checkpoint_path = "/tmp/ffw_dbim_e2e_crash.ckpt";
+  pcfg.max_restarts = 2;
+  VCluster vc_crash(p);
+  vc_crash.install_fault_plan(plan);
+  const DbimResult crashed = dbim_reconstruct_parallel(
+      vc_crash, f.scene->tree(), f.scene->transceivers(),
+      f.scene->measurements(), pcfg);
+
+  EXPECT_EQ(vc_crash.fault_stats().crashes, 2u);
+  ASSERT_EQ(crashed.history.relative_residual.size(),
+            ref.history.relative_residual.size());
+  for (std::size_t i = 0; i < ref.history.relative_residual.size(); ++i) {
+    EXPECT_NEAR(crashed.history.relative_residual[i],
+                ref.history.relative_residual[i],
+                1e-10 * ref.history.relative_residual[i])
+        << "iteration " << i;
+  }
+  EXPECT_LE(image_rmse(crashed.contrast, ref.contrast), 1e-10);
+  std::remove("/tmp/ffw_dbim_e2e_ref.ckpt");
+  std::remove("/tmp/ffw_dbim_e2e_crash.ckpt");
+}
+
+TEST(ParallelDbim, CrashBeforeFirstCheckpointRestartsFromScratch) {
+  // A crash before any iteration completes finds no checkpoint on disk;
+  // the supervisor must rerun from scratch and still converge.
+  SceneFixture f;
+  ParallelDbimConfig pcfg;
+  pcfg.illum_groups = 2;
+  pcfg.tree_ranks = 1;
+  pcfg.dbim.max_iterations = 3;
+  pcfg.dbim.warm_start_fields = false;
+  pcfg.checkpoint_path = "/tmp/ffw_dbim_e2e_early.ckpt";
+  pcfg.max_restarts = 1;
+
+  VCluster vc_ref(2);
+  const DbimResult ref = dbim_reconstruct_parallel(
+      vc_ref, f.scene->tree(), f.scene->transceivers(),
+      f.scene->measurements(), pcfg);
+  std::remove("/tmp/ffw_dbim_e2e_early.ckpt");
+
+  FaultPlan plan;
+  plan.crashes.push_back({1, 1});  // rank 1 dies on its very first send
+  VCluster vc(2);
+  vc.install_fault_plan(plan);
+  const DbimResult got = dbim_reconstruct_parallel(
+      vc, f.scene->tree(), f.scene->transceivers(), f.scene->measurements(),
+      pcfg);
+  EXPECT_EQ(vc.fault_stats().crashes, 1u);
+  EXPECT_LE(image_rmse(got.contrast, ref.contrast), 1e-12);
+  std::remove("/tmp/ffw_dbim_e2e_early.ckpt");
+}
+
+TEST(ParallelDbim, ExhaustedRestartBudgetPropagatesTheFailure) {
+  // With max_restarts = 0 the supervisor must not mask the failure.
+  SceneFixture f;
+  ParallelDbimConfig pcfg;
+  pcfg.illum_groups = 2;
+  pcfg.tree_ranks = 1;
+  pcfg.dbim.max_iterations = 2;
+  FaultPlan plan;
+  plan.crashes.push_back({1, 1});
+  VCluster vc(2);
+  vc.install_fault_plan(plan);
+  EXPECT_THROW(dbim_reconstruct_parallel(vc, f.scene->tree(),
+                                         f.scene->transceivers(),
+                                         f.scene->measurements(), pcfg),
+               RankFailure);
 }
 
 }  // namespace

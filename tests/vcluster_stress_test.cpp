@@ -260,6 +260,71 @@ TEST(VClusterCollectives, AllreduceSumNonPowerOfTwoRanks) {
   }
 }
 
+TEST(VClusterCollectives, AllreduceMaxBinomialTraffic) {
+  // allreduce_max = binomial reduce to rank 0 + binomial broadcast:
+  // exactly 2(p-1) one-double messages, and rank 0's incident edge count
+  // is ceil(log2 p) per phase — the star gather it replaced put p-1
+  // messages on rank 0's edges in each direction. The per-edge pattern
+  // below is computed by replaying the tree schedules analytically.
+  for (const int p : {3, 5, 6, 12}) {
+    obs::set_enabled(false);
+    obs::reset();
+    obs::set_enabled(true);
+    VCluster vc(p);
+    vc.run([&](Comm& c) {
+      // Distinct values; the max lives at a non-root rank.
+      const double mine = c.rank() == p - 1 ? 100.0 : static_cast<double>(c.rank());
+      ASSERT_DOUBLE_EQ(c.allreduce_max(mine), 100.0) << "p=" << p;
+    });
+    obs::set_enabled(false);
+
+    // Analytic per-edge message counts.
+    std::vector<std::uint64_t> expect_msgs(
+        static_cast<std::size_t>(p) * static_cast<std::size_t>(p), 0);
+    const auto edge = [&](int s, int d) -> std::uint64_t& {
+      return expect_msgs[static_cast<std::size_t>(s) * p + d];
+    };
+    for (int r = 1; r < p; ++r) {        // reduce: each non-root sends once,
+      for (int mask = 1; mask < p; mask <<= 1) {
+        if ((r & mask) != 0) {           // up the lowest-set-bit edge
+          edge(r, r ^ mask) += 1;
+          break;
+        }
+      }
+    }
+    for (int mask = 1; mask < p; mask <<= 1) {  // broadcast from rank 0
+      for (int r = 0; r < mask && r + mask < p; ++r) edge(r, r + mask) += 1;
+    }
+
+    const TrafficStats t = vc.traffic();
+    EXPECT_EQ(t.total_messages(), static_cast<std::uint64_t>(2 * (p - 1)))
+        << "p=" << p;
+    EXPECT_EQ(t.total_bytes(),
+              static_cast<std::uint64_t>(2 * (p - 1)) * sizeof(double))
+        << "p=" << p;
+    std::uint64_t rank0_incident = 0;
+    for (int s = 0; s < p; ++s) {
+      for (int d = 0; d < p; ++d) {
+        EXPECT_EQ(t.messages[static_cast<std::size_t>(s) * p + d],
+                  edge(s, d))
+            << "p=" << p << " edge " << s << "->" << d;
+        if (s == 0 || d == 0)
+          rank0_incident += t.messages[static_cast<std::size_t>(s) * p + d];
+      }
+    }
+    // ceil(log2 p) recvs in the reduce + ceil(log2 p) sends in the bcast.
+    const std::uint64_t logp = static_cast<std::uint64_t>(
+        std::bit_width(static_cast<unsigned>(p - 1)));
+    EXPECT_EQ(rank0_incident, 2 * logp) << "p=" << p;
+
+    // Per-rank obs wire counters agree with the ledger.
+    std::uint64_t total = 0;
+    for (int r = 0; r < p; ++r) total += wire_bytes(r);
+    EXPECT_EQ(total, t.total_bytes()) << "p=" << p;
+    obs::reset();
+  }
+}
+
 TEST(VClusterCollectives, BcastNonPowerOfTwoRanks) {
   for (const int p : {3, 5, 6, 12}) {
     for (const int root : {0, p - 1}) {

@@ -215,6 +215,61 @@ TEST(VCluster, DelayedSendsDeliverEventually) {
   vc.set_send_delay(nullptr);
 }
 
+TEST(VCluster, FifoHoldsUnderInvertedDelays) {
+  // Regression: two in-flight messages on one (src, dst, tag) triple with
+  // deliberately inverted delays — the first send crawls (20 ms), the
+  // second flies (0 ms). Pre-fix the second message *arrived* first and
+  // recv returned them inverted; the per-edge sequence numbers stamped at
+  // deposit now make the receiver's reorder buffer hold the early
+  // arrival until the gap fills, so FIFO order is restored without any
+  // barrier() fencing.
+  VCluster vc(2);
+  std::atomic<int> nth{0};
+  vc.set_send_delay([&nth](int, int, int tag) {
+    if (tag != 6) return 0;
+    return nth++ == 0 ? 20000 : 0;  // first message slow, rest instant
+  });
+  vc.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 4; ++i) {
+        const double v[1] = {static_cast<double>(i)};
+        c.send(1, 6, std::span<const double>(v, 1));
+      }
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(c.recv<double>(0, 6)[0], static_cast<double>(i));
+      }
+    }
+  });
+  vc.set_send_delay(nullptr);
+}
+
+TEST(VCluster, ProbeHonorsCommitOrderUnderDelays) {
+  // probe/wait_any must not see a held out-of-order frame: until the slow
+  // first message lands, the queue reads as empty even though the fast
+  // second message has physically arrived.
+  VCluster vc(2);
+  std::atomic<int> nth{0};
+  vc.set_send_delay([&nth](int, int, int tag) {
+    if (tag != 6) return 0;
+    return nth++ == 0 ? 30000 : 0;
+  });
+  vc.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const double a[1] = {1.0}, b[1] = {2.0};
+      c.send(1, 6, std::span<const double>(a, 1));  // delayed 30 ms
+      c.send(1, 6, std::span<const double>(b, 1));  // immediate
+      c.barrier();
+    } else {
+      c.barrier();  // the fast frame has arrived, but is held out of order
+      EXPECT_FALSE(c.probe(0, 6));
+      EXPECT_DOUBLE_EQ(c.recv<double>(0, 6)[0], 1.0);
+      EXPECT_DOUBLE_EQ(c.recv<double>(0, 6)[0], 2.0);
+    }
+  });
+  vc.set_send_delay(nullptr);
+}
+
 TEST(VCluster, ProbeSeesQueuedMessage) {
   VCluster vc(2);
   vc.run([](Comm& c) {
