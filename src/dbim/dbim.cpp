@@ -1,5 +1,6 @@
 #include "dbim/dbim.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/kernels.hpp"
@@ -32,9 +33,20 @@ void DbimWorkspace::set_background(ccspan contrast, bool keep_fields) {
   solver_.set_contrast(contrast);
   if (!keep_fields) {
     std::fill(phi_b_valid_.begin(), phi_b_valid_.end(), false);
+    // Recycle snapshots follow the same reset policy as the warm-started
+    // fields: a run that restarts its fields (e.g. crash recovery)
+    // re-derives its Krylov seeds from scratch, keeping the recovered
+    // trajectory identical to the fault-free one.
+    rec_grad_.clear();
+    rec_step_.clear();
   }
   // Otherwise background fields stay as warm starts for the next
   // residual pass.
+}
+
+void DbimWorkspace::set_recycling(std::size_t depth, double ridge) {
+  rec_grad_ = KrylovRecycler(RecycleOptions{depth, ridge});
+  rec_step_ = KrylovRecycler(RecycleOptions{depth, ridge});
 }
 
 double DbimWorkspace::residual_pass(int t, cspan residual) {
@@ -79,17 +91,27 @@ double DbimWorkspace::step_pass(int t, ccspan direction) {
 
 bool DbimWorkspace::block_solve(ccspan rhs, cspan x, std::size_t nrhs,
                                 bool adjoint) {
+  // Eisenstat-Walker forcing: a positive forcing tolerance (always >=
+  // the solver's base tolerance, the driver clamps) loosens the target
+  // of every Krylov solve of this DBIM iteration.
+  const double base = solver_.options().tol;
+  const double tol = forcing_tol_ > 0.0 ? std::max(forcing_tol_, base) : base;
   if (solver_.mixed_engine() != nullptr) {
     RefinedOptions ro;
-    ro.tol = solver_.options().tol;
+    ro.tol = tol;
+    // A loose outer target makes ultra-tight inner sweeps pointless:
+    // keep the inner tolerance at least as loose as the outer one.
+    ro.inner.tol = std::max(ro.inner.tol, tol);
     const RefinedResult res =
         adjoint ? solver_.solve_adjoint_block_refined(rhs, x, nrhs, ro)
                 : solver_.solve_block_refined(rhs, x, nrhs, ro);
     return res.converged;
   }
+  solver_.set_tolerance(tol);
   const BlockBicgstabResult res = adjoint
                                       ? solver_.solve_adjoint_block(rhs, x, nrhs)
                                       : solver_.solve_block(rhs, x, nrhs);
+  solver_.set_tolerance(base);
   return res.converged;
 }
 
@@ -141,8 +163,13 @@ void DbimWorkspace::gradient_pass_all(ccspan residuals, cspan grad_accum) {
                   ccspan{g1.data() + t * npix_, npix_},
                   cspan{w2.data() + t * npix_, npix_});
   }
+  // Column-major natural-order panels are the npanels == 1 block layout;
+  // the recycler seeds each transmitter's column independently.
+  const BlockLayout lon{npix_, tc, 1};
+  rec_grad_.seed(w2, w3, lon);
   FFW_CHECK_MSG(block_solve(w2, w3, tc, /*adjoint=*/true),
                 "DBIM gradient-pass block solve diverged");
+  rec_grad_.store(w2, w3, lon);
   solver_.apply_g0_herm_block(w3, w4, tc);
   for (std::size_t t = 0; t < tc; ++t) {
     const cplx* phi = phi_b_.col(t).data();
@@ -164,8 +191,11 @@ double DbimWorkspace::step_pass_all(ccspan direction) {
              cspan{u1.data() + t * npix_, npix_});
   }
   solver_.apply_g0_block(u1, u2, tc);
+  const BlockLayout lon{npix_, tc, 1};
+  rec_step_.seed(u2, w, lon);
   FFW_CHECK_MSG(block_solve(u2, w, tc, /*adjoint=*/false),
                 "DBIM step-pass block solve diverged");
+  rec_step_.store(u2, w, lon);
   double denom = 0.0;
   for (std::size_t t = 0; t < tc; ++t) {
     diag_mul_acc(solver_.contrast_natural(),
@@ -185,6 +215,15 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
   DbimWorkspace ws(engine, trx, measured, fw_opts);
   if (opts.mixed_engine != nullptr) {
     ws.solver().set_mixed_engine(opts.mixed_engine);
+  }
+  if (opts.near_precondition) {
+    ws.solver().set_near_preconditioner(
+        true, opts.mixed_engine != nullptr ? Precision::kMixed
+                                           : Precision::kDouble);
+  }
+  if (opts.recycle_depth > 0) {
+    ws.set_recycling(static_cast<std::size_t>(opts.recycle_depth),
+                     opts.recycle_ridge);
   }
   const std::size_t n = ws.num_pixels();
   const int t_count = ws.num_illuminations();
@@ -227,6 +266,20 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
 
   for (int iter = start_iter; iter < opts.max_iterations; ++iter) {
     FFW_TRACE_SPAN("dbim.iteration", iter);
+    if (opts.adaptive_forcing) {
+      // Lagged Eisenstat-Walker forcing: every solve of this iteration
+      // targets c * (last outer residual), clamped to [base_tol, cap].
+      // On resume the lagged residual comes from the checkpointed
+      // history, so the recovered tolerances are bit-identical.
+      const auto& hist = out.history.relative_residual;
+      const double base = fw_opts.tol;
+      double ftol = std::max(base, opts.forcing_cap);
+      if (!hist.empty()) {
+        ftol = std::clamp(opts.forcing_c * hist.back(), base,
+                          std::max(base, opts.forcing_cap));
+      }
+      ws.set_forcing_tolerance(ftol);
+    }
     ws.set_background(out.contrast, opts.warm_start_fields);
 
     // Pass 1+2: residuals and gradient, each as one blocked solve over
@@ -304,6 +357,8 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
 
   out.history.forward_solves = ws.solver().stats().solves;
   out.history.mlfma_applications = ws.solver().stats().mlfma_applications;
+  out.history.bicgstab_iterations = ws.solver().stats().bicgs_iterations;
+  out.history.precond_setup_seconds = ws.solver().stats().precond_setup_seconds;
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dbim/frechet.hpp"
+#include "forward/recycle.hpp"
 #include "io/checkpoint.hpp"
 #include "linalg/cmatrix.hpp"
 
@@ -60,6 +61,29 @@ struct DbimOptions {
   /// refinement (forward/refined.hpp) with the fp32 engine doing the
   /// Krylov sweeps and the fp64 engine only the outer residuals.
   MlfmaEngine* mixed_engine = nullptr;
+  /// Near-field block-Jacobi right preconditioning of every Krylov solve
+  /// (forward/precond.hpp). Factor storage follows the precision policy:
+  /// fp32 under a mixed engine, fp64 otherwise.
+  bool near_precondition = false;
+  /// Eisenstat-Walker adaptive forcing: the inner Krylov tolerance of
+  /// DBIM iteration k is clamp(forcing_c * relres_{k-1}, base_tol,
+  /// forcing_cap) — loose while the Gauss-Newton residual is large,
+  /// tightening as it shrinks, so early iterations stop over-solving.
+  /// Deliberately *lagged* (all three passes of iteration k use the
+  /// previous iteration's residual): the tolerance is then a pure
+  /// function of the checkpointed residual history, so a crash-recovered
+  /// run re-derives bit-identical tolerances.
+  bool adaptive_forcing = false;
+  double forcing_c = 0.1;
+  double forcing_cap = 1e-2;
+  /// Krylov recycling depth: retain this many (rhs, solution) block
+  /// snapshots of the gradient and step-length solves and seed each new
+  /// solve from their least-squares combination (forward/recycle.hpp).
+  /// 0 disables. Recycle state is never checkpointed; drivers clear it
+  /// whenever the background fields reset, which keeps crash-recovered
+  /// runs on the fault-free trajectory.
+  int recycle_depth = 0;
+  double recycle_ridge = 1e-12;
 };
 
 struct DbimHistory {
@@ -68,6 +92,13 @@ struct DbimHistory {
   std::vector<double> relative_residual;
   std::uint64_t forward_solves = 0;
   std::uint64_t mlfma_applications = 0;
+  /// Total BiCGStab iterations spent across every Krylov solve of the
+  /// reconstruction — the cost metric the iteration-reduction layer
+  /// (preconditioning + forcing + recycling) targets.
+  std::uint64_t bicgstab_iterations = 0;
+  /// Wall time spent LU-factoring the near-field block preconditioner
+  /// (zero when near_precondition is off).
+  double precond_setup_seconds = 0.0;
 };
 
 struct DbimResult {
@@ -125,6 +156,16 @@ class DbimWorkspace {
   int num_illuminations() const;
   std::size_t num_pixels() const { return npix_; }
 
+  /// Eisenstat-Walker hook: inner Krylov tolerance for subsequent block
+  /// solves (0 = use the solver's base tolerance). The base tolerance
+  /// always acts as a floor.
+  void set_forcing_tolerance(double tol) { forcing_tol_ = tol; }
+
+  /// Enables Krylov recycling of the gradient and step-length block
+  /// solves (depth 0 disables). Snapshots are cleared whenever
+  /// set_background drops the warm-started fields.
+  void set_recycling(std::size_t depth, double ridge);
+
  private:
   /// Block solve routed through mixed-precision refinement when a mixed
   /// engine is registered on the solver; returns convergence.
@@ -140,6 +181,12 @@ class DbimWorkspace {
   CMatrix phi_b_;
   std::vector<bool> phi_b_valid_;
   cvec scratch_r_;
+  double forcing_tol_ = 0.0;
+  // Recycled (rhs, solution) snapshots of the gradient / step-length
+  // block solves across DBIM iterations (residual passes warm-start from
+  // phi_b_ instead). Disabled at depth 0.
+  KrylovRecycler rec_grad_{RecycleOptions{0, 1e-12}};
+  KrylovRecycler rec_step_{RecycleOptions{0, 1e-12}};
 };
 
 /// Serial DBIM driver (all illuminations on this process).

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
 
+#include "forward/precond.hpp"
+#include "forward/recycle.hpp"
 #include "linalg/kernels.hpp"
 
 namespace ffw {
@@ -28,6 +31,14 @@ struct RankCtx {
   std::size_t nloc = 0;                  // local pixel count
   std::vector<std::uint32_t> nat_idx;    // natural pixel index per local q
   cvec o_loc;                            // background contrast slice
+  // Iteration-reduction state (ISSUE 6): the Eisenstat-Walker tolerance
+  // of the current iteration, the rank-local near-field block-Jacobi
+  // (communication-free: it only inverts leaf self blocks this rank
+  // owns), and the Krylov recycling histories of the gradient and
+  // step-length solves.
+  double forcing_tol = 0.0;
+  std::unique_ptr<NearFieldBlockJacobi> precond;
+  KrylovRecycler rec_grad, rec_step;
   // Background fields of all local transmitters as ONE block vector in
   // the leaf-interleaved layout (panel = pixels_per_leaf, one column per
   // local illumination), so the residual pass is a single block solve.
@@ -72,16 +83,26 @@ struct RankCtx {
     }
   }
 
+  /// Per-iteration Krylov options: the base tolerance loosened to the
+  /// Eisenstat-Walker forcing tolerance when one is active.
+  BicgstabOptions krylov_opts() const {
+    BicgstabOptions o = cfg->forward;
+    if (forcing_tol > 0.0) o.tol = std::max(forcing_tol, o.tol);
+    return o;
+  }
+
   BlockBicgstabResult solve_forward_block(ccspan rhs, cspan x) {
     return block_bicgstab(
         [this](ccspan in, cspan out) { forward_op_block(in, out); }, rhs, x,
-        lo, cfg->forward, tree_reduce());
+        lo, krylov_opts(), tree_reduce(),
+        PrecondContext{precond.get(), lo, /*herm=*/false});
   }
 
   BlockBicgstabResult solve_adjoint_block(ccspan rhs, cspan x) {
     return block_bicgstab(
         [this](ccspan in, cspan out) { adjoint_op_block(in, out); }, rhs, x,
-        lo, cfg->forward, tree_reduce());
+        lo, krylov_opts(), tree_reduce(),
+        PrecondContext{precond.get(), lo, /*herm=*/true});
   }
 
   /// G_R projections of all block columns at once: cols[t] = G_R v_t,
@@ -148,7 +169,12 @@ struct RankCtx {
       block_col_set(lo, g1, i, g);
     }
     block_diag_mul_conj(lo, o_loc, g1, w2);
+    // Krylov recycling: seed from the least-squares combination of the
+    // retained (rhs, solution) pairs — collective over the tree group,
+    // one batched reduction.
+    rec_grad.seed(w2, w3, lo, tree_reduce());
     FFW_CHECK(solve_adjoint_block(w2, w3).converged);
+    rec_grad.store(w2, w3, lo);
     pm->apply_herm_block(*comm, w3, w4, lo.nrhs, rank_base);
     for (std::size_t c = 0; c < lo.npanels; ++c) {
       cplx* gq = grad_loc.data() + c * lo.panel;
@@ -168,7 +194,9 @@ struct RankCtx {
     cvec u1(lo.size()), u2(lo.size()), w(lo.size(), cplx{});
     block_diag_mul(lo, d_loc, phi_b, u1);
     pm->apply_block(*comm, u1, u2, lo.nrhs, rank_base);
+    rec_step.seed(u2, w, lo, tree_reduce());
     FFW_CHECK(solve_forward_block(u2, w).converged);
+    rec_step.store(u2, w, lo);
     for (std::size_t c = 0; c < lo.npanels; ++c) {
       const cplx* op = o_loc.data() + c * lo.panel;
       for (std::size_t r = 0; r < lo.nrhs; ++r) {
@@ -246,10 +274,28 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
     ctx.lo = BlockLayout{np, ctx.local_t.size(), ctx.nloc / np};
     ctx.phi_b.assign(ctx.lo.size(), cplx{});
     ctx.reset_phi_to_incident();
+    if (config.dbim.recycle_depth > 0) {
+      const RecycleOptions ro{
+          static_cast<std::size_t>(config.dbim.recycle_depth),
+          config.dbim.recycle_ridge};
+      ctx.rec_grad = KrylovRecycler(ro);
+      ctx.rec_step = KrylovRecycler(ro);
+    }
+    if (config.dbim.near_precondition) {
+      FFW_CHECK_MSG(pm.nearfield().precision() == Precision::kDouble,
+                    "parallel DBIM near-field preconditioner needs fp64 "
+                    "near-field tables");
+    }
 
     cvec grad(ctx.nloc), grad_prev(ctx.nloc), direction(ctx.nloc),
         residuals(measured.rows() * ctx.local_t.size());
     double grad_prev_norm2 = 0.0;
+    // Lagged Eisenstat-Walker state: the outer residual of the previous
+    // completed iteration (< 0 = none yet). On resume it is recovered
+    // from the checkpointed residual history — binary doubles, so the
+    // recovered forcing tolerances are bit-identical to the fault-free
+    // run's.
+    double prev_relres = -1.0;
     int start_iter = 0;
     if (have_resume) {
       // The checkpoint stores full natural-order arrays, so every rank
@@ -268,10 +314,27 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
       }
       grad_prev_norm2 = std::pow(nrm2(resume_state.gradient_prev), 2);
       start_iter = resume_state.iteration;
+      if (!resume_state.residual_history.empty())
+        prev_relres = resume_state.residual_history.back();
     }
     DotReducer red = ctx.tree_reduce();
 
     for (int iter = start_iter; iter < config.dbim.max_iterations; ++iter) {
+      // Rebuild the rank-local block-Jacobi for the current background
+      // contrast: rank-local leaf self blocks only, so the factorisation
+      // is communication-free.
+      if (config.dbim.near_precondition) {
+        ctx.precond = std::make_unique<NearFieldBlockJacobi>(
+            pm.nearfield().type(4), ccspan{ctx.o_loc}, Precision::kDouble);
+      }
+      if (config.dbim.adaptive_forcing) {
+        const double base = config.forward.tol;
+        const double cap = std::max(base, config.dbim.forcing_cap);
+        ctx.forcing_tol =
+            prev_relres >= 0.0
+                ? std::clamp(config.dbim.forcing_c * prev_relres, base, cap)
+                : cap;
+      }
       // Pass 1 + 2: residual and gradient, each as one block solve over
       // the whole local illumination set.
       std::fill(grad.begin(), grad.end(), cplx{});
@@ -279,8 +342,14 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
       if (!ctx.local_t.empty()) {
         // Mirror the serial driver's warm-start policy: with
         // warm_start_fields off the block solve restarts from the
-        // incident fields instead of the previous background fields.
-        if (!config.dbim.warm_start_fields) ctx.reset_phi_to_incident();
+        // incident fields instead of the previous background fields, and
+        // the recycle histories reset with them (keeps every iterate a
+        // pure function of the checkpointed outer-loop state).
+        if (!config.dbim.warm_start_fields) {
+          ctx.reset_phi_to_incident();
+          ctx.rec_grad.clear();
+          ctx.rec_step.clear();
+        }
         cost_loc = ctx.residual_pass_all(residuals);
         ctx.gradient_pass_all(residuals, grad);
       }
@@ -296,6 +365,7 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
       }
 
       const double relres = std::sqrt(cost / meas_norm2);
+      prev_relres = relres;
       if (comm.rank() == 0) history.push_back(relres);
       if (config.dbim.progress && comm.rank() == 0)
         config.dbim.progress(iter, relres);

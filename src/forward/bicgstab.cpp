@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "linalg/kernels.hpp"
+#include "obs/obs.hpp"
 
 namespace ffw {
 
@@ -13,13 +14,14 @@ double nrm2_sq(ccspan x) {
   for (const cplx& v : x) s += std::norm(v);
   return s;
 }
-}  // namespace
 
-BicgstabResult bicgstab(const LinearOp& a, ccspan b, cspan x,
-                        const BicgstabOptions& opts,
-                        const DotReducer& reduce) {
+BicgstabResult bicgstab_impl(const LinearOp& a, ccspan b, cspan x,
+                             const BicgstabOptions& opts,
+                             const DotReducer& reduce,
+                             const PrecondContext& pc) {
   const std::size_t n = b.size();
   FFW_CHECK(x.size() == n);
+  FFW_CHECK(!pc || pc.lo.size() == n);
   BicgstabResult res;
 
   auto dot = [&](ccspan u, ccspan v) { return reduce.sum_cplx(cdot(u, v)); };
@@ -35,6 +37,14 @@ BicgstabResult bicgstab(const LinearOp& a, ccspan b, cspan x,
   }
 
   cvec r(n), rhat(n), p(n), v(n, cplx{}), s(n), t(n), tmp(n);
+  // Flexible right preconditioning: phat = M^{-1} p and shat = M^{-1} s
+  // replace p/s only inside the operator application and the x update;
+  // with no preconditioner the spans alias p/s and nothing changes.
+  cvec phat_store, shat_store;
+  if (pc) {
+    phat_store.assign(n, cplx{});
+    shat_store.assign(n, cplx{});
+  }
   a(x, tmp);
   ++res.matvecs;
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - tmp[i];
@@ -50,7 +60,12 @@ BicgstabResult bicgstab(const LinearOp& a, ccspan b, cspan x,
   }
 
   for (int it = 0; it < opts.max_iterations; ++it) {
-    a(p, v);
+    ccspan phat{p};
+    if (pc) {
+      pc(p, phat_store);
+      phat = phat_store;
+    }
+    a(phat, v);
     ++res.matvecs;
     const cplx rhat_v = dot(rhat, v);
     FFW_CHECK_MSG(std::abs(rhat_v) > 0.0, "BiCGStab breakdown: <rhat, v> = 0");
@@ -60,19 +75,24 @@ BicgstabResult bicgstab(const LinearOp& a, ccspan b, cspan x,
     ++res.iterations;
     const double snorm = norm(s);
     if (snorm / bnorm < opts.tol) {
-      axpy(alpha, p, x);
+      axpy(alpha, phat, x);
       res.relres = snorm / bnorm;
       res.converged = true;
       return res;
     }
 
-    a(s, t);
+    ccspan shat{s};
+    if (pc) {
+      pc(s, shat_store);
+      shat = shat_store;
+    }
+    a(shat, t);
     ++res.matvecs;
     const cplx tt = dot(t, t);
     FFW_CHECK_MSG(std::abs(tt) > 0.0, "BiCGStab breakdown: ||t|| = 0");
     const cplx omega = dot(t, s) / tt;
     for (std::size_t i = 0; i < n; ++i) {
-      x[i] += alpha * p[i] + omega * s[i];
+      x[i] += alpha * phat[i] + omega * shat[i];
       r[i] = s[i] - omega * t[i];
     }
 
@@ -91,6 +111,17 @@ BicgstabResult bicgstab(const LinearOp& a, ccspan b, cspan x,
       p[i] = r[i] + beta * (p[i] - omega * v[i]);
   }
   return res;  // not converged
+}
+
+}  // namespace
+
+BicgstabResult bicgstab(const LinearOp& a, ccspan b, cspan x,
+                        const BicgstabOptions& opts, const DotReducer& reduce,
+                        const PrecondContext& pc) {
+  const BicgstabResult res = bicgstab_impl(a, b, x, opts, reduce, pc);
+  obs::add(obs::Counter::kBicgstabTotalIters,
+           static_cast<std::uint64_t>(res.iterations));
+  return res;
 }
 
 }  // namespace ffw

@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "common/types.hpp"
+#include "forward/precond.hpp"
 
 namespace ffw {
 
@@ -41,9 +42,14 @@ struct DotReducer {
 
 /// Solves A x = b. `x` holds the initial guess on entry and the solution
 /// on exit. With a non-default `reduce`, b/x are rank-local slices and
-/// the solve is collective over the reducing group.
+/// the solve is collective over the reducing group. With a non-empty
+/// `pc` the solve is *flexibly right-preconditioned*: residuals stay
+/// true residuals of A (convergence tests unchanged) and M^{-1} is
+/// applied to the search directions only, so the default identity
+/// leaves the iteration bit-identical to the unpreconditioned solver.
 BicgstabResult bicgstab(const LinearOp& a, ccspan b, cspan x,
                         const BicgstabOptions& opts = {},
-                        const DotReducer& reduce = {});
+                        const DotReducer& reduce = {},
+                        const PrecondContext& pc = {});
 
 }  // namespace ffw

@@ -20,16 +20,28 @@ void for_col(const BlockLayout& lo, std::size_t r, F&& fn) {
 BlockBicgstabResult block_bicgstab(const BlockLinearOp& a, ccspan b, cspan x,
                                    const BlockLayout& lo,
                                    const BicgstabOptions& opts,
-                                   const DotReducer& reduce) {
+                                   const DotReducer& reduce,
+                                   const PrecondContext& pc) {
   const std::size_t nrhs = lo.nrhs;
   const std::size_t total = lo.size();
   FFW_CHECK(b.size() == total && x.size() == total && nrhs >= 1);
+  FFW_CHECK(!pc || (pc.lo.panel == lo.panel && pc.lo.nrhs == lo.nrhs &&
+                    pc.lo.npanels == lo.npanels));
 
   BlockBicgstabResult res;
   res.rhs.resize(nrhs);
 
   cvec r(total), rhat(total), p(total), v(total, cplx{}), s(total), t(total),
       tmp(total);
+  // Flexible right preconditioning: phat = M^{-1} p, shat = M^{-1} s are
+  // computed block-wide (frozen columns are solved too but never read —
+  // their alpha/omega updates are masked out below). Without pc the
+  // spans alias p/s and the iteration is bit-identical.
+  cvec phat_store, shat_store;
+  if (pc) {
+    phat_store.assign(total, cplx{});
+    shat_store.assign(total, cplx{});
+  }
   std::vector<char> active(nrhs, 1);
   std::vector<double> bnorm(nrhs), scal_d(nrhs);
   cvec rho(nrhs), alpha(nrhs), omega(nrhs), scal_c(2 * nrhs);
@@ -85,7 +97,12 @@ BlockBicgstabResult block_bicgstab(const BlockLinearOp& a, ccspan b, cspan x,
   for (int it = 0; it < opts.max_iterations && any_active(); ++it) {
     res.iterations = it + 1;
     obs::add(obs::Counter::kBicgstabIterations, 1);
-    a(p, v);
+    ccspan phat{p};
+    if (pc) {
+      pc(p, phat_store);
+      phat = phat_store;
+    }
+    a(phat, v);
     ++res.block_matvecs;
 
     // alpha_r = rho_r / <rhat_r, v_r>, batched.
@@ -115,7 +132,7 @@ BlockBicgstabResult block_bicgstab(const BlockLinearOp& a, ccspan b, cspan x,
       if (snorm / bnorm[j] < opts.tol) {
         const cplx al = alpha[j];
         for_col(lo, j, [&](std::size_t o, std::size_t n) {
-          for (std::size_t i = o; i < o + n; ++i) x[i] += al * p[i];
+          for (std::size_t i = o; i < o + n; ++i) x[i] += al * phat[i];
         });
         res.rhs[j].relres = snorm / bnorm[j];
         res.rhs[j].converged = true;
@@ -124,7 +141,12 @@ BlockBicgstabResult block_bicgstab(const BlockLinearOp& a, ccspan b, cspan x,
     }
     if (!any_active()) break;
 
-    a(s, t);
+    ccspan shat{s};
+    if (pc) {
+      pc(s, shat_store);
+      shat = shat_store;
+    }
+    a(shat, t);
     ++res.block_matvecs;
 
     // omega_r = <t_r, s_r> / <t_r, t_r>, both dots in one reduction.
@@ -142,7 +164,7 @@ BlockBicgstabResult block_bicgstab(const BlockLinearOp& a, ccspan b, cspan x,
       const cplx al = alpha[j], om = omega[j];
       for_col(lo, j, [&](std::size_t o, std::size_t n) {
         for (std::size_t i = o; i < o + n; ++i) {
-          x[i] += al * p[i] + om * s[i];
+          x[i] += al * phat[i] + om * shat[i];
           r[i] = s[i] - om * t[i];
         }
       });
@@ -183,6 +205,7 @@ BlockBicgstabResult block_bicgstab(const BlockLinearOp& a, ccspan b, cspan x,
   res.converged = true;
   for (std::size_t j = 0; j < nrhs; ++j)
     res.converged = res.converged && res.rhs[j].converged;
+  obs::add(obs::Counter::kBicgstabTotalIters, res.total_iterations());
   return res;
 }
 

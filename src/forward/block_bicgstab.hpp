@@ -41,10 +41,15 @@ struct BlockBicgstabResult {
 /// Solves A x_r = b_r for all columns of the block vectors b/x (layout
 /// `lo`, lo.size() elements each). `x` carries initial guesses in and
 /// solutions out. With a non-default `reduce`, b/x are rank-local slices
-/// and the solve is collective over the reducing group.
+/// and the solve is collective over the reducing group. A non-empty `pc`
+/// applies flexible right preconditioning exactly as in `bicgstab`:
+/// residuals stay true residuals, the identity default is bit-identical,
+/// and column masking is unaffected (M^{-1} is block-diagonal over the
+/// layout, so frozen columns stay frozen).
 BlockBicgstabResult block_bicgstab(const BlockLinearOp& a, ccspan b, cspan x,
                                    const BlockLayout& lo,
                                    const BicgstabOptions& opts = {},
-                                   const DotReducer& reduce = {});
+                                   const DotReducer& reduce = {},
+                                   const PrecondContext& pc = {});
 
 }  // namespace ffw

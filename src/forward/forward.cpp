@@ -1,5 +1,6 @@
 #include "forward/forward.hpp"
 
+#include "common/timer.hpp"
 #include "greens/greens.hpp"
 #include "linalg/kernels.hpp"
 
@@ -21,11 +22,34 @@ void ForwardSolver::set_contrast(ccspan contrast) {
 }
 
 void ForwardSolver::set_jacobi_preconditioner(bool enable) {
+  FFW_CHECK_MSG(!(enable && use_near_),
+                "diagonal Jacobi and near-field block preconditioners are "
+                "mutually exclusive");
   use_jacobi_ = enable;
   refresh_preconditioner();
 }
 
+void ForwardSolver::set_near_preconditioner(bool enable, Precision storage) {
+  FFW_CHECK_MSG(!(enable && use_jacobi_),
+                "diagonal Jacobi and near-field block preconditioners are "
+                "mutually exclusive");
+  use_near_ = enable;
+  near_storage_ = storage;
+  refresh_preconditioner();
+}
+
 void ForwardSolver::refresh_preconditioner() {
+  if (use_near_) {
+    FFW_CHECK_MSG(engine_->nearfield().precision() == Precision::kDouble,
+                  "near-field block preconditioner needs the fp64 reference "
+                  "engine's near-field tables");
+    Timer t;
+    near_precond_ = std::make_unique<NearFieldBlockJacobi>(
+        engine_->nearfield().type(4), ccspan{contrast_clu_}, near_storage_);
+    stats_.precond_setup_seconds += t.seconds();
+  } else {
+    near_precond_.reset();
+  }
   if (!use_jacobi_) {
     minv_clu_.clear();
     return;
@@ -37,6 +61,11 @@ void ForwardSolver::refresh_preconditioner() {
     FFW_CHECK_MSG(std::abs(d) > 1e-12, "singular Jacobi diagonal");
     minv_clu_[i] = 1.0 / d;
   }
+}
+
+PrecondContext ForwardSolver::precond_ctx(std::size_t nrhs, bool herm) const {
+  if (near_precond_ == nullptr) return {};
+  return PrecondContext{near_precond_.get(), block_layout(nrhs), herm};
 }
 
 void ForwardSolver::op_forward(ccspan x, cspan y) {
@@ -124,7 +153,7 @@ RefinedResult ForwardSolver::solve_block_refined(ccspan rhs, cspan phi,
       [this, &lo](ccspan in, cspan out) {
         op_forward_block_on(*mixed_, in, out, lo);
       },
-      b, x, lo, opts);
+      b, x, lo, opts, {}, precond_ctx(nrhs, /*herm=*/false));
   stats_.solves += nrhs;
   stats_.bicgs_iterations += res.inner_iterations + res.fallback_iterations;
   stats_.mlfma_applications += engine_->phase_times().applications +
@@ -153,7 +182,7 @@ RefinedResult ForwardSolver::solve_adjoint_block_refined(
       [this, &lo](ccspan in, cspan out) {
         op_adjoint_block_on(*mixed_, in, out, lo);
       },
-      b, x, lo, opts);
+      b, x, lo, opts, {}, precond_ctx(nrhs, /*herm=*/true));
   stats_.solves += nrhs;
   stats_.bicgs_iterations += res.inner_iterations + res.fallback_iterations;
   stats_.mlfma_applications += engine_->phase_times().applications +
@@ -216,7 +245,7 @@ BlockBicgstabResult ForwardSolver::solve_block(ccspan rhs, cspan phi,
   }
   const BlockBicgstabResult res = block_bicgstab(
       [this, &lo](ccspan in, cspan out) { op_forward_block(in, out, lo); },
-      b, x, lo, opts_);
+      b, x, lo, opts_, {}, precond_ctx(nrhs, /*herm=*/false));
   if (use_jacobi_) block_diag_mul(lo, minv_clu_, cvec(x.begin(), x.end()), x);
   record_block_stats(res, before);
   block_unpack_natural(lo, tree.perm(), x, phi);
@@ -235,7 +264,7 @@ BlockBicgstabResult ForwardSolver::solve_adjoint_block(ccspan rhs, cspan psi,
   const std::uint64_t before = engine_->phase_times().applications;
   const BlockBicgstabResult res = block_bicgstab(
       [this, &lo](ccspan in, cspan out) { op_adjoint_block(in, out, lo); },
-      b, x, lo, opts_);
+      b, x, lo, opts_, {}, precond_ctx(nrhs, /*herm=*/true));
   record_block_stats(res, before);
   block_unpack_natural(lo, tree.perm(), x, psi);
   return res;
@@ -256,7 +285,7 @@ BicgstabResult ForwardSolver::solve(ccspan rhs, cspan phi) {
   }
   const BicgstabResult res =
       bicgstab([this](ccspan in, cspan out) { op_forward(in, out); }, b, x,
-               opts_);
+               opts_, {}, precond_ctx(1, /*herm=*/false));
   if (use_jacobi_) diag_mul(minv_clu_, cvec(x.begin(), x.end()), x);
   ++stats_.solves;
   stats_.bicgs_iterations += static_cast<std::uint64_t>(res.iterations);
@@ -277,7 +306,7 @@ BicgstabResult ForwardSolver::solve_adjoint(ccspan rhs, cspan psi) {
   const std::uint64_t before = engine_->phase_times().applications;
   const BicgstabResult res =
       bicgstab([this](ccspan in, cspan out) { op_adjoint(in, out); }, b, x,
-               opts_);
+               opts_, {}, precond_ctx(1, /*herm=*/true));
   ++stats_.solves;
   stats_.bicgs_iterations += static_cast<std::uint64_t>(res.iterations);
   stats_.mlfma_applications += engine_->phase_times().applications - before;

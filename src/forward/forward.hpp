@@ -6,8 +6,11 @@
 // converts to/from the MLFMA engine's cluster order internally.
 #pragma once
 
+#include <memory>
+
 #include "forward/bicgstab.hpp"
 #include "forward/block_bicgstab.hpp"
+#include "forward/precond.hpp"
 #include "forward/refined.hpp"
 #include "mlfma/engine.hpp"
 
@@ -21,6 +24,9 @@ struct ForwardStats {
   /// "iteration variation" discussion (Sec. V-D) and the scaling model's
   /// load-imbalance term.
   std::vector<std::uint16_t> per_solve_iterations;
+  /// Accumulated wall time factoring the near-field block preconditioner
+  /// (one rebuild per set_contrast when enabled).
+  double precond_setup_seconds = 0.0;
 
   /// The paper reports 13.4 MLFMA multiplications per forward solution.
   double mlfma_per_solve() const {
@@ -42,6 +48,24 @@ class ForwardSolver {
   /// contrast is strong, which is when BiCGStab needs the help.
   void set_jacobi_preconditioner(bool enable);
   bool jacobi_preconditioner() const { return use_jacobi_; }
+
+  /// Near-field block-Jacobi right preconditioning (forward/precond.hpp):
+  /// the per-leaf self blocks I - A_self diag(O_c) are LU-factored on
+  /// every set_contrast and applied inside every solve — forward,
+  /// adjoint, blocked, and the mixed-precision refined solves. `storage`
+  /// = Precision::kMixed keeps the factors in fp32 (pairs with a mixed
+  /// inner engine; final accuracy is unaffected — the preconditioner
+  /// only steers the Krylov space). Mutually exclusive with the diagonal
+  /// Jacobi preconditioner.
+  void set_near_preconditioner(bool enable,
+                               Precision storage = Precision::kDouble);
+  const NearFieldBlockJacobi* near_preconditioner() const {
+    return near_precond_.get();
+  }
+
+  /// Adjusts the BiCGStab relative tolerance of subsequent plain solves
+  /// (the DBIM driver's Eisenstat-Walker forcing hooks in here).
+  void set_tolerance(double tol) { opts_.tol = tol; }
 
   /// Set the contrast vector O (natural order, length N).
   void set_contrast(ccspan contrast);
@@ -77,7 +101,9 @@ class ForwardSolver {
   /// mixed engine, outer residuals/masking in fp64 on the primary
   /// engine, automatic pure-fp64 fallback on stall (forward/refined.hpp).
   /// Reaches fp64-level tolerances (default 1e-8) at mixed-engine speed.
-  /// Always unpreconditioned (the Jacobi setting is ignored).
+  /// The diagonal Jacobi setting is ignored; the near-field block
+  /// preconditioner (if enabled) right-preconditions the inner sweeps
+  /// and the fallback.
   RefinedResult solve_block_refined(ccspan rhs, cspan phi, std::size_t nrhs,
                                     const RefinedOptions& opts = {});
 
@@ -124,6 +150,10 @@ class ForwardSolver {
   BlockLayout block_layout(std::size_t nrhs) const;
   void record_block_stats(const BlockBicgstabResult& res,
                           std::uint64_t applications_before);
+  /// Handle for the Krylov solvers: the active near-field block
+  /// preconditioner over `nrhs` columns, or empty (identity) when
+  /// disabled.
+  PrecondContext precond_ctx(std::size_t nrhs, bool herm) const;
 
   MlfmaEngine* engine_;
   MlfmaEngine* mixed_ = nullptr;  // optional fp32 accelerator (not owned)
@@ -136,6 +166,9 @@ class ForwardSolver {
   cvec block_work_;     // block-layout scratch (grown to N * nrhs)
   bool use_jacobi_ = false;
   cvec minv_clu_;       // 1 / diag(A), cluster order (empty if disabled)
+  bool use_near_ = false;
+  Precision near_storage_ = Precision::kDouble;
+  std::unique_ptr<NearFieldBlockJacobi> near_precond_;
   ForwardStats stats_;
 };
 

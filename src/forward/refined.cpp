@@ -12,10 +12,28 @@ RefinedResult refined_block_bicgstab(const BlockLinearOp& a_outer,
                                      const BlockLinearOp& a_inner, ccspan b,
                                      cspan x, const BlockLayout& lo,
                                      const RefinedOptions& opts,
-                                     const DotReducer& reduce) {
+                                     const DotReducer& reduce,
+                                     const PrecondContext& pc) {
   FFW_CHECK(b.size() == lo.size() && x.size() == lo.size());
   const std::size_t nrhs = lo.nrhs;
   RefinedResult res;
+
+  // Loose-tolerance regime: the caller's tol is far above the fp32
+  // operator error, so solve directly on the inner operator (fp64
+  // recurrences, fp32 applies) and skip the refinement scaffolding.
+  if (opts.direct_tol > 0.0 && opts.tol >= opts.direct_tol) {
+    BicgstabOptions dopts;
+    dopts.tol = opts.tol;
+    dopts.max_iterations = opts.fallback_max_iterations;
+    const BlockBicgstabResult direct =
+        block_bicgstab(a_inner, b, x, lo, dopts, reduce, pc);
+    res.inner_iterations = direct.total_iterations();
+    res.relres = 0.0;
+    for (const BicgstabResult& col : direct.rhs)
+      res.relres = std::max(res.relres, col.relres);
+    res.converged = direct.converged;
+    return res;
+  }
 
   cvec r(lo.size()), d(lo.size());
   std::vector<double> bnorm(nrhs), rnorm(nrhs), partial(nrhs);
@@ -49,6 +67,25 @@ RefinedResult refined_block_bicgstab(const BlockLinearOp& a_outer,
     return res;
   }
 
+  // Best iterate seen so far: a stalled round can *increase* the
+  // residual (fp32 operator error exciting a bad mode), and the fallback
+  // then must not start from — or return — anything worse than the best
+  // x already computed.
+  cvec x_best(x.begin(), x.end());
+  double worst_best = worst;
+  auto remember_best = [&] {
+    if (worst < worst_best) {
+      worst_best = worst;
+      std::copy(x.begin(), x.end(), x_best.begin());
+    }
+  };
+  auto restore_best = [&] {
+    if (worst > worst_best) {
+      std::copy(x_best.begin(), x_best.end(), x.begin());
+      worst = worst_best;
+    }
+  };
+
   for (int k = 0; k < opts.max_refinements; ++k) {
     // fp64 convergence masking: a converged column's residual is zeroed,
     // so the inner solver freezes it immediately (zero-b mask) and it
@@ -61,7 +98,7 @@ RefinedResult refined_block_bicgstab(const BlockLinearOp& a_outer,
 
     std::fill(d.begin(), d.end(), cplx{});
     const BlockBicgstabResult inner =
-        block_bicgstab(a_inner, r, d, lo, opts.inner, reduce);
+        block_bicgstab(a_inner, r, d, lo, opts.inner, reduce, pc);
     res.inner_iterations += inner.total_iterations();
     for (std::size_t i = 0; i < x.size(); ++i) x[i] += d[i];
     ++res.refinements;
@@ -74,18 +111,24 @@ RefinedResult refined_block_bicgstab(const BlockLinearOp& a_outer,
       res.converged = true;
       return res;
     }
+    remember_best();
     if (worst > opts.stall_factor * prev) break;  // stalled -> fallback
   }
 
   // Refinement stalled (or ran out of rounds) above tol: finish with the
-  // reference-precision solver from the current iterate.
+  // reference-precision solver from the *best* iterate seen, not the
+  // possibly-worsened last one.
+  restore_best();
   res.fell_back = true;
   BicgstabOptions fo;
   fo.tol = opts.tol;
   fo.max_iterations = opts.fallback_max_iterations;
-  const BlockBicgstabResult fb = block_bicgstab(a_outer, b, x, lo, fo, reduce);
+  const BlockBicgstabResult fb =
+      block_bicgstab(a_outer, b, x, lo, fo, reduce, pc);
   res.fallback_iterations = fb.total_iterations();
-  res.relres = residual();
+  worst = residual();
+  restore_best();  // a capped fallback must not end worse than it began
+  res.relres = worst;
   res.converged = res.relres <= opts.tol;
   return res;
 }

@@ -35,6 +35,15 @@ struct RefinedOptions {
   double stall_factor = 0.25;
   /// Iteration cap of the pure-fp64 fallback solve.
   int fallback_max_iterations = 1000;
+  /// Loose-tolerance shortcut: when `tol >= direct_tol`, the solve runs
+  /// *entirely* on the inner (mixed) operator — no fp64 residuals, no
+  /// refinement rounds. The requested inexactness then dwarfs the fp32
+  /// operator error (~3e-6 relative, Sec. 10), so the fp64 safety net
+  /// is pure overhead: Eisenstat-Walker-forced DBIM solves
+  /// (DbimOptions::adaptive_forcing) spend most of the reconstruction
+  /// in this regime. The default keeps a 100x margin above the operator
+  /// error; set 0 to force the refinement path at every tolerance.
+  double direct_tol = 3e-4;
 };
 
 struct RefinedResult {
@@ -51,11 +60,17 @@ struct RefinedResult {
 /// Krylov sweeps and `a_outer` (the fp64 reference operator, same layout)
 /// for residuals and the stall fallback. `x` carries initial guesses in
 /// and solutions out. With a non-default `reduce`, b/x are rank-local
-/// slices and the solve is collective.
+/// slices and the solve is collective. A non-empty `pc` right-
+/// preconditions both the inner sweeps and the fp64 fallback; it never
+/// changes the fp64 residuals the convergence tests see. A stall (or
+/// exhausted rounds, or a fallback that diverges) can never *worsen* the
+/// result: the best iterate seen across all rounds is restored before
+/// returning, so `relres` is monotone in what was observed.
 RefinedResult refined_block_bicgstab(const BlockLinearOp& a_outer,
                                      const BlockLinearOp& a_inner, ccspan b,
                                      cspan x, const BlockLayout& lo,
                                      const RefinedOptions& opts = {},
-                                     const DotReducer& reduce = {});
+                                     const DotReducer& reduce = {},
+                                     const PrecondContext& pc = {});
 
 }  // namespace ffw

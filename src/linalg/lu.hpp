@@ -27,6 +27,13 @@ class LuFactors {
 
   std::size_t dim() const { return lu_.rows(); }
 
+  /// Packed factors (column-major; unit-lower L multipliers below the
+  /// diagonal, U on and above) and the pivot row chosen at each step —
+  /// exposed so batched consumers (forward/precond.hpp packs one LU per
+  /// leaf) can copy the factorisation into their own storage layout.
+  const CMatrix& factors() const { return lu_; }
+  const std::vector<std::size_t>& pivots() const { return perm_; }
+
  private:
   CMatrix lu_;
   std::vector<std::size_t> perm_;  // row permutation: pivot row at step k

@@ -121,6 +121,11 @@ class PartitionedMlfma {
     return schedule_[static_cast<std::size_t>(rank)];
   }
 
+  /// Shared near-field operator tables — the per-leaf self block
+  /// (type 4) feeds the rank-local block-Jacobi preconditioner of the
+  /// parallel DBIM driver (forward/precond.hpp).
+  const NearFieldOperators& nearfield() const { return near_; }
+
  private:
   std::size_t cluster_begin(int level, int rank) const;
   std::size_t cluster_end(int level, int rank) const;

@@ -21,6 +21,10 @@ const char* counter_name(Counter c) {
     case Counter::kFaultsInjected: return "faults_injected";
     case Counter::kCrcFailures: return "crc_failures";
     case Counter::kDeadlineAborts: return "deadline_aborts";
+    case Counter::kBicgstabTotalIters: return "bicgstab_total_iters";
+    case Counter::kPrecondSetupNs: return "precond_setup_ns";
+    case Counter::kPrecondApplyNs: return "precond_apply_ns";
+    case Counter::kRecycleHits: return "recycle_hits";
     default: return "?";
   }
 }

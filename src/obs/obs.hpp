@@ -43,6 +43,10 @@ enum class Counter : int {
   kFaultsInjected,          // fault-injection actions fired (vcluster)
   kCrcFailures,             // corrupt frames detected at recv
   kDeadlineAborts,          // waits that expired into DeadlineExceeded
+  kBicgstabTotalIters,      // per-column BiCGStab iterations (all RHS)
+  kPrecondSetupNs,          // near-field block preconditioner factor time
+  kPrecondApplyNs,          // preconditioner triangular-solve time
+  kRecycleHits,             // Krylov-recycled initial guesses applied
   kCount
 };
 inline constexpr std::size_t kNumCounters =
