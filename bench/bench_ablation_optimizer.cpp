@@ -30,7 +30,7 @@ RunStats run(Scenario& scene, bool cg, bool warm, int iterations) {
   const DbimResult res = dbim_reconstruct(
       scene.engine(), scene.transceivers(), scene.measurements(), opts);
   return {res.history.relative_residual.back(),
-          res.history.mlfma_applications};
+          res.history.operator_applications};
 }
 
 }  // namespace
@@ -60,7 +60,7 @@ int main() {
   const DbimResult gn_res = gauss_newton_reconstruct(
       scene.engine(), scene.transceivers(), scene.measurements(), gn_opts);
   const RunStats gauss_newton{gn_res.history.relative_residual.back(),
-                              gn_res.history.mlfma_applications};
+                              gn_res.history.operator_applications};
 
   Table t({"configuration", "final rel. residual", "MLFMA products",
            "products / residual decade"});

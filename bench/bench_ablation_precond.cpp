@@ -60,6 +60,7 @@ int main() {
 
   bench::JsonWriter json("BENCH_ablation_precond");
   json.field("bench", "ablation_precond");
+  json.field("backend", backend_name(BackendKind::kMlfma));
   json.field("nx", 64);
   json.field("tol", 1e-6);
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "forward/backend.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "linalg/block.hpp"
@@ -105,6 +106,7 @@ int main(int argc, char** argv) {
 
   bench::JsonWriter json("bench_block_apply");
   json.field("bench", "block_apply");
+  json.field("backend", backend_name(BackendKind::kMlfma));
   json.field("nx", nx);
   json.field("unknowns", static_cast<std::uint64_t>(n));
   json.field("engine_bytes_fp64", f64.engine_bytes);

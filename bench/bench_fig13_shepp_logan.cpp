@@ -53,8 +53,8 @@ int main(int argc, char** argv) {
   std::printf("forward solves: %llu, MLFMA mults: %llu (%.1f per solve; "
               "paper: 13.4)\n",
               static_cast<unsigned long long>(res.history.forward_solves),
-              static_cast<unsigned long long>(res.history.mlfma_applications),
-              static_cast<double>(res.history.mlfma_applications) /
+              static_cast<unsigned long long>(res.history.operator_applications),
+              static_cast<double>(res.history.operator_applications) /
                   static_cast<double>(res.history.forward_solves));
 
   write_pgm("fig13_true.pgm", grid, scene.true_contrast());

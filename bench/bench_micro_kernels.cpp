@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "fft/fft2.hpp"
 #include "forward/forward.hpp"
 #include "greens/nearfield.hpp"
 #include "linalg/gemm.hpp"
@@ -98,6 +100,52 @@ static void BM_NearFieldPass(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NearFieldPass);
+
+// The 1-D FFT through the shared plan cache (what fft()/ifft() do now)
+// against a fresh plan per call (what they used to do: twiddle tables or
+// the Bluestein chirp recomputed every time). Arg 96 exercises the
+// Bluestein path, where the setup dwarfs the transform itself.
+static void BM_FftPlanCached(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  cvec x(n);
+  rng.fill_cnormal(x);
+  (void)fft_plan(n);  // warm the cache: steady-state hit cost
+  for (auto _ : state) {
+    fft_plan(n)->forward(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_FftPlanCached)->Arg(128)->Arg(96)->Arg(254);
+
+static void BM_FftPlanPerCall(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  cvec x(n);
+  rng.fill_cnormal(x);
+  for (auto _ : state) {
+    Fft1Plan<double> plan(n);
+    plan.forward(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_FftPlanPerCall)->Arg(128)->Arg(96)->Arg(254);
+
+// The CBS hot loop's unit of work: one batched 2-D round trip over a
+// padded multi-RHS panel (256 = padded side for a 128x128 grid).
+static void BM_Fft2PanelRoundTrip(benchmark::State& state) {
+  const std::size_t p = 256, nrhs = static_cast<std::size_t>(state.range(0));
+  Fft2Plan<double> plan(p, p);
+  Rng rng(9);
+  cvec panels(p * p * nrhs);
+  rng.fill_cnormal(panels);
+  for (auto _ : state) {
+    plan.forward(panels, nrhs);
+    plan.inverse(panels, nrhs);
+    benchmark::DoNotOptimize(panels.data());
+  }
+}
+BENCHMARK(BM_Fft2PanelRoundTrip)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 static void BM_ForwardSolve(benchmark::State& state) {
   Fixture& f = fixture128();

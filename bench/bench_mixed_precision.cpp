@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "forward/backend.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "dbim/dbim.hpp"
@@ -105,6 +106,7 @@ int main(int argc, char** argv) {
 
   bench::JsonWriter json("BENCH_mixed_precision");
   json.field("bench", "mixed_precision");
+  json.field("backend", backend_name(BackendKind::kMlfma));
 
   // --- 1. Serial blocked apply: per-phase times and footprint.
   Grid grid(nx);
@@ -330,7 +332,7 @@ int main(int argc, char** argv) {
     json.field("bicgstab_total_iters", r.res.history.bicgstab_iterations);
     json.field("precond_setup_s", r.res.history.precond_setup_seconds);
     json.field("forward_solves", r.res.history.forward_solves);
-    json.field("mlfma_applications", r.res.history.mlfma_applications);
+    json.field("operator_applications", r.res.history.operator_applications);
     json.end();
   };
   dbim_json("fp64_plain", plain);

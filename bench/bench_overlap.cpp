@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "forward/backend.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "mlfma/partitioned.hpp"
@@ -218,6 +219,7 @@ int main(int argc, char** argv) {
 
   bench::JsonWriter json("bench_overlap");
   json.field("bench", "overlap");
+  json.field("backend", backend_name(BackendKind::kMlfma));
   json.field("chaos", chaos);
   json.field("nx", nx);
   json.field("nrhs", static_cast<std::uint64_t>(nrhs));

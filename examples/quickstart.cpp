@@ -53,8 +53,8 @@ int main() {
               static_cast<unsigned long long>(result.history.forward_solves));
   std::printf("MLFMA products: %llu (%.1f per solve; paper reports 13.4)\n",
               static_cast<unsigned long long>(
-                  result.history.mlfma_applications),
-              static_cast<double>(result.history.mlfma_applications) /
+                  result.history.operator_applications),
+              static_cast<double>(result.history.operator_applications) /
                   static_cast<double>(result.history.forward_solves));
   write_pgm("quickstart_truth.pgm", grid, scene.true_contrast());
   write_pgm("quickstart_image.pgm", grid, result.contrast);

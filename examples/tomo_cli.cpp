@@ -192,7 +192,7 @@ int main(int argc, char** argv) {
       std::printf("forward solves: %llu, MLFMA products: %llu\n",
                   static_cast<unsigned long long>(res.history.forward_solves),
                   static_cast<unsigned long long>(
-                      res.history.mlfma_applications));
+                      res.history.operator_applications));
     } else {
       std::fprintf(stderr, "unknown method '%s'\n", o.method.c_str());
       return 2;

@@ -12,7 +12,7 @@ DbimWorkspace::DbimWorkspace(MlfmaEngine& engine, const Transceivers& trx,
                              const CMatrix& measured,
                              const BicgstabOptions& fw_opts)
     : trx_(&trx), measured_(&measured), solver_(engine, fw_opts),
-      npix_(engine.tree().grid().num_pixels()) {
+      active_(&solver_), npix_(engine.tree().grid().num_pixels()) {
   FFW_CHECK(measured.rows() == static_cast<std::size_t>(trx.num_receivers()));
   FFW_CHECK(measured.cols() == static_cast<std::size_t>(trx.num_transmitters()));
   meas_norm2_ = 0.0;
@@ -29,8 +29,43 @@ int DbimWorkspace::num_illuminations() const {
   return trx_->num_transmitters();
 }
 
+void DbimWorkspace::set_backend(BackendKind policy, const CbsOptions& cbs_opts,
+                                double contrast_threshold,
+                                double escalation_rate) {
+  policy_ = policy;
+  auto_threshold_ = contrast_threshold;
+  auto_escalation_rate_ = escalation_rate;
+  escalated_ = false;
+  if (policy == BackendKind::kMlfma) {
+    cbs_.reset();
+    active_ = &solver_;
+    return;
+  }
+  cbs_ = std::make_unique<CbsEngine>(solver_.tree().grid(), cbs_opts);
+  active_ = policy == BackendKind::kCbs ? static_cast<ForwardBackend*>(cbs_.get())
+                                        : &solver_;
+}
+
 void DbimWorkspace::set_background(ccspan contrast, bool keep_fields) {
   solver_.set_contrast(contrast);
+  if (cbs_) {
+    cbs_->set_contrast(contrast);
+    if (policy_ == BackendKind::kCbs) {
+      active_ = cbs_.get();
+    } else if (policy_ == BackendKind::kAuto) {
+      // Contrast gate, re-evaluated for every new background: CBS while
+      // the strongest pixel stays below the threshold (in permittivity
+      // units), MLFMA otherwise. An escalation is permanent — once the
+      // series has struggled on this reconstruction, trust MLFMA.
+      double omax = 0.0;
+      for (const cplx& o : contrast) omax = std::max(omax, std::abs(o));
+      const double k0 = solver_.tree().grid().k0();
+      const bool weak = omax / (k0 * k0) < auto_threshold_;
+      active_ = (weak && !escalated_)
+                    ? static_cast<ForwardBackend*>(cbs_.get())
+                    : &solver_;
+    }
+  }
   if (!keep_fields) {
     std::fill(phi_b_valid_.begin(), phi_b_valid_.end(), false);
     // Recycle snapshots follow the same reset policy as the warm-started
@@ -93,26 +128,32 @@ bool DbimWorkspace::block_solve(ccspan rhs, cspan x, std::size_t nrhs,
                                 bool adjoint) {
   // Eisenstat-Walker forcing: a positive forcing tolerance (always >=
   // the solver's base tolerance, the driver clamps) loosens the target
-  // of every Krylov solve of this DBIM iteration.
+  // of every Krylov solve of this DBIM iteration. The ForwardBackend
+  // panel API threads the per-call tolerance through either engine.
   const double base = solver_.options().tol;
   const double tol = forcing_tol_ > 0.0 ? std::max(forcing_tol_, base) : base;
-  if (solver_.mixed_engine() != nullptr) {
-    RefinedOptions ro;
-    ro.tol = tol;
-    // A loose outer target makes ultra-tight inner sweeps pointless:
-    // keep the inner tolerance at least as loose as the outer one.
-    ro.inner.tol = std::max(ro.inner.tol, tol);
-    const RefinedResult res =
-        adjoint ? solver_.solve_adjoint_block_refined(rhs, x, nrhs, ro)
-                : solver_.solve_block_refined(rhs, x, nrhs, ro);
-    return res.converged;
+  if (active_ == cbs_.get() && cbs_) {
+    const bool ok = adjoint ? cbs_->solve_adjoint_panel(rhs, x, nrhs, tol)
+                            : cbs_->solve_panel(rhs, x, nrhs, tol);
+    if (ok) {
+      if (policy_ == BackendKind::kAuto &&
+          cbs_->last_info().convergence_rate > auto_escalation_rate_) {
+        // Converged, but the series is slowing down: escalate *before*
+        // the watchdog has to abort a solve mid-reconstruction.
+        escalated_ = true;
+        active_ = &solver_;
+      }
+      return true;
+    }
+    if (policy_ != BackendKind::kAuto) return false;
+    // Watchdog tripped under kAuto: permanently hand the reconstruction
+    // to MLFMA and redo this panel there (the partial CBS iterate left
+    // in x is a serviceable warm start).
+    escalated_ = true;
+    active_ = &solver_;
   }
-  solver_.set_tolerance(tol);
-  const BlockBicgstabResult res = adjoint
-                                      ? solver_.solve_adjoint_block(rhs, x, nrhs)
-                                      : solver_.solve_block(rhs, x, nrhs);
-  solver_.set_tolerance(base);
-  return res.converged;
+  return adjoint ? solver_.solve_adjoint_panel(rhs, x, nrhs, tol)
+                 : solver_.solve_panel(rhs, x, nrhs, tol);
 }
 
 double DbimWorkspace::residual_pass_all(cspan residuals) {
@@ -170,7 +211,7 @@ void DbimWorkspace::gradient_pass_all(ccspan residuals, cspan grad_accum) {
   FFW_CHECK_MSG(block_solve(w2, w3, tc, /*adjoint=*/true),
                 "DBIM gradient-pass block solve diverged");
   rec_grad_.store(w2, w3, lon);
-  solver_.apply_g0_herm_block(w3, w4, tc);
+  active_->apply_g0_herm_panel(w3, w4, tc);
   for (std::size_t t = 0; t < tc; ++t) {
     const cplx* phi = phi_b_.col(t).data();
     const cplx* g1t = g1.data() + t * npix_;
@@ -190,7 +231,7 @@ double DbimWorkspace::step_pass_all(ccspan direction) {
     diag_mul(direction, ccspan{phi_b_.col(t).data(), npix_},
              cspan{u1.data() + t * npix_, npix_});
   }
-  solver_.apply_g0_block(u1, u2, tc);
+  active_->apply_g0_panel(u1, u2, tc);
   const BlockLayout lon{npix_, tc, 1};
   rec_step_.seed(u2, w, lon);
   FFW_CHECK_MSG(block_solve(u2, w, tc, /*adjoint=*/false),
@@ -225,6 +266,10 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
     ws.set_recycling(static_cast<std::size_t>(opts.recycle_depth),
                      opts.recycle_ridge);
   }
+  if (opts.backend != BackendKind::kMlfma) {
+    ws.set_backend(opts.backend, opts.cbs, opts.auto_contrast_threshold,
+                   opts.auto_escalation_rate);
+  }
   const std::size_t n = ws.num_pixels();
   const int t_count = ws.num_illuminations();
 
@@ -248,6 +293,13 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
         opts.resume->mixed_precision == (opts.mixed_engine != nullptr),
         "DBIM resume: checkpoint precision policy (mixed vs fp64) does not "
         "match DbimOptions::mixed_engine");
+    // Same contract for the forward-backend policy: a checkpoint from a
+    // CBS or kAuto run resumed under a different routing would hand the
+    // remaining solves to a different engine than the residual history
+    // describes — fail loudly instead.
+    FFW_CHECK_MSG(opts.resume->backend == opts.backend,
+                  "DBIM resume: checkpoint backend policy does not match "
+                  "DbimOptions::backend");
     FFW_CHECK(opts.resume->contrast.size() == n);
     out.contrast = opts.resume->contrast;
     grad_prev = opts.resume->gradient_prev;
@@ -346,6 +398,7 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
       DbimCheckpoint state;
       state.iteration = iter + 1;
       state.mixed_precision = opts.mixed_engine != nullptr;
+      state.backend = opts.backend;
       state.contrast = out.contrast;
       state.gradient_prev = grad_prev;
       state.direction = direction;
@@ -355,10 +408,21 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
     }
   }
 
-  out.history.forward_solves = ws.solver().stats().solves;
-  out.history.mlfma_applications = ws.solver().stats().mlfma_applications;
-  out.history.bicgstab_iterations = ws.solver().stats().bicgs_iterations;
-  out.history.precond_setup_seconds = ws.solver().stats().precond_setup_seconds;
+  // Both engines may have contributed solves (kAuto switches mid-run);
+  // the history totals span whatever mix actually executed.
+  const ForwardStats& ms = ws.solver().stats();
+  out.history.forward_solves = ms.solves;
+  out.history.operator_applications = ms.operator_applications;
+  out.history.bicgstab_iterations = ms.bicgs_iterations;
+  out.history.precond_setup_seconds = ms.precond_setup_seconds;
+  if (ws.cbs() != nullptr) {
+    const ForwardStats& cs = ws.cbs()->stats();
+    out.history.forward_solves += cs.solves;
+    out.history.operator_applications += cs.operator_applications;
+    out.history.bicgstab_iterations += cs.bicgs_iterations;
+  }
+  out.history.backend = opts.backend;
+  out.history.cbs_escalated = ws.cbs_escalated();
   return out;
 }
 

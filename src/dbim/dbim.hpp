@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dbim/frechet.hpp"
+#include "forward/cbs.hpp"
 #include "forward/recycle.hpp"
 #include "io/checkpoint.hpp"
 #include "linalg/cmatrix.hpp"
@@ -84,6 +85,24 @@ struct DbimOptions {
   /// runs on the fault-free trajectory.
   int recycle_depth = 0;
   double recycle_ridge = 1e-12;
+  /// Forward engine routing (forward/backend.hpp). kMlfma is the
+  /// classic MLFMA+BiCGStab path; kCbs runs every solve on the FFT
+  /// convergent Born series backend; kAuto starts on CBS while the
+  /// background contrast is weak (max|Delta eps| below
+  /// auto_contrast_threshold) and escalates permanently to MLFMA when
+  /// the contrast crosses the threshold, the series fails, or its
+  /// measured convergence rate degrades past auto_escalation_rate.
+  BackendKind backend = BackendKind::kMlfma;
+  /// kAuto contrast gate, in permittivity-contrast units
+  /// (max|O| / k0^2): CBS below, MLFMA at or above.
+  double auto_contrast_threshold = 0.25;
+  /// kAuto rate gate: a *converged* CBS solve whose trailing
+  /// geometric-mean residual reduction exceeds this triggers escalation
+  /// before the series degrades into the watchdog.
+  double auto_escalation_rate = 0.95;
+  /// CBS configuration used by kCbs / kAuto (tolerance comes from the
+  /// forward BicgstabOptions + forcing, like every other solve).
+  CbsOptions cbs;
 };
 
 struct DbimHistory {
@@ -91,7 +110,7 @@ struct DbimHistory {
   /// paper's "59.3% -> 0.03%" in Fig. 13).
   std::vector<double> relative_residual;
   std::uint64_t forward_solves = 0;
-  std::uint64_t mlfma_applications = 0;
+  std::uint64_t operator_applications = 0;
   /// Total BiCGStab iterations spent across every Krylov solve of the
   /// reconstruction — the cost metric the iteration-reduction layer
   /// (preconditioning + forcing + recycling) targets.
@@ -99,6 +118,10 @@ struct DbimHistory {
   /// Wall time spent LU-factoring the near-field block preconditioner
   /// (zero when near_precondition is off).
   double precond_setup_seconds = 0.0;
+  /// Backend policy the run was configured with, and whether a kAuto run
+  /// escalated from CBS to MLFMA along the way.
+  BackendKind backend = BackendKind::kMlfma;
+  bool cbs_escalated = false;
 };
 
 struct DbimResult {
@@ -166,6 +189,18 @@ class DbimWorkspace {
   /// set_background drops the warm-started fields.
   void set_recycling(std::size_t depth, double ridge);
 
+  /// Installs the forward-backend routing policy (DbimOptions::backend
+  /// et al.). kCbs / kAuto construct the CBS engine on the solver's
+  /// grid; call before the first set_background.
+  void set_backend(BackendKind policy, const CbsOptions& cbs_opts,
+                   double contrast_threshold, double escalation_rate);
+  /// Backend the next block solve will run on (kAuto resolves to the
+  /// chosen engine).
+  BackendKind active_backend() const { return active_->kind(); }
+  /// True once a kAuto run has permanently switched from CBS to MLFMA.
+  bool cbs_escalated() const { return escalated_; }
+  CbsEngine* cbs() { return cbs_.get(); }
+
  private:
   /// Block solve routed through mixed-precision refinement when a mixed
   /// engine is registered on the solver; returns convergence.
@@ -174,6 +209,16 @@ class DbimWorkspace {
   const Transceivers* trx_;
   const CMatrix* measured_;
   ForwardSolver solver_;
+  // Backend routing: `active_` answers the block solves and raw G0
+  // panel products of the blocked passes. Defaults to the MLFMA solver;
+  // set_backend may point it at cbs_, and kAuto re-picks on every
+  // set_background until an escalation pins it back on MLFMA for good.
+  std::unique_ptr<CbsEngine> cbs_;
+  ForwardBackend* active_ = nullptr;
+  BackendKind policy_ = BackendKind::kMlfma;
+  double auto_threshold_ = 0.25;
+  double auto_escalation_rate_ = 0.95;
+  bool escalated_ = false;
   std::size_t npix_;
   double meas_norm2_;
   // Background total fields per illumination (column t), warm-started

@@ -77,7 +77,7 @@ DbimResult gauss_newton_reconstruct(MlfmaEngine& engine,
   }
 
   out.history.forward_solves = ws.solver().stats().solves;
-  out.history.mlfma_applications = ws.solver().stats().mlfma_applications;
+  out.history.operator_applications = ws.solver().stats().operator_applications;
   return out;
 }
 

@@ -286,6 +286,9 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
                     "parallel DBIM near-field preconditioner needs fp64 "
                     "near-field tables");
     }
+    FFW_CHECK_MSG(config.dbim.backend == BackendKind::kMlfma,
+                  "parallel DBIM runs on the partitioned MLFMA engine only; "
+                  "CBS/auto backend routing is a serial-driver feature");
 
     cvec grad(ctx.nloc), grad_prev(ctx.nloc), direction(ctx.nloc),
         residuals(measured.rows() * ctx.local_t.size());
@@ -304,6 +307,9 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
       FFW_CHECK_MSG(!resume_state.mixed_precision,
                     "parallel DBIM resume: checkpoint precision policy "
                     "(mixed) does not match this fp64 driver");
+      FFW_CHECK_MSG(resume_state.backend == BackendKind::kMlfma,
+                    "parallel DBIM resume: checkpoint backend policy is not "
+                    "MLFMA; this driver cannot continue a CBS/auto run");
       FFW_CHECK(resume_state.contrast.size() == npix &&
                 resume_state.gradient_prev.size() == npix &&
                 resume_state.direction.size() == npix);
@@ -504,7 +510,7 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
   out.history.relative_residual = std::move(history);
   out.history.forward_solves = static_cast<std::uint64_t>(
       3 * t_count * config.dbim.max_iterations);
-  out.history.mlfma_applications = total_matvecs.load();
+  out.history.operator_applications = total_matvecs.load();
   return out;
 }
 

@@ -1,86 +1,20 @@
 #include "fft/fft.hpp"
 
-#include <bit>
 #include <cmath>
 
 #include "common/check.hpp"
+#include "fft/fft2.hpp"
 
 namespace ffw {
 
-namespace {
-
-bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
-
-/// Radix-2 DIT, in place; `sign` = -1 forward, +1 inverse (no scaling).
-void fft_pow2(cspan x, int sign) {
-  const std::size_t n = x.size();
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(x[i], x[j]);
-  }
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = sign * 2.0 * pi / static_cast<double>(len);
-    const cplx wlen{std::cos(ang), std::sin(ang)};
-    for (std::size_t i = 0; i < n; i += len) {
-      cplx w{1.0, 0.0};
-      for (std::size_t j = 0; j < len / 2; ++j) {
-        const cplx u = x[i + j];
-        const cplx v = x[i + j + len / 2] * w;
-        x[i + j] = u + v;
-        x[i + j + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-}
-
-/// Bluestein: DFT of arbitrary length via a circular convolution of
-/// length m = next_pow2(2n-1).
-void fft_bluestein(cspan x, int sign) {
-  const std::size_t n = x.size();
-  const std::size_t m = std::bit_ceil(2 * n - 1);
-  cvec a(m, cplx{}), b(m, cplx{});
-  // chirp c_k = e^{sign * i pi k^2 / n}
-  cvec chirp(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    // k^2 mod 2n keeps the phase argument small for large n.
-    const std::size_t k2 = (k * k) % (2 * n);
-    const double ang = sign * pi * static_cast<double>(k2) / static_cast<double>(n);
-    chirp[k] = {std::cos(ang), std::sin(ang)};
-  }
-  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
-  b[0] = std::conj(chirp[0]);
-  for (std::size_t k = 1; k < n; ++k) {
-    b[k] = b[m - k] = std::conj(chirp[k]);
-  }
-  fft_pow2(a, -1);
-  fft_pow2(b, -1);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  fft_pow2(a, +1);
-  const double inv_m = 1.0 / static_cast<double>(m);
-  for (std::size_t k = 0; k < n; ++k) x[k] = a[k] * inv_m * chirp[k];
-}
-
-void transform(cspan x, int sign) {
+void fft(cspan x) {
   if (x.size() <= 1) return;
-  if (is_pow2(x.size())) {
-    fft_pow2(x, sign);
-  } else {
-    fft_bluestein(x, sign);
-  }
+  fft_plan(x.size())->forward(x);
 }
-
-}  // namespace
-
-void fft(cspan x) { transform(x, -1); }
 
 void ifft(cspan x) {
-  transform(x, +1);
-  const double inv = 1.0 / static_cast<double>(x.size());
-  for (cplx& v : x) v *= inv;
+  if (x.size() <= 1) return;
+  fft_plan(x.size())->inverse(x);
 }
 
 cvec fft_copy(ccspan x) {

@@ -6,6 +6,11 @@
 // transform matters. Used for: spectral verification of the band-limited
 // interpolation operators, exact trigonometric resampling references in
 // tests, and phantom/image utilities.
+//
+// These free functions execute through the shared per-length plan cache
+// (fft/fft2.hpp): twiddle factors and Bluestein chirp tables are built
+// once per length instead of on every call. Planned 1-D/2-D transforms
+// for hot paths (the CBS forward backend) live in fft/fft2.hpp.
 #pragma once
 
 #include "common/types.hpp"

@@ -1,0 +1,140 @@
+// Planned FFT execution: per-length 1-D plans (radix-2 twiddle tables
+// for powers of two, Bluestein chirp + spectral tables otherwise) and a
+// row-column 2-D plan with batched execution over multi-RHS panels.
+//
+// The legacy free functions in fft/fft.hpp recomputed twiddle factors
+// and the Bluestein chirp on every call; plans hoist that setup so the
+// hot paths (the CBS backend's padded Green's-function convolutions,
+// the MLFMA spectral verification transforms) run table-driven. Plans
+// are immutable after construction and safe to execute from many
+// threads concurrently; the 2-D batch entry points parallelise over
+// (panel, row) and (panel, column) with the library thread pool.
+//
+// Scalar type T is the real storage type: double for the reference
+// pipeline, float for the fp32 spectra of Precision::kMixed backends.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace ffw {
+
+template <typename T>
+class Fft1Plan {
+ public:
+  /// Plans an in-place transform of length n >= 1. Powers of two get
+  /// stage-concatenated twiddle tables and a bit-reversal index table;
+  /// other lengths get Bluestein chirp tables plus the spectra of the
+  /// chirp-convolution kernels for both directions, precomputed through
+  /// an inner power-of-two plan of length m = bit_ceil(2n - 1).
+  explicit Fft1Plan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward DFT X_k = sum_n x_n e^{-2 pi i n k / N} (no
+  /// scaling). x.size() must equal size().
+  void forward(std::span<std::complex<T>> x) const;
+
+  /// In-place inverse DFT with 1/N normalisation.
+  void inverse(std::span<std::complex<T>> x) const;
+
+  /// Power-of-two length (radix-2 table path)?
+  bool radix2() const { return pow2_; }
+
+  /// Vectorised strided transform (radix-2 lengths only): element k of
+  /// the length-size() DFT is the contiguous block of `width` complex
+  /// values at data + k * pitch, and the butterflies run stride-1
+  /// across the block. This is the cache-friendly column pass of the
+  /// 2-D plan: no per-column gather/scatter, and the inner loops
+  /// auto-vectorise. Inverse applies the 1/N normalisation.
+  void transform_lines(std::complex<T>* data, std::size_t pitch,
+                       std::size_t width, bool fwd) const;
+
+ private:
+  void pow2_transform(std::span<std::complex<T>> x, bool fwd) const;
+  void bluestein_transform(std::span<std::complex<T>> x, bool fwd) const;
+
+  std::size_t n_ = 0;
+  bool pow2_ = false;
+  // Power-of-two tables.
+  std::vector<std::uint32_t> bitrev_;
+  std::vector<std::complex<T>> tw_fwd_, tw_inv_;  // stages len=2,4,...,n
+  // The same twiddles pre-expanded for the vectorized butterfly:
+  // twa[2j] = twa[2j+1] = Re w_j and twb[2j] = -Im w_j, twb[2j+1] =
+  // +Im w_j, so v = b .* twa + swap_re_im(b) .* twb is the complex
+  // product b * w with plain element-wise lane arithmetic — no runtime
+  // twiddle shuffles.
+  std::vector<T> twa_fwd_, twb_fwd_, twa_inv_, twb_inv_;
+  // Bluestein tables (empty for power-of-two lengths).
+  std::unique_ptr<Fft1Plan<T>> inner_;            // pow2 plan, length m
+  std::vector<std::complex<T>> chirp_fwd_, chirp_inv_;  // e^{∓ i pi k^2 / n}
+  std::vector<std::complex<T>> bhat_fwd_, bhat_inv_;    // FFT_m of b = conj(chirp)
+};
+
+/// Row-column 2-D transform over row-major rows x cols panels, with
+/// batched execution: `count` panels stored contiguously are transformed
+/// in one call, sharing the two 1-D plans and parallelising across the
+/// batch. The column pass gathers each column into a per-thread
+/// contiguous scratch line, transforms it, and scatters it back.
+template <typename T>
+class Fft2Plan {
+ public:
+  Fft2Plan(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  /// Elements per panel.
+  std::size_t size() const { return rows_ * cols_; }
+
+  /// In-place forward DFT of `count` contiguous panels (no scaling).
+  /// panels.size() must equal count * size().
+  void forward(std::span<std::complex<T>> panels, std::size_t count = 1) const;
+
+  /// In-place inverse DFT with 1/(rows*cols) normalisation.
+  void inverse(std::span<std::complex<T>> panels, std::size_t count = 1) const;
+
+  /// Pruned forward transform for zero-padded panels: rows at index >=
+  /// nonzero_rows are promised identically zero, so their (zero -> zero)
+  /// row FFTs are skipped. The result equals forward() on the full
+  /// panel. The padded-convolution backends embed an nx-row field in a
+  /// 2nx-row panel, halving the row-pass work.
+  void forward_top(std::span<std::complex<T>> panels, std::size_t count,
+                   std::size_t nonzero_rows) const;
+
+  /// Pruned inverse: only the first needed_rows rows of each output
+  /// panel are computed (the caller crops there); rows beyond hold
+  /// unspecified values afterwards. Column pass still covers the full
+  /// panel, rows get the 1/(rows*cols) normalisation.
+  void inverse_top(std::span<std::complex<T>> panels, std::size_t count,
+                   std::size_t needed_rows) const;
+
+ private:
+  void row_pass(std::complex<T>* base, std::size_t count, std::size_t nrows,
+                bool fwd) const;
+  void col_pass(std::complex<T>* base, std::size_t count, bool fwd) const;
+  /// Row transforms of one panel's first nrows rows, serially (the
+  /// per-panel cache-blocked path).
+  void panel_rows(std::complex<T>* panel, std::size_t nrows, bool fwd) const;
+
+  std::size_t rows_, cols_;
+  Fft1Plan<T> row_plan_;  // length cols: applied to each row
+  Fft1Plan<T> col_plan_;  // length rows: applied to each column
+};
+
+/// Shared per-length fp64 1-D plan cache behind fft()/ifft()/fft_copy():
+/// thread-safe, LRU-bounded. Hits return a shared_ptr so an eviction
+/// never invalidates a plan another thread is still executing.
+std::shared_ptr<const Fft1Plan<double>> fft_plan(std::size_t n);
+
+struct FftPlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+};
+FftPlanCacheStats fft_plan_cache_stats();
+void fft_plan_cache_clear();
+
+}  // namespace ffw

@@ -1,0 +1,95 @@
+// Forward-solver backend interface: the contract DBIM (and any other
+// inversion driver) programs against, extracted from ForwardSolver so a
+// reconstruction can route per-job between operator engines —
+// MLFMA+BiCGStab for strong multiple scattering, the FFT-based
+// convergent Born series (forward/cbs.hpp) for weak-to-moderate
+// contrast, or automatic selection (DbimOptions::backend).
+//
+// Every backend solves the same discrete volume integral equation
+// [I - G0 diag(O)] phi = rhs on natural-order (row-major pixel)
+// column-major multi-RHS panels, and exposes the raw G0 panel products
+// the Frechet passes need. All sizes are num_pixels * nrhs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ffw {
+
+/// Which forward engine a reconstruction uses. kAuto picks the CBS
+/// backend below a contrast threshold and falls back to (or escalates
+/// mid-reconstruction onto) MLFMA when the series stops converging.
+enum class BackendKind : int { kMlfma = 0, kCbs = 1, kAuto = 2 };
+
+inline const char* backend_name(BackendKind k) {
+  switch (k) {
+    case BackendKind::kMlfma: return "mlfma";
+    case BackendKind::kCbs: return "cbs";
+    case BackendKind::kAuto: return "auto";
+  }
+  return "?";
+}
+
+/// Backend-neutral solve statistics. `operator_applications` counts
+/// per-RHS applications of the expensive structured operator — MLFMA
+/// tree traversals for the kMlfma backend, padded-FFT Green's
+/// convolutions for kCbs; `bicgs_iterations` counts inner solver
+/// iterations (BiCGStab sweeps or Born-series iterations).
+struct ForwardStats {
+  std::uint64_t solves = 0;
+  std::uint64_t bicgs_iterations = 0;
+  std::uint64_t operator_applications = 0;
+  /// Per-solve iteration counts: the raw samples behind the paper's
+  /// "iteration variation" discussion (Sec. V-D) and the scaling model's
+  /// load-imbalance term.
+  std::vector<std::uint16_t> per_solve_iterations;
+  /// Accumulated wall time factoring the near-field block preconditioner
+  /// (one rebuild per set_contrast when enabled; MLFMA backend only).
+  double precond_setup_seconds = 0.0;
+
+  /// The paper reports 13.4 MLFMA multiplications per forward solution.
+  double operator_per_solve() const {
+    return solves ? static_cast<double>(operator_applications) / solves : 0.0;
+  }
+  void clear() { *this = ForwardStats{}; }
+
+  // Deprecated aliases (pre-multi-backend names; MLFMA-specific).
+  std::uint64_t mlfma_applications() const { return operator_applications; }
+  double mlfma_per_solve() const { return operator_per_solve(); }
+};
+
+class ForwardBackend {
+ public:
+  virtual ~ForwardBackend() = default;
+
+  virtual BackendKind kind() const = 0;
+
+  /// Install the contrast vector O (natural order, length N).
+  virtual void set_contrast(ccspan contrast) = 0;
+  virtual ccspan contrast_natural() const = 0;
+
+  /// Multi-RHS forward solve [I - G0 O] phi_c = rhs_c over natural-order
+  /// column-major panels to relative tolerance `tol` (0 = the backend's
+  /// configured default). `phi` carries initial guesses in and solutions
+  /// out. Returns true when every column converged.
+  virtual bool solve_panel(ccspan rhs, cspan phi, std::size_t nrhs,
+                           double tol) = 0;
+
+  /// Multi-RHS Hermitian-transposed solve [I - G0 O]^H psi_c = rhs_c.
+  virtual bool solve_adjoint_panel(ccspan rhs, cspan psi, std::size_t nrhs,
+                                   double tol) = 0;
+
+  /// Y_c = G0 * X_c over natural-order column-major panels (raw kernel,
+  /// no contrast; the blocked Frechet passes need it).
+  virtual void apply_g0_panel(ccspan x, cspan y, std::size_t nrhs) = 0;
+
+  /// Y_c = G0^H * X_c over natural-order column-major panels.
+  virtual void apply_g0_herm_panel(ccspan x, cspan y, std::size_t nrhs) = 0;
+
+  virtual const ForwardStats& stats() const = 0;
+  virtual void clear_stats() = 0;
+};
+
+}  // namespace ffw

@@ -156,7 +156,7 @@ RefinedResult ForwardSolver::solve_block_refined(ccspan rhs, cspan phi,
       b, x, lo, opts, {}, precond_ctx(nrhs, /*herm=*/false));
   stats_.solves += nrhs;
   stats_.bicgs_iterations += res.inner_iterations + res.fallback_iterations;
-  stats_.mlfma_applications += engine_->phase_times().applications +
+  stats_.operator_applications += engine_->phase_times().applications +
                                mixed_->phase_times().applications - before;
   block_unpack_natural(lo, tree.perm(), x, phi);
   return res;
@@ -185,7 +185,7 @@ RefinedResult ForwardSolver::solve_adjoint_block_refined(
       b, x, lo, opts, {}, precond_ctx(nrhs, /*herm=*/true));
   stats_.solves += nrhs;
   stats_.bicgs_iterations += res.inner_iterations + res.fallback_iterations;
-  stats_.mlfma_applications += engine_->phase_times().applications +
+  stats_.operator_applications += engine_->phase_times().applications +
                                mixed_->phase_times().applications - before;
   block_unpack_natural(lo, tree.perm(), x, psi);
   return res;
@@ -214,7 +214,7 @@ void ForwardSolver::record_block_stats(const BlockBicgstabResult& res,
                                        std::uint64_t applications_before) {
   stats_.solves += res.rhs.size();
   stats_.bicgs_iterations += res.total_iterations();
-  stats_.mlfma_applications +=
+  stats_.operator_applications +=
       engine_->phase_times().applications - applications_before;
   for (const auto& r : res.rhs) {
     stats_.per_solve_iterations.push_back(
@@ -289,7 +289,7 @@ BicgstabResult ForwardSolver::solve(ccspan rhs, cspan phi) {
   if (use_jacobi_) diag_mul(minv_clu_, cvec(x.begin(), x.end()), x);
   ++stats_.solves;
   stats_.bicgs_iterations += static_cast<std::uint64_t>(res.iterations);
-  stats_.mlfma_applications += engine_->phase_times().applications - before;
+  stats_.operator_applications += engine_->phase_times().applications - before;
   stats_.per_solve_iterations.push_back(
       static_cast<std::uint16_t>(res.iterations));
   tree.to_natural_order(x, phi);
@@ -309,7 +309,7 @@ BicgstabResult ForwardSolver::solve_adjoint(ccspan rhs, cspan psi) {
                opts_, {}, precond_ctx(1, /*herm=*/true));
   ++stats_.solves;
   stats_.bicgs_iterations += static_cast<std::uint64_t>(res.iterations);
-  stats_.mlfma_applications += engine_->phase_times().applications - before;
+  stats_.operator_applications += engine_->phase_times().applications - before;
   stats_.per_solve_iterations.push_back(
       static_cast<std::uint16_t>(res.iterations));
   tree.to_natural_order(x, psi);
@@ -357,6 +357,38 @@ void ForwardSolver::apply_g0_herm_block(ccspan x, cspan y, std::size_t nrhs) {
   block_pack_natural(lo, tree.perm(), x, xb);
   engine_->apply_herm_block(xb, yb, nrhs);
   block_unpack_natural(lo, tree.perm(), yb, y);
+}
+
+bool ForwardSolver::panel_solve_impl(ccspan rhs, cspan x, std::size_t nrhs,
+                                     double tol, bool adjoint) {
+  const double base = opts_.tol;
+  const double target = tol > 0.0 ? std::max(tol, base) : base;
+  if (mixed_ != nullptr) {
+    RefinedOptions ro;
+    ro.tol = target;
+    // A loose outer target makes ultra-tight inner sweeps pointless:
+    // keep the inner tolerance at least as loose as the outer one.
+    ro.inner.tol = std::max(ro.inner.tol, target);
+    const RefinedResult res = adjoint
+                                  ? solve_adjoint_block_refined(rhs, x, nrhs, ro)
+                                  : solve_block_refined(rhs, x, nrhs, ro);
+    return res.converged;
+  }
+  opts_.tol = target;
+  const BlockBicgstabResult res =
+      adjoint ? solve_adjoint_block(rhs, x, nrhs) : solve_block(rhs, x, nrhs);
+  opts_.tol = base;
+  return res.converged;
+}
+
+bool ForwardSolver::solve_panel(ccspan rhs, cspan phi, std::size_t nrhs,
+                                double tol) {
+  return panel_solve_impl(rhs, phi, nrhs, tol, /*adjoint=*/false);
+}
+
+bool ForwardSolver::solve_adjoint_panel(ccspan rhs, cspan psi, std::size_t nrhs,
+                                        double tol) {
+  return panel_solve_impl(rhs, psi, nrhs, tol, /*adjoint=*/true);
 }
 
 }  // namespace ffw

@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "forward/backend.hpp"
 #include "forward/bicgstab.hpp"
 #include "forward/block_bicgstab.hpp"
 #include "forward/precond.hpp"
@@ -16,26 +17,7 @@
 
 namespace ffw {
 
-struct ForwardStats {
-  std::uint64_t solves = 0;
-  std::uint64_t bicgs_iterations = 0;
-  std::uint64_t mlfma_applications = 0;
-  /// Per-solve iteration counts: the raw samples behind the paper's
-  /// "iteration variation" discussion (Sec. V-D) and the scaling model's
-  /// load-imbalance term.
-  std::vector<std::uint16_t> per_solve_iterations;
-  /// Accumulated wall time factoring the near-field block preconditioner
-  /// (one rebuild per set_contrast when enabled).
-  double precond_setup_seconds = 0.0;
-
-  /// The paper reports 13.4 MLFMA multiplications per forward solution.
-  double mlfma_per_solve() const {
-    return solves ? static_cast<double>(mlfma_applications) / solves : 0.0;
-  }
-  void clear() { *this = ForwardStats{}; }
-};
-
-class ForwardSolver {
+class ForwardSolver : public ForwardBackend {
  public:
   /// The engine is shared (not owned): the DBIM driver reuses one engine
   /// across illuminations and across the three solves per iteration.
@@ -68,8 +50,8 @@ class ForwardSolver {
   void set_tolerance(double tol) { opts_.tol = tol; }
 
   /// Set the contrast vector O (natural order, length N).
-  void set_contrast(ccspan contrast);
-  ccspan contrast_natural() const { return contrast_nat_; }
+  void set_contrast(ccspan contrast) override;
+  ccspan contrast_natural() const override { return contrast_nat_; }
 
   /// Solve [I - G0 O] phi = rhs. `phi` carries the initial guess in and
   /// the solution out (natural order).
@@ -128,8 +110,27 @@ class ForwardSolver {
   /// Y_r = G0^H * X_r over natural-order column-major panels.
   void apply_g0_herm_block(ccspan x, cspan y, std::size_t nrhs);
 
-  const ForwardStats& stats() const { return stats_; }
-  void clear_stats() { stats_.clear(); }
+  // --- ForwardBackend interface (forward/backend.hpp) --------------------
+  // The panel entry points route to the refined mixed-precision block
+  // solves when a mixed engine is registered, and to the plain block
+  // BiCGStab otherwise — the same dispatch the DBIM workspace used to
+  // hand-roll. `tol` overrides the configured tolerance for this call
+  // only (0 keeps it), which is how Eisenstat-Walker forcing flows
+  // through the backend-neutral API.
+  BackendKind kind() const override { return BackendKind::kMlfma; }
+  bool solve_panel(ccspan rhs, cspan phi, std::size_t nrhs,
+                   double tol) override;
+  bool solve_adjoint_panel(ccspan rhs, cspan psi, std::size_t nrhs,
+                           double tol) override;
+  void apply_g0_panel(ccspan x, cspan y, std::size_t nrhs) override {
+    apply_g0_block(x, y, nrhs);
+  }
+  void apply_g0_herm_panel(ccspan x, cspan y, std::size_t nrhs) override {
+    apply_g0_herm_block(x, y, nrhs);
+  }
+
+  const ForwardStats& stats() const override { return stats_; }
+  void clear_stats() override { stats_.clear(); }
 
   MlfmaEngine& engine() { return *engine_; }
   const QuadTree& tree() const { return engine_->tree(); }
@@ -148,6 +149,8 @@ class ForwardSolver {
   void op_adjoint_block_on(MlfmaEngine& eng, ccspan x, cspan y,
                            const BlockLayout& lo);
   BlockLayout block_layout(std::size_t nrhs) const;
+  bool panel_solve_impl(ccspan rhs, cspan x, std::size_t nrhs, double tol,
+                        bool adjoint);
   void record_block_stats(const BlockBicgstabResult& res,
                           std::uint64_t applications_before);
   /// Handle for the Krylov solvers: the active near-field block

@@ -105,6 +105,7 @@ bool DbimCheckpoint::save(const std::string& path) const {
   Checkpoint ck;
   ck.put_scalar("iteration", iteration);
   ck.put_scalar("mixed_precision", mixed_precision ? 1.0 : 0.0);
+  ck.put_scalar("backend", static_cast<double>(static_cast<int>(backend)));
   ck.put("contrast", contrast);
   ck.put("gradient_prev", gradient_prev);
   ck.put("direction", direction);
@@ -128,6 +129,11 @@ bool DbimCheckpoint::load(const std::string& path) {
   // lack this entry; they predate mixed-precision support, so fp64.
   mixed_precision =
       ck.contains("mixed_precision") && ck.get_scalar("mixed_precision") != 0.0;
+  // Legacy files predate the CBS backend: everything was MLFMA.
+  backend = ck.contains("backend")
+                ? static_cast<BackendKind>(
+                      static_cast<int>(ck.get_scalar("backend")))
+                : BackendKind::kMlfma;
   contrast = ck.get("contrast");
   gradient_prev = ck.get("gradient_prev");
   direction = ck.get("direction");

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "forward/backend.hpp"
 
 namespace ffw {
 
@@ -50,6 +51,12 @@ struct DbimCheckpoint {
   /// mixed_engine != nullptr). Files written before this field existed
   /// load as false (they predate mixed-precision support).
   bool mixed_precision = false;
+  /// Forward-backend policy the run was produced under (DbimOptions::
+  /// backend). Resuming under a different policy changes which engine
+  /// answers each solve and hence the convergence trajectory, so it is
+  /// recorded and validated on resume exactly like the precision policy.
+  /// Files written before multi-backend support load as kMlfma.
+  BackendKind backend = BackendKind::kMlfma;
   cvec contrast;
   cvec gradient_prev;
   cvec direction;

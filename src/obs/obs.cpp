@@ -25,6 +25,8 @@ const char* counter_name(Counter c) {
     case Counter::kPrecondSetupNs: return "precond_setup_ns";
     case Counter::kPrecondApplyNs: return "precond_apply_ns";
     case Counter::kRecycleHits: return "recycle_hits";
+    case Counter::kCbsIterations: return "cbs_iterations";
+    case Counter::kFftNs: return "fft_ns";
     default: return "?";
   }
 }

@@ -47,6 +47,8 @@ enum class Counter : int {
   kPrecondSetupNs,          // near-field block preconditioner factor time
   kPrecondApplyNs,          // preconditioner triangular-solve time
   kRecycleHits,             // Krylov-recycled initial guesses applied
+  kCbsIterations,           // convergent Born series iterations (forward/cbs)
+  kFftNs,                   // time in padded-FFT convolutions (CBS backend)
   kCount
 };
 inline constexpr std::size_t kNumCounters =

@@ -65,7 +65,7 @@ CalibratedRates calibrate(int nx, int applies) {
     }
     const ForwardStats& st = ws.solver().stats();
     rates.mlfma_per_solve = st.solves
-                                ? static_cast<double>(st.mlfma_applications) /
+                                ? static_cast<double>(st.operator_applications) /
                                       static_cast<double>(st.solves)
                                 : 13.0;
     // Drop trivial (converged-on-entry) solves: they are an artefact of

@@ -252,6 +252,26 @@ TEST(DbimCheckpointState, PrecisionPolicyRoundTrips) {
   std::remove(path.c_str());
 }
 
+TEST(DbimCheckpointState, BackendPolicyRoundTrips) {
+  DbimCheckpoint out;
+  out.iteration = 5;
+  out.contrast.resize(8);
+  out.gradient_prev.resize(8);
+  out.direction.resize(8);
+  out.residual_history = {1.0};
+  const std::string path = "/tmp/ffw_ckpt_dbim_backend.bin";
+  for (const BackendKind k :
+       {BackendKind::kMlfma, BackendKind::kCbs, BackendKind::kAuto}) {
+    out.backend = k;
+    ASSERT_TRUE(out.save(path));
+    DbimCheckpoint in;
+    in.backend = BackendKind::kAuto;  // stale state must be overwritten
+    ASSERT_TRUE(in.load(path));
+    EXPECT_EQ(in.backend, k);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(DbimCheckpointState, LegacyFileWithoutPolicyLoadsAsFp64) {
   // Files written before the precision policy existed lack the
   // "mixed_precision" entry; they predate mixed-precision support and
@@ -266,8 +286,11 @@ TEST(DbimCheckpointState, LegacyFileWithoutPolicyLoadsAsFp64) {
   ASSERT_TRUE(legacy.save(path));
   DbimCheckpoint in;
   in.mixed_precision = true;  // stale state must be overwritten
+  in.backend = BackendKind::kCbs;
   ASSERT_TRUE(in.load(path));
   EXPECT_FALSE(in.mixed_precision);
+  // Pre-multi-backend files ran everything on MLFMA.
+  EXPECT_EQ(in.backend, BackendKind::kMlfma);
   EXPECT_EQ(in.iteration, 2);
   std::remove(path.c_str());
 }

@@ -153,6 +153,40 @@ TEST(DbimResumeDeath, PrecisionPolicyMismatchFailsLoudly) {
                "precision policy");
 }
 
+TEST(DbimResumeDeath, BackendPolicyMismatchFailsLoudly) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ScenarioConfig cfg;
+  cfg.nx = 32;
+  cfg.num_transmitters = 4;
+  cfg.num_receivers = 16;
+  Grid grid(cfg.nx);
+  Scenario scene(cfg,
+                 gaussian_blob(grid, Vec2{0.0, 0.0}, 0.4, cplx{0.005, 0.0}));
+
+  // A checkpoint recorded under the CBS backend policy...
+  DbimCheckpoint state;
+  state.iteration = 2;
+  state.backend = BackendKind::kCbs;
+  state.contrast.assign(grid.num_pixels(), cplx{});
+  state.gradient_prev.assign(grid.num_pixels(), cplx{});
+  state.direction.assign(grid.num_pixels(), cplx{});
+  state.residual_history = {1.0, 0.5};
+
+  // ...must not silently resume onto the MLFMA routing (or any other).
+  DbimOptions opts;
+  opts.max_iterations = 4;
+  opts.resume = &state;  // backend left at kMlfma: policy mismatch
+  EXPECT_DEATH(dbim_reconstruct(scene.engine(), scene.transceivers(),
+                                scene.measurements(), opts),
+               "backend policy");
+
+  state.backend = BackendKind::kMlfma;
+  opts.backend = BackendKind::kAuto;
+  EXPECT_DEATH(dbim_reconstruct(scene.engine(), scene.transceivers(),
+                                scene.measurements(), opts),
+               "backend policy");
+}
+
 TEST(DbimResume, ResumeAtMaxIterationsIsANoop) {
   ScenarioConfig cfg;
   cfg.nx = 32;

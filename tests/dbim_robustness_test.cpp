@@ -135,7 +135,7 @@ TEST(DbimRobustness, ColdStartsMatchWarmStartsInResult) {
   // products (the strict improvement is quantified, on a harder scene,
   // by bench_ablation_optimizer).
   EXPECT_LT(image_rmse(w.contrast, c.contrast), 0.05);
-  EXPECT_LE(w.history.mlfma_applications, c.history.mlfma_applications);
+  EXPECT_LE(w.history.operator_applications, c.history.operator_applications);
 }
 
 }  // namespace

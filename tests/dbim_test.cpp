@@ -52,7 +52,7 @@ TEST(Dbim, ThreeForwardSolvesPerIterationPerTransmitter) {
   // per iteration.
   EXPECT_EQ(res.history.forward_solves,
             static_cast<std::uint64_t>(3 * 4 * 5));
-  EXPECT_GT(res.history.mlfma_applications, res.history.forward_solves);
+  EXPECT_GT(res.history.operator_applications, res.history.forward_solves);
 }
 
 TEST(Dbim, ResidualDecreasesMonotonically) {

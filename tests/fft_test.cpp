@@ -3,10 +3,13 @@
 // (the exact-interpolation oracle used by the MLFMA interp tests).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/rng.hpp"
 #include "fft/fft.hpp"
+#include "fft/fft2.hpp"
 #include "linalg/kernels.hpp"
 
 namespace ffw {
@@ -105,6 +108,149 @@ TEST(SpectralResample, DownsampleBandLimited) {
     const cplx want = eval(2.0 * pi * static_cast<double>(i) / m);
     EXPECT_NEAR(std::abs(down[i] - want), 0.0, 1e-11);
   }
+}
+
+// 2-D oracle: the row-column transform must equal the tensor product of
+// 1-D reference DFTs — transform every row with dft_reference, then
+// every column of the result.
+cvec dft2_reference(const cvec& x, std::size_t rows, std::size_t cols) {
+  cvec out(x.begin(), x.end());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const cvec row = dft_reference(
+        cvec(out.begin() + static_cast<std::ptrdiff_t>(r * cols),
+             out.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols)));
+    std::copy(row.begin(), row.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(r * cols));
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    cvec col(rows);
+    for (std::size_t r = 0; r < rows; ++r) col[r] = out[r * cols + c];
+    col = dft_reference(col);
+    for (std::size_t r = 0; r < rows; ++r) out[r * cols + c] = col[r];
+  }
+  return out;
+}
+
+class Fft2Sizes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(Fft2Sizes, MatchesTensorProductReference) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(rows * 131 + cols);
+  cvec x(rows * cols);
+  rng.fill_cnormal(x);
+  const cvec want = dft2_reference(x, rows, cols);
+  Fft2Plan<double> plan(rows, cols);
+  cvec got(x.begin(), x.end());
+  plan.forward(got);
+  EXPECT_LT(rel_l2_diff(got, want), 1e-11) << rows << "x" << cols;
+  plan.inverse(got);
+  EXPECT_LT(rel_l2_diff(got, x), 1e-12) << rows << "x" << cols;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, Fft2Sizes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{4, 4},
+                      std::pair<std::size_t, std::size_t>{8, 8},
+                      std::pair<std::size_t, std::size_t>{16, 16},
+                      // Rectangular and non-power-of-two (Bluestein rows
+                      // and/or columns).
+                      std::pair<std::size_t, std::size_t>{8, 12},
+                      std::pair<std::size_t, std::size_t>{12, 8},
+                      std::pair<std::size_t, std::size_t>{7, 7},
+                      std::pair<std::size_t, std::size_t>{15, 27},
+                      std::pair<std::size_t, std::size_t>{30, 10}));
+
+TEST(Fft2, ParsevalOnPaddedPanel) {
+  const std::size_t rows = 32, cols = 32;
+  Rng rng(91);
+  cvec x(rows * cols);
+  rng.fill_cnormal(x);
+  const double tx = nrm2(x);
+  Fft2Plan<double> plan(rows, cols);
+  plan.forward(x);
+  EXPECT_NEAR(nrm2(x), tx * std::sqrt(static_cast<double>(rows * cols)),
+              1e-9 * tx);
+}
+
+TEST(Fft2, BatchedPanelsMatchIndividualTransforms) {
+  const std::size_t rows = 16, cols = 16, count = 5;
+  Rng rng(92);
+  cvec batch(rows * cols * count);
+  rng.fill_cnormal(batch);
+  Fft2Plan<double> plan(rows, cols);
+  cvec singles(batch.begin(), batch.end());
+  for (std::size_t p = 0; p < count; ++p) {
+    plan.forward(
+        std::span{singles.data() + p * plan.size(), plan.size()});
+  }
+  plan.forward(batch, count);
+  EXPECT_LT(rel_l2_diff(batch, singles), 1e-13);
+  plan.inverse(batch, count);
+  for (std::size_t p = 0; p < count; ++p) {
+    plan.inverse(std::span{singles.data() + p * plan.size(), plan.size()});
+  }
+  EXPECT_LT(rel_l2_diff(batch, singles), 1e-13);
+}
+
+// The fp32 plan instantiation used by Precision::kMixed backends: same
+// math, float-level accuracy.
+TEST(Fft2, FloatPlanMatchesDoubleReference) {
+  const std::size_t rows = 16, cols = 24;
+  Rng rng(93);
+  cvec x(rows * cols);
+  rng.fill_cnormal(x);
+  const cvec want = dft2_reference(x, rows, cols);
+  std::vector<std::complex<float>> xf(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    xf[i] = std::complex<float>(static_cast<float>(x[i].real()),
+                                static_cast<float>(x[i].imag()));
+  }
+  Fft2Plan<float> plan(rows, cols);
+  plan.forward(std::span{xf});
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += std::norm(cplx{xf[i].real(), xf[i].imag()} - want[i]);
+    den += std::norm(want[i]);
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-5);
+}
+
+// Satellite regression: fft()/ifft() now route through a memoized
+// per-length plan cache — repeated transforms of one length must be one
+// miss and the rest hits, and the cache stays bounded.
+TEST(FftPlanCache, RepeatLengthsHitTheCache) {
+  fft_plan_cache_clear();
+  Rng rng(94);
+  cvec x(96);  // non-pow2: the expensive Bluestein setup is what caching saves
+  rng.fill_cnormal(x);
+  for (int rep = 0; rep < 8; ++rep) {
+    cvec y(x.begin(), x.end());
+    fft(y);
+    ifft(y);
+    EXPECT_LT(rel_l2_diff(y, x), 1e-11);
+  }
+  const FftPlanCacheStats st = fft_plan_cache_stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 15u);
+  EXPECT_EQ(st.entries, 1u);
+}
+
+TEST(FftPlanCache, EvictionKeepsCacheBounded) {
+  fft_plan_cache_clear();
+  // Touch far more distinct lengths than the LRU capacity holds.
+  for (std::size_t n = 1; n <= 200; ++n) (void)fft_plan(n);
+  const FftPlanCacheStats st = fft_plan_cache_stats();
+  EXPECT_EQ(st.misses, 200u);
+  EXPECT_LE(st.entries, 64u);
+  // Evicted plans rebuild correctly (and a held shared_ptr stays valid).
+  const auto plan = fft_plan(1);
+  ASSERT_TRUE(plan);
+  EXPECT_EQ(plan->size(), 1u);
+  cvec x{cplx{2.5, -1.0}};
+  plan->forward(x);
+  EXPECT_NEAR(std::abs(x[0] - cplx{2.5, -1.0}), 0.0, 1e-15);
 }
 
 }  // namespace

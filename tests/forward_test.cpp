@@ -143,7 +143,7 @@ TEST(Forward, StatsTrackSolvesAndMlfma) {
   rng.fill_cnormal(rhs);
   fs.solve(rhs, phi);
   EXPECT_EQ(fs.stats().solves, 1u);
-  EXPECT_GT(fs.stats().mlfma_applications, 0u);
+  EXPECT_GT(fs.stats().operator_applications, 0u);
   EXPECT_GT(fs.stats().mlfma_per_solve(), 1.0);
   fs.clear_stats();
   EXPECT_EQ(fs.stats().solves, 0u);

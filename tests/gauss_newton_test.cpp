@@ -92,8 +92,8 @@ TEST(GaussNewton, PerIterationCostStructure) {
   const DbimResult cg2 = dbim_reconstruct(
       f.scene->engine(), f.scene->transceivers(), f.scene->measurements(),
       match);
-  EXPECT_LT(static_cast<double>(cg2.history.mlfma_applications),
-            1.5 * static_cast<double>(gn.history.mlfma_applications));
+  EXPECT_LT(static_cast<double>(cg2.history.operator_applications),
+            1.5 * static_cast<double>(gn.history.operator_applications));
 }
 
 TEST(GaussNewton, DampingKeepsStepsBounded) {
