@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "linalg/kernels.hpp"
 #include "obs/obs.hpp"
+#include "service/table_cache.hpp"
 
 namespace ffw {
 
@@ -31,7 +33,8 @@ int DbimWorkspace::num_illuminations() const {
 
 void DbimWorkspace::set_backend(BackendKind policy, const CbsOptions& cbs_opts,
                                 double contrast_threshold,
-                                double escalation_rate) {
+                                double escalation_rate,
+                                std::shared_ptr<const CbsTables> tables) {
   policy_ = policy;
   auto_threshold_ = contrast_threshold;
   auto_escalation_rate_ = escalation_rate;
@@ -41,7 +44,12 @@ void DbimWorkspace::set_backend(BackendKind policy, const CbsOptions& cbs_opts,
     active_ = &solver_;
     return;
   }
-  cbs_ = std::make_unique<CbsEngine>(solver_.tree().grid(), cbs_opts);
+  if (tables) {
+    FFW_CHECK(tables->grid.nx() == solver_.tree().grid().nx());
+    cbs_ = std::make_unique<CbsEngine>(std::move(tables), cbs_opts);
+  } else {
+    cbs_ = std::make_unique<CbsEngine>(solver_.tree().grid(), cbs_opts);
+  }
   active_ = policy == BackendKind::kCbs ? static_cast<ForwardBackend*>(cbs_.get())
                                         : &solver_;
 }
@@ -84,10 +92,21 @@ void DbimWorkspace::set_recycling(std::size_t depth, double ridge) {
   rec_step_ = KrylovRecycler(RecycleOptions{depth, ridge});
 }
 
+ccspan DbimWorkspace::incident_column(int t, cvec& storage) const {
+  if (!incident_panel_.empty()) {
+    FFW_DCHECK(incident_panel_.size() >=
+               (static_cast<std::size_t>(t) + 1) * npix_);
+    return incident_panel_.subspan(static_cast<std::size_t>(t) * npix_, npix_);
+  }
+  storage = trx_->incident_field(t);
+  return storage;
+}
+
 double DbimWorkspace::residual_pass(int t, cspan residual) {
   FFW_CHECK(residual.size() == measured_->rows());
   const std::size_t tc = static_cast<std::size_t>(t);
-  const cvec inc = trx_->incident_field(t);
+  cvec inc_storage;
+  const ccspan inc = incident_column(t, inc_storage);
   cspan phi = phi_b_.col(tc);
   if (!phi_b_valid_[tc]) {
     copy(inc, phi);  // first iteration: incident field as initial guess
@@ -163,8 +182,9 @@ double DbimWorkspace::residual_pass_all(cspan residuals) {
   // RHS panel: all incident fields; warm-start guesses live directly in
   // the phi_b_ columns, which the block solve updates in place.
   cvec rhs(npix_ * tc);
+  cvec inc_storage;
   for (std::size_t t = 0; t < tc; ++t) {
-    const cvec inc = trx_->incident_field(static_cast<int>(t));
+    const ccspan inc = incident_column(static_cast<int>(t), inc_storage);
     std::copy(inc.begin(), inc.end(), rhs.begin() +
               static_cast<std::ptrdiff_t>(t * npix_));
     if (!phi_b_valid_[t]) {
@@ -249,40 +269,58 @@ double DbimWorkspace::step_pass_all(ccspan direction) {
   return denom;
 }
 
-DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
-                            const CMatrix& measured, const DbimOptions& opts,
-                            const BicgstabOptions& fw_opts,
-                            ccspan initial_contrast) {
-  DbimWorkspace ws(engine, trx, measured, fw_opts);
+DbimStepper::DbimStepper(MlfmaEngine& engine, const Transceivers& trx,
+                         const CMatrix& measured, const DbimOptions& opts,
+                         const BicgstabOptions& fw_opts,
+                         ccspan initial_contrast)
+    : opts_(opts),
+      fw_opts_(fw_opts),
+      ws_(engine, trx, measured, fw_opts),
+      n_(ws_.num_pixels()) {
   if (opts.mixed_engine != nullptr) {
-    ws.solver().set_mixed_engine(opts.mixed_engine);
+    ws_.solver().set_mixed_engine(opts.mixed_engine);
   }
   if (opts.near_precondition) {
-    ws.solver().set_near_preconditioner(
+    ws_.solver().set_near_preconditioner(
         true, opts.mixed_engine != nullptr ? Precision::kMixed
                                            : Precision::kDouble);
   }
   if (opts.recycle_depth > 0) {
-    ws.set_recycling(static_cast<std::size_t>(opts.recycle_depth),
-                     opts.recycle_ridge);
+    ws_.set_recycling(static_cast<std::size_t>(opts.recycle_depth),
+                      opts.recycle_ridge);
   }
   if (opts.backend != BackendKind::kMlfma) {
-    ws.set_backend(opts.backend, opts.cbs, opts.auto_contrast_threshold,
-                   opts.auto_escalation_rate);
+    // Shared cache (when wired) hands every sharing job the same CBS
+    // kernel spectrum and FFT plans; otherwise build privately.
+    std::shared_ptr<const CbsTables> ctab;
+    if (opts.table_cache != nullptr) {
+      ctab = opts.table_cache->cbs_tables(engine.tree().grid(),
+                                          opts.cbs.precision);
+    }
+    ws_.set_backend(opts.backend, opts.cbs, opts.auto_contrast_threshold,
+                    opts.auto_escalation_rate, std::move(ctab));
   }
-  const std::size_t n = ws.num_pixels();
-  const int t_count = ws.num_illuminations();
+  if (!opts.incident_panel.empty()) {
+    ws_.set_incident_panel(opts.incident_panel);
+  }
+  const int t_count = ws_.num_illuminations();
 
-  DbimResult out;
-  out.contrast.assign(n, cplx{});
+  DbimResult& out = out_;
+  out.contrast.assign(n_, cplx{});
   if (!initial_contrast.empty()) {
-    FFW_CHECK(initial_contrast.size() == n);
+    FFW_CHECK(initial_contrast.size() == n_);
     copy(initial_contrast, out.contrast);
   }
 
-  cvec grad(n), grad_prev(n), direction(n),
-      residuals(measured.rows() * static_cast<std::size_t>(t_count));
-  double grad_prev_norm2 = 0.0;
+  grad_.assign(n_, cplx{});
+  grad_prev_.assign(n_, cplx{});
+  direction_.assign(n_, cplx{});
+  residuals_.assign(measured.rows() * static_cast<std::size_t>(t_count),
+                    cplx{});
+  cvec& grad_prev = grad_prev_;
+  cvec& direction = direction_;
+  double& grad_prev_norm2 = grad_prev_norm2_;
+  const std::size_t n = n_;
   int start_iter = 0;
   if (opts.resume) {
     // Refuse to resume across a precision-policy change: the checkpoint
@@ -315,115 +353,158 @@ DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
         opts.resume->residual_history.begin(),
         opts.resume->residual_history.end());
   }
+  iter_ = start_iter;
+  done_ = iter_ >= opts_.max_iterations;
+  opts_.resume = nullptr;  // consumed above; don't keep the borrow alive
+}
 
-  for (int iter = start_iter; iter < opts.max_iterations; ++iter) {
-    FFW_TRACE_SPAN("dbim.iteration", iter);
-    if (opts.adaptive_forcing) {
-      // Lagged Eisenstat-Walker forcing: every solve of this iteration
-      // targets c * (last outer residual), clamped to [base_tol, cap].
-      // On resume the lagged residual comes from the checkpointed
-      // history, so the recovered tolerances are bit-identical.
-      const auto& hist = out.history.relative_residual;
-      const double base = fw_opts.tol;
-      double ftol = std::max(base, opts.forcing_cap);
-      if (!hist.empty()) {
-        ftol = std::clamp(opts.forcing_c * hist.back(), base,
-                          std::max(base, opts.forcing_cap));
-      }
-      ws.set_forcing_tolerance(ftol);
-    }
-    ws.set_background(out.contrast, opts.warm_start_fields);
+double DbimStepper::last_residual() const {
+  return out_.history.relative_residual.empty()
+             ? std::numeric_limits<double>::quiet_NaN()
+             : out_.history.relative_residual.back();
+}
 
-    // Pass 1+2: residuals and gradient, each as one blocked solve over
-    // the whole illumination set (shared-operator multi-RHS structure).
-    std::fill(grad.begin(), grad.end(), cplx{});
-    double cost;
-    {
-      FFW_TRACE_SPAN("dbim.residual_pass", iter);
-      cost = ws.residual_pass_all(residuals);
-    }
-    {
-      FFW_TRACE_SPAN("dbim.gradient_pass", iter);
-      ws.gradient_pass_all(residuals, grad);
-    }
-    const double relres = std::sqrt(cost / ws.measurement_norm2());
-    out.history.relative_residual.push_back(relres);
-    if (opts.progress) opts.progress(iter, relres);
-    if (opts.residual_tol > 0.0 && relres < opts.residual_tol) break;
+bool DbimStepper::step() {
+  if (done_) return false;
+  const DbimOptions& opts = opts_;
+  DbimWorkspace& ws = ws_;
+  DbimResult& out = out_;
+  cvec& grad = grad_;
+  cvec& grad_prev = grad_prev_;
+  cvec& direction = direction_;
+  const std::size_t n = n_;
+  const int iter = iter_;
 
-    // Tikhonov term: grad(lambda ||O||^2) = lambda * O (Wirtinger
-    // convention, matching the data-term gradient F^H b).
-    if (opts.tikhonov > 0.0) {
-      axpy(cplx{opts.tikhonov}, ccspan{out.contrast}, grad);
+  FFW_TRACE_SPAN("dbim.iteration", iter);
+  if (opts.adaptive_forcing) {
+    // Lagged Eisenstat-Walker forcing: every solve of this iteration
+    // targets c * (last outer residual), clamped to [base_tol, cap].
+    // On resume the lagged residual comes from the checkpointed
+    // history, so the recovered tolerances are bit-identical.
+    const auto& hist = out.history.relative_residual;
+    const double base = fw_opts_.tol;
+    double ftol = std::max(base, opts.forcing_cap);
+    if (!hist.empty()) {
+      ftol = std::clamp(opts.forcing_c * hist.back(), base,
+                        std::max(base, opts.forcing_cap));
     }
+    ws.set_forcing_tolerance(ftol);
+  }
+  ws.set_background(out.contrast, opts.warm_start_fields);
 
-    // Conjugate direction (Polak-Ribiere+ with automatic restart).
-    const double gnorm2 = std::pow(nrm2(grad), 2);
-    if (gnorm2 == 0.0) break;
-    double beta = 0.0;
-    if (opts.conjugate_gradient && iter > 0 && grad_prev_norm2 > 0.0) {
-      cplx num{};
-      for (std::size_t i = 0; i < n; ++i)
-        num += std::conj(grad[i]) * (grad[i] - grad_prev[i]);
-      beta = std::max(0.0, num.real() / grad_prev_norm2);
-    }
-    if (beta == 0.0) {
-      for (std::size_t i = 0; i < n; ++i) direction[i] = -grad[i];
-    } else {
-      for (std::size_t i = 0; i < n; ++i)
-        direction[i] = -grad[i] + beta * direction[i];
-    }
-
-    // Pass 3: quadratic-fit step length (paper eq. 5 generalised to CG
-    // directions), one blocked solve for all illuminations.
-    double denom;
-    {
-      FFW_TRACE_SPAN("dbim.step_pass", iter);
-      denom = ws.step_pass_all(direction);
-    }
-    if (opts.tikhonov > 0.0) {
-      denom += opts.tikhonov * std::pow(nrm2(direction), 2);
-    }
-    if (denom == 0.0) break;
-    double num = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-      num -= (std::conj(grad[i]) * direction[i]).real();
-    const double alpha = num / denom;
-    axpy(cplx{alpha}, direction, out.contrast);
-
-    copy(grad, grad_prev);
-    grad_prev_norm2 = gnorm2;
-
-    if (opts.checkpoint) {
-      DbimCheckpoint state;
-      state.iteration = iter + 1;
-      state.mixed_precision = opts.mixed_engine != nullptr;
-      state.backend = opts.backend;
-      state.contrast = out.contrast;
-      state.gradient_prev = grad_prev;
-      state.direction = direction;
-      state.residual_history.assign(out.history.relative_residual.begin(),
-                                    out.history.relative_residual.end());
-      opts.checkpoint(state);
-    }
+  // Pass 1+2: residuals and gradient, each as one blocked solve over
+  // the whole illumination set (shared-operator multi-RHS structure).
+  std::fill(grad.begin(), grad.end(), cplx{});
+  double cost;
+  {
+    FFW_TRACE_SPAN("dbim.residual_pass", iter);
+    cost = ws.residual_pass_all(residuals_);
+  }
+  {
+    FFW_TRACE_SPAN("dbim.gradient_pass", iter);
+    ws.gradient_pass_all(residuals_, grad);
+  }
+  const double relres = std::sqrt(cost / ws.measurement_norm2());
+  out.history.relative_residual.push_back(relres);
+  if (opts.progress) opts.progress(iter, relres);
+  if (opts.residual_tol > 0.0 && relres < opts.residual_tol) {
+    done_ = true;
+    return false;
   }
 
+  // Tikhonov term: grad(lambda ||O||^2) = lambda * O (Wirtinger
+  // convention, matching the data-term gradient F^H b).
+  if (opts.tikhonov > 0.0) {
+    axpy(cplx{opts.tikhonov}, ccspan{out.contrast}, grad);
+  }
+
+  // Conjugate direction (Polak-Ribiere+ with automatic restart).
+  const double gnorm2 = std::pow(nrm2(grad), 2);
+  if (gnorm2 == 0.0) {
+    done_ = true;
+    return false;
+  }
+  double beta = 0.0;
+  if (opts.conjugate_gradient && iter > 0 && grad_prev_norm2_ > 0.0) {
+    cplx num{};
+    for (std::size_t i = 0; i < n; ++i)
+      num += std::conj(grad[i]) * (grad[i] - grad_prev[i]);
+    beta = std::max(0.0, num.real() / grad_prev_norm2_);
+  }
+  if (beta == 0.0) {
+    for (std::size_t i = 0; i < n; ++i) direction[i] = -grad[i];
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      direction[i] = -grad[i] + beta * direction[i];
+  }
+
+  // Pass 3: quadratic-fit step length (paper eq. 5 generalised to CG
+  // directions), one blocked solve for all illuminations.
+  double denom;
+  {
+    FFW_TRACE_SPAN("dbim.step_pass", iter);
+    denom = ws.step_pass_all(direction);
+  }
+  if (opts.tikhonov > 0.0) {
+    denom += opts.tikhonov * std::pow(nrm2(direction), 2);
+  }
+  if (denom == 0.0) {
+    done_ = true;
+    return false;
+  }
+  double num = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    num -= (std::conj(grad[i]) * direction[i]).real();
+  const double alpha = num / denom;
+  axpy(cplx{alpha}, direction, out.contrast);
+
+  copy(grad, grad_prev);
+  grad_prev_norm2_ = gnorm2;
+  ++iter_;
+
+  if (opts.checkpoint) {
+    DbimCheckpoint state;
+    state.iteration = iter_;
+    state.mixed_precision = opts.mixed_engine != nullptr;
+    state.backend = opts.backend;
+    state.contrast = out.contrast;
+    state.gradient_prev = grad_prev;
+    state.direction = direction;
+    state.residual_history.assign(out.history.relative_residual.begin(),
+                                  out.history.relative_residual.end());
+    opts.checkpoint(state);
+  }
+  if (iter_ >= opts.max_iterations) done_ = true;
+  return !done_;
+}
+
+DbimResult DbimStepper::result() {
   // Both engines may have contributed solves (kAuto switches mid-run);
   // the history totals span whatever mix actually executed.
-  const ForwardStats& ms = ws.solver().stats();
-  out.history.forward_solves = ms.solves;
-  out.history.operator_applications = ms.operator_applications;
-  out.history.bicgstab_iterations = ms.bicgs_iterations;
-  out.history.precond_setup_seconds = ms.precond_setup_seconds;
-  if (ws.cbs() != nullptr) {
-    const ForwardStats& cs = ws.cbs()->stats();
-    out.history.forward_solves += cs.solves;
-    out.history.operator_applications += cs.operator_applications;
-    out.history.bicgstab_iterations += cs.bicgs_iterations;
+  const ForwardStats& ms = ws_.solver().stats();
+  out_.history.forward_solves = ms.solves;
+  out_.history.operator_applications = ms.operator_applications;
+  out_.history.bicgstab_iterations = ms.bicgs_iterations;
+  out_.history.precond_setup_seconds = ms.precond_setup_seconds;
+  if (ws_.cbs() != nullptr) {
+    const ForwardStats& cs = ws_.cbs()->stats();
+    out_.history.forward_solves += cs.solves;
+    out_.history.operator_applications += cs.operator_applications;
+    out_.history.bicgstab_iterations += cs.bicgs_iterations;
   }
-  out.history.backend = opts.backend;
-  out.history.cbs_escalated = ws.cbs_escalated();
-  return out;
+  out_.history.backend = opts_.backend;
+  out_.history.cbs_escalated = ws_.cbs_escalated();
+  return std::move(out_);
+}
+
+DbimResult dbim_reconstruct(MlfmaEngine& engine, const Transceivers& trx,
+                            const CMatrix& measured, const DbimOptions& opts,
+                            const BicgstabOptions& fw_opts,
+                            ccspan initial_contrast) {
+  DbimStepper stepper(engine, trx, measured, opts, fw_opts, initial_contrast);
+  while (stepper.step()) {
+  }
+  return stepper.result();
 }
 
 }  // namespace ffw

@@ -28,6 +28,8 @@
 
 namespace ffw {
 
+class OperatorTableCache;
+
 struct DbimOptions {
   int max_iterations = 50;  // paper Sec. V-B: 50 nonlinear CG steps
   /// Stop early when the relative residual drops below this (0 = never;
@@ -103,6 +105,17 @@ struct DbimOptions {
   /// CBS configuration used by kCbs / kAuto (tolerance comes from the
   /// forward BicgstabOptions + forcing, like every other solve).
   CbsOptions cbs;
+  /// Precomputed incident-field panel (n x T, column t at offset t * n;
+  /// borrowed). When set, the residual passes read their per-transmitter
+  /// incident fields here instead of re-evaluating T Hankel passes every
+  /// DBIM iteration — the service wires the shared TransceiverTables
+  /// panel through this. Values must equal trx.incident_field(t) bit for
+  /// bit (they do when both come from the same Transceivers geometry).
+  ccspan incident_panel = {};
+  /// Shared operator-table cache (borrowed; service/table_cache.hpp).
+  /// When set, a kCbs / kAuto run obtains its CBS kernel spectrum and
+  /// FFT plans from the cache instead of building privately.
+  OperatorTableCache* table_cache = nullptr;
 };
 
 struct DbimHistory {
@@ -184,6 +197,10 @@ class DbimWorkspace {
   /// always acts as a floor.
   void set_forcing_tolerance(double tol) { forcing_tol_ = tol; }
 
+  /// Installs a precomputed incident panel (DbimOptions::incident_panel
+  /// contract); empty span reverts to per-call evaluation.
+  void set_incident_panel(ccspan panel) { incident_panel_ = panel; }
+
   /// Enables Krylov recycling of the gradient and step-length block
   /// solves (depth 0 disables). Snapshots are cleared whenever
   /// set_background drops the warm-started fields.
@@ -191,9 +208,11 @@ class DbimWorkspace {
 
   /// Installs the forward-backend routing policy (DbimOptions::backend
   /// et al.). kCbs / kAuto construct the CBS engine on the solver's
-  /// grid; call before the first set_background.
+  /// grid — from the shared `tables` artifact when one is supplied;
+  /// call before the first set_background.
   void set_backend(BackendKind policy, const CbsOptions& cbs_opts,
-                   double contrast_threshold, double escalation_rate);
+                   double contrast_threshold, double escalation_rate,
+                   std::shared_ptr<const CbsTables> tables = nullptr);
   /// Backend the next block solve will run on (kAuto resolves to the
   /// chosen engine).
   BackendKind active_backend() const { return active_->kind(); }
@@ -205,6 +224,10 @@ class DbimWorkspace {
   /// Block solve routed through mixed-precision refinement when a mixed
   /// engine is registered on the solver; returns convergence.
   bool block_solve(ccspan rhs, cspan x, std::size_t nrhs, bool adjoint);
+
+  /// Incident field of transmitter t: a view into the installed panel,
+  /// or freshly evaluated into `storage`.
+  ccspan incident_column(int t, cvec& storage) const;
 
   const Transceivers* trx_;
   const CMatrix* measured_;
@@ -227,11 +250,59 @@ class DbimWorkspace {
   std::vector<bool> phi_b_valid_;
   cvec scratch_r_;
   double forcing_tol_ = 0.0;
+  ccspan incident_panel_ = {};  // borrowed; empty = evaluate per call
   // Recycled (rhs, solution) snapshots of the gradient / step-length
   // block solves across DBIM iterations (residual passes warm-start from
   // phi_b_ instead). Disabled at depth 0.
   KrylovRecycler rec_grad_{RecycleOptions{0, 1e-12}};
   KrylovRecycler rec_step_{RecycleOptions{0, 1e-12}};
+};
+
+/// Resumable single-iteration DBIM driver: the outer loop of
+/// dbim_reconstruct exposed one nonlinear-CG iteration at a time, so a
+/// scheduler can interleave many reconstructions over one rank pool
+/// (service/service.hpp) with per-step accounting and cancellation
+/// between steps. Run to completion, the trajectory is bit-identical to
+/// dbim_reconstruct with the same arguments (asserted in
+/// tests/service_test.cpp) — dbim_reconstruct is itself implemented as
+/// `while (stepper.step()) {}`.
+class DbimStepper {
+ public:
+  DbimStepper(MlfmaEngine& engine, const Transceivers& trx,
+              const CMatrix& measured, const DbimOptions& opts = {},
+              const BicgstabOptions& fw_opts = {},
+              ccspan initial_contrast = {});
+
+  /// Runs one DBIM iteration (three blocked passes + CG update +
+  /// checkpoint hook). Returns true while further steps remain; false
+  /// once the run has finished (iteration budget exhausted, residual
+  /// tolerance met, or the CG update degenerated).
+  bool step();
+
+  bool done() const { return done_; }
+  /// Next iteration index step() would run (== completed count).
+  int iteration() const { return iter_; }
+  /// Latest relative residual (NaN before the first step).
+  double last_residual() const;
+  ccspan contrast() const { return out_.contrast; }
+
+  /// Finalises the history totals and hands out the result; call once,
+  /// after stepping is finished (or abandoned mid-run — the result then
+  /// reflects the last completed iteration).
+  DbimResult result();
+
+  DbimWorkspace& workspace() { return ws_; }
+
+ private:
+  DbimOptions opts_;
+  BicgstabOptions fw_opts_;
+  DbimWorkspace ws_;
+  DbimResult out_;
+  std::size_t n_;
+  cvec grad_, grad_prev_, direction_, residuals_;
+  double grad_prev_norm2_ = 0.0;
+  int iter_ = 0;
+  bool done_ = false;
 };
 
 /// Serial DBIM driver (all illuminations on this process).

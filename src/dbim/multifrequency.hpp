@@ -31,12 +31,21 @@ struct MultiFrequencyResult {
   std::vector<std::vector<double>> stage_residuals;
   /// Per-stage image RMSE vs the (downsampled) truth.
   std::vector<double> stage_rmse;
+  /// Per-stage wall time, total and scene-setup share. The setup share
+  /// is what ScenarioConfig::table_cache amortises when several runs
+  /// (or repeated stages at one frequency) share a configuration.
+  std::vector<double> stage_seconds;
+  std::vector<double> stage_setup_seconds;
 };
 
 /// Runs the stages coarse-to-fine. `config` describes the final-grid
 /// scenario (its nx, arrays, tolerances); `true_permittivity` is the
 /// object on the final grid, used to synthesise each stage's
-/// measurements (and for the per-stage RMSE diagnostics).
+/// measurements (and for the per-stage RMSE diagnostics). A
+/// config.table_cache routes every stage's MLFMA tables and transceiver
+/// operators (and the cached incident panel) through the shared cache,
+/// so concurrent multi-frequency runs — or repeated runs over the same
+/// frequency ladder — pay each stage's setup once.
 MultiFrequencyResult multifrequency_reconstruct(
     const ScenarioConfig& config, ccspan true_permittivity,
     const std::vector<FrequencyStage>& stages);

@@ -8,6 +8,7 @@
 #include "forward/precond.hpp"
 #include "forward/recycle.hpp"
 #include "linalg/kernels.hpp"
+#include "service/table_cache.hpp"
 
 namespace ffw {
 
@@ -224,7 +225,13 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
                                      const ParallelDbimConfig& config) {
   const int ig = config.illum_groups, tr = config.tree_ranks;
   FFW_CHECK(vc.size() == ig * tr);
-  const PartitionedMlfma pm(tree, config.mlfma, tr);
+  const PartitionedMlfma pm =
+      config.table_cache != nullptr
+          ? PartitionedMlfma(
+                config.table_cache->mlfma_tables(
+                    tree.grid(), tree.leaf_pixel_side(), config.mlfma),
+                tr)
+          : PartitionedMlfma(tree, config.mlfma, tr);
   const std::size_t npix = tree.grid().num_pixels();
   const int t_count = trx.num_transmitters();
 

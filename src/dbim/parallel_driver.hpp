@@ -24,6 +24,13 @@ struct ParallelDbimConfig {
   BicgstabOptions forward;
   MlfmaParams mlfma;
 
+  /// Shared operator-table cache (borrowed, may be null): the
+  /// PartitionedMlfma then shares the cached MLFMA tables for
+  /// (tree.grid(), tree.leaf_pixel_side(), mlfma) instead of building a
+  /// private set — repeated parallel reconstructions over one
+  /// configuration (the service's common case) pay the tables once.
+  OperatorTableCache* table_cache = nullptr;
+
   /// When non-empty, global rank 0 gathers the outer-loop state
   /// (contrast, CG memory, residual history — natural pixel order, same
   /// DbimCheckpoint format the serial driver emits) from the group-0

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace ffw {
@@ -575,7 +576,7 @@ namespace {
 /// evicted plan alive until its last in-flight execution finishes.
 class PlanCache {
  public:
-  static constexpr std::size_t kCapacity = 64;
+  static constexpr std::size_t kDefaultCapacity = 64;
 
   std::shared_ptr<const Fft1Plan<double>> get(std::size_t n) {
     {
@@ -584,6 +585,7 @@ class PlanCache {
       if (it != index_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);
         ++hits_;
+        obs::add(obs::Counter::kFftPlanHits, 1);
         return it->second->second;
       }
     }
@@ -595,21 +597,20 @@ class PlanCache {
     if (it != index_.end()) {  // raced with another builder: reuse theirs
       lru_.splice(lru_.begin(), lru_, it->second);
       ++hits_;
+      obs::add(obs::Counter::kFftPlanHits, 1);
       return it->second->second;
     }
     ++misses_;
+    obs::add(obs::Counter::kFftPlanMisses, 1);
     lru_.emplace_front(n, std::move(plan));
     index_[n] = lru_.begin();
-    if (lru_.size() > kCapacity) {
-      index_.erase(lru_.back().first);
-      lru_.pop_back();
-    }
+    shrink_locked();
     return lru_.front().second;
   }
 
   FftPlanCacheStats stats() {
     std::lock_guard<std::mutex> lk(mu_);
-    return {hits_, misses_, lru_.size()};
+    return {hits_, misses_, lru_.size(), capacity_};
   }
 
   void clear() {
@@ -619,12 +620,28 @@ class PlanCache {
     hits_ = misses_ = 0;
   }
 
+  std::size_t set_capacity(std::size_t entries) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::size_t prev = capacity_;
+    capacity_ = std::max<std::size_t>(1, entries);
+    shrink_locked();
+    return prev;
+  }
+
  private:
+  void shrink_locked() {
+    while (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+
   using Entry = std::pair<std::size_t, std::shared_ptr<const Fft1Plan<double>>>;
   std::mutex mu_;
   std::list<Entry> lru_;
   std::unordered_map<std::size_t, std::list<Entry>::iterator> index_;
   std::uint64_t hits_ = 0, misses_ = 0;
+  std::size_t capacity_ = kDefaultCapacity;
 };
 
 PlanCache& plan_cache() {
@@ -641,5 +658,9 @@ std::shared_ptr<const Fft1Plan<double>> fft_plan(std::size_t n) {
 FftPlanCacheStats fft_plan_cache_stats() { return plan_cache().stats(); }
 
 void fft_plan_cache_clear() { plan_cache().clear(); }
+
+std::size_t fft_plan_cache_set_capacity(std::size_t entries) {
+  return plan_cache().set_capacity(entries);
+}
 
 }  // namespace ffw

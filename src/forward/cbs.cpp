@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/timer.hpp"
 #include "greens/greens.hpp"
 #include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
@@ -14,42 +15,25 @@
 namespace ffw {
 
 struct CbsEngine::Fp32Pipeline {
-  explicit Fp32Pipeline(std::size_t p) : plan(p, p) {}
-  Fft2Plan<float> plan;
-  cvec32 g0hat;  // narrowed kernel spectrum
-  cvec32 mhat;   // narrowed shift spectrum
-  cvec32 pad;    // padded panel scratch
+  cvec32 mhat;  // narrowed shift spectrum
+  cvec32 pad;   // padded panel scratch
 };
 
-CbsEngine::CbsEngine(const Grid& grid, const CbsOptions& opts)
-    : grid_(grid), opts_(opts), n_(grid.num_pixels()) {
-  const std::size_t nx = static_cast<std::size_t>(grid_.nx());
+CbsTables::CbsTables(const Grid& g, Precision prec) : grid(g), precision(prec) {
+  Timer timer;
+  FFW_TRACE_SPAN("cbs.kernel_fft", static_cast<std::int64_t>(grid.nx()));
+  const std::size_t nx = static_cast<std::size_t>(grid.nx());
   // Zero padding to P >= 2 nx - 1 makes the circular convolution exact
   // over the domain; bit_ceil keeps every transform on the fast
   // power-of-two path (P = 2 nx for power-of-two nx).
-  pad_n_ = std::bit_ceil(2 * nx - 1);
-  plan_ = std::make_unique<Fft2Plan<double>>(pad_n_, pad_n_);
-  build_kernel_symbol();
-  if (opts_.precision == Precision::kMixed) {
-    fp32_ = std::make_unique<Fp32Pipeline>(pad_n_);
-    fp32_->g0hat.resize(g0hat_.size());
-    for (std::size_t i = 0; i < g0hat_.size(); ++i) {
-      fp32_->g0hat[i] = narrow(g0hat_[i]);
-    }
-  }
-}
-
-CbsEngine::~CbsEngine() = default;
-
-void CbsEngine::build_kernel_symbol() {
-  FFW_TRACE_SPAN("cbs.kernel_fft", static_cast<std::int64_t>(pad_n_));
-  const std::size_t nx = static_cast<std::size_t>(grid_.nx());
-  const std::size_t p = pad_n_;
-  const double h = grid_.h();
-  const double k0 = grid_.k0();
-  const double sf = source_factor(grid_);
-  const cplx self = self_term(grid_);
-  g0hat_.assign(p * p, cplx{});
+  pad_n = std::bit_ceil(2 * nx - 1);
+  const std::size_t p = pad_n;
+  plan = std::make_unique<Fft2Plan<double>>(p, p);
+  const double h = grid.h();
+  const double k0 = grid.k0();
+  const double sf = source_factor(grid);
+  const cplx self = self_term(grid);
+  g0hat.assign(p * p, cplx{});
   // Embed the Richmond kernel k(dx, dy) wrapped: negative offsets land
   // at the top of the padded grid, exactly the layout circular
   // convolution needs to reproduce the aperiodic product on the crop.
@@ -65,11 +49,44 @@ void CbsEngine::build_kernel_symbol() {
           (dx + static_cast<std::ptrdiff_t>(p)) % static_cast<std::ptrdiff_t>(p));
       const double r = h * std::hypot(static_cast<double>(dx),
                                       static_cast<double>(dy));
-      g0hat_[row + col] = (dx == 0 && dy == 0) ? self : sf * g0_point(k0, r);
+      g0hat[row + col] = (dx == 0 && dy == 0) ? self : sf * g0_point(k0, r);
     }
   });
-  plan_->forward(g0hat_);
+  plan->forward(g0hat);
+  if (precision == Precision::kMixed) {
+    plan32 = std::make_unique<Fft2Plan<float>>(p, p);
+    g0hat32.resize(g0hat.size());
+    for (std::size_t i = 0; i < g0hat.size(); ++i) {
+      g0hat32[i] = narrow(g0hat[i]);
+    }
+  }
+  build_seconds = timer.seconds();
 }
+
+CbsTables::~CbsTables() = default;
+
+std::size_t CbsTables::bytes() const {
+  return g0hat.size() * sizeof(cplx) + g0hat32.size() * sizeof(cplx32);
+}
+
+CbsEngine::CbsEngine(const Grid& grid, const CbsOptions& opts)
+    : CbsEngine(std::make_shared<const CbsTables>(grid, opts.precision), opts) {}
+
+CbsEngine::CbsEngine(std::shared_ptr<const CbsTables> tables,
+                     const CbsOptions& opts)
+    : tables_(std::move(tables)),
+      grid_(tables_->grid),
+      opts_(opts),
+      n_(grid_.num_pixels()),
+      pad_n_(tables_->pad_n) {
+  if (opts_.precision == Precision::kMixed) {
+    FFW_CHECK_MSG(tables_->plan32 != nullptr,
+                  "kMixed CbsEngine requires CbsTables built with kMixed");
+    fp32_ = std::make_unique<Fp32Pipeline>();
+  }
+}
+
+CbsEngine::~CbsEngine() = default;
 
 void CbsEngine::build_shift_symbol() {
   const std::size_t p = pad_n_;
@@ -153,7 +170,7 @@ void CbsEngine::convolve(ccspan x, cspan y, std::size_t nrhs,
     FFW_TRACE_SPAN("cbs.fft", static_cast<std::int64_t>(nrhs),
                    obs::Counter::kFftNs);
     // Rows >= nx of each padded panel are zero-filled above: prune them.
-    plan_->forward_top(std::span<cplx>{pad, pp * nrhs}, nrhs, nx);
+    tables_->plan->forward_top(std::span<cplx>{pad, pp * nrhs}, nrhs, nx);
   }
   const cplx* sym = symbol.data();
   parallel_for(0, nrhs * p, [&](std::size_t i) {
@@ -179,7 +196,7 @@ void CbsEngine::convolve(ccspan x, cspan y, std::size_t nrhs,
     FFW_TRACE_SPAN("cbs.fft", static_cast<std::int64_t>(nrhs),
                    obs::Counter::kFftNs);
     // Only the nx-row crop below is read: prune the inverse row pass.
-    plan_->inverse_top(std::span<cplx>{pad, pp * nrhs}, nrhs, nx);
+    tables_->plan->inverse_top(std::span<cplx>{pad, pp * nrhs}, nrhs, nx);
   }
   parallel_for(0, nrhs * nx, [&](std::size_t i) {
     const std::size_t c = i / nx, row = i % nx;
@@ -222,7 +239,7 @@ void CbsEngine::convolve32(ccspan x, cspan y, std::size_t nrhs,
   {
     FFW_TRACE_SPAN("cbs.fft", static_cast<std::int64_t>(nrhs),
                    obs::Counter::kFftNs);
-    fp32_->plan.forward_top(std::span<cplx32>{pad, pp * nrhs}, nrhs, nx);
+    tables_->plan32->forward_top(std::span<cplx32>{pad, pp * nrhs}, nrhs, nx);
   }
   const cplx32* sym = symbol.data();
   parallel_for(0, nrhs * p, [&](std::size_t i) {
@@ -246,7 +263,7 @@ void CbsEngine::convolve32(ccspan x, cspan y, std::size_t nrhs,
   {
     FFW_TRACE_SPAN("cbs.fft", static_cast<std::int64_t>(nrhs),
                    obs::Counter::kFftNs);
-    fp32_->plan.inverse_top(std::span<cplx32>{pad, pp * nrhs}, nrhs, nx);
+    tables_->plan32->inverse_top(std::span<cplx32>{pad, pp * nrhs}, nrhs, nx);
   }
   parallel_for(0, nrhs * nx, [&](std::size_t i) {
     const std::size_t c = i / nx, row = i % nx;
@@ -259,19 +276,19 @@ void CbsEngine::convolve32(ccspan x, cspan y, std::size_t nrhs,
 void CbsEngine::convolve_fast(ccspan x, cspan y, std::size_t nrhs, bool green,
                               bool conjugate, const cplx* premul) {
   if (fp32_) {
-    convolve32(x, y, nrhs, green ? fp32_->g0hat : fp32_->mhat, conjugate,
+    convolve32(x, y, nrhs, green ? tables_->g0hat32 : fp32_->mhat, conjugate,
                premul);
   } else {
-    convolve(x, y, nrhs, green ? g0hat_ : mhat_, conjugate, premul);
+    convolve(x, y, nrhs, green ? tables_->g0hat : mhat_, conjugate, premul);
   }
 }
 
 void CbsEngine::apply_g0_panel(ccspan x, cspan y, std::size_t nrhs) {
-  convolve(x, y, nrhs, g0hat_, /*conjugate=*/false);
+  convolve(x, y, nrhs, tables_->g0hat, /*conjugate=*/false);
 }
 
 void CbsEngine::apply_g0_herm_panel(ccspan x, cspan y, std::size_t nrhs) {
-  convolve(x, y, nrhs, g0hat_, /*conjugate=*/true);
+  convolve(x, y, nrhs, tables_->g0hat, /*conjugate=*/true);
 }
 
 void CbsEngine::apply_system_panel(ccspan x, cspan y, std::size_t nrhs,
@@ -280,7 +297,7 @@ void CbsEngine::apply_system_panel(ccspan x, cspan y, std::size_t nrhs,
   FFW_CHECK(x.size() == n_ * nrhs && y.size() == n_ * nrhs);
   const cplx* o = contrast_nat_.data();
   if (!adjoint) {
-    convolve(x, y, nrhs, g0hat_, /*conjugate=*/false, /*premul=*/o);
+    convolve(x, y, nrhs, tables_->g0hat, /*conjugate=*/false, /*premul=*/o);
     parallel_for(0, nrhs, [&](std::size_t c) {
       for (std::size_t i = 0; i < n_; ++i) {
         y[c * n_ + i] = x[c * n_ + i] - y[c * n_ + i];
@@ -288,7 +305,7 @@ void CbsEngine::apply_system_panel(ccspan x, cspan y, std::size_t nrhs,
     });
   } else {
     cvec tmp(n_ * nrhs);
-    convolve(x, tmp, nrhs, g0hat_, /*conjugate=*/true);
+    convolve(x, tmp, nrhs, tables_->g0hat, /*conjugate=*/true);
     parallel_for(0, nrhs, [&](std::size_t c) {
       for (std::size_t i = 0; i < n_; ++i) {
         y[c * n_ + i] = x[c * n_ + i] - std::conj(o[i]) * tmp[c * n_ + i];

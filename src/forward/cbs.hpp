@@ -83,6 +83,32 @@ struct CbsOptions {
   std::size_t fp64_refresh = 8;
 };
 
+/// Read-only, shareable CBS table artifact: the contrast-independent
+/// state of the backend — the padded-FFT plans and the Richmond-kernel
+/// spectrum g0hat (plus their fp32 mirrors under kMixed). Everything
+/// contrast-dependent (gamma, the shift symbol mhat, scratch) stays in
+/// the engine, so any number of concurrent CbsEngines can share one
+/// artifact; OperatorTableCache amortises the build across jobs.
+struct CbsTables {
+  /// Precision selects whether the fp32 pipeline state (plan32/g0hat32)
+  /// is built; fp64 engines can use either flavour.
+  explicit CbsTables(const Grid& grid, Precision precision = Precision::kDouble);
+  ~CbsTables();
+  CbsTables(const CbsTables&) = delete;
+  CbsTables& operator=(const CbsTables&) = delete;
+
+  Grid grid;
+  Precision precision;
+  std::size_t pad_n = 0;  // padded side P = bit_ceil(2 nx - 1)
+  cvec g0hat;             // FFT of the wrapped Richmond kernel, P x P
+  std::unique_ptr<Fft2Plan<double>> plan;
+  cvec32 g0hat32;                           // kMixed only
+  std::unique_ptr<Fft2Plan<float>> plan32;  // kMixed only
+  double build_seconds = 0.0;
+
+  std::size_t bytes() const;
+};
+
 /// Diagnostics of the most recent panel solve.
 struct CbsSolveInfo {
   bool converged = false;
@@ -101,7 +127,13 @@ struct CbsSolveInfo {
 
 class CbsEngine final : public ForwardBackend {
  public:
+  /// Convenience constructor: builds a private CbsTables artifact.
   explicit CbsEngine(const Grid& grid, const CbsOptions& opts = {});
+  /// Shares a prebuilt artifact (see CbsTables); construction then costs
+  /// only the contrast-dependent per-engine state. kMixed options
+  /// require an artifact built with Precision::kMixed.
+  explicit CbsEngine(std::shared_ptr<const CbsTables> tables,
+                     const CbsOptions& opts = {});
   ~CbsEngine() override;
 
   BackendKind kind() const override { return BackendKind::kCbs; }
@@ -136,7 +168,7 @@ class CbsEngine final : public ForwardBackend {
   std::size_t padded() const { return pad_n_; }
 
  private:
-  struct Fp32Pipeline;  // fp32 symbols + plan + scratch (kMixed only)
+  struct Fp32Pipeline;  // fp32 shift symbol + scratch (kMixed only)
 
   /// y_panel = crop(IFFT(symbol .* FFT(pad(premul .* x_panel)))) for all
   /// columns; conjugate applies conj(symbol) (the Hermitian-transposed
@@ -154,11 +186,13 @@ class CbsEngine final : public ForwardBackend {
   /// r = rhs - A x in fp64 (the truth the iteration is judged against).
   void true_residual(ccspan rhs, ccspan x, cspan r, std::size_t nrhs,
                      bool adjoint);
-  void build_kernel_symbol();
   void build_shift_symbol();
   bool solve_impl(ccspan rhs, cspan x, std::size_t nrhs, double tol,
                   bool adjoint);
 
+  // Immutable shared tables (kernel spectrum + FFT plans); everything
+  // below them is per-engine, contrast-dependent state.
+  std::shared_ptr<const CbsTables> tables_;
   Grid grid_;
   CbsOptions opts_;
   std::size_t n_ = 0;      // pixels
@@ -168,10 +202,8 @@ class CbsEngine final : public ForwardBackend {
 
   cvec contrast_nat_;  // O, natural order
   cvec gamma_;         // 1 + i O / eps
-  cvec g0hat_;         // FFT of the wrapped Richmond kernel, P x P
   cvec mhat_;          // t / (t - i eps), P x P (depends on eps)
   cvec pad_;           // padded panel scratch, P*P*nrhs (grown on demand)
-  std::unique_ptr<Fft2Plan<double>> plan_;
   std::unique_ptr<Fp32Pipeline> fp32_;  // null unless kMixed
 
   ForwardStats stats_;

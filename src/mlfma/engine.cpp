@@ -46,9 +46,13 @@ class PhaseTimerScope {
 }  // namespace
 
 MlfmaEngine::MlfmaEngine(const QuadTree& tree, const MlfmaParams& params)
-    : tree_(&tree), plan_(tree, params), ops_(tree, plan_),
-      near_(tree, params.precision) {
-  const std::size_t nlev = static_cast<std::size_t>(tree.num_levels());
+    : MlfmaEngine(std::make_shared<const OperatorTables>(tree, params)) {}
+
+MlfmaEngine::MlfmaEngine(std::shared_ptr<const OperatorTables> tables)
+    : tables_(std::move(tables)), tree_(&tables_->tree()),
+      plan_(tables_->plan()), ops_(tables_->ops()),
+      near_(tables_->nearfield()) {
+  const std::size_t nlev = static_cast<std::size_t>(tree_->num_levels());
   s_.resize(nlev);
   g_.resize(nlev);
   s32_.resize(nlev);
@@ -107,7 +111,7 @@ void MlfmaEngine::shrink_workspace() {
 }
 
 std::size_t MlfmaEngine::bytes() const {
-  std::size_t s = ops_.bytes() + near_.bytes();
+  std::size_t s = tables_->bytes();
   for (const auto& v : s_) s += v.size() * sizeof(cplx);
   for (const auto& v : g_) s += v.size() * sizeof(cplx);
   for (const auto& v : s32_) s += v.size() * sizeof(cplx32);

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <string>
 
 #include "common/timer.hpp"
@@ -23,6 +24,7 @@
 #include "grid/quadtree.hpp"
 #include "mlfma/operators.hpp"
 #include "mlfma/plan.hpp"
+#include "mlfma/tables.hpp"
 
 namespace ffw {
 
@@ -48,7 +50,16 @@ struct PhaseTimes {
 
 class MlfmaEngine {
  public:
+  /// Convenience constructor: builds a private OperatorTables artifact
+  /// for this engine (the classic one-engine-one-job path).
   MlfmaEngine(const QuadTree& tree, const MlfmaParams& params = {});
+
+  /// Shares a prebuilt read-only table artifact (mlfma/tables.hpp) —
+  /// typically handed out by OperatorTableCache. Construction then costs
+  /// only the per-engine workspace (spectra panels, scratch), so many
+  /// jobs over the same configuration amortise one table build. The
+  /// tables are immutable; engines sharing them may run concurrently.
+  explicit MlfmaEngine(std::shared_ptr<const OperatorTables> tables);
 
   /// y = G0 * x; x and y are pixel vectors in *cluster order*
   /// (QuadTree::to_cluster_order), y is overwritten. Equivalent to
@@ -82,6 +93,10 @@ class MlfmaEngine {
   const MlfmaPlan& plan() const { return plan_; }
   const MlfmaOperators& operators() const { return ops_; }
   const NearFieldOperators& nearfield() const { return near_; }
+  /// The shared table artifact (for handing to further engines).
+  const std::shared_ptr<const OperatorTables>& tables() const {
+    return tables_;
+  }
 
   const PhaseTimes& phase_times() const { return times_; }
   void clear_phase_times() { times_.clear(); }
@@ -99,6 +114,8 @@ class MlfmaEngine {
   void shrink_workspace();
 
   /// Precomputed-table + workspace storage (the O(N) memory census).
+  /// Engines sharing one OperatorTables each report the full table
+  /// footprint; dedupe via tables() when summing across a job pool.
   std::size_t bytes() const;
 
  private:
@@ -125,10 +142,14 @@ class MlfmaEngine {
   template <typename T>
   std::vector<std::vector<std::complex<T>>>& scratch();
 
+  // Immutable shared state (tables_) with reference aliases so the pass
+  // bodies keep their member-style access; per-engine mutable workspace
+  // below.
+  std::shared_ptr<const OperatorTables> tables_;
   const QuadTree* tree_;
-  MlfmaPlan plan_;
-  MlfmaOperators ops_;
-  NearFieldOperators near_;
+  const MlfmaPlan& plan_;
+  const MlfmaOperators& ops_;
+  const NearFieldOperators& near_;
 
   // Per-level outgoing (s_) and incoming (g_) sample panels. For a block
   // apply with nrhs columns, cluster c's panel is the Q_l x nrhs

@@ -17,16 +17,22 @@ constexpr int kTagLevel = 10;  // + level
 
 PartitionedMlfma::PartitionedMlfma(const QuadTree& tree,
                                    const MlfmaParams& params, int nranks)
-    : tree_(&tree), plan_(tree, params), ops_(tree, plan_),
-      near_(tree, params.precision), nranks_(nranks) {
-  FFW_CHECK_MSG(tree.num_levels() >= 1,
+    : PartitionedMlfma(std::make_shared<const OperatorTables>(tree, params),
+                       nranks) {}
+
+PartitionedMlfma::PartitionedMlfma(std::shared_ptr<const OperatorTables> tables,
+                                   int nranks)
+    : tables_(std::move(tables)), tree_(&tables_->tree()),
+      plan_(tables_->plan()), ops_(tables_->ops()),
+      near_(tables_->nearfield()), nranks_(nranks) {
+  FFW_CHECK_MSG(tree_->num_levels() >= 1,
                 "partitioned MLFMA needs at least one far-field level");
   const std::size_t top_clusters =
-      tree.level(tree.num_levels() - 1).num_clusters;
+      tree_->level(tree_->num_levels() - 1).num_clusters;
   FFW_CHECK_MSG(nranks >= 1 &&
                     top_clusters % static_cast<std::size_t>(nranks) == 0,
                 "rank count must divide the top-level cluster count (16)");
-  schedule_ = build_apply_schedule(tree, nranks);
+  schedule_ = build_apply_schedule(*tree_, nranks);
 }
 
 std::size_t PartitionedMlfma::cluster_begin(int level, int rank) const {

@@ -44,6 +44,7 @@
 #include "mlfma/operators.hpp"
 #include "mlfma/plan.hpp"
 #include "mlfma/schedule.hpp"
+#include "mlfma/tables.hpp"
 #include "vcluster/comm.hpp"
 
 namespace ffw {
@@ -60,9 +61,16 @@ enum class ApplySchedule {
 class PartitionedMlfma {
  public:
   /// `nranks` must divide the top-level cluster count (1, 2, 4, 8 or 16
-  /// for trees reaching the 4x4 top level).
+  /// for trees reaching the 4x4 top level). Builds a private
+  /// OperatorTables artifact for this instance.
   PartitionedMlfma(const QuadTree& tree, const MlfmaParams& params,
                    int nranks);
+
+  /// Shares a prebuilt read-only table artifact (mlfma/tables.hpp) —
+  /// only the per-rank dependency-split schedule is built per instance,
+  /// so repeated parallel reconstructions over the same configuration
+  /// amortise the table cost through OperatorTableCache.
+  PartitionedMlfma(std::shared_ptr<const OperatorTables> tables, int nranks);
 
   int nranks() const { return nranks_; }
   const QuadTree& tree() const { return *tree_; }
@@ -142,10 +150,12 @@ class PartitionedMlfma {
                         cspan y_local, std::size_t nrhs, int rank_base,
                         ApplySchedule sched) const;
 
+  // Immutable shared tables with reference aliases (cf. MlfmaEngine).
+  std::shared_ptr<const OperatorTables> tables_;
   const QuadTree* tree_;
-  MlfmaPlan plan_;
-  MlfmaOperators ops_;
-  NearFieldOperators near_;
+  const MlfmaPlan& plan_;
+  const MlfmaOperators& ops_;
+  const NearFieldOperators& near_;
   int nranks_;
 
   // schedule_[rank]: per-level + near-field dependency split.

@@ -1,0 +1,23 @@
+#include "mlfma/tables.hpp"
+
+namespace ffw {
+
+OperatorTables::OperatorTables(const QuadTree& tree, const MlfmaParams& params)
+    : tree_(&tree), plan_(tree, params), ops_(tree, plan_),
+      near_(tree, params.precision) {
+  build_seconds_ = build_timer_.seconds();
+}
+
+OperatorTables::OperatorTables(const Grid& grid, int leaf_pixel_side,
+                               const MlfmaParams& params)
+    : owned_tree_(std::make_unique<QuadTree>(grid, leaf_pixel_side)),
+      tree_(owned_tree_.get()), plan_(*tree_, params), ops_(*tree_, plan_),
+      near_(*tree_, params.precision) {
+  build_seconds_ = build_timer_.seconds();
+}
+
+std::size_t OperatorTables::bytes() const {
+  return ops_.bytes() + near_.bytes();
+}
+
+}  // namespace ffw

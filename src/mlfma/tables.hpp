@@ -1,0 +1,66 @@
+// Read-only MLFMA operator-table artifact: everything about the
+// interaction operator G0 that depends only on (grid, wavelength,
+// accuracy, precision) and never on a particular reconstruction —
+// the sampling plan, translation/interp/shift tables, leaf expansion
+// matrices and the nine near-field block types.
+//
+// Historically this state was welded into each MlfmaEngine /
+// PartitionedMlfma instance, so every job (and every stage of the
+// multi-frequency driver) rebuilt identical tables from scratch. The
+// artifact is immutable after construction, so any number of engines —
+// including engines stepping concurrently on different threads — can
+// share one instance through a shared_ptr; OperatorTableCache
+// (service/table_cache.hpp) keys and amortises these builds across a
+// whole job mix.
+#pragma once
+
+#include <memory>
+
+#include "common/timer.hpp"
+#include "greens/nearfield.hpp"
+#include "grid/quadtree.hpp"
+#include "mlfma/operators.hpp"
+#include "mlfma/plan.hpp"
+
+namespace ffw {
+
+class OperatorTables {
+ public:
+  /// Builds on an externally-owned tree (the caller keeps `tree` alive
+  /// for the artifact's lifetime). This is the legacy single-job path
+  /// the MlfmaEngine / PartitionedMlfma convenience constructors use.
+  explicit OperatorTables(const QuadTree& tree, const MlfmaParams& params = {});
+
+  /// Self-contained build: owns its QuadTree (constructed from `grid`),
+  /// so the artifact has no external lifetime dependencies — the form
+  /// OperatorTableCache hands out to concurrent jobs.
+  OperatorTables(const Grid& grid, int leaf_pixel_side,
+                 const MlfmaParams& params);
+
+  OperatorTables(const OperatorTables&) = delete;
+  OperatorTables& operator=(const OperatorTables&) = delete;
+
+  const QuadTree& tree() const { return *tree_; }
+  const MlfmaPlan& plan() const { return plan_; }
+  const MlfmaOperators& ops() const { return ops_; }
+  const NearFieldOperators& nearfield() const { return near_; }
+  const MlfmaParams& params() const { return plan_.params(); }
+  Precision precision() const { return plan_.params().precision; }
+
+  /// Precomputed-table storage (translation/interp/shift/expansion +
+  /// near-field blocks). The cache's byte budget counts this.
+  std::size_t bytes() const;
+  /// Wall time the construction took — the cost a cache hit saves.
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  std::unique_ptr<QuadTree> owned_tree_;  // null when the tree is borrowed
+  const QuadTree* tree_;
+  Timer build_timer_;  // starts before the table members construct
+  MlfmaPlan plan_;
+  MlfmaOperators ops_;
+  NearFieldOperators near_;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace ffw

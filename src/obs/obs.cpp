@@ -27,6 +27,12 @@ const char* counter_name(Counter c) {
     case Counter::kRecycleHits: return "recycle_hits";
     case Counter::kCbsIterations: return "cbs_iterations";
     case Counter::kFftNs: return "fft_ns";
+    case Counter::kFftPlanHits: return "fft_plan_hits";
+    case Counter::kFftPlanMisses: return "fft_plan_misses";
+    case Counter::kTableCacheHits: return "table_cache_hits";
+    case Counter::kTableCacheMisses: return "table_cache_misses";
+    case Counter::kTableCacheEvictions: return "table_cache_evictions";
+    case Counter::kTableBuildNs: return "table_build_ns";
     default: return "?";
   }
 }

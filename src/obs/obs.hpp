@@ -49,6 +49,12 @@ enum class Counter : int {
   kRecycleHits,             // Krylov-recycled initial guesses applied
   kCbsIterations,           // convergent Born series iterations (forward/cbs)
   kFftNs,                   // time in padded-FFT convolutions (CBS backend)
+  kFftPlanHits,             // fp64 1-D FFT plan-cache hits (fft/fft2)
+  kFftPlanMisses,           // fp64 1-D FFT plan-cache misses (plans built)
+  kTableCacheHits,          // OperatorTableCache hits (service/table_cache)
+  kTableCacheMisses,        // OperatorTableCache misses (artifacts built)
+  kTableCacheEvictions,     // OperatorTableCache LRU evictions
+  kTableBuildNs,            // time building cached operator-table artifacts
   kCount
 };
 inline constexpr std::size_t kNumCounters =

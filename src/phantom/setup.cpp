@@ -37,16 +37,30 @@ CMatrix synthesize_measurements(ForwardSolver& solver, const Transceivers& trx,
 }
 
 Scenario::Scenario(const ScenarioConfig& config, cvec true_permittivity)
-    : config_(config), grid_(config.nx), tree_(grid_, config.leaf_pixel_side) {
+    : config_(config), grid_(config.nx) {
   FFW_CHECK(true_permittivity.size() == grid_.num_pixels());
-  engine_ = std::make_unique<MlfmaEngine>(tree_, config.mlfma);
   const double radius = config.ring_radius_factor * grid_.domain();
-  trx_ = std::make_unique<Transceivers>(
-      grid_,
-      ring_positions(config.num_transmitters, radius, config.tx_angle_begin,
-                     config.tx_angle_end),
-      ring_positions(config.num_receivers, radius, config.rx_angle_begin,
-                     config.rx_angle_end));
+  std::vector<Vec2> tx = ring_positions(config.num_transmitters, radius,
+                                        config.tx_angle_begin,
+                                        config.tx_angle_end);
+  std::vector<Vec2> rx = ring_positions(config.num_receivers, radius,
+                                        config.rx_angle_begin,
+                                        config.rx_angle_end);
+  if (config.table_cache != nullptr) {
+    // Shared path: scenes over the same (grid, leaf, mlfma, geometry)
+    // configuration reference one immutable table artifact each.
+    tables_ = config.table_cache->mlfma_tables(grid_, config.leaf_pixel_side,
+                                               config.mlfma);
+    engine_ = std::make_unique<MlfmaEngine>(tables_);
+    trx_tables_ = config.table_cache->transceiver_tables(grid_, tx, rx);
+    trx_ = &trx_tables_->trx;
+  } else {
+    tree_ = std::make_unique<QuadTree>(grid_, config.leaf_pixel_side);
+    engine_ = std::make_unique<MlfmaEngine>(*tree_, config.mlfma);
+    trx_owned_ = std::make_unique<Transceivers>(grid_, std::move(tx),
+                                                std::move(rx));
+    trx_ = trx_owned_.get();
+  }
   true_contrast_ = contrast_from_permittivity(grid_, true_permittivity);
 
   ForwardSolver solver(*engine_, config.forward);

@@ -15,6 +15,7 @@
 #include "greens/transceivers.hpp"
 #include "linalg/cmatrix.hpp"
 #include "phantom/phantom.hpp"
+#include "service/table_cache.hpp"
 
 namespace ffw {
 
@@ -32,6 +33,11 @@ struct ScenarioConfig {
   BicgstabOptions forward;       // paper: tol 1e-4
   double measurement_noise = 0.0;  // additive Gaussian noise std (relative)
   std::uint64_t noise_seed = 42;
+  /// Shared operator-table cache (borrowed, may be null). When set, the
+  /// scenario obtains its MLFMA tables and transceiver operators from
+  /// the cache — scenes sharing a configuration share one artifact —
+  /// and exposes the cached incident panel for DbimOptions.
+  OperatorTableCache* table_cache = nullptr;
 };
 
 /// A ready-to-reconstruct scene: geometry, operators, true object, and
@@ -41,10 +47,20 @@ class Scenario {
   Scenario(const ScenarioConfig& config, cvec true_permittivity);
 
   const Grid& grid() const { return grid_; }
-  const QuadTree& tree() const { return tree_; }
+  const QuadTree& tree() const { return engine_->tree(); }
   MlfmaEngine& engine() { return *engine_; }
   const Transceivers& transceivers() const { return *trx_; }
   const ScenarioConfig& config() const { return config_; }
+
+  /// Shared MLFMA tables (null when built without a cache).
+  const std::shared_ptr<const OperatorTables>& tables() const {
+    return tables_;
+  }
+  /// Precomputed incident panel from the cached transceiver artifact
+  /// (empty without a cache) — wire into DbimOptions::incident_panel.
+  ccspan incident_panel() const {
+    return trx_tables_ ? trx_tables_->incident() : ccspan{};
+  }
 
   /// True contrast O = k0^2 * delta_eps (natural order).
   ccspan true_contrast() const { return true_contrast_; }
@@ -56,9 +72,13 @@ class Scenario {
  private:
   ScenarioConfig config_;
   Grid grid_;
-  QuadTree tree_;
+  // Cached path: shared artifacts. Private path: owned tree + trx.
+  std::shared_ptr<const OperatorTables> tables_;
+  std::shared_ptr<const TransceiverTables> trx_tables_;
+  std::unique_ptr<QuadTree> tree_;
   std::unique_ptr<MlfmaEngine> engine_;
-  std::unique_ptr<Transceivers> trx_;
+  std::unique_ptr<Transceivers> trx_owned_;
+  const Transceivers* trx_ = nullptr;
   cvec true_contrast_;
   CMatrix measured_;
 };
