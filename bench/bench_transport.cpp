@@ -1,0 +1,86 @@
+// Transport self-benchmark: latency/bandwidth of each byte-moving
+// backend (in-process mailbox, shm rings, TCP loopback) measured with
+// the linkbench ping-pong, then fed into the performance model via
+// MachineParams::apply_measured_link — the alpha-beta network term runs
+// on measured numbers for this host instead of the documented
+// Gemini-like constants.
+//
+//     ./bench/bench_transport                # threads mode, all backends
+//     ./tools/ffw_launch -n 2 -- ./bench/bench_transport   # real processes
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "perfmodel/linkbench.hpp"
+#include "vcluster/bootstrap.hpp"
+
+using namespace ffw;
+
+int main(int, char**) {
+  // Under ffw_launch, benchmark the one real cross-process transport we
+  // were launched over; standalone, sweep the threads-mode backends.
+  const std::optional<ProcessBootstrap> bs = bootstrap_from_env();
+  if (!bs || bs->rank == 0) {
+    bench::banner("Transport link self-benchmark",
+                  "machine model inputs (DESIGN.md Sec. 2 / Sec. 16)");
+  }
+  if (bs) {
+    std::unique_ptr<VCluster> vc = make_worker_cluster(*bs);
+    const LinkParams link = measure_link(*vc);
+    if (bs->rank == 0) {
+      std::printf("%-10s latency %8.2f us   bandwidth %8.2f MB/s\n",
+                  vc->transport().name(), link.latency_s * 1e6,
+                  link.bandwidth_bps / 1e6);
+      MachineParams machine;
+      machine.apply_measured_link(link);
+      std::printf("model: net_latency_s=%.3e net_bandwidth_bps=%.3e\n",
+                  machine.net_latency_s, machine.net_bandwidth_bps);
+    }
+    return 0;
+  }
+
+  bench::JsonWriter json("bench_transport");
+  json.begin_object();
+  json.begin_array("backends");
+  std::printf("%-10s %14s %16s %14s\n", "backend", "latency (us)",
+              "bandwidth (MB/s)", "wire (MB)");
+  LinkParams measured;  // last physical backend wins (shm, then tcp)
+  for (const char* backend : {"inproc", "shm", "tcp"}) {
+    auto transport = make_transport(backend, 2);
+    VCluster vc(2, transport);
+    const LinkParams link = measure_link(vc);
+    const TransportCounters tc = transport->counters();
+    std::printf("%-10s %14.2f %16.2f %14.2f\n", backend,
+                link.latency_s * 1e6, link.bandwidth_bps / 1e6,
+                static_cast<double>(tc.wire_bytes) / 1048576.0);
+    json.begin_object();
+    json.field("backend", backend);
+    json.field("latency_s", link.latency_s);
+    json.field("bandwidth_bps", link.bandwidth_bps);
+    json.field("wire_bytes", tc.wire_bytes);
+    json.field("syscalls", tc.syscalls);
+    json.end();
+    if (std::string(backend) != "inproc") measured = link;
+  }
+  json.end();
+
+  // What the scaling predictions will now assume for this host. The
+  // in-process numbers are deliberately not used: a mailbox move is not
+  // a network, which is exactly why the physical backends exist.
+  MachineParams machine;
+  const double doc_lat = machine.net_latency_s;
+  const double doc_bw = machine.net_bandwidth_bps;
+  machine.apply_measured_link(measured);
+  std::printf("\nmachine model network term:\n");
+  std::printf("  documented: alpha %.3e s, beta %.3e B/s\n", doc_lat, doc_bw);
+  std::printf("  measured:   alpha %.3e s, beta %.3e B/s\n",
+              machine.net_latency_s, machine.net_bandwidth_bps);
+  json.begin_object("machine");
+  json.field("net_latency_s", machine.net_latency_s);
+  json.field("net_bandwidth_bps", machine.net_bandwidth_bps);
+  json.end();
+  json.end();
+  return 0;
+}

@@ -484,6 +484,26 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
                         pm.leaf_begin(ctx.tree_rank) *
                         static_cast<std::size_t>(tree.pixels_per_leaf())));
     }
+    // Real-process ranks share no out_cluster: group-0 slices travel to
+    // global rank 0 by message instead, so the process hosting rank 0
+    // assembles the full image (the only process whose DbimResult
+    // carries it).
+    if (!vc.hosts_all()) {
+      constexpr int kTagResult = -4100;  // reserved: result gather
+      const std::size_t npl =
+          static_cast<std::size_t>(tree.pixels_per_leaf());
+      if (comm.rank() == 0) {
+        for (int r = 1; r < tr; ++r) {
+          const cvec slice = comm.recv<cplx>(r, kTagResult);
+          FFW_CHECK(slice.size() == pm.local_pixels(r));
+          std::copy(slice.begin(), slice.end(),
+                    out_cluster.begin() +
+                        static_cast<std::ptrdiff_t>(pm.leaf_begin(r) * npl));
+        }
+      } else if (ctx.group == 0) {
+        comm.send(0, kTagResult, ccspan{ctx.o_loc});
+      }
+    }
   };
 
   // Supervisor: a failed run (e.g. an injected RankFailure) is caught
@@ -491,13 +511,22 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
   // atomically-saved checkpoint (or from scratch when the crash landed
   // before the first save). Consumed crash triggers do not re-fire
   // (VCluster keeps the cumulative send counters across recover()).
+  if (config.resume_from_checkpoint && !config.checkpoint_path.empty() &&
+      resume_state.load(config.checkpoint_path)) {
+    have_resume = true;
+    history.assign(resume_state.residual_history.begin(),
+                   resume_state.residual_history.end());
+  }
   int restarts = 0;
   for (;;) {
     try {
       vc.run(rank_program);
       break;
     } catch (const CommFailure&) {
-      if (restarts >= config.max_restarts) throw;
+      // Process mode cannot restart locally — the failure means a peer
+      // *process* is gone, and only the process-tree supervisor
+      // (ffw_launch) can bring a whole consistent world back.
+      if (!vc.hosts_all() || restarts >= config.max_restarts) throw;
       ++restarts;
       vc.recover();
       have_resume = !config.checkpoint_path.empty() &&

@@ -42,8 +42,16 @@ struct ParallelDbimConfig {
   /// RankFailure, see vcluster/fault.hpp), the driver calls
   /// VCluster::recover(), reloads the last checkpoint and reruns the
   /// cluster from that iteration — at most this many times, after which
-  /// (or when 0) the CommFailure propagates to the caller.
+  /// (or when 0) the CommFailure propagates to the caller. In process
+  /// mode (a VCluster hosting one rank) the in-driver supervisor is
+  /// disabled — failures propagate so the process can exit and the
+  /// process-tree supervisor (ffw_launch) relaunches the whole world.
   int max_restarts = 0;
+  /// Resume from `checkpoint_path` at entry if it loads (process-mode
+  /// relaunch path: ffw_launch restarted the world after a rank died,
+  /// so every worker rejoins at the last completed iteration instead of
+  /// iteration 0). Ignored when the file does not exist yet.
+  bool resume_from_checkpoint = false;
 };
 
 /// Collective reconstruction over `vc` (vc.size() must equal

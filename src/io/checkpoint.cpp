@@ -1,5 +1,7 @@
 #include "io/checkpoint.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 
@@ -47,7 +49,13 @@ bool Checkpoint::save(const std::string& path) const {
   // Write-to-temp + atomic rename: a crash mid-write must never truncate
   // the previous good checkpoint at `path` — the crash-recovery protocol
   // (DESIGN.md Sec. 12) relies on the last completed save staying loadable.
-  const std::string tmp = path + ".tmp";
+  // The temp name is pid-qualified: with real-process ranks, two
+  // supervisor restarts can briefly both run a rank 0 writing the same
+  // checkpoint path, and a shared ".tmp" would let one truncate the
+  // file mid-write of the other — each then renames its own complete
+  // temp, so `path` only ever flips between complete checkpoints.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) return false;
   bool ok = std::fwrite(kMagic, sizeof kMagic, 1, f) == 1 &&

@@ -33,6 +33,9 @@ const char* counter_name(Counter c) {
     case Counter::kTableCacheMisses: return "table_cache_misses";
     case Counter::kTableCacheEvictions: return "table_cache_evictions";
     case Counter::kTableBuildNs: return "table_build_ns";
+    case Counter::kTransportSyscalls: return "transport_syscalls";
+    case Counter::kRingFullStalls: return "ring_full_stalls";
+    case Counter::kTransportWireBytes: return "transport_wire_bytes";
     default: return "?";
   }
 }

@@ -55,6 +55,9 @@ enum class Counter : int {
   kTableCacheMisses,        // OperatorTableCache misses (artifacts built)
   kTableCacheEvictions,     // OperatorTableCache LRU evictions
   kTableBuildNs,            // time building cached operator-table artifacts
+  kTransportSyscalls,       // futex/socket syscalls issued by a transport
+  kRingFullStalls,          // shm-ring producer backoffs on a full ring
+  kTransportWireBytes,      // physical transport bytes incl. envelopes
   kCount
 };
 inline constexpr std::size_t kNumCounters =

@@ -1,0 +1,70 @@
+#include "perfmodel/linkbench.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ffw {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+LinkParams measure_link(VCluster& vc, const LinkBenchOptions& opts) {
+  FFW_CHECK_MSG(vc.size() >= 2, "linkbench needs at least two ranks");
+  LinkParams out;
+  vc.run([&](Comm& c) {
+    const std::vector<unsigned char> small(8, 0xA5);
+    if (c.rank() == 0) {
+      // Latency: round trips of an 8-byte payload. The warmup absorbs
+      // one-time costs (first futex wake, socket slow start, mailbox
+      // allocation) that would otherwise pollute the mean.
+      for (int i = 0; i < opts.warmup_round_trips; ++i) {
+        c.send(1, kTagLinkBench, std::span<const unsigned char>(small));
+        (void)c.recv<unsigned char>(1, kTagLinkBench);
+      }
+      auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < opts.latency_round_trips; ++i) {
+        c.send(1, kTagLinkBench, std::span<const unsigned char>(small));
+        (void)c.recv<unsigned char>(1, kTagLinkBench);
+      }
+      const double rtt =
+          seconds_since(t0) / std::max(1, opts.latency_round_trips);
+
+      // Bandwidth: large payloads against a small ack; each round trip
+      // pays one payload transfer plus roughly one small-message RTT,
+      // which is subtracted before dividing.
+      const std::vector<unsigned char> big(opts.bandwidth_bytes, 0x5A);
+      t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < opts.bandwidth_transfers; ++i) {
+        c.send(1, kTagLinkBench, std::span<const unsigned char>(big));
+        (void)c.recv<unsigned char>(1, kTagLinkBench);
+      }
+      const double per_transfer =
+          seconds_since(t0) / std::max(1, opts.bandwidth_transfers);
+      out.latency_s = rtt / 2.0;
+      out.bandwidth_bps = static_cast<double>(opts.bandwidth_bytes) /
+                          std::max(per_transfer - rtt, 1e-9);
+    } else if (c.rank() == 1) {
+      const int echoes =
+          opts.warmup_round_trips + opts.latency_round_trips;
+      for (int i = 0; i < echoes; ++i) {
+        (void)c.recv<unsigned char>(0, kTagLinkBench);
+        c.send(0, kTagLinkBench, std::span<const unsigned char>(small));
+      }
+      for (int i = 0; i < opts.bandwidth_transfers; ++i) {
+        (void)c.recv<unsigned char>(0, kTagLinkBench);
+        c.send(0, kTagLinkBench, std::span<const unsigned char>(small));
+      }
+    }
+    c.barrier();
+  });
+  return out;
+}
+
+}  // namespace ffw

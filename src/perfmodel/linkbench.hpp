@@ -1,0 +1,39 @@
+// Transport self-benchmark: measure what moving bytes between two
+// ranks actually costs on *this* machine over *this* backend, so the
+// performance model's alpha-beta network term can run on measured
+// numbers (MachineParams::apply_measured_link) instead of the
+// documented Gemini-like constants.
+//
+// The measurement is the classic ping-pong: rank 0 and rank 1 bounce a
+// small message to expose latency (half the mean round trip), then
+// stream large payloads against a small ack to expose bandwidth (the
+// latency share of each round trip is subtracted). Every other rank
+// sits out and joins the closing barrier, so the benchmark runs
+// unchanged on a 2-rank micro world or inside a full-size cluster, in
+// threads mode or as real processes under ffw_launch.
+#pragma once
+
+#include "perfmodel/machine.hpp"
+#include "vcluster/comm.hpp"
+
+namespace ffw {
+
+/// Reserved tag space for the self-benchmark traffic (collectives use
+/// -1000.., groups -2000, checkpoints -4000.., barriers -5000..).
+inline constexpr int kTagLinkBench = -7000;
+
+struct LinkBenchOptions {
+  int warmup_round_trips = 16;
+  int latency_round_trips = 200;
+  std::size_t bandwidth_bytes = std::size_t{1} << 20;
+  int bandwidth_transfers = 8;
+};
+
+/// Runs the ping-pong between ranks 0 and 1 of `vc` (size >= 2) and
+/// returns the measured link. The result is meaningful where rank 0
+/// ran: always in threads mode; in process mode only the process
+/// hosting rank 0 sees nonzero fields (the others return zeros, which
+/// apply_measured_link treats as "keep the documented default").
+LinkParams measure_link(VCluster& vc, const LinkBenchOptions& opts = {});
+
+}  // namespace ffw

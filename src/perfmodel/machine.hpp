@@ -28,6 +28,16 @@
 
 namespace ffw {
 
+/// One measured point-to-point link: what the transport self-benchmark
+/// (perfmodel/linkbench.hpp — a ping-pong over the shm-ring or TCP
+/// backend) reports. Feeds MachineParams::apply_measured_link so the
+/// alpha-beta network model can run on measured numbers instead of the
+/// documented Gemini-like constants.
+struct LinkParams {
+  double latency_s = 0.0;       ///< one-way small-message latency
+  double bandwidth_bps = 0.0;   ///< large-message throughput, bytes/s
+};
+
 struct MachineParams {
   /// Full-node CPU speed relative to the single calibration core
   /// (XE6: 16 integer cores / 8 FP modules; the paper uses 16 cores).
@@ -57,9 +67,20 @@ struct MachineParams {
   /// level, roughly).
   double kernels_per_apply(int levels) const { return 6.0 * levels; }
 
-  /// Gemini-like interconnect.
+  /// Gemini-like interconnect. Documented constants by default;
+  /// apply_measured_link() swaps in numbers from the transport
+  /// self-benchmark when one has been run on this host.
   double net_latency_s = 1.5e-6;
   double net_bandwidth_bps = 6.0e9;  // bytes/s per node
+
+  /// Replaces the documented network constants with a measured link
+  /// (see perfmodel/linkbench.hpp and bench/bench_transport.cpp).
+  /// Nonpositive fields leave the corresponding default untouched, so a
+  /// partial or failed measurement degrades to the documented model.
+  void apply_measured_link(const LinkParams& link) {
+    if (link.latency_s > 0.0) net_latency_s = link.latency_s;
+    if (link.bandwidth_bps > 0.0) net_bandwidth_bps = link.bandwidth_bps;
+  }
 
   /// Fraction of non-MLFMA time in a DBIM iteration (G_R products,
   /// vector updates); measured from real runs by the calibration step.

@@ -1,0 +1,172 @@
+#include "vcluster/bootstrap.hpp"
+
+#include <errno.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "vcluster/shm_ring.hpp"
+#include "vcluster/transport_tcp.hpp"
+
+namespace ffw {
+
+namespace {
+
+const char* env_or(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? v : fallback;
+}
+
+}  // namespace
+
+std::optional<ProcessBootstrap> bootstrap_from_env() {
+  const char* rank = std::getenv("FFW_RANK");
+  if (rank == nullptr || *rank == '\0') return std::nullopt;
+  ProcessBootstrap bs;
+  bs.rank = std::atoi(rank);
+  bs.world = std::atoi(env_or("FFW_WORLD", "1"));
+  bs.transport = env_or("FFW_TRANSPORT", "shm");
+  bs.shm_name = env_or("FFW_SHM_NAME", "");
+  bs.ring_bytes = static_cast<std::size_t>(
+      std::atoll(env_or("FFW_RING_BYTES", "0")));
+  if (bs.ring_bytes == 0) bs.ring_bytes = kDefaultRingBytes;
+  bs.hostfile = env_or("FFW_HOSTFILE", "");
+  bs.attempt = std::atoi(env_or("FFW_LAUNCH_ATTEMPT", "0"));
+  FFW_CHECK(bs.world >= 1 && bs.rank >= 0 && bs.rank < bs.world);
+  return bs;
+}
+
+std::shared_ptr<Transport> make_worker_transport(const ProcessBootstrap& bs) {
+  if (bs.transport == "shm") {
+    FFW_CHECK_MSG(!bs.shm_name.empty(), "bootstrap: FFW_SHM_NAME missing");
+    return std::make_shared<ShmRingTransport>(bs.world, bs.ring_bytes,
+                                              bs.shm_name, bs.rank);
+  }
+  if (bs.transport == "tcp") {
+    FFW_CHECK_MSG(!bs.hostfile.empty(), "bootstrap: FFW_HOSTFILE missing");
+    return std::make_shared<TcpTransport>(
+        bs.world, parse_hostfile(bs.hostfile, bs.world), bs.rank);
+  }
+  FFW_CHECK_MSG(false, "bootstrap: FFW_TRANSPORT must be shm or tcp");
+  return nullptr;
+}
+
+std::unique_ptr<VCluster> make_worker_cluster(const ProcessBootstrap& bs) {
+  return std::make_unique<VCluster>(bs.world, make_worker_transport(bs),
+                                    bs.rank);
+}
+
+namespace {
+
+/// Spawns one worker. Returns the child pid.
+pid_t spawn_worker(const LaunchOptions& opts,
+                   const std::vector<std::string>& command, int rank,
+                   int attempt, const std::string& shm_name,
+                   const std::string& hostfile) {
+  const pid_t pid = ::fork();
+  FFW_CHECK_MSG(pid >= 0, "launch: fork failed");
+  if (pid > 0) return pid;
+  // Child: install the bootstrap environment, then exec.
+  ::setenv("FFW_RANK", std::to_string(rank).c_str(), 1);
+  ::setenv("FFW_WORLD", std::to_string(opts.world).c_str(), 1);
+  ::setenv("FFW_TRANSPORT", opts.transport.c_str(), 1);
+  ::setenv("FFW_RING_BYTES", std::to_string(opts.ring_bytes).c_str(), 1);
+  ::setenv("FFW_LAUNCH_ATTEMPT", std::to_string(attempt).c_str(), 1);
+  if (!shm_name.empty()) ::setenv("FFW_SHM_NAME", shm_name.c_str(), 1);
+  if (!hostfile.empty()) ::setenv("FFW_HOSTFILE", hostfile.c_str(), 1);
+  for (const auto& [k, v] : opts.extra_env) ::setenv(k.c_str(), v.c_str(), 1);
+  std::vector<char*> argv;
+  argv.reserve(command.size() + 1);
+  for (const auto& a : command) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  ::execvp(argv[0], argv.data());
+  std::perror("ffw_launch: execvp");
+  ::_exit(127);
+}
+
+}  // namespace
+
+int launch_processes(const LaunchOptions& opts,
+                     const std::vector<std::string>& command) {
+  FFW_CHECK(opts.world >= 1 && !command.empty());
+  FFW_CHECK(opts.transport == "shm" || opts.transport == "tcp");
+
+  std::string shm_name = opts.shm_name;
+  if (opts.transport == "shm" && shm_name.empty())
+    shm_name = "/ffw-" + std::to_string(::getpid());
+
+  std::string hostfile = opts.hostfile;
+  if (opts.transport == "tcp" && hostfile.empty()) {
+    const int base = opts.base_port > 0
+                         ? opts.base_port
+                         : 20000 + static_cast<int>(::getpid() % 20000);
+    hostfile = "/tmp/ffw-hosts-" + std::to_string(::getpid());
+    std::ofstream out(hostfile);
+    for (int r = 0; r < opts.world; ++r)
+      out << "127.0.0.1:" << base + r << "\n";
+    FFW_CHECK_MSG(out.good(), "launch: cannot write hostfile");
+  }
+
+  for (int attempt = 0; attempt <= opts.max_restarts; ++attempt) {
+    // Each attempt starts from a pristine segment: stale ring bytes of
+    // a killed world must not leak into the relaunched one.
+    if (opts.transport == "shm") ::shm_unlink(shm_name.c_str());
+
+    std::vector<pid_t> pids;
+    pids.reserve(static_cast<std::size_t>(opts.world));
+    for (int r = 0; r < opts.world; ++r)
+      pids.push_back(
+          spawn_worker(opts, command, r, attempt, shm_name, hostfile));
+
+    bool failed = false;
+    int alive = opts.world;
+    while (alive > 0) {
+      int status = 0;
+      const pid_t pid = ::waitpid(-1, &status, 0);
+      if (pid < 0 && errno == EINTR) continue;
+      FFW_CHECK(pid > 0);
+      if (std::find(pids.begin(), pids.end(), pid) == pids.end()) continue;
+      --alive;
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        failed = true;
+        const int rank =
+            static_cast<int>(std::find(pids.begin(), pids.end(), pid) -
+                             pids.begin());
+        std::fprintf(stderr,
+                     "[ffw_launch] rank %d (pid %d) died (%s %d); killing "
+                     "world, attempt %d/%d\n",
+                     rank, static_cast<int>(pid),
+                     WIFSIGNALED(status) ? "signal" : "status",
+                     WIFSIGNALED(status) ? WTERMSIG(status)
+                                         : WEXITSTATUS(status),
+                     attempt, opts.max_restarts);
+        // Tear down the survivors; they hold rings/sockets of a world
+        // that no longer exists.
+        for (const pid_t p : pids)
+          if (p != pid) ::kill(p, SIGKILL);
+        while (alive > 0) {
+          if (::waitpid(-1, &status, 0) > 0) --alive;
+        }
+        break;
+      }
+    }
+    if (!failed) {
+      if (opts.transport == "shm") ::shm_unlink(shm_name.c_str());
+      return 0;
+    }
+  }
+  if (opts.transport == "shm") ::shm_unlink(shm_name.c_str());
+  std::fprintf(stderr, "[ffw_launch] giving up after %d restarts\n",
+               opts.max_restarts);
+  return 1;
+}
+
+}  // namespace ffw

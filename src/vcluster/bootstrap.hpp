@@ -1,0 +1,87 @@
+// Process-mode rank bootstrap and the ffw_launch supervisor
+// (DESIGN.md Sec. 16).
+//
+// A worker process learns its place in the world from the environment
+// ffw_launch (tools/ffw_launch.cpp) sets before exec:
+//
+//     FFW_RANK           this process's rank id
+//     FFW_WORLD          world size
+//     FFW_TRANSPORT      "shm" | "tcp"
+//     FFW_SHM_NAME       shm: POSIX segment name ("/ffw-<pid>")
+//     FFW_RING_BYTES     shm: per-edge ring capacity (optional)
+//     FFW_HOSTFILE       tcp: host:port per rank, one line each
+//     FFW_LAUNCH_ATTEMPT restart attempt number (0 on first launch) —
+//                        workers use it to decide whether to resume
+//                        from a checkpoint
+//
+// `bootstrap_from_env()` + `make_worker_cluster()` turn that into a
+// process-mode VCluster hosting exactly FFW_RANK. `launch_processes()`
+// is the supervisor: it spawns one worker per rank, waits, and on any
+// abnormal exit (crash, kill -9, nonzero status) SIGKILLs the surviving
+// siblings and relaunches the whole world with the attempt counter
+// bumped — which is exactly the PR-5 checkpoint/supervisor recovery
+// path, exercised against real process death instead of an injected
+// RankFailure.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "vcluster/comm.hpp"
+
+namespace ffw {
+
+inline constexpr std::size_t kDefaultRingBytes = std::size_t{1} << 20;
+
+/// A worker process's identity, parsed from the environment.
+struct ProcessBootstrap {
+  int rank = 0;
+  int world = 1;
+  std::string transport;  // "shm" | "tcp"
+  std::string shm_name;
+  std::size_t ring_bytes = kDefaultRingBytes;
+  std::string hostfile;
+  int attempt = 0;
+};
+
+/// Reads the FFW_* rank environment; empty when FFW_RANK is not set
+/// (i.e. not running under ffw_launch).
+std::optional<ProcessBootstrap> bootstrap_from_env();
+
+/// Builds the cross-process transport named by the bootstrap (attaching
+/// the shm segment or joining the TCP mesh; blocks until connected).
+std::shared_ptr<Transport> make_worker_transport(const ProcessBootstrap& bs);
+
+/// Process-mode cluster hosting exactly `bs.rank`.
+std::unique_ptr<VCluster> make_worker_cluster(const ProcessBootstrap& bs);
+
+/// Supervisor options for launch_processes().
+struct LaunchOptions {
+  int world = 1;
+  std::string transport = "shm";  // "shm" | "tcp"
+  /// shm segment name; defaults to "/ffw-<launcher pid>".
+  std::string shm_name;
+  std::size_t ring_bytes = kDefaultRingBytes;
+  /// tcp: host file path; generated (loopback) when empty.
+  std::string hostfile;
+  /// tcp: first loopback port when generating; pid-derived when 0.
+  int base_port = 0;
+  /// Whole-world relaunches after an abnormal exit before giving up.
+  int max_restarts = 2;
+  /// Extra environment (name, value) for every worker.
+  std::vector<std::pair<std::string, std::string>> extra_env;
+};
+
+/// Runs `command` (argv; resolved via PATH) once per rank with the
+/// bootstrap environment set, supervising the process tree: any worker
+/// dying abnormally gets the survivors SIGKILLed and the world
+/// relaunched with FFW_LAUNCH_ATTEMPT + 1 (fresh shm segment), up to
+/// max_restarts times. Returns 0 when every worker exited cleanly on
+/// some attempt, nonzero otherwise.
+int launch_processes(const LaunchOptions& opts,
+                     const std::vector<std::string>& command);
+
+}  // namespace ffw

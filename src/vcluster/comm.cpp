@@ -35,19 +35,77 @@ std::uint64_t TrafficStats::max_rank_bytes() const {
   return best;
 }
 
-VCluster::VCluster(int nranks) : nranks_(nranks) {
+// The logical frame header the ledger accounts must be exactly what the
+// wire records of the polled transports carry.
+static_assert(VCluster::kFrameBytes == kWireHeaderBytes);
+
+VCluster::VCluster(int nranks)
+    : VCluster(nranks, make_transport(default_transport_name(), nranks),
+               /*local_rank=*/-1) {}
+
+VCluster::VCluster(int nranks, std::shared_ptr<Transport> transport)
+    : VCluster(nranks, std::move(transport), /*local_rank=*/-1) {}
+
+VCluster::VCluster(int nranks, std::shared_ptr<Transport> transport,
+                   int local_rank)
+    : nranks_(nranks), transport_(std::move(transport)),
+      local_rank_(local_rank) {
   FFW_CHECK(nranks >= 1);
+  FFW_CHECK(transport_ != nullptr && transport_->size() == nranks);
+  FFW_CHECK(local_rank >= -1 && local_rank < nranks);
+  FFW_CHECK_MSG(local_rank < 0 || !transport_->direct_delivery(),
+                "process mode needs a cross-process transport");
   boxes_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) boxes_.push_back(std::make_unique<Mailbox>());
   bytes_.assign(static_cast<std::size_t>(nranks) * nranks, 0);
   messages_.assign(static_cast<std::size_t>(nranks) * nranks, 0);
   rank_sends_.assign(static_cast<std::size_t>(nranks), 0);
   blocked_.resize(static_cast<std::size_t>(nranks));
+  transport_->set_deliver([this](int src, int dst, WireFrame f) {
+    deliver(dst, src, f.tag, Frame{f.seq, f.crc, std::move(f.payload)});
+  });
 }
 
 void VCluster::run(const std::function<void(Comm&)>& rank_main) {
   FFW_CHECK_MSG(!aborted(),
                 "VCluster::run after a failed run; call recover() first");
+  if (!hosts_all()) {
+    // Process mode: this instance hosts exactly one rank; run it on the
+    // calling thread. Failure propagation is local — a remote rank's
+    // death surfaces through the transport (dead connection) or the
+    // deadline, and a supervisor above the process tree (ffw_launch)
+    // handles cluster-wide restart.
+    obs::set_rank(local_rank_);
+    Comm comm(this, local_rank_);
+    try {
+      rank_main(comm);
+    } catch (const ClusterAborted&) {
+      std::lock_guard lk(fail_mu_);
+      if (!first_failure_) first_failure_ = std::current_exception();
+    } catch (const CommFailure&) {
+      {
+        std::lock_guard lk(fail_mu_);
+        if (!first_failure_primary_) {
+          first_failure_ = std::current_exception();
+          first_failure_primary_ = true;
+        }
+      }
+      poison();
+    }
+    std::vector<std::thread> pending;
+    {
+      std::lock_guard lk(delay_mu_);
+      pending.swap(delay_threads_);
+    }
+    for (auto& t : pending) t.join();
+    std::exception_ptr failure;
+    {
+      std::lock_guard lk(fail_mu_);
+      failure = first_failure_;
+    }
+    if (failure) std::rethrow_exception(failure);
+    return;
+  }
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
@@ -113,6 +171,11 @@ FaultStats VCluster::fault_stats() const {
   return fault_stats_;
 }
 
+void VCluster::set_send_hook(
+    std::function<void(int rank, std::uint64_t nsend)> hook) {
+  send_hook_ = std::move(hook);
+}
+
 void VCluster::set_comm_options(CommOptions opts) { opts_ = opts; }
 
 void VCluster::recover() {
@@ -141,6 +204,10 @@ void VCluster::recover() {
     std::lock_guard lk(blocked_mu_);
     for (auto& b : blocked_) b = BlockedState{};
   }
+  // Polled transports may still hold undelivered bytes of the failed
+  // run (rings, parser staging, pending outbound buffers); drop them so
+  // the fresh sequence space above meets empty reorder buffers.
+  transport_->reset();
 }
 
 TrafficStats VCluster::traffic() const {
@@ -174,12 +241,14 @@ std::uint64_t VCluster::frame_overhead_bytes() const {
 
 void VCluster::deposit(int src, int dst, int tag,
                        std::vector<unsigned char> bytes) {
-  if (plan_active_) {
+  if (plan_active_ || send_hook_) {
     // Crash/stall triggers key off the cumulative per-rank send counter
     // and fire *before* accounting: a crashed send never reaches the
     // wire. The counter and the fired flags survive recover(), so a
     // recovered run resumes counting where the dead rank stopped and a
-    // consumed crash cannot re-fire.
+    // consumed crash cannot re-fire. The send hook sees the same
+    // counter, so a test can kill a real process at "send #N" exactly
+    // where an injected FaultSpec would have crashed a thread.
     std::uint64_t nsend;
     int stall_us = 0;
     bool crash = false;
@@ -201,6 +270,7 @@ void VCluster::deposit(int src, int dst, int tag,
         }
       }
     }
+    if (send_hook_) send_hook_(src, nsend);
     if (crash) {
       {
         std::lock_guard lk(fault_mu_);
@@ -256,7 +326,7 @@ void VCluster::deposit(int src, int dst, int tag,
           ++fault_stats_.duplicates;
         }
         obs::add(obs::Counter::kFaultsInjected, 1);
-        deliver(dst, src, tag, frame);  // same seq: receiver discards one
+        ship(src, dst, tag, frame, true);  // same seq: receiver discards one
         break;
       }
       case FaultAction::kReorder: {
@@ -287,15 +357,39 @@ void VCluster::deposit(int src, int dst, int tag,
   const int delay_us =
       (delay_fn_ ? delay_fn_(src, dst, tag) : 0) + extra_delay_us;
   if (delay_us <= 0) {
-    deliver(dst, src, tag, std::move(frame));
+    ship(src, dst, tag, std::move(frame), true);
     return;
   }
   std::lock_guard lk(delay_mu_);
   delay_threads_.emplace_back(
       [this, src, dst, tag, delay_us, f = std::move(frame)]() mutable {
         std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
-        deliver(dst, src, tag, std::move(f));
+        ship(src, dst, tag, std::move(f), /*on_rank_thread=*/false);
       });
+}
+
+void VCluster::ship(int src, int dst, int tag, Frame frame,
+                    bool on_rank_thread) {
+  WireFrame wf{tag, frame.seq, frame.crc, std::move(frame.bytes)};
+  const SendStatus st =
+      transport_->send(src, dst, std::move(wf), opts_.deadline_ms);
+  if (st == SendStatus::kOk || !on_rank_thread) return;
+  // Failures surface only on the sending rank's thread; a delayed-
+  // delivery thread swallows them (the receiver's own dead-peer or
+  // deadline check reports the loss).
+  if (st == SendStatus::kPeerDead) {
+    throw RankFailure(dst, "rank " + std::to_string(dst) +
+                               " is dead (connection lost) while rank " +
+                               std::to_string(src) + " sent tag " +
+                               std::to_string(tag));
+  }
+  deadline_abort(src, "send");
+}
+
+void VCluster::pump(int rank) {
+  transport_->drain(rank, [this, rank](int src, WireFrame f) {
+    deliver(rank, src, f.tag, Frame{f.seq, f.crc, std::move(f.payload)});
+  });
 }
 
 void VCluster::deliver(int dst, int src, int tag, Frame frame) {
@@ -438,8 +532,11 @@ void VCluster::poison() {
     std::lock_guard lk(box->mu);
     box->cv.notify_all();
   }
-  std::lock_guard lk(bar_mu_);
-  bar_cv_.notify_all();
+  {
+    std::lock_guard lk(bar_mu_);
+    bar_cv_.notify_all();
+  }
+  transport_->wake_all();  // unpark ranks sitting in wait_frames
 }
 
 void VCluster::throw_cluster_aborted(int rank) const {
@@ -461,6 +558,8 @@ void Comm::send_bytes(int dst, int tag, const unsigned char* p,
 
 std::vector<unsigned char> Comm::recv_bytes(int src, int tag) {
   FFW_CHECK(src >= 0 && src < size());
+  if (!owner_->transport_->direct_delivery())
+    return recv_bytes_polled(src, tag);
   VCluster::Mailbox& box = *owner_->boxes_[static_cast<std::size_t>(rank_)];
   const auto key = std::make_pair(src, tag);
   owner_->publish_blocked(rank_, VCluster::BlockedState::Kind::kRecv, {key});
@@ -500,7 +599,72 @@ std::vector<unsigned char> Comm::recv_bytes(int src, int tag) {
   return std::move(frame.bytes);
 }
 
+namespace {
+/// Bounded park interval for polled waits: short enough that aborted /
+/// dead-peer / deadline checks stay responsive, long enough that an
+/// idle rank costs ~500 syscalls/s, not a spin. Doorbells (futex /
+/// poll) end a slice early the moment bytes arrive.
+constexpr int kPollSliceUs = 2000;
+}  // namespace
+
+std::vector<unsigned char> Comm::recv_bytes_polled(int src, int tag) {
+  VCluster::Mailbox& box = *owner_->boxes_[static_cast<std::size_t>(rank_)];
+  const auto key = std::make_pair(src, tag);
+  owner_->publish_blocked(rank_, VCluster::BlockedState::Kind::kRecv, {key});
+  const bool armed = owner_->opts_.deadline_ms > 0;
+  const auto dl = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(owner_->opts_.deadline_ms);
+  VCluster::Frame frame;
+  for (;;) {
+    owner_->pump(rank_);
+    {
+      std::lock_guard lk(box.mu);
+      const auto it = box.q.find(key);
+      if (it != box.q.end() && !it->second.ready.empty()) {
+        frame = std::move(it->second.ready.front());
+        it->second.ready.pop_front();
+        break;
+      }
+    }
+    if (owner_->aborted()) {
+      owner_->clear_blocked(rank_);
+      owner_->throw_cluster_aborted(rank_);
+    }
+    if (owner_->transport_->peer_dead(src)) {
+      // The connection is gone: nothing more can arrive on this edge.
+      // One final pump covers frames that raced the death; then fail
+      // fast instead of burning the whole deadline on a dead socket.
+      owner_->pump(rank_);
+      std::lock_guard lk(box.mu);
+      const auto it = box.q.find(key);
+      if (it == box.q.end() || it->second.ready.empty()) {
+        owner_->clear_blocked(rank_);
+        throw RankFailure(src, "rank " + std::to_string(src) +
+                                   " died (connection lost) while rank " +
+                                   std::to_string(rank_) +
+                                   " waited on (src=" + std::to_string(src) +
+                                   ", tag=" + std::to_string(tag) + ")");
+      }
+      continue;
+    }
+    if (armed && std::chrono::steady_clock::now() >= dl)
+      owner_->deadline_abort(rank_, "recv");
+    owner_->transport_->wait_frames(rank_, kPollSliceUs);
+  }
+  owner_->clear_blocked(rank_);
+  if (crc32(frame.bytes.data(), frame.bytes.size()) != frame.crc) {
+    obs::add(obs::Counter::kCrcFailures, 1);
+    throw CorruptMessage(
+        rank_, "CRC mismatch on message (src=" + std::to_string(src) +
+                   ", tag=" + std::to_string(tag) +
+                   ", seq=" + std::to_string(frame.seq) + ", " +
+                   std::to_string(frame.bytes.size()) + " bytes)");
+  }
+  return std::move(frame.bytes);
+}
+
 bool Comm::probe(int src, int tag) {
+  if (!owner_->transport_->direct_delivery()) owner_->pump(rank_);
   VCluster::Mailbox& box = *owner_->boxes_[static_cast<std::size_t>(rank_)];
   std::lock_guard lk(box.mu);
   auto it = box.q.find({src, tag});
@@ -509,6 +673,7 @@ bool Comm::probe(int src, int tag) {
 
 std::size_t Comm::wait_any(std::span<const std::pair<int, int>> keys) {
   FFW_CHECK_MSG(!keys.empty(), "wait_any needs at least one (src, tag) key");
+  if (!owner_->transport_->direct_delivery()) return wait_any_polled(keys);
   VCluster::Mailbox& box = *owner_->boxes_[static_cast<std::size_t>(rank_)];
   owner_->publish_blocked(rank_, VCluster::BlockedState::Kind::kWaitAny,
                           {keys.begin(), keys.end()});
@@ -549,7 +714,66 @@ std::size_t Comm::wait_any(std::span<const std::pair<int, int>> keys) {
   return hit;
 }
 
+std::size_t Comm::wait_any_polled(std::span<const std::pair<int, int>> keys) {
+  VCluster::Mailbox& box = *owner_->boxes_[static_cast<std::size_t>(rank_)];
+  owner_->publish_blocked(rank_, VCluster::BlockedState::Kind::kWaitAny,
+                          {keys.begin(), keys.end()});
+  const bool armed = owner_->opts_.deadline_ms > 0;
+  const auto dl = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(owner_->opts_.deadline_ms);
+  const std::size_t start = wait_any_start_++ % keys.size();
+  const auto scan = [&]() -> std::size_t {
+    std::lock_guard lk(box.mu);
+    for (std::size_t k = 0; k < keys.size(); ++k) {
+      const std::size_t i = (start + k) % keys.size();
+      const auto it = box.q.find(keys[i]);
+      if (it != box.q.end() && !it->second.ready.empty()) return i;
+    }
+    return keys.size();
+  };
+  for (;;) {
+    owner_->pump(rank_);
+    const std::size_t hit = scan();
+    if (hit < keys.size()) {
+      owner_->clear_blocked(rank_);
+      return hit;
+    }
+    if (owner_->aborted()) {
+      owner_->clear_blocked(rank_);
+      owner_->throw_cluster_aborted(rank_);
+    }
+    // Fail fast only when *every* watched edge is dead — while any
+    // source lives, one of its frames can still satisfy the wait.
+    bool all_dead = true;
+    for (const auto& [src, tag] : keys) {
+      if (!owner_->transport_->peer_dead(src)) {
+        all_dead = false;
+        break;
+      }
+    }
+    if (all_dead) {
+      owner_->pump(rank_);
+      if (const std::size_t late = scan(); late < keys.size()) {
+        owner_->clear_blocked(rank_);
+        return late;
+      }
+      owner_->clear_blocked(rank_);
+      throw RankFailure(keys.front().first,
+                        "every rank rank " + std::to_string(rank_) +
+                            " waited on in wait_any is dead "
+                            "(connections lost)");
+    }
+    if (armed && std::chrono::steady_clock::now() >= dl)
+      owner_->deadline_abort(rank_, "wait_any");
+    owner_->transport_->wait_frames(rank_, kPollSliceUs);
+  }
+}
+
 void Comm::barrier() {
+  if (!owner_->hosts_all()) {
+    barrier_messages();
+    return;
+  }
   owner_->publish_blocked(rank_, VCluster::BlockedState::Kind::kBarrier, {});
   std::unique_lock lk(owner_->bar_mu_);
   const std::uint64_t gen = owner_->bar_gen_;
@@ -576,6 +800,27 @@ void Comm::barrier() {
   if (owner_->aborted()) {
     if (lk.owns_lock()) lk.unlock();
     owner_->throw_cluster_aborted(rank_);
+  }
+}
+
+void Comm::barrier_messages() {
+  // Dissemination barrier (Hensgen–Finkel–Manber): round k sends a
+  // token 2^k ranks ahead and receives one from 2^k behind; after
+  // ceil(log2 p) rounds every rank has transitively heard from every
+  // other. Runs entirely over tagged point-to-point messages, so it
+  // needs no shared barrier state across processes, inherits the polled
+  // recv's deadline/dead-peer handling, and its traffic shows up in the
+  // ledger like a real MPI barrier's would. Reusing the same tags
+  // across consecutive barriers is safe: each barrier consumes exactly
+  // one token per (src, tag) edge, and edges commit FIFO.
+  constexpr int kTagBarrier = -5000;  // reserved; round k uses -5000 - k
+  const int p = size();
+  if (p == 1) return;
+  const unsigned char token = 1;
+  int round = 0;
+  for (int dist = 1; dist < p; dist <<= 1, ++round) {
+    send_bytes((rank_ + dist) % p, kTagBarrier - round, &token, 1);
+    (void)recv_bytes((rank_ + p - dist) % p, kTagBarrier - round);
   }
 }
 

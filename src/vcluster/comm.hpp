@@ -27,6 +27,14 @@
 // wait-for graph. Any CommFailure thrown in one rank poisons the
 // cluster, unblocks every other rank with ClusterAborted, and is
 // rethrown from run() so a supervisor can recover() and retry.
+//
+// Transports (DESIGN.md Sec. 16): everything above — framing, the
+// reorder buffer, fault injection, deadlines, ledgers — is
+// backend-agnostic; the actual byte moving is a pluggable Transport
+// (vcluster/transport.hpp). Ranks can therefore be threads of this
+// process (default, in-process mailbox or shm/tcp loopback for
+// testing) or real processes (ffw_launch + vcluster/bootstrap.hpp),
+// one rank per process over shared-memory rings or a TCP mesh.
 #pragma once
 
 #include <atomic>
@@ -44,6 +52,7 @@
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "vcluster/fault.hpp"
+#include "vcluster/transport.hpp"
 
 namespace ffw {
 
@@ -157,6 +166,16 @@ class Comm {
 
   void send_bytes(int dst, int tag, const unsigned char* p, std::size_t n);
   std::vector<unsigned char> recv_bytes(int src, int tag);
+  // Polled variants for transports without direct delivery: pump the
+  // transport, check the mailbox, park in bounded wait_frames slices —
+  // re-checking aborted / dead-peer / deadline between slices, so a
+  // peer process dying mid-wait fails fast (or fires DeadlineExceeded
+  // with the wait-for graph) instead of hanging in a blocking read.
+  std::vector<unsigned char> recv_bytes_polled(int src, int tag);
+  std::size_t wait_any_polled(std::span<const std::pair<int, int>> keys);
+  /// Dissemination barrier over point-to-point messages (process mode,
+  /// where ranks share no central barrier state).
+  void barrier_messages();
 
   VCluster* owner_;
   int rank_;
@@ -165,7 +184,20 @@ class Comm {
 
 class VCluster {
  public:
+  /// Threads mode over the default transport: $FFW_TRANSPORT if set
+  /// ("inproc" | "shm" | "tcp"), else the in-process mailbox — which is
+  /// bit-identical in behavior and byte-identical in ledgers to the
+  /// pre-transport VCluster.
   explicit VCluster(int nranks);
+
+  /// Threads mode over an explicit transport (every rank hosted here).
+  VCluster(int nranks, std::shared_ptr<Transport> transport);
+
+  /// Process mode: this instance hosts exactly one rank (`local_rank`)
+  /// of an `nranks`-wide world; the transport (shm segment or TCP mesh,
+  /// shared with the sibling processes) carries everything. run() then
+  /// executes rank_main once, on the calling thread.
+  VCluster(int nranks, std::shared_ptr<Transport> transport, int local_rank);
 
   /// Run `rank_main` on every rank (one thread per rank) and join.
   /// Any FFW_CHECK failure in a rank aborts the process (fail-fast).
@@ -177,6 +209,17 @@ class VCluster {
   void run(const std::function<void(Comm&)>& rank_main);
 
   int size() const { return nranks_; }
+
+  /// True when every rank runs as a thread of this process (threads
+  /// mode); false when this instance hosts a single rank of a
+  /// multi-process world.
+  bool hosts_all() const { return local_rank_ < 0; }
+  /// The one hosted rank in process mode; -1 in threads mode.
+  int local_rank() const { return local_rank_; }
+
+  /// The byte-moving backend under this cluster.
+  Transport& transport() { return *transport_; }
+  const Transport& transport() const { return *transport_; }
 
   /// Traffic observed since construction (or last reset). Counts payload
   /// bytes only; the fixed per-message frame header (sequence number +
@@ -218,6 +261,14 @@ class VCluster {
   /// What the injector actually did so far (cumulative, survives
   /// recover()).
   FaultStats fault_stats() const;
+
+  /// Test hook: called on the sending rank's thread after each send is
+  /// counted, with the cumulative per-rank send number (the same
+  /// counter crash/stall FaultSpecs key off). The process-mode e2e test
+  /// uses it to raise SIGKILL at a send count taken from a fault-free
+  /// reference run. Only call while no run() is in flight; pass nullptr
+  /// to remove.
+  void set_send_hook(std::function<void(int rank, std::uint64_t nsend)> hook);
 
   /// Cluster-wide wait deadlines etc. Only call while no run() is in
   /// flight.
@@ -266,7 +317,15 @@ class VCluster {
   };
 
   void deposit(int src, int dst, int tag, std::vector<unsigned char> bytes);
+  /// Hands one framed message to the transport (or straight to the
+  /// destination mailbox for direct-delivery backends). Send failures
+  /// only throw on the sending rank's thread, never on a delayed-
+  /// delivery thread.
+  void ship(int src, int dst, int tag, Frame frame, bool on_rank_thread);
   void deliver(int dst, int src, int tag, Frame frame);
+  /// Pulls every frame the transport has for `rank` into its mailbox.
+  /// Called only from rank's own thread (polled backends).
+  void pump(int rank);
 
   void publish_blocked(int rank, BlockedState::Kind kind,
                        std::vector<std::pair<int, int>> keys);
@@ -284,7 +343,10 @@ class VCluster {
   [[noreturn]] void throw_cluster_aborted(int rank) const;
 
   int nranks_;
+  std::shared_ptr<Transport> transport_;
+  int local_rank_ = -1;  // process mode: the one hosted rank
   std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::function<void(int, std::uint64_t)> send_hook_;
 
   // Delayed-delivery machinery (test/bench instrumentation).
   std::function<int(int, int, int)> delay_fn_;

@@ -1,0 +1,313 @@
+#include "vcluster/shm_ring.hpp"
+
+#include <fcntl.h>
+#include <linux/futex.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#include "common/check.hpp"
+#include "obs/obs.hpp"
+
+namespace ffw {
+
+namespace {
+
+constexpr std::uint64_t kSegMagic = 0x4646575348524e47ull;  // "FFWSHRNG"
+constexpr std::size_t kCacheLine = 64;
+
+/// FUTEX_WAIT with a relative timeout in microseconds (<=0: no wait).
+/// Deliberately *not* FUTEX_PRIVATE: doorbells live in shared memory
+/// and must wake across processes.
+long futex_wait(std::atomic<std::uint32_t>* addr, std::uint32_t expected,
+                int timeout_us) {
+  if (timeout_us <= 0) return 0;
+  timespec ts;
+  ts.tv_sec = timeout_us / 1000000;
+  ts.tv_nsec = static_cast<long>(timeout_us % 1000000) * 1000;
+  return syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+                 FUTEX_WAIT, expected, &ts, nullptr, 0);
+}
+
+long futex_wake_all(std::atomic<std::uint32_t>* addr) {
+  return syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+                 FUTEX_WAKE, INT_MAX, nullptr, nullptr, 0);
+}
+
+struct SegHeader {
+  std::atomic<std::uint64_t> magic;
+  std::uint32_t world;
+  std::uint32_t reserved;
+  std::uint64_t ring_bytes;
+};
+
+}  // namespace
+
+/// One SPSC byte ring. head is the producer's write cursor, tail the
+/// consumer's read cursor (both monotonically increasing; the data
+/// index is cursor % capacity). Cursors sit on their own cache lines so
+/// producer and consumer never false-share.
+struct ShmRingTransport::Ring {
+  alignas(kCacheLine) std::atomic<std::uint64_t> head;
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail;
+  alignas(kCacheLine) unsigned char data[1];  // ring_bytes_ really
+
+  std::size_t readable() const {
+    return static_cast<std::size_t>(head.load(std::memory_order_acquire) -
+                                    tail.load(std::memory_order_acquire));
+  }
+};
+
+std::size_t ShmRingTransport::segment_bytes(int nranks,
+                                            std::size_t ring_bytes) {
+  const std::size_t hdr = (sizeof(SegHeader) + kCacheLine - 1) / kCacheLine *
+                          kCacheLine;
+  const std::size_t bells = static_cast<std::size_t>(nranks) * kCacheLine;
+  const std::size_t ring_slot =
+      (offsetof(Ring, data) + ring_bytes + kCacheLine - 1) / kCacheLine *
+      kCacheLine;
+  return hdr + bells +
+         static_cast<std::size_t>(nranks) * nranks * ring_slot;
+}
+
+ShmRingTransport::Ring& ShmRingTransport::ring(int src, int dst) const {
+  const std::size_t hdr = (sizeof(SegHeader) + kCacheLine - 1) / kCacheLine *
+                          kCacheLine;
+  const std::size_t bells = static_cast<std::size_t>(nranks_) * kCacheLine;
+  const std::size_t ring_slot =
+      (offsetof(Ring, data) + ring_bytes_ + kCacheLine - 1) / kCacheLine *
+      kCacheLine;
+  unsigned char* p = base_ + hdr + bells +
+                     (static_cast<std::size_t>(src) * nranks_ + dst) *
+                         ring_slot;
+  return *reinterpret_cast<Ring*>(p);
+}
+
+std::atomic<std::uint32_t>& ShmRingTransport::bell(int dst) const {
+  const std::size_t hdr = (sizeof(SegHeader) + kCacheLine - 1) / kCacheLine *
+                          kCacheLine;
+  return *reinterpret_cast<std::atomic<std::uint32_t>*>(
+      base_ + hdr + static_cast<std::size_t>(dst) * kCacheLine);
+}
+
+void ShmRingTransport::init_segment() {
+  // The segment arrives zeroed (value-initialised heap / ftruncate'd
+  // shm); only the header needs explicit values. magic is stored last,
+  // with release ordering, so a racing attacher that observes it also
+  // observes the geometry.
+  auto* hdr = reinterpret_cast<SegHeader*>(base_);
+  hdr->world = static_cast<std::uint32_t>(nranks_);
+  hdr->ring_bytes = ring_bytes_;
+  hdr->magic.store(kSegMagic, std::memory_order_release);
+}
+
+ShmRingTransport::ShmRingTransport(int nranks, std::size_t ring_bytes)
+    : nranks_(nranks), ring_bytes_(ring_bytes), heap_mode_(true) {
+  FFW_CHECK(nranks >= 1 && ring_bytes >= 256);
+  seg_bytes_ = segment_bytes(nranks, ring_bytes);
+  base_ = static_cast<unsigned char*>(
+      ::operator new(seg_bytes_, std::align_val_t{kCacheLine}));
+  std::memset(base_, 0, seg_bytes_);
+  init_segment();
+  edge_send_mu_.resize(static_cast<std::size_t>(nranks) * nranks);
+  for (auto& m : edge_send_mu_) m = std::make_unique<std::mutex>();
+  edge_parser_.resize(static_cast<std::size_t>(nranks) * nranks);
+}
+
+ShmRingTransport::ShmRingTransport(int nranks, std::size_t ring_bytes,
+                                   const std::string& shm_name,
+                                   int local_rank)
+    : nranks_(nranks),
+      ring_bytes_(ring_bytes),
+      local_rank_(local_rank) {
+  FFW_CHECK(nranks >= 1 && ring_bytes >= 256);
+  FFW_CHECK(local_rank >= -1 && local_rank < nranks);
+  seg_bytes_ = segment_bytes(nranks, ring_bytes);
+  attach_shm(shm_name);
+  edge_send_mu_.resize(static_cast<std::size_t>(nranks) * nranks);
+  for (auto& m : edge_send_mu_) m = std::make_unique<std::mutex>();
+  edge_parser_.resize(static_cast<std::size_t>(nranks) * nranks);
+}
+
+void ShmRingTransport::attach_shm(const std::string& name) {
+  // First try to create the segment outright; exactly one attacher wins
+  // the O_EXCL race and initialises, everyone else opens the existing
+  // segment and spins until the winner publishes the magic.
+  bool creator = false;
+  shm_fd_ = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (shm_fd_ >= 0) {
+    creator = true;
+    FFW_CHECK_MSG(::ftruncate(shm_fd_, static_cast<off_t>(seg_bytes_)) == 0,
+                  "shm-ring: ftruncate failed");
+  } else {
+    for (int tries = 0; shm_fd_ < 0; ++tries) {
+      shm_fd_ = ::shm_open(name.c_str(), O_RDWR, 0600);
+      FFW_CHECK_MSG(tries < 10000, "shm-ring: segment never appeared");
+      if (shm_fd_ < 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // The creator may still be mid-ftruncate; wait for full size.
+    struct stat st{};
+    for (int tries = 0;; ++tries) {
+      FFW_CHECK(::fstat(shm_fd_, &st) == 0);
+      if (static_cast<std::size_t>(st.st_size) >= seg_bytes_) break;
+      FFW_CHECK_MSG(tries < 10000, "shm-ring: segment never sized");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  void* p = ::mmap(nullptr, seg_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                   shm_fd_, 0);
+  FFW_CHECK_MSG(p != MAP_FAILED, "shm-ring: mmap failed");
+  base_ = static_cast<unsigned char*>(p);
+  auto* hdr = reinterpret_cast<SegHeader*>(base_);
+  if (creator) {
+    init_segment();
+  } else {
+    for (int tries = 0;
+         hdr->magic.load(std::memory_order_acquire) != kSegMagic; ++tries) {
+      FFW_CHECK_MSG(tries < 10000, "shm-ring: segment never initialised");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    FFW_CHECK_MSG(hdr->world == static_cast<std::uint32_t>(nranks_) &&
+                      hdr->ring_bytes == ring_bytes_,
+                  "shm-ring: segment geometry mismatch (stale segment?)");
+  }
+}
+
+ShmRingTransport::~ShmRingTransport() {
+  if (heap_mode_) {
+    ::operator delete(base_, std::align_val_t{kCacheLine});
+  } else {
+    if (base_) ::munmap(base_, seg_bytes_);
+    if (shm_fd_ >= 0) ::close(shm_fd_);
+    // The segment itself is shm_unlink'ed by whoever created the name
+    // (ffw_launch, or the test harness); workers only detach.
+  }
+}
+
+SendStatus ShmRingTransport::send(int src, int dst, WireFrame frame,
+                                  int deadline_ms) {
+  std::vector<unsigned char> rec;
+  rec.reserve(wire_record_bytes(frame.payload.size()));
+  wire_encode(frame, rec);
+
+  std::lock_guard lk(*edge_send_mu_[static_cast<std::size_t>(src) * nranks_ +
+                                    dst]);
+  Ring& r = ring(src, dst);
+  const auto deadline =
+      deadline_ms > 0 ? std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(deadline_ms)
+                      : std::chrono::steady_clock::time_point::max();
+  std::size_t off = 0;
+  int backoff_us = 20;
+  while (off < rec.size()) {
+    const std::uint64_t head = r.head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = r.tail.load(std::memory_order_acquire);
+    const std::size_t free_bytes =
+        ring_bytes_ - static_cast<std::size_t>(head - tail);
+    if (free_bytes == 0) {
+      // Full ring: the consumer is behind (or dead). Stream what fit,
+      // back off, retry until space frees or the deadline expires.
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(obs::Counter::kRingFullStalls, 1);
+      if (std::chrono::steady_clock::now() >= deadline)
+        return SendStatus::kTimeout;
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us = std::min(backoff_us * 2, 500);
+      continue;
+    }
+    const std::size_t n = std::min(free_bytes, rec.size() - off);
+    const std::size_t at = static_cast<std::size_t>(head % ring_bytes_);
+    const std::size_t first = std::min(n, ring_bytes_ - at);
+    std::memcpy(r.data + at, rec.data() + off, first);
+    if (n > first) std::memcpy(r.data, rec.data() + off + first, n - first);
+    r.head.store(head + n, std::memory_order_release);
+    off += n;
+    // Ring the destination doorbell and wake a parked consumer.
+    bell(dst).fetch_add(1, std::memory_order_release);
+    syscalls_.fetch_add(1, std::memory_order_relaxed);
+    obs::add(obs::Counter::kTransportSyscalls, 1);
+    futex_wake_all(&bell(dst));
+  }
+  wire_bytes_.fetch_add(rec.size(), std::memory_order_relaxed);
+  obs::add(obs::Counter::kTransportWireBytes, rec.size());
+  return SendStatus::kOk;
+}
+
+std::size_t ShmRingTransport::drain(
+    int dst, const std::function<void(int src, WireFrame)>& sink) {
+  std::size_t frames = 0;
+  std::vector<unsigned char> chunk;
+  for (int src = 0; src < nranks_; ++src) {
+    if (src == dst) continue;
+    Ring& r = ring(src, dst);
+    for (;;) {
+      const std::uint64_t head = r.head.load(std::memory_order_acquire);
+      const std::uint64_t tail = r.tail.load(std::memory_order_relaxed);
+      const std::size_t avail = static_cast<std::size_t>(head - tail);
+      if (avail == 0) break;
+      chunk.resize(avail);
+      const std::size_t at = static_cast<std::size_t>(tail % ring_bytes_);
+      const std::size_t first = std::min(avail, ring_bytes_ - at);
+      std::memcpy(chunk.data(), r.data + at, first);
+      if (avail > first) std::memcpy(chunk.data() + first, r.data, avail - first);
+      r.tail.store(tail + avail, std::memory_order_release);
+      edge_parser_[static_cast<std::size_t>(src) * nranks_ + dst].feed(
+          chunk.data(), chunk.size(), [&](WireFrame f) {
+            ++frames;
+            sink(src, std::move(f));
+          });
+    }
+  }
+  return frames;
+}
+
+void ShmRingTransport::wait_frames(int dst, int timeout_us) {
+  const std::uint32_t v = bell(dst).load(std::memory_order_acquire);
+  // Re-check after sampling the doorbell: anything that arrived before
+  // the sample is visible in a ring; anything after bumps the bell and
+  // turns the futex wait into an immediate EAGAIN. No lost wakeups.
+  for (int src = 0; src < nranks_; ++src) {
+    if (src != dst && ring(src, dst).readable() > 0) return;
+  }
+  syscalls_.fetch_add(1, std::memory_order_relaxed);
+  obs::add(obs::Counter::kTransportSyscalls, 1);
+  futex_wait(&bell(dst), v, timeout_us);
+}
+
+void ShmRingTransport::wake_all() {
+  for (int d = 0; d < nranks_; ++d) {
+    bell(d).fetch_add(1, std::memory_order_release);
+    futex_wake_all(&bell(d));
+  }
+}
+
+void ShmRingTransport::reset() {
+  // Discard undelivered bytes: fast-forward every consumer cursor and
+  // drop stream-parser staging so the next run's seq-0 frames meet
+  // empty reorder buffers.
+  for (int s = 0; s < nranks_; ++s) {
+    for (int d = 0; d < nranks_; ++d) {
+      if (s == d) continue;
+      Ring& r = ring(s, d);
+      r.tail.store(r.head.load(std::memory_order_acquire),
+                   std::memory_order_release);
+    }
+  }
+  for (auto& p : edge_parser_) p = FrameParser{};
+}
+
+TransportCounters ShmRingTransport::counters() const {
+  return TransportCounters{syscalls_.load(std::memory_order_relaxed),
+                           stalls_.load(std::memory_order_relaxed),
+                           wire_bytes_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace ffw

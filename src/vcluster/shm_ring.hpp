@@ -1,0 +1,90 @@
+// Shared-memory ring transport: one SPSC byte ring per directed
+// (src, dst) edge plus one futex doorbell per destination rank, laid
+// out in a single contiguous segment (DESIGN.md Sec. 16).
+//
+// The segment lives either on the heap (threads-as-ranks mode — the
+// fault-injection matrix runs the whole `fault` label over it to prove
+// the comm layer transport-independent) or in a POSIX shm_open/mmap
+// segment (real-process mode, one rank per process; the name travels in
+// $FFW_SHM_NAME from ffw_launch). The ring code is identical in both
+// modes: std::atomic<u64> head/tail cursors with acquire/release
+// ordering (address-free on this platform, so they work across
+// processes) and FUTEX_WAIT/FUTEX_WAKE on the doorbells for parking.
+//
+// Rings carry the wire-record byte stream of transport.hpp — records
+// are *streamed*, not slotted, so a frame larger than the ring passes
+// through in pieces while the consumer drains (the FrameParser
+// reassembles); a full ring costs the producer bounded-backoff stalls
+// (counted in TransportCounters::ring_full_stalls), never a lost or
+// torn frame.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "vcluster/transport.hpp"
+
+namespace ffw {
+
+class ShmRingTransport final : public Transport {
+ public:
+  /// Threads mode: heap-backed segment, every rank local.
+  ShmRingTransport(int nranks, std::size_t ring_bytes);
+
+  /// Process mode: attach the named POSIX shm segment (creating and
+  /// initialising it when it does not exist yet — creation races
+  /// between workers resolve via O_EXCL; whoever loses attaches and
+  /// waits for the winner's init). `local_rank` is the one rank this
+  /// process hosts.
+  ShmRingTransport(int nranks, std::size_t ring_bytes,
+                   const std::string& shm_name, int local_rank);
+
+  ~ShmRingTransport() override;
+
+  const char* name() const override { return "shm-ring"; }
+  int size() const override { return nranks_; }
+
+  SendStatus send(int src, int dst, WireFrame frame,
+                  int deadline_ms) override;
+  std::size_t drain(
+      int dst, const std::function<void(int src, WireFrame)>& sink) override;
+  void wait_frames(int dst, int timeout_us) override;
+  void wake_all() override;
+  void reset() override;
+  TransportCounters counters() const override;
+
+  /// Segment byte size for a given geometry (creation-side sizing).
+  static std::size_t segment_bytes(int nranks, std::size_t ring_bytes);
+
+ private:
+  struct Ring;           // head/tail cursors + data (in the segment)
+  Ring& ring(int src, int dst) const;
+  std::atomic<std::uint32_t>& bell(int dst) const;
+
+  void init_segment();
+  void attach_shm(const std::string& name);
+
+  int nranks_;
+  std::size_t ring_bytes_;
+  unsigned char* base_ = nullptr;   // segment base (heap or mmap)
+  std::size_t seg_bytes_ = 0;
+  bool heap_mode_ = false;
+  int shm_fd_ = -1;
+  int local_rank_ = -1;             // process mode; -1 = all ranks local
+
+  // Process-local state (never shared): per-edge producer serialisation
+  // (rank thread + delayed-delivery threads may send on one edge
+  // concurrently) and per-edge stream reassembly on the consumer side.
+  std::vector<std::unique_ptr<std::mutex>> edge_send_mu_;
+  std::vector<FrameParser> edge_parser_;
+
+  mutable std::atomic<std::uint64_t> syscalls_{0};
+  mutable std::atomic<std::uint64_t> stalls_{0};
+  mutable std::atomic<std::uint64_t> wire_bytes_{0};
+};
+
+}  // namespace ffw

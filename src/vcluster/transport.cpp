@@ -1,0 +1,97 @@
+#include "vcluster/transport.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "vcluster/shm_ring.hpp"
+#include "vcluster/transport_tcp.hpp"
+
+namespace ffw {
+
+namespace {
+
+std::uint32_t load_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t load_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+template <class T>
+void append(std::vector<unsigned char>& out, T v) {
+  const auto n = out.size();
+  out.resize(n + sizeof(T));
+  std::memcpy(out.data() + n, &v, sizeof(T));
+}
+
+/// A record's length field covers tag + seq + crc + payload. Anything
+/// above this is a corrupted stream (a real one, not FaultPlan
+/// corruption — that flips payload bytes above the transport), so we
+/// abort rather than allocate garbage.
+constexpr std::uint32_t kMaxRecordBytes = 1u << 30;
+
+}  // namespace
+
+void wire_encode(const WireFrame& f, std::vector<unsigned char>& out) {
+  const std::uint32_t len = static_cast<std::uint32_t>(
+      4 + 8 + 4 + f.payload.size());  // tag + seq + crc + payload
+  append(out, len);
+  append(out, static_cast<std::int32_t>(f.tag));
+  append(out, f.seq);
+  append(out, f.crc);
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+}
+
+void FrameParser::feed(const unsigned char* p, std::size_t n,
+                       const std::function<void(WireFrame)>& sink) {
+  buf_.insert(buf_.end(), p, p + n);
+  std::size_t off = 0;
+  while (buf_.size() - off >= 4) {
+    const std::uint32_t len = load_u32(buf_.data() + off);
+    FFW_CHECK_MSG(len >= 16 && len <= kMaxRecordBytes,
+                  "transport: corrupted wire stream (bad record length)");
+    if (buf_.size() - off < 4 + static_cast<std::size_t>(len)) break;
+    const unsigned char* rec = buf_.data() + off + 4;
+    WireFrame f;
+    std::int32_t tag;
+    std::memcpy(&tag, rec, 4);
+    f.tag = tag;
+    f.seq = load_u64(rec + 4);
+    f.crc = load_u32(rec + 12);
+    f.payload.assign(rec + 16, rec + len);
+    sink(std::move(f));
+    off += 4 + static_cast<std::size_t>(len);
+  }
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off));
+}
+
+std::shared_ptr<Transport> make_transport(const std::string& name,
+                                          int nranks) {
+  if (name == "inproc") return std::make_shared<InProcTransport>(nranks);
+  if (name == "shm")
+    return std::make_shared<ShmRingTransport>(nranks,
+                                              std::size_t{1} << 20);
+  if (name == "tcp") {
+    // Threads-mode loopback rendezvous: derive the port range from the
+    // pid so concurrent test binaries on one machine don't collide.
+    const int base = 20000 + static_cast<int>(::getpid() % 20000);
+    return std::make_shared<TcpTransport>(
+        nranks, loopback_endpoints(nranks, base), /*local_rank=*/-1);
+  }
+  FFW_CHECK_MSG(false, "unknown transport name (want inproc|shm|tcp)");
+  return nullptr;
+}
+
+std::string default_transport_name() {
+  const char* env = std::getenv("FFW_TRANSPORT");
+  return env != nullptr && *env != '\0' ? env : "inproc";
+}
+
+}  // namespace ffw

@@ -1,0 +1,206 @@
+// Pluggable byte-moving backends under the Comm layer (DESIGN.md
+// Sec. 16).
+//
+// Everything that makes the comm layer trustworthy is *above* this
+// interface and therefore shared by every backend: per-edge sequence
+// stamping and the CRC-32 payload checksum (framing), the receiver-side
+// reorder buffer that commits frames in send order, FaultPlan
+// injection, deadline arming with wait-for diagnostics, and the
+// payload/frame-overhead traffic ledgers. A Transport only moves
+// already-framed bytes between ranks:
+//
+//  * InProcTransport — the original threads-as-ranks mailbox: send()
+//    deposits synchronously into the destination rank's mailbox
+//    (direct_delivery() == true), receivers park on the mailbox condvar.
+//    Bit-identical behavior and byte-identical ledgers to the
+//    pre-transport VCluster; the default.
+//  * ShmRingTransport (vcluster/shm_ring.hpp) — one SPSC byte ring per
+//    directed (src, dst) edge in a shared segment (heap when all ranks
+//    are threads of one process, shm_open/mmap when ranks are real
+//    processes), futex doorbells for parking, bounded-backoff
+//    backpressure when a ring fills.
+//  * TcpTransport (vcluster/transport_tcp.hpp) — a full socket mesh
+//    (length-prefixed frames over the logical 12 B header), nonblocking
+//    sends with per-edge pending buffers for backpressure, and a
+//    connect/accept rendezvous from a host file for multi-machine runs.
+//
+// Wire record format, identical on the ring byte stream and the TCP
+// stream (FrameParser below decodes both):
+//
+//     u32 length   — bytes that follow (4 + 12 + payload)
+//     i32 tag
+//     u64 seq      }  the logical 12-byte frame header the ledger
+//     u32 crc      }  accounts as frame_overhead_bytes()
+//     payload
+//
+// The 8-byte (length, tag) envelope is transport bookkeeping — it is
+// counted in TransportCounters::wire_bytes (that is what really goes on
+// the wire) but never in the per-tag payload ledger, which must stay
+// byte-identical across backends (asserted in tests/transport_test.cpp
+// at p = 3/5/6/12).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ffw {
+
+/// One framed message as a transport sees it: the logical frame header
+/// plus the payload. `src` is implied by the edge on send and reported
+/// by drain() on receive.
+struct WireFrame {
+  int tag = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t crc = 0;
+  std::vector<unsigned char> payload;
+};
+
+/// Fixed wire-record envelope: u32 length + i32 tag precede the
+/// 12-byte logical header. Kept out of the payload ledger.
+inline constexpr std::size_t kWireEnvelopeBytes = 8;
+/// Logical frame header (seq + crc) — must match VCluster::kFrameBytes.
+inline constexpr std::size_t kWireHeaderBytes = 12;
+
+/// Serialised size of one wire record.
+inline std::size_t wire_record_bytes(std::size_t payload) {
+  return kWireEnvelopeBytes + kWireHeaderBytes + payload;
+}
+
+/// Appends the full wire record for `f` to `out`.
+void wire_encode(const WireFrame& f, std::vector<unsigned char>& out);
+
+/// Incremental decoder for the wire-record stream (TCP bytes or ring
+/// bytes arrive in arbitrary chunks). Feed bytes; complete frames are
+/// handed to the sink in arrival order.
+class FrameParser {
+ public:
+  /// Consume `n` bytes; calls `sink` once per completed frame.
+  void feed(const unsigned char* p, std::size_t n,
+            const std::function<void(WireFrame)>& sink);
+  /// Bytes buffered waiting for the rest of a record.
+  std::size_t pending_bytes() const { return buf_.size(); }
+
+ private:
+  std::vector<unsigned char> buf_;
+};
+
+/// Cumulative per-transport cost counters ("what did moving these bytes
+/// actually take"), aggregated over all local ranks. The in-process
+/// backend reports zeros — that contrast (bytes on a real wire vs bytes
+/// through a mailbox) is the point.
+struct TransportCounters {
+  std::uint64_t syscalls = 0;          ///< futex/socket syscalls issued
+  std::uint64_t ring_full_stalls = 0;  ///< sender backoffs on a full ring
+  std::uint64_t wire_bytes = 0;        ///< physical bytes incl. envelope
+};
+
+/// Outcome of a (possibly blocking) transport send.
+enum class SendStatus {
+  kOk,
+  kTimeout,   ///< backpressure did not clear within the deadline
+  kPeerDead,  ///< destination rank is known dead (connection lost)
+};
+
+/// A byte-moving backend for one cluster. One Transport instance serves
+/// every rank hosted by this process (all of them in threads mode, one
+/// in process mode); rank-indexed calls say which local rank acts.
+///
+/// Threading contract: send(src, ...) may be called from rank src's
+/// thread and from delayed-delivery threads concurrently (backends
+/// serialise per edge); drain/wait_frames(dst) are only called from
+/// rank dst's thread; wake_all/counters may be called from anywhere.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual const char* name() const = 0;
+  virtual int size() const = 0;
+
+  /// True when send() delivers synchronously into the destination
+  /// mailbox (in-process backend): receivers then park on the mailbox
+  /// condvar and never poll the transport.
+  virtual bool direct_delivery() const { return false; }
+
+  /// Installs the synchronous delivery sink (direct-delivery backends
+  /// only): sink(src, dst, frame) commits into dst's mailbox.
+  virtual void set_deliver(
+      std::function<void(int src, int dst, WireFrame)> /*sink*/) {}
+
+  /// Rank `src` puts one frame on the wire toward `dst`. May block on
+  /// backpressure up to `deadline_ms` (0 = block indefinitely). Takes
+  /// the frame by value so the in-process path moves the payload
+  /// end-to-end without copying.
+  virtual SendStatus send(int src, int dst, WireFrame frame,
+                          int deadline_ms) = 0;
+
+  /// Rank `dst` pulls every frame that has arrived (non-blocking);
+  /// `sink(src, frame)` is invoked per frame in arrival order. Returns
+  /// the number of frames drained. Also makes progress on any pending
+  /// (backpressured) outbound bytes of dst.
+  virtual std::size_t drain(
+      int dst, const std::function<void(int src, WireFrame)>& sink) {
+    (void)dst, (void)sink;
+    return 0;
+  }
+
+  /// Rank `dst` parks until new frames may be available, wake_all() is
+  /// called, or `timeout_us` elapses. Spurious returns are fine.
+  virtual void wait_frames(int dst, int timeout_us) {
+    (void)dst, (void)timeout_us;
+  }
+
+  /// Wakes every rank parked in wait_frames (poison/shutdown).
+  virtual void wake_all() {}
+
+  /// Drops every undelivered byte (rings, stream-parser staging,
+  /// pending outbound buffers) so a recover()ed cluster starts from a
+  /// clean sequence space. Only called while no rank is running.
+  virtual void reset() {}
+
+  /// True when `rank` is known to be dead (its connection dropped). A
+  /// recv with no queued frames from a dead peer fails fast instead of
+  /// waiting for the deadline.
+  virtual bool peer_dead(int /*rank*/) const { return false; }
+
+  virtual TransportCounters counters() const { return {}; }
+};
+
+/// The original threads-as-ranks backend: synchronous mailbox deposit.
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(int nranks) : nranks_(nranks) {}
+  const char* name() const override { return "inproc"; }
+  int size() const override { return nranks_; }
+  bool direct_delivery() const override { return true; }
+  void set_deliver(
+      std::function<void(int, int, WireFrame)> sink) override {
+    deliver_ = std::move(sink);
+  }
+  SendStatus send(int src, int dst, WireFrame frame,
+                  int /*deadline_ms*/) override {
+    deliver_(src, dst, std::move(frame));
+    return SendStatus::kOk;
+  }
+
+ private:
+  int nranks_;
+  std::function<void(int, int, WireFrame)> deliver_;
+};
+
+/// Builds a threads-mode transport by name: "inproc", "shm" (heap-backed
+/// rings), or "tcp" (loopback socket mesh with internal rendezvous).
+/// Aborts on an unknown name.
+std::shared_ptr<Transport> make_transport(const std::string& name,
+                                          int nranks);
+
+/// The threads-mode default: $FFW_TRANSPORT if set (same names as
+/// make_transport), else "inproc". Lets `ctest` re-run whole test
+/// binaries over another backend (e.g. fault_test_shm) without code
+/// changes.
+std::string default_transport_name();
+
+}  // namespace ffw

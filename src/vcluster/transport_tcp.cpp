@@ -1,0 +1,424 @@
+#include "vcluster/transport_tcp.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/check.hpp"
+#include "obs/obs.hpp"
+
+namespace ffw {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  FFW_CHECK(flags >= 0);
+  FFW_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in resolve(const TcpEndpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    hostent* he = ::gethostbyname(ep.host.c_str());
+    FFW_CHECK_MSG(he != nullptr && he->h_addrtype == AF_INET,
+                  "tcp: cannot resolve host");
+    std::memcpy(&addr.sin_addr, he->h_addr_list[0], sizeof(addr.sin_addr));
+  }
+  return addr;
+}
+
+/// Blocking full read; false on EOF/error. Only used during rendezvous
+/// (the 4-byte hello), never after the mesh goes nonblocking.
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r <= 0) {
+      if (r < 0 && (errno == EINTR || errno == EAGAIN ||
+                    errno == EWOULDBLOCK)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        continue;
+      }
+      return false;
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const void* buf, std::size_t n) {
+  auto* p = static_cast<const unsigned char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::write(fd, p, n);
+    if (r <= 0) {
+      if (r < 0 && (errno == EINTR || errno == EAGAIN ||
+                    errno == EWOULDBLOCK)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        continue;
+      }
+      return false;
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<TcpEndpoint> parse_hostfile(const std::string& path, int nranks) {
+  std::ifstream in(path);
+  FFW_CHECK_MSG(in.good(), "tcp: cannot open hostfile");
+  std::vector<TcpEndpoint> eps;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;
+    const auto colon = tok.rfind(':');
+    FFW_CHECK_MSG(colon != std::string::npos,
+                  "tcp: hostfile line is not host:port");
+    eps.push_back({tok.substr(0, colon), std::stoi(tok.substr(colon + 1))});
+  }
+  FFW_CHECK_MSG(static_cast<int>(eps.size()) >= nranks,
+                "tcp: hostfile has fewer entries than ranks");
+  eps.resize(static_cast<std::size_t>(nranks));
+  return eps;
+}
+
+std::vector<TcpEndpoint> loopback_endpoints(int nranks, int base_port) {
+  std::vector<TcpEndpoint> eps;
+  eps.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    eps.push_back({"127.0.0.1", base_port + r});
+  return eps;
+}
+
+bool TcpTransport::hosted(int rank) const {
+  return local_rank_ < 0 || rank == local_rank_;
+}
+
+TcpTransport::Edge& TcpTransport::edge(int rank, int peer) const {
+  return *hosts_[static_cast<std::size_t>(rank)]
+              ->edges[static_cast<std::size_t>(peer)];
+}
+
+TcpTransport::TcpTransport(int nranks, std::vector<TcpEndpoint> endpoints,
+                           int local_rank)
+    : nranks_(nranks),
+      local_rank_(local_rank),
+      endpoints_(std::move(endpoints)) {
+  FFW_CHECK(nranks >= 1);
+  FFW_CHECK(static_cast<int>(endpoints_.size()) == nranks);
+  FFW_CHECK(local_rank < nranks);
+  listen_fds_.assign(static_cast<std::size_t>(nranks), -1);
+  hosts_.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks_; ++r) {
+    if (!hosted(r)) continue;
+    auto host = std::make_unique<Host>();
+    host->edges.resize(static_cast<std::size_t>(nranks));
+    for (int p = 0; p < nranks_; ++p)
+      host->edges[static_cast<std::size_t>(p)] = std::make_unique<Edge>();
+    host->wake_fd = ::eventfd(0, EFD_NONBLOCK);
+    FFW_CHECK(host->wake_fd >= 0);
+    hosts_[static_cast<std::size_t>(r)] = std::move(host);
+  }
+  // All hosted ranks listen first, then connect: in process mode the
+  // peer's listener may still be coming up, so connects retry.
+  for (int r = 0; r < nranks_; ++r) {
+    if (!hosted(r)) continue;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    FFW_CHECK(fd >= 0);
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = resolve(endpoints_[static_cast<std::size_t>(r)]);
+    addr.sin_addr.s_addr = INADDR_ANY;  // listen on all interfaces
+    FFW_CHECK_MSG(::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+                  "tcp: bind failed (port in use?)");
+    FFW_CHECK(::listen(fd, nranks_) == 0);
+    listen_fds_[static_cast<std::size_t>(r)] = fd;
+  }
+  // Connects strictly before accepts: in threads mode every listener is
+  // already up, so all connects land in listen backlogs immediately and
+  // the accept sweep then completes without any rank's accept waiting
+  // on a connect that has not been issued yet.
+  for (int r = 0; r < nranks_; ++r)
+    if (hosted(r)) connect_peers(r);
+  for (int r = 0; r < nranks_; ++r)
+    if (hosted(r)) accept_peers(r);
+  for (int r = 0; r < nranks_; ++r) {
+    if (listen_fds_[static_cast<std::size_t>(r)] >= 0) {
+      ::close(listen_fds_[static_cast<std::size_t>(r)]);
+      listen_fds_[static_cast<std::size_t>(r)] = -1;
+    }
+  }
+}
+
+void TcpTransport::connect_peers(int rank) {
+  // Pair rule: for (lo, hi) the higher rank connects to the lower
+  // rank's listener and sends its rank id as a hello, so exactly one
+  // socket exists per pair. `rank` therefore connects to every lower
+  // peer and accepts from every higher peer.
+  for (int p = 0; p < rank; ++p) {
+    int fd = -1;
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      FFW_CHECK(fd >= 0);
+      sockaddr_in addr = resolve(endpoints_[static_cast<std::size_t>(p)]);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0)
+        break;
+      ::close(fd);
+      fd = -1;
+      FFW_CHECK_MSG(std::chrono::steady_clock::now() < give_up,
+                    "tcp: rendezvous connect timed out");
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const std::int32_t hello = rank;
+    FFW_CHECK_MSG(write_exact(fd, &hello, sizeof(hello)),
+                  "tcp: hello write failed");
+    set_nodelay(fd);
+    set_nonblocking(fd);
+    edge(rank, p).fd = fd;
+  }
+}
+
+void TcpTransport::accept_peers(int rank) {
+  const int lfd = listen_fds_[static_cast<std::size_t>(rank)];
+  for (int i = 0; i < nranks_ - 1 - rank; ++i) {
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    FFW_CHECK_MSG(fd >= 0, "tcp: accept failed");
+    std::int32_t hello = -1;
+    FFW_CHECK_MSG(read_exact(fd, &hello, sizeof(hello)),
+                  "tcp: hello read failed");
+    FFW_CHECK(hello > rank && hello < nranks_);
+    set_nodelay(fd);
+    set_nonblocking(fd);
+    FFW_CHECK_MSG(edge(rank, hello).fd < 0, "tcp: duplicate connection");
+    edge(rank, hello).fd = fd;
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  for (auto& host : hosts_) {
+    if (!host) continue;
+    for (auto& e : host->edges)
+      if (e && e->fd >= 0) ::close(e->fd);
+    if (host->wake_fd >= 0) ::close(host->wake_fd);
+  }
+  for (int fd : listen_fds_)
+    if (fd >= 0) ::close(fd);
+}
+
+void TcpTransport::mark_dead(Edge& e) {
+  if (!e.dead.exchange(true)) {
+    if (e.fd >= 0) ::shutdown(e.fd, SHUT_RDWR);
+  }
+}
+
+bool TcpTransport::flush_pending(Edge& e) {
+  // Caller holds e.mu.
+  while (!e.pending.empty()) {
+    const ssize_t w = ::send(e.fd, e.pending.data(), e.pending.size(),
+                             MSG_NOSIGNAL);
+    syscalls_.fetch_add(1, std::memory_order_relaxed);
+    obs::add(obs::Counter::kTransportSyscalls, 1);
+    if (w > 0) {
+      e.pending.erase(e.pending.begin(), e.pending.begin() + w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (w < 0 && errno == EINTR) continue;
+    mark_dead(e);
+    return false;
+  }
+  return true;
+}
+
+SendStatus TcpTransport::send(int src, int dst, WireFrame frame,
+                              int deadline_ms) {
+  FFW_CHECK(hosted(src));
+  Edge& e = edge(src, dst);
+  if (e.dead.load(std::memory_order_acquire)) return SendStatus::kPeerDead;
+
+  std::vector<unsigned char> rec;
+  rec.reserve(wire_record_bytes(frame.payload.size()));
+  wire_encode(frame, rec);
+  wire_bytes_.fetch_add(rec.size(), std::memory_order_relaxed);
+  obs::add(obs::Counter::kTransportWireBytes, rec.size());
+
+  std::lock_guard lk(e.mu);
+  if (!e.pending.empty()) {
+    // Already backpressured: queue behind earlier bytes, then try to
+    // make progress.
+    e.pending.insert(e.pending.end(), rec.begin(), rec.end());
+    return flush_pending(e) ? SendStatus::kOk : SendStatus::kPeerDead;
+  }
+  std::size_t off = 0;
+  while (off < rec.size()) {
+    const ssize_t w =
+        ::send(e.fd, rec.data() + off, rec.size() - off, MSG_NOSIGNAL);
+    syscalls_.fetch_add(1, std::memory_order_relaxed);
+    obs::add(obs::Counter::kTransportSyscalls, 1);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Nonblocking backpressure: park the rest in the pending buffer
+      // (drained opportunistically from this rank's drain()/sends).
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(obs::Counter::kRingFullStalls, 1);
+      e.pending.insert(e.pending.end(), rec.begin() + off, rec.end());
+      return SendStatus::kOk;
+    }
+    mark_dead(e);
+    return SendStatus::kPeerDead;
+  }
+  (void)deadline_ms;
+  return SendStatus::kOk;
+}
+
+std::size_t TcpTransport::drain(
+    int dst, const std::function<void(int src, WireFrame)>& sink) {
+  FFW_CHECK(hosted(dst));
+  Host& host = *hosts_[static_cast<std::size_t>(dst)];
+  std::size_t frames = 0;
+  unsigned char chunk[64 * 1024];
+  for (int src = 0; src < nranks_; ++src) {
+    if (src == dst) continue;
+    Edge& e = *host.edges[static_cast<std::size_t>(src)];
+    if (e.fd < 0) continue;
+    // Progress our own backpressured outbound bytes on this edge too —
+    // drain() is the one place rank dst's thread touches every edge.
+    {
+      std::lock_guard lk(e.mu);
+      if (!e.pending.empty() && !e.dead.load(std::memory_order_acquire))
+        flush_pending(e);
+    }
+    if (e.dead.load(std::memory_order_acquire)) continue;
+    for (;;) {
+      const ssize_t r = ::recv(e.fd, chunk, sizeof(chunk), 0);
+      syscalls_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(obs::Counter::kTransportSyscalls, 1);
+      if (r > 0) {
+        e.parser.feed(chunk, static_cast<std::size_t>(r), [&](WireFrame f) {
+          ++frames;
+          sink(src, std::move(f));
+        });
+        if (static_cast<std::size_t>(r) < sizeof(chunk)) break;
+        continue;
+      }
+      if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (r < 0 && errno == EINTR) continue;
+      // EOF or hard error: the peer is gone.
+      mark_dead(e);
+      break;
+    }
+  }
+  return frames;
+}
+
+void TcpTransport::wait_frames(int dst, int timeout_us) {
+  FFW_CHECK(hosted(dst));
+  Host& host = *hosts_[static_cast<std::size_t>(dst)];
+  pollfd fds[256];
+  FFW_CHECK(nranks_ + 1 <= 256);
+  nfds_t n = 0;
+  for (int src = 0; src < nranks_; ++src) {
+    if (src == dst) continue;
+    Edge& e = *host.edges[static_cast<std::size_t>(src)];
+    if (e.fd < 0 || e.dead.load(std::memory_order_acquire)) continue;
+    fds[n].fd = e.fd;
+    fds[n].events = POLLIN;
+    {
+      std::lock_guard lk(e.mu);
+      if (!e.pending.empty()) fds[n].events |= POLLOUT;
+    }
+    fds[n].revents = 0;
+    ++n;
+  }
+  fds[n].fd = host.wake_fd;
+  fds[n].events = POLLIN;
+  fds[n].revents = 0;
+  ++n;
+  syscalls_.fetch_add(1, std::memory_order_relaxed);
+  obs::add(obs::Counter::kTransportSyscalls, 1);
+  const int timeout_ms = std::max(1, timeout_us / 1000);
+  ::poll(fds, n, timeout_ms);
+  // Swallow the wake token so the next wait can park again.
+  std::uint64_t tok;
+  while (::read(host.wake_fd, &tok, sizeof(tok)) > 0) {}
+}
+
+void TcpTransport::wake_all() {
+  const std::uint64_t one = 1;
+  for (auto& host : hosts_) {
+    if (!host) continue;
+    [[maybe_unused]] ssize_t r =
+        ::write(host->wake_fd, &one, sizeof(one));
+  }
+}
+
+void TcpTransport::reset() {
+  // Drain any bytes still sitting in socket buffers or parser staging;
+  // pending outbound bytes are dropped outright.
+  unsigned char chunk[64 * 1024];
+  for (auto& host : hosts_) {
+    if (!host) continue;
+    for (auto& ep : host->edges) {
+      if (!ep || ep->fd < 0) continue;
+      std::lock_guard lk(ep->mu);
+      ep->pending.clear();
+      ep->parser = FrameParser{};
+      while (::recv(ep->fd, chunk, sizeof(chunk), 0) > 0) {}
+    }
+  }
+}
+
+bool TcpTransport::peer_dead(int rank) const {
+  // A peer is dead when any hosted rank saw its connection drop.
+  for (int r = 0; r < nranks_; ++r) {
+    if (!hosted(r) || r == rank) continue;
+    const Edge& e = edge(r, rank);
+    if (e.fd >= 0 && e.dead.load(std::memory_order_acquire)) return true;
+  }
+  return false;
+}
+
+TransportCounters TcpTransport::counters() const {
+  return TransportCounters{syscalls_.load(std::memory_order_relaxed),
+                           stalls_.load(std::memory_order_relaxed),
+                           wire_bytes_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace ffw

@@ -1,0 +1,104 @@
+// TCP socket-mesh transport: one connection per unordered rank pair,
+// length-prefixed wire records (transport.hpp), nonblocking sends with
+// per-edge pending buffers for backpressure (DESIGN.md Sec. 16).
+//
+// Rendezvous: every rank gets a "host:port" endpoint, either from a
+// host file (one line per rank — multi-machine runs via ffw_launch
+// --hostfile) or auto-generated loopback endpoints in threads mode.
+// Rank r listens on its own endpoint; for each pair (lo, hi) the
+// *higher* rank connects to the lower rank's listener and identifies
+// itself with a 4-byte hello, so exactly one socket exists per pair
+// regardless of startup order. Connect retries cover listeners that are
+// not up yet.
+//
+// Failure semantics: EOF/ECONNRESET on a peer's socket marks that rank
+// dead (peer_dead()); the comm layer's polled wait turns that into a
+// fail-fast RankFailure instead of hanging in a blocking read — the
+// satellite-1 regression (tests/transport_test.cpp) pins this down.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "vcluster/transport.hpp"
+
+namespace ffw {
+
+/// One rank's rendezvous endpoint.
+struct TcpEndpoint {
+  std::string host;
+  int port = 0;
+};
+
+/// Parses a host file: one "host:port" line per rank, '#' comments and
+/// blank lines skipped. Aborts if fewer than `nranks` entries remain.
+std::vector<TcpEndpoint> parse_hostfile(const std::string& path, int nranks);
+
+/// Loopback endpoints for a single-node world: ports base..base+n-1.
+std::vector<TcpEndpoint> loopback_endpoints(int nranks, int base_port);
+
+class TcpTransport final : public Transport {
+ public:
+  /// Builds the mesh for the ranks this instance hosts: all of them
+  /// (threads mode, `local_rank` == -1) or exactly one (process mode).
+  /// Blocks until every hosted rank is fully connected.
+  TcpTransport(int nranks, std::vector<TcpEndpoint> endpoints,
+               int local_rank);
+  ~TcpTransport() override;
+
+  const char* name() const override { return "tcp"; }
+  int size() const override { return nranks_; }
+
+  SendStatus send(int src, int dst, WireFrame frame,
+                  int deadline_ms) override;
+  std::size_t drain(
+      int dst, const std::function<void(int src, WireFrame)>& sink) override;
+  void wait_frames(int dst, int timeout_us) override;
+  void wake_all() override;
+  void reset() override;
+  bool peer_dead(int rank) const override;
+  TransportCounters counters() const override;
+
+ private:
+  /// Per-peer connection state of one hosted rank. `fd` carries both
+  /// directions of the pair; `pending` holds outbound bytes the socket
+  /// would not take (backpressure).
+  struct Edge {
+    int fd = -1;
+    std::mutex mu;               // serialises writers on this edge
+    std::vector<unsigned char> pending;
+    FrameParser parser;
+    std::atomic<bool> dead{false};
+  };
+  /// One hosted rank: its peer edges plus an eventfd that wake_all()
+  /// pokes to interrupt a poll().
+  struct Host {
+    std::vector<std::unique_ptr<Edge>> edges;  // size nranks, self unused
+    int wake_fd = -1;
+  };
+
+  bool hosted(int rank) const;
+  Edge& edge(int rank, int peer) const;
+  void connect_peers(int rank);
+  void accept_peers(int rank);
+  /// Flushes `e.pending` as far as the socket allows. Returns false
+  /// once the connection is dead.
+  bool flush_pending(Edge& e);
+  void mark_dead(Edge& e);
+
+  int nranks_;
+  int local_rank_;  // -1 = all ranks hosted
+  std::vector<TcpEndpoint> endpoints_;
+  std::vector<int> listen_fds_;              // per hosted rank
+  std::vector<std::unique_ptr<Host>> hosts_; // size nranks, null if not hosted
+
+  mutable std::atomic<std::uint64_t> syscalls_{0};
+  mutable std::atomic<std::uint64_t> stalls_{0};
+  mutable std::atomic<std::uint64_t> wire_bytes_{0};
+};
+
+}  // namespace ffw

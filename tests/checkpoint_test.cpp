@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
@@ -191,8 +192,12 @@ TEST(Checkpoint, FailedSaveLeavesPriorFileIntact) {
 
   // Block the temp slot with a directory: the new save cannot even open
   // its scratch file, must report failure, and must not have touched the
-  // destination.
-  const std::string tmp = path + ".tmp";
+  // destination. The scratch name is pid-qualified (concurrent
+  // supervisor restarts must not clobber each other's temp — see
+  // tests/transport_test.cpp for that regression), so block this
+  // process's slot.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   ASSERT_EQ(std::remove(tmp.c_str()), -1);  // no stale temp left behind
   ASSERT_EQ(mkdir(tmp.c_str(), 0700), 0);
   Checkpoint next;

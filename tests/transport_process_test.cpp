@@ -1,0 +1,219 @@
+// End-to-end real-process reconstruction tests (DESIGN.md Sec. 16).
+//
+// This binary is both the gtest driver and the worker it launches: the
+// tests call launch_processes() on /proc/self/exe with FFW_PROC_WORKER
+// set, and a custom main() routes the re-exec'd copies into
+// worker_main() before gtest ever initialises. Each worker bootstraps
+// one rank from the FFW_* environment (shm rings or a TCP loopback
+// mesh), runs the 2-D parallel DBIM driver, and rank 0 dumps the raw
+// contrast image for the parent to compare against a threads-mode
+// in-process reference — acceptance: RMSE <= 1e-10.
+//
+// The kill test is the real-death version of
+// ParallelDbim.SurvivesInjectedCrashesViaCheckpointRestart: a worker
+// raises SIGKILL on itself (uncatchable, same as `kill -9` from
+// outside) at a send count taken from the fault-free reference run.
+// ffw_launch's supervisor SIGKILLs the survivors and relaunches the
+// world with the attempt counter bumped; the workers resume from the
+// last atomically-saved checkpoint and must land on the same image.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "dbim/parallel_driver.hpp"
+#include "phantom/setup.hpp"
+#include "vcluster/bootstrap.hpp"
+
+namespace ffw {
+namespace {
+
+constexpr int kIllumGroups = 2;
+constexpr int kTreeRanks = 2;
+constexpr int kWorld = kIllumGroups * kTreeRanks;
+
+// The scenario and driver config must be bit-identical between the
+// threads-mode reference and every worker process: one definition,
+// used by both sides of the fork.
+struct SceneFixture {
+  ScenarioConfig cfg;
+  std::unique_ptr<Scenario> scene;
+
+  SceneFixture() {
+    cfg.nx = 32;
+    cfg.num_transmitters = 8;
+    cfg.num_receivers = 24;
+    Grid grid(cfg.nx);
+    scene = std::make_unique<Scenario>(
+        cfg, gaussian_blob(grid, Vec2{0.3, -0.2}, 0.5, cplx{0.01, 0.0}));
+  }
+};
+
+ParallelDbimConfig test_config() {
+  ParallelDbimConfig pcfg;
+  pcfg.illum_groups = kIllumGroups;
+  pcfg.tree_ranks = kTreeRanks;
+  pcfg.dbim.max_iterations = 5;
+  // Resume determinism: with warm starts off every iterate is a pure
+  // function of the checkpointed outer-loop state (see the threads-mode
+  // crash-recovery test), so a relaunched world reproduces the
+  // fault-free image to rounding.
+  pcfg.dbim.warm_start_fields = false;
+  return pcfg;
+}
+
+bool write_image(const std::string& path, const cvec& img) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok =
+      std::fwrite(img.data(), sizeof(cplx), img.size(), f) == img.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+bool read_image(const std::string& path, cvec& img) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  const bool ok =
+      std::fread(img.data(), sizeof(cplx), img.size(), f) == img.size();
+  std::fclose(f);
+  return ok;
+}
+
+// The re-exec'd side: one rank of the world, driven entirely by the
+// environment ffw_launch (and the parent test via extra_env) set.
+int worker_main() {
+  const std::optional<ProcessBootstrap> bs = bootstrap_from_env();
+  if (!bs || bs->world != kWorld) return 3;
+  std::unique_ptr<VCluster> vc = make_worker_cluster(*bs);
+
+  ParallelDbimConfig pcfg = test_config();
+  if (const char* ck = std::getenv("FFW_PROC_CKPT")) {
+    pcfg.checkpoint_path = ck;
+    pcfg.resume_from_checkpoint = bs->attempt > 0;
+  }
+  if (const char* kr = std::getenv("FFW_PROC_KILL_RANK")) {
+    const int kill_rank = std::atoi(kr);
+    const std::uint64_t kill_at =
+        std::strtoull(std::getenv("FFW_PROC_KILL_AT"), nullptr, 10);
+    if (bs->attempt == 0) {
+      // Real `kill -9` semantics: SIGKILL is uncatchable, no unwinding,
+      // no flushing — the rank just vanishes mid-DBIM. Only attempt 0
+      // dies; the relaunched world runs clean from the checkpoint.
+      vc->set_send_hook([kill_rank, kill_at](int rank, std::uint64_t nsend) {
+        if (rank == kill_rank && nsend == kill_at) std::raise(SIGKILL);
+      });
+    }
+  }
+
+  SceneFixture f;
+  const DbimResult result = dbim_reconstruct_parallel(
+      *vc, f.scene->tree(), f.scene->transceivers(), f.scene->measurements(),
+      pcfg);
+  if (bs->rank == 0) {
+    if (!write_image(std::getenv("FFW_PROC_OUT"), result.contrast)) return 4;
+  }
+  return 0;
+}
+
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  EXPECT_GT(n, 0);
+  return std::string(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+}
+
+// Threads-mode in-process reference, plus the per-rank send totals the
+// kill test uses to place the SIGKILL (computed once, cached).
+struct Reference {
+  cvec image;
+  std::vector<std::uint64_t> sends = std::vector<std::uint64_t>(kWorld, 0);
+};
+
+const Reference& reference() {
+  static const Reference ref = [] {
+    SceneFixture f;
+    VCluster vc(kWorld);
+    const DbimResult r = dbim_reconstruct_parallel(
+        vc, f.scene->tree(), f.scene->transceivers(), f.scene->measurements(),
+        test_config());
+    Reference out;
+    out.image = r.contrast;
+    const TrafficStats t = vc.traffic();
+    for (int s = 0; s < kWorld; ++s)
+      for (int d = 0; d < kWorld; ++d)
+        out.sends[s] += t.messages[static_cast<std::size_t>(s) * kWorld + d];
+    return out;
+  }();
+  return ref;
+}
+
+cvec launch_and_read(LaunchOptions opts, const std::string& out_path) {
+  std::remove(out_path.c_str());
+  opts.world = kWorld;
+  opts.extra_env.emplace_back("FFW_PROC_WORKER", "1");
+  opts.extra_env.emplace_back("FFW_PROC_OUT", out_path);
+  const int rc = launch_processes(opts, {self_exe()});
+  EXPECT_EQ(rc, 0);
+  cvec img(reference().image.size());
+  EXPECT_TRUE(read_image(out_path, img)) << out_path;
+  std::remove(out_path.c_str());
+  return img;
+}
+
+TEST(ProcessRanks, ShmRingWorldMatchesThreadsReference) {
+  // p = 4 real processes over shared-memory rings reconstruct the same
+  // image as 4 threads over the in-process mailbox.
+  LaunchOptions opts;
+  opts.transport = "shm";
+  opts.shm_name = "/ffw-test-shm-" + std::to_string(::getpid());
+  const cvec img = launch_and_read(opts, "/tmp/ffw_proc_shm.img");
+  EXPECT_LE(image_rmse(img, reference().image), 1e-10);
+}
+
+TEST(ProcessRanks, TcpLoopbackWorldMatchesThreadsReference) {
+  LaunchOptions opts;
+  opts.transport = "tcp";
+  opts.base_port = 21000 + static_cast<int>(::getpid() % 20000);
+  const cvec img = launch_and_read(opts, "/tmp/ffw_proc_tcp.img");
+  EXPECT_LE(image_rmse(img, reference().image), 1e-10);
+}
+
+TEST(ProcessRanks, Kill9MidDbimRecoversViaCheckpointSupervisor) {
+  // Rank 2 SIGKILLs itself ~60% through its reference send count —
+  // deep enough that checkpoints exist, early enough that work remains.
+  // The supervisor must detect the death, kill the survivors, relaunch
+  // the world on a fresh shm segment, and the resumed run must land on
+  // the fault-free image.
+  const std::uint64_t total = reference().sends[2];
+  ASSERT_GT(total, 10u);
+  const std::string ckpt = "/tmp/ffw_proc_kill.ckpt";
+  std::remove(ckpt.c_str());
+
+  LaunchOptions opts;
+  opts.transport = "shm";
+  opts.shm_name = "/ffw-test-kill-" + std::to_string(::getpid());
+  opts.max_restarts = 2;
+  opts.extra_env.emplace_back("FFW_PROC_CKPT", ckpt);
+  opts.extra_env.emplace_back("FFW_PROC_KILL_RANK", "2");
+  opts.extra_env.emplace_back("FFW_PROC_KILL_AT",
+                              std::to_string(total * 3 / 5));
+  const cvec img = launch_and_read(opts, "/tmp/ffw_proc_kill.img");
+  EXPECT_LE(image_rmse(img, reference().image), 1e-10);
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace
+}  // namespace ffw
+
+// Custom entry point: the launched copies of this binary must become
+// workers before gtest parses argv or prints anything.
+int main(int argc, char** argv) {
+  if (std::getenv("FFW_PROC_WORKER")) return ffw::worker_main();
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

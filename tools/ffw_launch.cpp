@@ -1,0 +1,88 @@
+// ffw_launch — run a command as p real processes, one cluster rank
+// each, over a shared-memory ring or TCP transport (DESIGN.md Sec. 16).
+//
+//     ffw_launch -n 4 -- ./examples/parallel_cluster
+//     ffw_launch -n 4 --transport tcp --hostfile hosts.txt -- ./worker
+//
+// The launcher sets the FFW_* bootstrap environment (rank id, world
+// size, rendezvous) for every worker and supervises the tree: if any
+// worker dies abnormally (crash, kill -9, nonzero exit) the survivors
+// are SIGKILLed and the whole world is relaunched with
+// FFW_LAUNCH_ATTEMPT bumped — workers then resume from their last
+// checkpoint. See src/vcluster/bootstrap.hpp.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "vcluster/bootstrap.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: ffw_launch -n <ranks> [options] -- <command> [args...]\n"
+      "  -n, --np <p>         world size (required)\n"
+      "  --transport <t>      shm (default) | tcp\n"
+      "  --shm-name <name>    POSIX shm segment name (default /ffw-<pid>)\n"
+      "  --ring-bytes <n>     per-edge ring capacity (default 1 MiB)\n"
+      "  --hostfile <path>    tcp: host:port per rank (default: generated "
+      "loopback)\n"
+      "  --base-port <p>      tcp: first port when generating the hostfile\n"
+      "  --max-restarts <k>   world relaunches after a dead rank "
+      "(default 2)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ffw::LaunchOptions opts;
+  opts.world = 0;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--") {
+      ++i;
+      break;
+    } else if (a == "-n" || a == "--np") {
+      opts.world = std::atoi(next());
+    } else if (a == "--transport") {
+      opts.transport = next();
+    } else if (a == "--shm-name") {
+      opts.shm_name = next();
+    } else if (a == "--ring-bytes") {
+      opts.ring_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--hostfile") {
+      opts.hostfile = next();
+    } else if (a == "--base-port") {
+      opts.base_port = std::atoi(next());
+    } else if (a == "--max-restarts") {
+      opts.max_restarts = std::atoi(next());
+    } else {
+      std::fprintf(stderr, "ffw_launch: unknown option %s\n", a.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (opts.world < 1 || i >= argc) {
+    usage();
+    return 2;
+  }
+  if (opts.transport != "shm" && opts.transport != "tcp") {
+    std::fprintf(stderr, "ffw_launch: --transport must be shm or tcp\n");
+    return 2;
+  }
+  std::vector<std::string> command;
+  for (; i < argc; ++i) command.emplace_back(argv[i]);
+  return ffw::launch_processes(opts, command);
+}
