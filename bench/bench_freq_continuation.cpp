@@ -1,0 +1,256 @@
+// Frequency continuation (ROADMAP item 3): quantifies when the
+// frequency-hopping ladder (dbim/continuation.hpp) is *necessary* — not
+// merely faster — and what the third parallel axis buys.
+//
+// Section 1 sweeps object contrast on a fixed wide scatterer and runs
+// single-frequency DBIM head to head against a three-rung ladder
+// (quarter, half, full frequency). Past the Born-linearization horizon
+// the single-frequency solver stalls — its normal equations point
+// nowhere useful from a zero initial guess — while each coarse rung
+// keeps the same object under one wavelength of phase error, so the
+// ladder hands every stage a guess inside the basin of attraction
+// (Borges-Gillman-Greengard, arXiv:1608.06871). The acceptance gate
+// (FFW_CHECK) requires the ladder to beat single frequency by >= 10x
+// RMSE — or the single-frequency run to have stalled outright — at the
+// highest contrast, and the ladder to win at every swept contrast.
+//
+// Section 2 times the band-parallel driver
+// (dbim/continuation_parallel.hpp) against the serial ladder on the
+// same problem and checks the single-rank-group bit-parity contract.
+//
+// Section 3 asks the calibrated performance model for the best
+// 3-D (frequency x illumination x subtree) shape at paper scale
+// (perfmodel/freq_model.hpp) and reports the pipeline-fill speedup over
+// serial-ladder scheduling of the same resources.
+//
+// Writes BENCH_freq_continuation.json (see FFW_BENCH_JSON_DIR).
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_scaling_common.hpp"
+#include "dbim/continuation.hpp"
+#include "dbim/continuation_parallel.hpp"
+#include "dbim/dbim.hpp"
+#include "json_check.hpp"
+#include "perfmodel/freq_model.hpp"
+#include "phantom/phantom.hpp"
+#include "phantom/setup.hpp"
+
+using namespace ffw;
+
+namespace {
+
+constexpr int kNx = 64;
+constexpr int kIterations = 8;  // per stage, and for the single-freq run
+
+struct RunSummary {
+  double rmse = 0.0;
+  double seconds = 0.0;
+  double final_residual = 0.0;
+  bool stalled = false;
+};
+
+/// A run "stalled" when its data residual never left the O(1) regime
+/// (the model explains less than 75% of the measurements after the full
+/// iteration budget) or plateaued — under 5% total improvement across
+/// the last three iterations, the same criterion the ladder's per-band
+/// stopping uses.
+bool stalled_residuals(const std::vector<double>& r) {
+  return r.empty() || r.back() > 0.25 || continuation_plateau(r, 3, 0.05);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Frequency continuation vs single-frequency DBIM",
+                "ROADMAP item 3 (frequency hopping); "
+                "Borges-Gillman-Greengard arXiv:1608.06871, "
+                "Gaggioli-Bruno arXiv:2202.09421");
+  Timer total;
+
+  const std::string json_path =
+      bench::json_output_path("BENCH_freq_continuation");
+  {
+    bench::JsonWriter json("BENCH_freq_continuation");
+    json.field("bench", "freq_continuation");
+    json.field("nx", kNx);
+    json.field("iterations_per_stage",
+               static_cast<std::uint64_t>(kIterations));
+
+    // ---- Section 1: the contrast sweep.
+    const Grid grid(kNx);
+    const std::vector<double> contrasts = {0.05, 0.15, 0.30, 1.00};
+    const FrequencyLadder ladder = FrequencyLadder::geometric(3, kIterations);
+
+    Table t({"permittivity", "single RMSE", "single res.", "ladder RMSE",
+             "ladder res.", "RMSE ratio", "single s", "ladder s"});
+    json.begin_array("contrast_sweep");
+    double top_ratio = 0.0;
+    bool top_stalled = false;
+    bool ladder_wins_everywhere = true;
+    for (const double eps : contrasts) {
+      ScenarioConfig cfg;
+      cfg.nx = kNx;
+      const cvec truth = disks(grid, {{Vec2{0.0, 0.0}, 1.4, cplx{eps, 0.0}}});
+
+      Timer lt;
+      const ContinuationResult mf = continuation_reconstruct(cfg, truth,
+                                                             ladder);
+      RunSummary lad;
+      lad.seconds = lt.seconds();
+      const cvec mf_contrast =
+          contrast_from_permittivity(grid, mf.permittivity);
+
+      Timer st;
+      Scenario scene(cfg, truth);
+      DbimOptions opts;
+      opts.max_iterations = kIterations;
+      const DbimResult single = dbim_reconstruct(
+          scene.engine(), scene.transceivers(), scene.measurements(), opts,
+          cfg.forward);
+      RunSummary sin;
+      sin.seconds = st.seconds();
+
+      lad.rmse = image_rmse(mf_contrast, scene.true_contrast());
+      lad.final_residual = mf.stages.back().history.relative_residual.back();
+      lad.stalled =
+          stalled_residuals(mf.stages.back().history.relative_residual);
+      sin.rmse = image_rmse(single.contrast, scene.true_contrast());
+      sin.final_residual = single.history.relative_residual.back();
+      sin.stalled = stalled_residuals(single.history.relative_residual);
+
+      const double ratio = sin.rmse / lad.rmse;
+      if (eps == contrasts.back()) {
+        top_ratio = ratio;
+        top_stalled = sin.stalled;
+      }
+      if (sin.rmse <= lad.rmse) ladder_wins_everywhere = false;
+
+      t.add_row({fmt_fixed(eps, 2), fmt_sci(sin.rmse, 2),
+                 fmt_fixed(sin.final_residual, 3), fmt_sci(lad.rmse, 2),
+                 fmt_fixed(lad.final_residual, 3), fmt_fixed(ratio, 1) + "x",
+                 fmt_fixed(sin.seconds, 1), fmt_fixed(lad.seconds, 1)});
+      json.begin_object();
+      json.field("contrast", eps);
+      json.field("single_rmse", sin.rmse);
+      json.field("single_final_residual", sin.final_residual);
+      json.field("single_stalled", sin.stalled);
+      json.field("single_s", sin.seconds);
+      json.field("ladder_rmse", lad.rmse);
+      json.field("ladder_final_residual", lad.final_residual);
+      json.field("ladder_s", lad.seconds);
+      json.field("rmse_ratio", ratio);
+      json.begin_array("ladder_stages");
+      for (const StageReport& r : mf.stages) {
+        json.begin_object();
+        json.field("nx", r.nx);
+        json.field("iterations", r.iterations);
+        json.field("stop", to_string(r.stop));
+        json.end();
+      }
+      json.end();
+      json.end();
+    }
+    json.end();
+    std::printf("%s\n", t.to_string().c_str());
+
+    // Acceptance gates: continuation must genuinely rescue the
+    // reconstruction, not shave a few percent.
+    FFW_CHECK_MSG(ladder_wins_everywhere,
+                  "ladder RMSE must beat single-frequency at every "
+                  "contrast");
+    FFW_CHECK_MSG(top_stalled || top_ratio >= 10.0,
+                  "at the highest contrast, single-frequency DBIM must "
+                  "stall or trail the ladder by >= 10x RMSE");
+    std::printf("gate: highest contrast ratio %.1fx%s\n\n", top_ratio,
+                top_stalled ? " (single-frequency stalled)" : "");
+    json.field("gate_top_rmse_ratio", top_ratio);
+    json.field("gate_top_single_stalled", top_stalled);
+
+    // ---- Section 2: band-parallel ladder vs serial, same arithmetic.
+    {
+      ScenarioConfig cfg;
+      cfg.nx = kNx;
+      const cvec truth =
+          disks(grid, {{Vec2{0.0, 0.0}, 1.4, cplx{contrasts[1], 0.0}}});
+      Timer st;
+      const ContinuationResult serial =
+          continuation_reconstruct(cfg, truth, ladder);
+      const double serial_s = st.seconds();
+
+      VCluster vc(3);  // 3 bands -> 3 single-rank band groups, pipelined
+      Timer pt;
+      const ContinuationResult par =
+          continuation_reconstruct_parallel(vc, cfg, truth, ladder);
+      const double par_s = pt.seconds();
+      const double parity = image_rmse(par.permittivity, serial.permittivity);
+      FFW_CHECK_MSG(parity <= 1e-12,
+                    "single-rank band groups must reproduce the serial "
+                    "ladder bit-for-bit");
+      std::printf("band-parallel (3 ranks, 1 per band): serial %.1f s, "
+                  "pipelined %.1f s (%.2fx), parity RMSE %.1e\n\n",
+                  serial_s, par_s, serial_s / par_s, parity);
+      json.begin_object("band_parallel");
+      json.field("ranks", 3);
+      json.field("serial_s", serial_s);
+      json.field("pipelined_s", par_s);
+      json.field("speedup", serial_s / par_s);
+      json.field("parity_rmse", parity);
+      json.end();
+    }
+
+    // ---- Section 3: the 3-D partition at paper scale (model).
+    const ScalingModel& model = bench::calibrated_model();
+    // A three-octave paper-scale ladder: the coarse rungs are cheap but
+    // not free, and their setup (tree + tables + synthesis) pipelines
+    // behind the previous band's reconstruction.
+    const std::vector<FreqBandSpec> bands = {
+        {256, 64, 10}, {512, 128, 10}, {1024, 256, 10}};
+    Table pt({"nodes", "freq groups", "illum groups", "tree ranks",
+              "model time", "serial-ladder time", "pipeline gain"});
+    json.begin_array("partition_model");
+    for (const int nodes : {4, 16, 64}) {
+      const Freq3dChoice c = choose_freq_partition(model, bands, nodes,
+                                                   false);
+      const double flat =
+          freq_pipeline_time(model, bands, 1, nodes, 1, false);
+      FFW_CHECK_MSG(c.time_s <= flat + 1e-12,
+                    "3-D choice must never lose to flat illumination "
+                    "parallelism");
+      pt.add_row({std::to_string(nodes), std::to_string(c.freq_groups),
+                  std::to_string(c.illum_groups),
+                  std::to_string(c.tree_ranks), fmt_fixed(c.time_s, 1) + " s",
+                  fmt_fixed(flat, 1) + " s", fmt_fixed(flat / c.time_s, 2) +
+                  "x"});
+      json.begin_object();
+      json.field("nodes", nodes);
+      json.field("freq_groups", c.freq_groups);
+      json.field("illum_groups", c.illum_groups);
+      json.field("tree_ranks", c.tree_ranks);
+      json.field("model_time_s", c.time_s);
+      json.field("flat_illum_time_s", flat);
+      json.field("pipeline_gain", flat / c.time_s);
+      json.end();
+    }
+    json.end();
+    std::printf("%s\n", pt.to_string().c_str());
+    json.close();
+  }
+
+  // Re-validate the emitted file against the strict RFC 8259 grammar.
+  {
+    std::ifstream in(json_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    FFW_CHECK_MSG(testing::json_valid(buf.str()),
+                  "BENCH_freq_continuation.json is not valid RFC 8259 JSON");
+    std::printf("BENCH_freq_continuation.json: valid JSON\n");
+  }
+
+  std::printf("elapsed: %.1f s\n", total.seconds());
+  return 0;
+}

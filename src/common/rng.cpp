@@ -18,6 +18,14 @@ std::uint64_t rotl(std::uint64_t v, int k) {
 }
 }  // namespace
 
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+  // Two finaliser rounds over seed advanced by a salt-dependent stride:
+  // adjacent salts land in unrelated splitmix64 streams.
+  std::uint64_t x = seed ^ (salt * 0xD1342543DE82EF95ull);
+  (void)splitmix64(x);
+  return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t x = seed;
   for (auto& s : s_) s = splitmix64(x);

@@ -9,6 +9,14 @@
 
 namespace ffw {
 
+/// Derives an independent stream seed from a base seed and a salt
+/// (splitmix64 finaliser over their combination). Used wherever one
+/// user-facing seed must fan out into decorrelated sub-streams — e.g.
+/// per-stage measurement noise in the multi-frequency ladder, where
+/// reusing the base seed verbatim would correlate the "independent
+/// experiments at each operating frequency".
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt);
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);

@@ -1,0 +1,185 @@
+// Multi-frequency continuation driver (ROADMAP item 3): recursive
+// linearization in the spirit of Borges-Gillman-Greengard
+// (arXiv:1608.06871). Reconstruct the object at a low operating
+// frequency first — where the scattering problem is only mildly
+// nonlinear and the DBIM basin of convergence is wide — then use each
+// band's image to warm-start the next, higher band, until the final
+// resolution is reached. At high contrast, in limited-aperture or noisy
+// scenarios, single-frequency DBIM stalls in a local minimum while the
+// continuation walks down the ladder (bench_freq_continuation measures
+// exactly this).
+//
+// In our lambda = 1 units a lower frequency is the same physical object
+// on a coarser grid (the domain spans fewer wavelengths), so band k
+// runs at nx_final / 2^halvings. Measurements are synthesised per band:
+// physically, independent experiments at each operating frequency, each
+// with its own noise realization (per-band seeds via mix_seed).
+//
+// Unlike the fixed-iteration multifrequency stub this module replaces
+// as the primary interface, each band stops on its own criterion —
+// residual tolerance, residual *plateau* (no meaningful progress over a
+// trailing window; the natural criterion for "this band has given all
+// it can at its resolution"), or an iteration cap — and the stage index
+// is checkpointed so a crash mid-ladder resumes bit-identically
+// (tests/multifrequency_test.cpp). The band dimension is also a
+// parallel axis: dbim/continuation_parallel.hpp runs the same ladder
+// over band groups of a VCluster.
+#pragma once
+
+#include <string>
+
+#include "dbim/dbim.hpp"
+#include "phantom/setup.hpp"
+
+namespace ffw {
+
+/// One rung of the frequency ladder.
+struct FrequencyBand {
+  /// Grid halvings below the final grid (1 => nx_final/2, i.e. half the
+  /// operating frequency). Bands must run coarse to fine
+  /// (non-increasing halvings); equal-resolution repeats are allowed
+  /// and warm-start bit-exactly (the raw contrast is passed verbatim —
+  /// no k2 round trip).
+  int halvings = 0;
+  int max_iterations = 10;
+  /// Absolute relative-residual stop for this band (0 = off).
+  double residual_tol = 0.0;
+  /// Plateau stop: end the band once the relative residual improved by
+  /// less than plateau_rtol (relative) over the last plateau_window
+  /// iterations. 0 disables. This is the recommended per-band stopping
+  /// rule: a band should hand over as soon as it stops making progress
+  /// at its resolution, not burn a fixed iteration budget.
+  int plateau_window = 0;
+  double plateau_rtol = 0.02;
+};
+
+/// The continuation schedule: bands, coarse to fine.
+struct FrequencyLadder {
+  std::vector<FrequencyBand> bands;
+
+  /// Geometric ladder: `nstages` bands at halvings nstages-1 .. 0, each
+  /// with the same iteration budget and plateau rule.
+  static FrequencyLadder geometric(int nstages, int iterations_per_stage,
+                                   int plateau_window = 0,
+                                   double plateau_rtol = 0.02);
+
+  /// Aborts unless the ladder is well-formed for a final grid of
+  /// `final_nx` pixels per side: at least one band, coarse-to-fine
+  /// order, and every band's grid coarse enough for the MLFMA tree.
+  void validate(int final_nx) const;
+
+  /// Band b's grid side on a final grid of `final_nx`.
+  int band_nx(std::size_t b, int final_nx) const {
+    return final_nx >> bands[b].halvings;
+  }
+};
+
+/// Why a band stopped.
+enum class StageStop {
+  kIterations,   // iteration budget exhausted
+  kResidualTol,  // band.residual_tol reached
+  kPlateau,      // no progress over the trailing window
+  kDegenerate,   // CG update degenerated (zero gradient / step)
+};
+const char* to_string(StageStop stop);
+
+struct StageReport {
+  int band = 0;
+  int nx = 0;
+  double k0 = 0.0;
+  int iterations = 0;
+  StageStop stop = StageStop::kIterations;
+  /// Image RMSE vs the (box-filtered) truth on this band's grid.
+  double rmse = 0.0;
+  double seconds = 0.0;
+  double setup_seconds = 0.0;
+  DbimHistory history;
+};
+
+struct ContinuationOptions {
+  /// Base DBIM options threaded into every band. The driver overrides
+  /// only the per-band stopping fields (max_iterations, residual_tol),
+  /// the table cache and the incident panel; everything else — backend
+  /// routing (kAuto/CBS), adaptive forcing, regularization, recycling —
+  /// applies inside every band exactly as configured. Per-scene
+  /// pointers (mixed_engine, resume, checkpoint callback) must be
+  /// unset: they cannot mean anything across a multi-grid ladder. Use
+  /// `mixed_precision` below for mixed-precision bands.
+  DbimOptions dbim;
+  /// Build a Precision::kMixed engine per band and run every band's
+  /// Krylov solves through mixed-precision iterative refinement.
+  bool mixed_precision = false;
+  /// Derive each band's measurement-noise seed from
+  /// ScenarioConfig::noise_seed and the band index (mix_seed), so the
+  /// per-band experiments carry independent noise realizations. False
+  /// reproduces the legacy correlated-noise behaviour (one seed across
+  /// all bands) for comparison studies only.
+  bool per_stage_noise_seeds = true;
+  /// When non-empty, the completed-stage state (stage index + raw
+  /// contrast) is saved here atomically after every band, and
+  /// `resume_from_checkpoint` restarts a crashed ladder at the first
+  /// unfinished band — bit-identical to the uninterrupted run.
+  std::string checkpoint_path;
+  bool resume_from_checkpoint = false;
+  /// Test hook: abandon the ladder after this band completes (and after
+  /// its checkpoint is saved), simulating a crash mid-ladder. -1 = off.
+  int stop_after_stage = -1;
+};
+
+struct ContinuationResult {
+  /// Reconstructed delta_eps on the final grid. When stop_after_stage
+  /// cut the ladder short this is the last completed band's image
+  /// upsampled — a valid (coarse) reconstruction, flagged by
+  /// `completed` = false.
+  cvec permittivity;
+  /// Reports for the bands this call actually ran (a resumed call
+  /// reports only the bands it resumed; `first_stage` says where).
+  std::vector<StageReport> stages;
+  int first_stage = 0;
+  bool completed = true;
+};
+
+/// True when `residuals` shows less than `rtol` relative improvement
+/// over the last `window` entries (the per-band plateau criterion).
+bool continuation_plateau(const std::vector<double>& residuals, int window,
+                          double rtol);
+
+/// Initial contrast for a band's grid from the previous band's raw
+/// result. Equal resolution: the raw contrast verbatim — bit-exact, no
+/// (divide by k2, multiply by k2) round trip. Coarser to finer:
+/// delta_eps = contrast / k2_prev, bilinear upsample, scale by k2_next.
+/// Shared by the legacy ladder, the serial continuation driver, the
+/// band-parallel driver and the service's band jobs, so every path
+/// derives identical warm starts.
+cvec continuation_warm_start(ccspan contrast_prev, int prev_nx, int nx,
+                             double k2_prev, double k2_next);
+
+/// Classifies why a band's DBIM loop ended, from its residual history
+/// and stopping parameters — a pure function of the history, so the
+/// serial and band-parallel drivers always agree.
+StageStop continuation_stop_reason(const std::vector<double>& residuals,
+                                   const FrequencyBand& band);
+
+/// Stage-level checkpoint round trip (shared by the serial and
+/// band-parallel drivers): atomically records that `completed_stages`
+/// bands are done with raw result `contrast` on a prev_nx grid, guarded
+/// by a ladder fingerprint. Load returns false when the file is absent
+/// or malformed and aborts when it belongs to a different ladder.
+void continuation_checkpoint_save(const std::string& path,
+                                  const FrequencyLadder& ladder, int final_nx,
+                                  int completed_stages, int prev_nx,
+                                  ccspan contrast);
+bool continuation_checkpoint_load(const std::string& path,
+                                  const FrequencyLadder& ladder, int final_nx,
+                                  int* completed_stages, int* prev_nx,
+                                  cvec* contrast);
+
+/// Runs the ladder coarse-to-fine on this process. `config` describes
+/// the final-band scenario (its nx, geometry, tolerances, cache);
+/// `true_permittivity` is the object on the final grid, box-filtered to
+/// synthesise each band's measurements.
+ContinuationResult continuation_reconstruct(
+    const ScenarioConfig& config, ccspan true_permittivity,
+    const FrequencyLadder& ladder, const ContinuationOptions& options = {});
+
+}  // namespace ffw

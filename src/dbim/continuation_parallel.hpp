@@ -1,0 +1,60 @@
+// Band-parallel frequency continuation: the ladder of
+// dbim/continuation.hpp run over a VCluster partitioned into band
+// groups (parallel/freq_partition.hpp) — frequency as the third
+// parallel axis next to the paper's illuminations x sub-trees.
+//
+// Execution model: bands are assigned to groups round-robin. Within a
+// group, each band runs the windowed 2-D DBIM driver
+// (dbim_reconstruct_windowed) over the group's illum_groups x
+// tree_ranks grid. The parts of a band that do NOT depend on earlier
+// bands — operator-table builds, transceiver setup, measurement
+// synthesis (independent experiments per frequency, cf. Gaggioli-Bruno
+// arXiv:2202.09421) — start immediately and overlap other groups'
+// reconstructions; only the DBIM itself waits for the previous band's
+// warm start, which travels leader-to-leader as a point-to-point
+// message. All traffic is group collectives and point-to-point sends in
+// a reserved tag namespace; the cluster-global barrier/allreduce are
+// never used, so concurrent windows cannot interfere.
+//
+// Determinism: measurement synthesis and the warm-start arithmetic are
+// the exact code paths of the serial driver, so the serial and
+// band-parallel ladders agree to reduction-order rounding
+// (tests/multifrequency_test.cpp asserts image RMSE <= 1e-10 at
+// p in {2, 4}).
+#pragma once
+
+#include "dbim/continuation.hpp"
+#include "parallel/freq_partition.hpp"
+#include "vcluster/comm.hpp"
+
+namespace ffw {
+
+/// Reserved tag namespace of the frequency dimension: warm-start
+/// hand-offs use kTagFreqWarm - band, stage reports kTagFreqReport -
+/// band, the final image kTagFreqFinal. (Collectives use -1000..,
+/// groups -2000.., checkpoints -4000.., barriers -5000.., linkbench
+/// -7000.)
+inline constexpr int kTagFreqWarm = -8000;
+inline constexpr int kTagFreqReport = -8100;
+inline constexpr int kTagFreqFinal = -8200;
+
+struct BandParallelOptions {
+  /// Ladder-level options (per-stage seeds, checkpoint/resume,
+  /// stop_after_stage is unsupported here). mixed_precision must be
+  /// false: the windowed driver runs the fp64 partitioned engine.
+  ContinuationOptions continuation;
+  /// Band groups: 0 = auto (largest divisor of the pool <= band count).
+  int freq_groups = 0;
+  /// Sub-tree ranks per band group.
+  int tree_ranks = 1;
+};
+
+/// Collective over the whole cluster; vc.size() must match the implied
+/// partition. Global rank 0 returns the assembled result (stage reports
+/// in band order + the final-grid image); other process-mode workers
+/// return an empty result, like dbim_reconstruct_parallel.
+ContinuationResult continuation_reconstruct_parallel(
+    VCluster& vc, const ScenarioConfig& config, ccspan true_permittivity,
+    const FrequencyLadder& ladder, const BandParallelOptions& options = {});
+
+}  // namespace ffw

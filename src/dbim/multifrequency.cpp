@@ -1,22 +1,35 @@
 #include "dbim/multifrequency.hpp"
 
+#include <memory>
+
 #include "common/timer.hpp"
+#include "dbim/continuation.hpp"
 #include "phantom/resample.hpp"
 
 namespace ffw {
 
 MultiFrequencyResult multifrequency_reconstruct(
     const ScenarioConfig& config, ccspan true_permittivity,
-    const std::vector<FrequencyStage>& stages) {
+    const std::vector<FrequencyStage>& stages,
+    const MultiFrequencyOptions& options) {
   FFW_CHECK(!stages.empty());
   Grid final_grid(config.nx);
   FFW_CHECK(true_permittivity.size() == final_grid.num_pixels());
+  FFW_CHECK_MSG(options.dbim.mixed_engine == nullptr,
+                "multifrequency: set MultiFrequencyOptions::mixed_precision "
+                "instead of DbimOptions::mixed_engine");
+  FFW_CHECK_MSG(options.dbim.resume == nullptr,
+                "multifrequency: a single-grid resume state cannot thread "
+                "through a multi-grid ladder");
+  FFW_CHECK(options.dbim.incident_panel.empty());
 
   MultiFrequencyResult out;
-  cvec eps_guess;  // reconstructed delta_eps on the previous stage's grid
+  cvec contrast_prev;  // raw reconstruction on the previous stage's grid
   int prev_nx = 0;
+  double k2_prev = 0.0;
 
-  for (const FrequencyStage& stage : stages) {
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const FrequencyStage& stage = stages[s];
     const int nx = config.nx >> stage.halvings;
     FFW_CHECK_MSG(nx >= 16 && nx % 8 == 0,
                   "stage grid too coarse for the MLFMA tree");
@@ -29,6 +42,14 @@ MultiFrequencyResult multifrequency_reconstruct(
 
     ScenarioConfig stage_config = config;
     stage_config.nx = nx;
+    // Each stage is an independent experiment at its own operating
+    // frequency: give it an independent noise realization instead of
+    // replaying the final-grid seed (which correlated the noise across
+    // stages and biased the continuation).
+    if (options.per_stage_noise_seeds) {
+      stage_config.noise_seed =
+          mix_seed(config.noise_seed, static_cast<std::uint64_t>(s));
+    }
     // Scene setup (table + transceiver builds, measurement synthesis) is
     // timed separately: with config.table_cache set, the operator share
     // of it amortises across runs and the split shows exactly that.
@@ -38,23 +59,31 @@ MultiFrequencyResult multifrequency_reconstruct(
     const Grid& grid = scene.grid();
     const double k2 = grid.k0() * grid.k0();
 
-    // Initial guess: previous stage's permittivity, resampled.
+    // Initial guess: previous stage's raw contrast, resampled when the
+    // resolution grows — or verbatim (bit-exact) when it repeats.
     cvec contrast_guess;
-    if (!eps_guess.empty()) {
+    if (!contrast_prev.empty()) {
       FFW_CHECK_MSG(prev_nx <= nx, "stages must run coarse to fine");
-      cvec eps_up = eps_guess;
-      for (int cur = prev_nx; cur < nx; cur *= 2) {
-        eps_up = upsample2(eps_up, cur);
-      }
-      contrast_guess.resize(eps_up.size());
-      for (std::size_t i = 0; i < eps_up.size(); ++i)
-        contrast_guess[i] = k2 * eps_up[i];
+      contrast_guess =
+          continuation_warm_start(contrast_prev, prev_nx, nx, k2_prev, k2);
     }
 
-    DbimOptions opts;
+    // The caller's DbimOptions are the base for every stage; only the
+    // iteration budget and the per-stage artifacts are overridden.
+    DbimOptions opts = options.dbim;
     opts.max_iterations = stage.dbim_iterations;
-    opts.table_cache = config.table_cache;
+    if (config.table_cache != nullptr) opts.table_cache = config.table_cache;
     opts.incident_panel = scene.incident_panel();
+    std::unique_ptr<MlfmaEngine> mixed;
+    if (options.mixed_precision) {
+      MlfmaParams mp = stage_config.mlfma;
+      mp.precision = Precision::kMixed;
+      mixed = config.table_cache != nullptr
+                  ? std::make_unique<MlfmaEngine>(config.table_cache->
+                        mlfma_tables(grid, stage_config.leaf_pixel_side, mp))
+                  : std::make_unique<MlfmaEngine>(scene.tree(), mp);
+      opts.mixed_engine = mixed.get();
+    }
     const DbimResult res = dbim_reconstruct(
         scene.engine(), scene.transceivers(), scene.measurements(), opts,
         config.forward, contrast_guess);
@@ -63,14 +92,17 @@ MultiFrequencyResult multifrequency_reconstruct(
     out.stage_rmse.push_back(image_rmse(res.contrast, scene.true_contrast()));
     out.stage_setup_seconds.push_back(setup_seconds);
     out.stage_seconds.push_back(stage_timer.seconds());
+    out.stage_history.push_back(res.history);
 
-    eps_guess.resize(res.contrast.size());
-    for (std::size_t i = 0; i < res.contrast.size(); ++i)
-      eps_guess[i] = res.contrast[i] / k2;
+    contrast_prev = res.contrast;
     prev_nx = nx;
+    k2_prev = k2;
   }
 
   // Bring the last stage's permittivity to the final grid if needed.
+  cvec eps_guess(contrast_prev.size());
+  for (std::size_t i = 0; i < contrast_prev.size(); ++i)
+    eps_guess[i] = contrast_prev[i] / k2_prev;
   for (int cur = prev_nx; cur < config.nx; cur *= 2) {
     eps_guess = upsample2(eps_guess, cur);
   }

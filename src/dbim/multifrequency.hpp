@@ -36,6 +36,31 @@ struct MultiFrequencyResult {
   /// (or repeated stages at one frequency) share a configuration.
   std::vector<double> stage_seconds;
   std::vector<double> stage_setup_seconds;
+  /// Full per-stage DBIM histories (backend, Krylov iteration counts,
+  /// escalations) — the evidence that the caller's options actually
+  /// reached every stage.
+  std::vector<DbimHistory> stage_history;
+};
+
+struct MultiFrequencyOptions {
+  /// Base DBIM options threaded into *every* stage. The ladder
+  /// overrides only max_iterations (per stage), the table cache and the
+  /// incident panel; the caller's backend routing (kAuto/CBS), adaptive
+  /// forcing, regularization, recycling etc. apply inside each stage as
+  /// configured. Per-scene pointers (mixed_engine, resume, checkpoint
+  /// callback) must be unset — they cannot thread through a multi-grid
+  /// ladder; use `mixed_precision` below instead.
+  DbimOptions dbim;
+  /// Build a Precision::kMixed engine per stage and run that stage's
+  /// Krylov solves through mixed-precision iterative refinement.
+  bool mixed_precision = false;
+  /// Derive each stage's measurement-noise seed from
+  /// ScenarioConfig::noise_seed and the stage index (mix_seed), so the
+  /// per-stage experiments — physically independent measurements at
+  /// different operating frequencies — carry independent noise
+  /// realizations. False reproduces the legacy correlated-noise
+  /// behaviour (every stage reuses the one seed) for comparison only.
+  bool per_stage_noise_seeds = true;
 };
 
 /// Runs the stages coarse-to-fine. `config` describes the final-grid
@@ -46,8 +71,17 @@ struct MultiFrequencyResult {
 /// operators (and the cached incident panel) through the shared cache,
 /// so concurrent multi-frequency runs — or repeated runs over the same
 /// frequency ladder — pay each stage's setup once.
+///
+/// Equal-resolution consecutive stages warm-start bit-exactly: the raw
+/// contrast is handed over verbatim instead of round-tripping through
+/// delta_eps (continuation_warm_start).
+///
+/// This fixed-iteration ladder is kept as the minimal interface; the
+/// full continuation driver (per-band stopping rules, checkpoint/
+/// resume, band parallelism) lives in dbim/continuation.hpp.
 MultiFrequencyResult multifrequency_reconstruct(
     const ScenarioConfig& config, ccspan true_permittivity,
-    const std::vector<FrequencyStage>& stages);
+    const std::vector<FrequencyStage>& stages,
+    const MultiFrequencyOptions& options = {});
 
 }  // namespace ffw

@@ -15,12 +15,15 @@ namespace ffw {
 namespace {
 
 /// Rank-local state and sub-operations for one rank of the 2-D grid.
+/// Shared by the cluster-wide driver (dbim_reconstruct_parallel) and
+/// the windowed driver (dbim_reconstruct_windowed), whose 2-D grid
+/// occupies only a window of the cluster's ranks.
 struct RankCtx {
   Comm* comm;
   const PartitionedMlfma* pm;
   const Transceivers* trx;
   const CMatrix* measured;
-  const ParallelDbimConfig* cfg;
+  BicgstabOptions fw_opts;
 
   int group = 0;       // illumination group index
   int tree_rank = 0;   // rank within the tree group
@@ -87,7 +90,7 @@ struct RankCtx {
   /// Per-iteration Krylov options: the base tolerance loosened to the
   /// Eisenstat-Walker forcing tolerance when one is active.
   BicgstabOptions krylov_opts() const {
-    BicgstabOptions o = cfg->forward;
+    BicgstabOptions o = fw_opts;
     if (forcing_tol > 0.0) o.tol = std::max(forcing_tol, o.tol);
     return o;
   }
@@ -257,7 +260,7 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
     ctx.pm = &pm;
     ctx.trx = &trx;
     ctx.measured = &measured;
-    ctx.cfg = &config;
+    ctx.fw_opts = config.forward;
     ctx.group = comm.rank() / tr;
     ctx.tree_rank = comm.rank() % tr;
     ctx.rank_base = ctx.group * tr;
@@ -547,6 +550,217 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
   out.history.forward_solves = static_cast<std::uint64_t>(
       3 * t_count * config.dbim.max_iterations);
   out.history.operator_applications = total_matvecs.load();
+  return out;
+}
+
+DbimResult dbim_reconstruct_windowed(Comm& comm, const PartitionedMlfma& pm,
+                                     const QuadTree& tree,
+                                     const Transceivers& trx,
+                                     const CMatrix& measured,
+                                     const WindowedDbimConfig& config,
+                                     ccspan initial_contrast) {
+  const int ig = config.illum_groups, tr = config.tree_ranks;
+  FFW_CHECK(ig >= 1 && tr >= 1 && pm.nranks() == tr);
+  const int window = ig * tr;
+  const int wrank = comm.rank() - config.rank_base;
+  FFW_CHECK_MSG(wrank >= 0 && wrank < window,
+                "windowed DBIM: calling rank outside its window");
+  FFW_CHECK(config.rank_base + window <= comm.size());
+  FFW_CHECK_MSG(config.dbim.backend == BackendKind::kMlfma,
+                "windowed DBIM runs on the partitioned MLFMA engine only");
+  FFW_CHECK_MSG(config.dbim.mixed_engine == nullptr &&
+                    config.dbim.resume == nullptr && !config.dbim.checkpoint,
+                "windowed DBIM: per-scene DBIM pointers are unsupported "
+                "(stage-level checkpointing is the ladder's job)");
+  if (config.dbim.near_precondition) {
+    FFW_CHECK_MSG(pm.nearfield().precision() == Precision::kDouble,
+                  "windowed DBIM near-field preconditioner needs fp64 "
+                  "near-field tables");
+  }
+  const std::size_t npix = tree.grid().num_pixels();
+  const int t_count = trx.num_transmitters();
+
+  double meas_norm2 = 0.0;
+  for (std::size_t t = 0; t < measured.cols(); ++t) {
+    const double nn = nrm2(measured.col(t));
+    meas_norm2 += nn * nn;
+  }
+
+  RankCtx ctx;
+  ctx.comm = &comm;
+  ctx.pm = &pm;
+  ctx.trx = &trx;
+  ctx.measured = &measured;
+  ctx.fw_opts = config.forward;
+  ctx.group = wrank / tr;
+  ctx.tree_rank = wrank % tr;
+  ctx.rank_base = config.rank_base + ctx.group * tr;
+  for (int r = 0; r < tr; ++r) ctx.tree_group.push_back(ctx.rank_base + r);
+  for (int g = 0; g < ig; ++g)
+    ctx.column_group.push_back(config.rank_base + g * tr + ctx.tree_rank);
+  // Window ranks, NOT the whole cluster: every collective below runs on
+  // group primitives over explicit rank lists, never on the global
+  // barrier/allreduce (which would deadlock against the other band
+  // groups running their own windows concurrently).
+  std::vector<int> window_ranks;
+  for (int r = 0; r < window; ++r)
+    window_ranks.push_back(config.rank_base + r);
+
+  ctx.nloc = pm.local_pixels(ctx.tree_rank);
+  const std::size_t npl = static_cast<std::size_t>(tree.pixels_per_leaf());
+  const std::size_t q0 = pm.leaf_begin(ctx.tree_rank) * npl;
+  ctx.nat_idx.resize(ctx.nloc);
+  for (std::size_t q = 0; q < ctx.nloc; ++q)
+    ctx.nat_idx[q] = tree.perm()[q0 + q];
+
+  for (int t = ctx.group; t < t_count; t += ig) ctx.local_t.push_back(t);
+  ctx.o_loc.assign(ctx.nloc, cplx{});
+  if (!initial_contrast.empty()) {
+    FFW_CHECK(initial_contrast.size() == npix);
+    for (std::size_t q = 0; q < ctx.nloc; ++q)
+      ctx.o_loc[q] = initial_contrast[ctx.nat_idx[q]];
+  }
+  ctx.lo = BlockLayout{npl, ctx.local_t.size(), ctx.nloc / npl};
+  ctx.phi_b.assign(ctx.lo.size(), cplx{});
+  ctx.reset_phi_to_incident();
+  if (config.dbim.recycle_depth > 0) {
+    const RecycleOptions ro{
+        static_cast<std::size_t>(config.dbim.recycle_depth),
+        config.dbim.recycle_ridge};
+    ctx.rec_grad = KrylovRecycler(ro);
+    ctx.rec_step = KrylovRecycler(ro);
+  }
+
+  cvec grad(ctx.nloc), grad_prev(ctx.nloc), direction(ctx.nloc),
+      residuals(measured.rows() * ctx.local_t.size());
+  std::vector<double> history;
+  double grad_prev_norm2 = 0.0;
+  double prev_relres = -1.0;
+  DotReducer red = ctx.tree_reduce();
+
+  for (int iter = 0; iter < config.dbim.max_iterations; ++iter) {
+    if (config.dbim.near_precondition) {
+      ctx.precond = std::make_unique<NearFieldBlockJacobi>(
+          pm.nearfield().type(4), ccspan{ctx.o_loc}, Precision::kDouble);
+    }
+    if (config.dbim.adaptive_forcing) {
+      const double base = config.forward.tol;
+      const double cap = std::max(base, config.dbim.forcing_cap);
+      ctx.forcing_tol =
+          prev_relres >= 0.0
+              ? std::clamp(config.dbim.forcing_c * prev_relres, base, cap)
+              : cap;
+    }
+    std::fill(grad.begin(), grad.end(), cplx{});
+    double cost_loc = 0.0;
+    if (!ctx.local_t.empty()) {
+      if (!config.dbim.warm_start_fields) {
+        ctx.reset_phi_to_incident();
+        ctx.rec_grad.clear();
+        ctx.rec_step.clear();
+      }
+      cost_loc = ctx.residual_pass_all(residuals);
+      ctx.gradient_pass_all(residuals, grad);
+    }
+    // Cost: each illumination's cost is replicated tr times; reduced
+    // over the window ranks only.
+    double buf[1] = {cost_loc};
+    comm.group_allreduce_sum(rspan{buf, 1}, window_ranks);
+    const double cost = buf[0] / tr;
+    comm.group_allreduce_sum(cspan{grad}, ctx.column_group);
+    if (config.dbim.tikhonov > 0.0) {
+      for (std::size_t q = 0; q < ctx.nloc; ++q)
+        grad[q] += config.dbim.tikhonov * ctx.o_loc[q];
+    }
+
+    const double relres = std::sqrt(cost / meas_norm2);
+    prev_relres = relres;
+    history.push_back(relres);
+    if (config.dbim.progress && wrank == 0) config.dbim.progress(iter, relres);
+    if (config.dbim.residual_tol > 0.0 && relres < config.dbim.residual_tol)
+      break;
+
+    double gn_loc = 0.0;
+    for (const auto& v : grad) gn_loc += std::norm(v);
+    const double gnorm2 = red.sum_double(gn_loc);
+    if (gnorm2 == 0.0) break;
+    double beta = 0.0;
+    if (config.dbim.conjugate_gradient && iter > 0 && grad_prev_norm2 > 0.0) {
+      cplx num_loc{};
+      for (std::size_t q = 0; q < ctx.nloc; ++q)
+        num_loc += std::conj(grad[q]) * (grad[q] - grad_prev[q]);
+      beta = std::max(0.0, red.sum_cplx(num_loc).real() / grad_prev_norm2);
+    }
+    if (beta == 0.0) {
+      for (std::size_t q = 0; q < ctx.nloc; ++q) direction[q] = -grad[q];
+    } else {
+      for (std::size_t q = 0; q < ctx.nloc; ++q)
+        direction[q] = -grad[q] + beta * direction[q];
+    }
+
+    double denom_loc = ctx.local_t.empty() ? 0.0 : ctx.step_pass_all(direction);
+    double dbuf[1] = {denom_loc};
+    comm.group_allreduce_sum(rspan{dbuf, 1}, window_ranks);
+    double denom = dbuf[0] / tr;
+    if (config.dbim.tikhonov > 0.0) {
+      double dn_loc = 0.0;
+      for (std::size_t q = 0; q < ctx.nloc; ++q)
+        dn_loc += std::norm(direction[q]);
+      denom += config.dbim.tikhonov * red.sum_double(dn_loc);
+    }
+    if (denom == 0.0) break;
+    cplx num_loc{};
+    for (std::size_t q = 0; q < ctx.nloc; ++q)
+      num_loc += std::conj(grad[q]) * direction[q];
+    const double alpha = -red.sum_cplx(num_loc).real() / denom;
+    for (std::size_t q = 0; q < ctx.nloc; ++q)
+      ctx.o_loc[q] += alpha * direction[q];
+
+    copy(grad, grad_prev);
+    grad_prev_norm2 = gnorm2;
+
+    // Per-band plateau stop, after the update so the serial stepper
+    // (update inside step(), plateau checked by the caller between
+    // steps) and this driver cut the band at the identical state. The
+    // decision is a pure function of the replicated history — every
+    // window rank reaches the same verdict with no extra message.
+    if (config.plateau_window > 0 &&
+        history.size() > static_cast<std::size_t>(config.plateau_window)) {
+      const double then =
+          history[history.size() - 1 -
+                  static_cast<std::size_t>(config.plateau_window)];
+      if (history.back() > (1.0 - config.plateau_rtol) * then) break;
+    }
+  }
+
+  // Assemble the full natural-order image on every window rank: the
+  // group-0 tree ranks hold the authoritative slices (the contrast is
+  // replicated across illumination groups); gather them to the window
+  // leader by message — works identically for thread and process ranks
+  // — then broadcast over the window.
+  constexpr int kTagWindowResult = -4150;  // reserved: windowed gather
+  cvec out_cluster(npix, cplx{});
+  if (wrank == 0) {
+    std::copy(ctx.o_loc.begin(), ctx.o_loc.end(), out_cluster.begin());
+    for (int r = 1; r < tr; ++r) {
+      const cvec slice =
+          comm.recv<cplx>(config.rank_base + r, kTagWindowResult);
+      FFW_CHECK(slice.size() == pm.local_pixels(r));
+      std::copy(slice.begin(), slice.end(),
+                out_cluster.begin() +
+                    static_cast<std::ptrdiff_t>(pm.leaf_begin(r) * npl));
+    }
+  } else if (ctx.group == 0) {
+    comm.send(config.rank_base, kTagWindowResult, ccspan{ctx.o_loc});
+  }
+  comm.group_bcast(cspan{out_cluster}, window_ranks);
+
+  DbimResult out;
+  out.contrast.assign(npix, cplx{});
+  tree.to_natural_order(out_cluster, out.contrast);
+  out.history.relative_residual = std::move(history);
+  out.history.forward_solves = static_cast<std::uint64_t>(
+      3 * t_count * static_cast<int>(out.history.relative_residual.size()));
   return out;
 }
 

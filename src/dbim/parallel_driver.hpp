@@ -65,4 +65,39 @@ DbimResult dbim_reconstruct_parallel(VCluster& vc, const QuadTree& tree,
                                      const CMatrix& measured,
                                      const ParallelDbimConfig& config);
 
+/// A 2-D DBIM grid occupying only a *window* of the cluster's ranks:
+/// ranks [rank_base, rank_base + illum_groups * tree_ranks) form the
+/// illumination x sub-tree grid while the rest of the cluster runs
+/// something else — other frequency bands of a continuation ladder
+/// (dbim/continuation_parallel.hpp), concurrently. Every collective is
+/// a group primitive over explicit window rank lists; the global
+/// barrier/allreduce are never touched, so disjoint windows cannot
+/// interfere (or deadlock) with each other.
+struct WindowedDbimConfig {
+  int rank_base = 0;     // first global rank of the window
+  int illum_groups = 1;
+  int tree_ranks = 1;    // must equal the PartitionedMlfma's nranks
+  DbimOptions dbim;
+  BicgstabOptions forward;
+  /// Per-band plateau stop (dbim/continuation.hpp semantics): end the
+  /// run once the relative residual improved by less than plateau_rtol
+  /// over the last plateau_window iterations. 0 disables.
+  int plateau_window = 0;
+  double plateau_rtol = 0.0;
+};
+
+/// Collective over the window's ranks only — every rank of the window
+/// must call it with the same arguments (and a PartitionedMlfma built
+/// over tree_ranks sub-trees of the same tree). `initial_contrast`
+/// (natural order, may be empty) seeds the outer loop — the warm-start
+/// hand-off of the frequency ladder. Returns the full natural-order
+/// image on every window rank. Stage-level checkpointing is the
+/// caller's job; this driver has no supervisor of its own.
+DbimResult dbim_reconstruct_windowed(Comm& comm, const PartitionedMlfma& pm,
+                                     const QuadTree& tree,
+                                     const Transceivers& trx,
+                                     const CMatrix& measured,
+                                     const WindowedDbimConfig& config,
+                                     ccspan initial_contrast = {});
+
 }  // namespace ffw

@@ -1,0 +1,53 @@
+#include "parallel/freq_partition.hpp"
+
+#include <algorithm>
+
+namespace ffw {
+
+int FreqPartition::group_of(int rank) const {
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (rank >= groups[g].base && rank < groups[g].base + groups[g].size())
+      return static_cast<int>(g);
+  }
+  FFW_CHECK_MSG(false, "rank outside the frequency partition");
+  return -1;
+}
+
+std::vector<int> FreqPartition::ranks(int g) const {
+  const BandGroup& grp = groups[static_cast<std::size_t>(g)];
+  std::vector<int> out(static_cast<std::size_t>(grp.size()));
+  for (int r = 0; r < grp.size(); ++r)
+    out[static_cast<std::size_t>(r)] = grp.base + r;
+  return out;
+}
+
+FreqPartition make_freq_partition(int nranks, int nbands, int freq_groups,
+                                  int tree_ranks) {
+  FFW_CHECK(nranks >= 1 && nbands >= 1 && tree_ranks >= 1);
+  int fg = freq_groups;
+  if (fg == 0) {
+    // Largest divisor of the pool not exceeding the band count: every
+    // group gets the same 2-D shape and no rank idles.
+    const int cap = std::min(nbands, nranks);
+    for (fg = cap; fg > 1; --fg) {
+      if (nranks % fg == 0 && (nranks / fg) % tree_ranks == 0) break;
+    }
+  }
+  FFW_CHECK_MSG(fg >= 1 && nranks % fg == 0,
+                "freq partition: rank count does not divide into the "
+                "requested band groups");
+  const int per = nranks / fg;
+  FFW_CHECK_MSG(per % tree_ranks == 0,
+                "freq partition: group size does not divide into tree ranks");
+  FreqPartition part;
+  for (int g = 0; g < fg; ++g) {
+    BandGroup grp;
+    grp.base = g * per;
+    grp.tree_ranks = tree_ranks;
+    grp.illum_groups = per / tree_ranks;
+    part.groups.push_back(grp);
+  }
+  return part;
+}
+
+}  // namespace ffw

@@ -1,0 +1,58 @@
+// Frequency as the third parallel axis (ROADMAP item 3): partition a
+// rank pool into *band groups*. Each band group is itself a 2-D
+// (illumination x sub-tree) grid — the paper's parallelisation — and
+// bands of a frequency ladder are assigned to groups round-robin, so
+// with fewer groups than bands a group runs several rungs in sequence
+// while other groups' setup (table builds, measurement synthesis)
+// overlaps the warm-start chain (dbim/continuation_parallel.hpp).
+//
+// The decomposition follows Gaggioli-Bruno's frequency-parallel
+// observation (arXiv:2202.09421): per-band measurement sets are
+// independent, so everything except the warm-start hand-off is
+// embarrassingly parallel across bands.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ffw {
+
+/// One band group: a contiguous window of global ranks arranged as an
+/// illum_groups x tree_ranks grid.
+struct BandGroup {
+  int base = 0;          // first global rank of the window
+  int illum_groups = 1;  // parallel dimension 1 within the group
+  int tree_ranks = 1;    // parallel dimension 2 within the group
+  int size() const { return illum_groups * tree_ranks; }
+};
+
+struct FreqPartition {
+  std::vector<BandGroup> groups;
+
+  int num_groups() const { return static_cast<int>(groups.size()); }
+  int nranks() const {
+    int n = 0;
+    for (const BandGroup& g : groups) n += g.size();
+    return n;
+  }
+  /// Group owning a global rank (windows are contiguous and ordered).
+  int group_of(int rank) const;
+  /// Global ranks of group g, sorted (the window's collective group).
+  std::vector<int> ranks(int g) const;
+  /// Band s of a ladder runs on this group (round-robin).
+  int owner_of_band(int band) const {
+    return band % static_cast<int>(groups.size());
+  }
+};
+
+/// Splits `nranks` into `freq_groups` contiguous band groups of equal
+/// size, each an (size/tree_ranks) x tree_ranks grid. freq_groups = 0
+/// picks the largest divisor of nranks that is <= min(nbands, nranks) —
+/// as many concurrent bands as the pool and the ladder allow without
+/// leaving ranks idle. Aborts unless nranks divides evenly into the
+/// requested shape.
+FreqPartition make_freq_partition(int nranks, int nbands, int freq_groups = 0,
+                                  int tree_ranks = 1);
+
+}  // namespace ffw

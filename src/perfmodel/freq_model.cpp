@@ -1,0 +1,107 @@
+#include "perfmodel/freq_model.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "grid/quadtree.hpp"
+
+namespace ffw {
+
+namespace {
+
+/// Band setup on the group: operator-table build plus the leader's
+/// serial measurement synthesis (one forward solve per transmitter ~=
+/// one of the three blocked passes of a single-node DBIM iteration).
+double band_setup_time(const ScalingModel& model, const FreqBandSpec& band,
+                       const QuadTree& tree, const MlfmaPlan& plan,
+                       bool gpu) {
+  ProblemSpec one_iter{band.nx, band.transmitters, 1};
+  return model.reconstruction_time(one_iter, tree, plan, 1, 1, gpu, false) /
+         3.0;
+}
+
+/// Warm-start hand-off: one natural-order image over one link.
+double handoff_time(const ScalingModel& model, const FreqBandSpec& band) {
+  const double bytes =
+      static_cast<double>(band.nx) * band.nx * sizeof(cplx);
+  return model.machine().net_latency_s +
+         bytes / model.machine().net_bandwidth_bps;
+}
+
+}  // namespace
+
+double freq_pipeline_time(const ScalingModel& model,
+                          const std::vector<FreqBandSpec>& bands,
+                          int freq_groups, int illum_groups, int tree_ranks,
+                          bool gpu) {
+  FFW_CHECK(freq_groups >= 1 && illum_groups >= 1 && tree_ranks >= 1);
+  if (bands.empty()) return 0.0;
+
+  // Trees/plans per distinct nx (bands of a ladder share the fine tree's
+  // parameters, coarser rungs their own smaller ones).
+  std::vector<std::pair<int, std::unique_ptr<QuadTree>>> trees;
+  std::vector<std::unique_ptr<MlfmaPlan>> plans;
+  const auto lookup = [&](int nx) -> std::size_t {
+    for (std::size_t i = 0; i < trees.size(); ++i)
+      if (trees[i].first == nx) return i;
+    trees.emplace_back(nx, std::make_unique<QuadTree>(Grid(nx), 8));
+    plans.push_back(
+        std::make_unique<MlfmaPlan>(*trees.back().second, MlfmaParams{}));
+    return trees.size() - 1;
+  };
+
+  std::vector<double> group_free(static_cast<std::size_t>(freq_groups), 0.0);
+  double chain_t = 0.0;  // when the previous band's image is ready
+  for (std::size_t s = 0; s < bands.size(); ++s) {
+    const FreqBandSpec& band = bands[s];
+    const std::size_t ti = lookup(band.nx);
+    const QuadTree& tree = *trees[ti].second;
+    const MlfmaPlan& plan = *plans[ti];
+    const int g = static_cast<int>(s) % freq_groups;
+
+    const double setup_done =
+        group_free[static_cast<std::size_t>(g)] +
+        band_setup_time(model, band, tree, plan, gpu);
+    double ready = setup_done;
+    if (s > 0) {
+      // Same-group successors reuse the locally-held image; only a
+      // cross-group hand-off pays the link.
+      const int prev_g = static_cast<int>(s - 1) % freq_groups;
+      const double link =
+          prev_g == g ? 0.0 : handoff_time(model, bands[s - 1]);
+      ready = std::max(setup_done, chain_t + link);
+    }
+    ProblemSpec spec{band.nx, band.transmitters, band.dbim_iterations};
+    const double end = ready + model.reconstruction_time(
+                                   spec, tree, plan, illum_groups,
+                                   tree_ranks, gpu, false);
+    chain_t = end;
+    group_free[static_cast<std::size_t>(g)] = end;
+  }
+  return chain_t;
+}
+
+Freq3dChoice choose_freq_partition(const ScalingModel& model,
+                                   const std::vector<FreqBandSpec>& bands,
+                                   int nodes, bool gpu) {
+  FFW_CHECK(nodes >= 1 && !bands.empty());
+  Freq3dChoice best;
+  bool have = false;
+  const int nbands = static_cast<int>(bands.size());
+  for (int fg = 1; fg <= std::min(nodes, nbands); ++fg) {
+    if (nodes % fg != 0) continue;
+    const int per = nodes / fg;
+    for (int tr = 1; tr <= std::min(per, 16); tr *= 2) {
+      if (per % tr != 0) continue;
+      const int ig = per / tr;
+      const double t = freq_pipeline_time(model, bands, fg, ig, tr, gpu);
+      if (!have || t < best.time_s) {
+        best = Freq3dChoice{fg, ig, tr, t};
+        have = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ffw

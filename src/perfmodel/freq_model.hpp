@@ -1,0 +1,52 @@
+// 3-D partition model: extends the paper's (illuminations x sub-trees)
+// scaling predictor with the frequency axis of the continuation ladder
+// (dbim/continuation_parallel.hpp). Given a node pool and a ladder of
+// bands, the model simulates the pipelined schedule — per-band setup
+// (table builds + leader measurement synthesis) overlaps other groups'
+// reconstructions; the warm-start hand-off serialises the chain — and
+// picks the (freq_groups, illum_groups, tree_ranks) split with the
+// smallest predicted wall time. The network cost of the hand-off uses
+// the same alpha-beta machine model as the halo exchanges, so numbers
+// measured by the transport self-benchmark (LinkParams via
+// MachineParams::apply_measured_link) flow into the 3-D choice too.
+#pragma once
+
+#include <vector>
+
+#include "perfmodel/predictor.hpp"
+
+namespace ffw {
+
+/// One rung of the ladder as the model sees it: grid side, transmitter
+/// count, and the band's DBIM iteration budget.
+struct FreqBandSpec {
+  int nx = 0;
+  int transmitters = 0;
+  int dbim_iterations = 0;
+};
+
+struct Freq3dChoice {
+  int freq_groups = 1;
+  int illum_groups = 1;
+  int tree_ranks = 1;
+  double time_s = 0.0;
+};
+
+/// Predicted wall time of the ladder on freq_groups band groups, each an
+/// illum_groups x tree_ranks grid (bands round-robin over groups, like
+/// make_freq_partition). Models the pipeline: band s cannot start its
+/// DBIM before max(its group is free and its setup is done, band s-1
+/// finished and the warm-start image crossed one link).
+double freq_pipeline_time(const ScalingModel& model,
+                          const std::vector<FreqBandSpec>& bands,
+                          int freq_groups, int illum_groups, int tree_ranks,
+                          bool gpu);
+
+/// Enumerates every (fg, ig, tr) with fg * ig * tr == nodes, fg <= band
+/// count and tr a power of two <= 16 (the PartitionedMlfma top-level
+/// constraint), and returns the minimum-time choice.
+Freq3dChoice choose_freq_partition(const ScalingModel& model,
+                                   const std::vector<FreqBandSpec>& bands,
+                                   int nodes, bool gpu);
+
+}  // namespace ffw

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/timer.hpp"
+#include "dbim/continuation.hpp"
 #include "obs/obs.hpp"
 
 namespace ffw {
@@ -15,6 +16,13 @@ ReconstructionService::ReconstructionService(OperatorTableCache& cache,
 }
 
 int ReconstructionService::submit(JobSpec spec) {
+  for (std::size_t b = 0; b < spec.bands.size(); ++b) {
+    FFW_CHECK_MSG(spec.bands[b].nx > 0, "ladder job: band nx must be set");
+    if (b > 0) {
+      FFW_CHECK_MSG(spec.bands[b].nx >= spec.bands[b - 1].nx,
+                    "ladder job: bands must run coarse to fine");
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   const int id = static_cast<int>(jobs_.size());
   auto job = std::make_unique<Job>();
@@ -57,6 +65,7 @@ JobStatus ReconstructionService::status(int job_id) const {
   s.compute_seconds = job.compute_seconds;
   s.last_residual = job.last_residual;
   s.error = job.error;
+  s.band = job.band;
   return s;
 }
 
@@ -134,13 +143,23 @@ bool ReconstructionService::all_terminal_locked() const {
 
 void ReconstructionService::build_runtime(Job& job) {
   FFW_TRACE_SPAN("service.build", static_cast<std::int64_t>(job.id));
-  const Grid grid(job.spec.nx);
+  // Ladder jobs draw geometry + data from the active band; the runtime
+  // is rebuilt per band through the same cache, so rungs shared across
+  // tenants are paid once.
+  const JobBand* band =
+      job.spec.bands.empty()
+          ? nullptr
+          : &job.spec.bands[static_cast<std::size_t>(job.band)];
+  const Grid grid(band != nullptr ? band->nx : job.spec.nx);
   job.tables =
       cache_.mlfma_tables(grid, job.spec.leaf_pixel_side, job.spec.mlfma);
   job.engine = std::make_unique<MlfmaEngine>(job.tables);
-  job.trx_tables = cache_.transceiver_tables(grid, job.spec.transmitters,
-                                             job.spec.receivers);
+  job.trx_tables = cache_.transceiver_tables(
+      grid, band != nullptr ? band->transmitters : job.spec.transmitters,
+      band != nullptr ? band->receivers : job.spec.receivers);
   DbimOptions opts = job.spec.dbim;
+  if (band != nullptr && band->max_iterations > 0)
+    opts.max_iterations = band->max_iterations;
   opts.incident_panel = job.trx_tables->incident();
   opts.table_cache = &cache_;
   Job* jp = &job;
@@ -165,9 +184,14 @@ void ReconstructionService::build_runtime(Job& job) {
     }
     if (user_checkpoint) user_checkpoint(c);
   };
-  job.stepper = std::make_unique<DbimStepper>(
-      *job.engine, job.trx_tables->trx, job.spec.measured, opts,
-      job.spec.forward, job.spec.initial_contrast);
+  const CMatrix& measured =
+      band != nullptr ? band->measured : job.spec.measured;
+  const ccspan initial = band != nullptr && job.band > 0
+                             ? ccspan{job.warm_start}
+                             : ccspan{job.spec.initial_contrast};
+  job.stepper = std::make_unique<DbimStepper>(*job.engine,
+                                              job.trx_tables->trx, measured,
+                                              opts, job.spec.forward, initial);
 }
 
 void ReconstructionService::release_runtime_locked(Job& job) {
@@ -248,17 +272,39 @@ void ReconstructionService::worker_loop(Comm& comm) {
     } else if (job->cancel_requested) {
       job->state = JobState::kCancelled;
       if (job->stepper) {
-        job->iterations = job->stepper->iteration();
+        job->iterations = job->iterations_base + job->stepper->iteration();
         job->result = job->stepper->result();  // partial image kept
       }
       release_runtime_locked(*job);
     } else {
-      job->iterations = job->stepper->iteration();
+      job->iterations = job->iterations_base + job->stepper->iteration();
       job->last_residual = job->stepper->last_residual();
       if (!more) {
-        job->state = JobState::kCompleted;
-        job->result = job->stepper->result();
-        release_runtime_locked(*job);
+        const int nbands = static_cast<int>(job->spec.bands.size());
+        if (job->band + 1 < nbands) {
+          // Ladder hand-off: warm-start the next band from this band's
+          // image (same arithmetic as the standalone continuation
+          // driver — verbatim for equal-nx rungs) and rebuild the
+          // runtime lazily on the next tick. The job stays kRunning and
+          // keeps its fair-share position.
+          const DbimResult res = job->stepper->result();
+          const int prev_nx =
+              job->spec.bands[static_cast<std::size_t>(job->band)].nx;
+          const int next_nx =
+              job->spec.bands[static_cast<std::size_t>(job->band + 1)].nx;
+          const Grid gp(prev_nx), gn(next_nx);
+          job->warm_start = continuation_warm_start(
+              res.contrast, prev_nx, next_nx, gp.k0() * gp.k0(),
+              gn.k0() * gn.k0());
+          job->iterations_base = job->iterations;
+          job->has_checkpoint = false;
+          ++job->band;
+          release_runtime_locked(*job);
+        } else {
+          job->state = JobState::kCompleted;
+          job->result = job->stepper->result();
+          release_runtime_locked(*job);
+        }
       }
     }
     cv_.notify_all();

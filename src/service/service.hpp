@@ -44,6 +44,19 @@
 
 namespace ffw {
 
+/// One rung of a multi-frequency job: its own grid side, geometry and
+/// measured panel (independent experiments per operating frequency).
+/// nx must be non-decreasing across a spec's bands (coarse to fine,
+/// power-of-two steps); a band's max_iterations overrides the job-level
+/// DbimOptions budget when positive.
+struct JobBand {
+  int nx = 0;
+  std::vector<Vec2> transmitters;
+  std::vector<Vec2> receivers;
+  CMatrix measured;  // R x T, column t = transmitter t
+  int max_iterations = 0;
+};
+
 /// One tenant's reconstruction request. The measured panel and geometry
 /// are owned by the spec (the service keeps them alive for the job's
 /// lifetime); grid/leaf/mlfma describe the operator configuration the
@@ -61,17 +74,30 @@ struct JobSpec {
   cvec initial_contrast;
   /// Admission priority: higher admits first; FIFO within a priority.
   int priority = 0;
+  /// Non-empty: the job is a frequency-continuation ladder. Bands run
+  /// coarse to fine inside the ordinary fair-share schedule (one
+  /// stepper iteration per tick, so a ladder never monopolises the
+  /// pool); each band warm-starts from the previous band's image (the
+  /// same hand-off arithmetic as dbim/continuation.hpp), the base
+  /// nx/transmitters/receivers/measured fields are ignored, and the
+  /// job's result is the final band's. Every band's operator tables go
+  /// through the shared cache, so concurrent tenants on the same ladder
+  /// share them rung by rung.
+  std::vector<JobBand> bands;
 };
 
 enum class JobState { kQueued, kRunning, kCompleted, kCancelled, kFailed };
 
 struct JobStatus {
   JobState state = JobState::kQueued;
-  int iterations = 0;         // completed DBIM iterations
+  int iterations = 0;         // completed DBIM iterations (all bands)
   std::uint64_t steps = 0;    // scheduler ticks consumed
   double compute_seconds = 0.0;
   double last_residual = 0.0;  // NaN until the first iteration reports
   std::string error;           // kFailed: what() of the escaping exception
+  /// Multi-frequency jobs: band currently running (or, when terminal,
+  /// the band the job ended on). 0 for single-frequency jobs.
+  int band = 0;
 };
 
 struct ServiceStats {
@@ -135,6 +161,11 @@ class ReconstructionService {
     double last_residual = 0.0;
     double compute_seconds = 0.0;
     std::string error;
+    // Multi-frequency ladder position: active band, iterations spent in
+    // completed bands, and the warm-start image handed down the ladder.
+    int band = 0;
+    int iterations_base = 0;
+    cvec warm_start;
     DbimCheckpoint last_checkpoint;  // in-memory resume state
     bool has_checkpoint = false;
     // Runtime (released when the job reaches a terminal state; tables

@@ -944,6 +944,42 @@ double Comm::group_allreduce_sum(double v, std::span<const int> group) {
   return buf[0];
 }
 
+template <typename T>
+static void group_bcast_impl(Comm& c, std::span<T> data,
+                             std::span<const int> group) {
+  const int p = static_cast<int>(group.size());
+  if (p <= 1) return;
+  constexpr int kTagGroupBcast = -2100;
+  FFW_DCHECK(std::is_sorted(group.begin(), group.end()));
+  const auto it = std::lower_bound(group.begin(), group.end(), c.rank());
+  FFW_CHECK_MSG(it != group.end() && *it == c.rank(),
+                "group_bcast: calling rank not in group");
+  // Binomial tree over group *positions*, rooted at position 0.
+  const int vrank = static_cast<int>(it - group.begin());
+  int mask = 1;
+  while (mask < p) {
+    if (vrank < mask) {
+      const int child = vrank + mask;
+      if (child < p) {
+        c.send(group[static_cast<std::size_t>(child)], kTagGroupBcast,
+               std::span<const T>(data));
+      }
+    } else if (vrank < 2 * mask) {
+      c.recv_into(group[static_cast<std::size_t>(vrank - mask)],
+                  kTagGroupBcast, data);
+    }
+    mask <<= 1;
+  }
+}
+
+void Comm::group_bcast(cspan data, std::span<const int> group) {
+  group_bcast_impl(*this, data, group);
+}
+
+void Comm::group_bcast(rspan data, std::span<const int> group) {
+  group_bcast_impl(*this, data, group);
+}
+
 void Comm::bcast(cspan data, int root) {
   const int p = size();
   if (p == 1) return;

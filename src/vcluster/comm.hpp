@@ -160,6 +160,15 @@ class Comm {
   void group_allreduce_sum(rspan inout, std::span<const int> group);
   double group_allreduce_sum(double v, std::span<const int> group);
 
+  /// Broadcast from group[0] over a subgroup of ranks (sorted, must
+  /// contain rank()): binomial tree over the group positions, like
+  /// bcast but window-scoped. This is the band-group communicator
+  /// primitive of the frequency dimension (dbim/continuation_parallel):
+  /// concurrent band groups use disjoint rank pairs, so their traffic
+  /// cannot collide on the shared (src, tag) message keys.
+  void group_bcast(cspan data, std::span<const int> group);
+  void group_bcast(rspan data, std::span<const int> group);
+
  private:
   friend class VCluster;
   Comm(VCluster* owner, int rank) : owner_(owner), rank_(rank) {}

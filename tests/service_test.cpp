@@ -10,9 +10,11 @@
 #include <stdexcept>
 #include <vector>
 
+#include "dbim/continuation.hpp"
 #include "dbim/dbim.hpp"
 #include "dbim/multifrequency.hpp"
 #include "phantom/phantom.hpp"
+#include "phantom/resample.hpp"
 #include "phantom/setup.hpp"
 #include "service/service.hpp"
 
@@ -297,6 +299,73 @@ TEST(Service, MultiFrequencyStagesShareCachedTables) {
   EXPECT_EQ(std::memcmp(plain.permittivity.data(), again.permittivity.data(),
                         plain.permittivity.size() * sizeof(cplx)),
             0);
+}
+
+TEST(Service, LadderJobMatchesManualContinuation) {
+  // A multi-frequency job: two bands (nx 16 -> 32), each with its own
+  // geometry and measured panel, warm-started down the ladder inside
+  // the fair-share scheduler. The result must be bit-identical to
+  // running the two bands by hand through the same cache.
+  OperatorTableCache cache;
+  ScenarioConfig cfg;
+  cfg.nx = 32;
+  cfg.num_transmitters = 6;
+  cfg.num_receivers = 20;
+  cfg.table_cache = &cache;
+  const Grid fine(cfg.nx), coarse(16);
+  const cvec truth =
+      gaussian_blob(fine, Vec2{0.2, -0.1}, 0.5, cplx{0.012, 0.0});
+  const cvec truth16 = downsample2(truth, cfg.nx);
+  ScenarioConfig c16 = cfg;
+  c16.nx = 16;
+  Scenario s16(c16, truth16);
+  Scenario s32(cfg, truth);
+
+  const auto band_of = [&cfg](const Scenario& s, int iters) {
+    JobBand b;
+    b.nx = s.grid().nx();
+    const double radius = cfg.ring_radius_factor * s.grid().domain();
+    b.transmitters = ring_positions(cfg.num_transmitters, radius);
+    b.receivers = ring_positions(cfg.num_receivers, radius);
+    b.measured = s.measurements();
+    b.max_iterations = iters;
+    return b;
+  };
+  JobSpec spec;
+  spec.name = "ladder";
+  spec.nx = cfg.nx;
+  spec.forward = cfg.forward;
+  spec.bands.push_back(band_of(s16, 3));
+  spec.bands.push_back(band_of(s32, 2));
+
+  ReconstructionService service(cache);
+  const int id = service.submit(spec);
+  VCluster vc(2);
+  service.run(vc);
+  const JobStatus st = service.status(id);
+  EXPECT_EQ(st.state, JobState::kCompleted);
+  EXPECT_EQ(st.band, 1);
+  EXPECT_EQ(st.iterations, 5);
+
+  // Manual reference: band 0, shared warm-start arithmetic, band 1.
+  JobSpec ref0 = spec;
+  ref0.nx = 16;
+  ref0.transmitters = spec.bands[0].transmitters;
+  ref0.receivers = spec.bands[0].receivers;
+  ref0.measured = spec.bands[0].measured;
+  ref0.dbim.max_iterations = 3;
+  ref0.bands.clear();
+  const DbimResult r0 = serial_reference(cache, ref0);
+  JobSpec ref1 = ref0;
+  ref1.nx = 32;
+  ref1.transmitters = spec.bands[1].transmitters;
+  ref1.receivers = spec.bands[1].receivers;
+  ref1.measured = spec.bands[1].measured;
+  ref1.dbim.max_iterations = 2;
+  ref1.initial_contrast = continuation_warm_start(
+      r0.contrast, 16, 32, coarse.k0() * coarse.k0(), fine.k0() * fine.k0());
+  const DbimResult gold = serial_reference(cache, ref1);
+  expect_bit_identical(gold, service.result(id));
 }
 
 TEST(Service, InjectedRankFailureRecoversPool) {
